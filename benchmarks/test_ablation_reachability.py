@@ -1,0 +1,56 @@
+"""Ablation: adjacency-at-query-time vs precomputed reachability.
+
+The paper (§5.1): "An alternative is to pre-compute the transitive
+closure of each node, or to keep pair-wise reachability information.
+Both these options would result in higher memory overhead, but may
+speed up query processing."  This bench quantifies both sides of that
+trade-off on the dealership graph.
+"""
+
+import time
+
+import pytest
+
+from repro.queries import ReachabilityIndex, highest_fanout_nodes, subgraph_query
+
+
+@pytest.mark.benchmark(group="ablation-reachability")
+def test_subgraph_via_traversal(benchmark, dealership_graph):
+    nodes = highest_fanout_nodes(dealership_graph, 20)
+    benchmark(lambda: [subgraph_query(dealership_graph, node)
+                       for node in nodes])
+
+
+@pytest.mark.benchmark(group="ablation-reachability")
+def test_subgraph_via_index(benchmark, dealership_graph):
+    index = ReachabilityIndex(dealership_graph)  # build cost excluded
+    nodes = highest_fanout_nodes(dealership_graph, 20)
+    benchmark(lambda: [index.subgraph(node) for node in nodes])
+
+
+@pytest.mark.benchmark(group="ablation-reachability-build")
+def test_index_build_cost(benchmark, dealership_graph):
+    index = benchmark(ReachabilityIndex, dealership_graph)
+    # The memory-overhead side of the trade-off: the index stores far
+    # more cells than the graph has edges.
+    assert index.memory_cells() > dealership_graph.edge_count
+
+
+@pytest.mark.benchmark(group="ablation-reachability-shape")
+def test_shape_index_speeds_up_queries(benchmark, dealership_graph):
+    index = ReachabilityIndex(dealership_graph)
+    nodes = highest_fanout_nodes(dealership_graph, 20)
+
+    def compare():
+        started = time.perf_counter()
+        for node in nodes:
+            subgraph_query(dealership_graph, node)
+        traversal = time.perf_counter() - started
+        started = time.perf_counter()
+        for node in nodes:
+            index.subgraph(node)
+        indexed = time.perf_counter() - started
+        return traversal, indexed
+
+    traversal, indexed = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert indexed < traversal

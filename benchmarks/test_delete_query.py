@@ -1,0 +1,61 @@
+"""§5.6 Delete: deletion propagation performance.
+
+Paper claims: "Because there is no need to look at ancestors of a
+node, this query traverses a much smaller subgraph than a subgraph
+query", with per-node processing times under 1 ms in most cases and
+at most 10-13 ms.
+
+The *query* is the removed-set computation (:func:`deletion_set`);
+materializing the residual graph (``propagate_deletion``) is the
+optional second step and is benchmarked separately.
+"""
+
+import time
+
+import pytest
+
+from repro.queries import (
+    deletion_set,
+    highest_fanout_nodes,
+    propagate_deletion,
+    subgraph_query,
+)
+
+
+@pytest.mark.benchmark(group="delete")
+def test_delete_query(benchmark, dealership_graph):
+    node = highest_fanout_nodes(dealership_graph, 1)[0]
+    removed = benchmark(deletion_set, dealership_graph, [node])
+    assert len(removed) >= 1
+
+
+@pytest.mark.benchmark(group="delete")
+def test_delete_materialized(benchmark, dealership_graph):
+    node = highest_fanout_nodes(dealership_graph, 1)[0]
+    result = benchmark(propagate_deletion, dealership_graph, [node])
+    assert result.removed_count >= 1
+
+
+@pytest.mark.benchmark(group="delete-shape")
+def test_shape_delete_cheaper_than_subgraph(benchmark, dealership_graph):
+    """Deletion looks only at descendants, so the query traverses a
+    subset of what the corresponding subgraph query touches."""
+    nodes = highest_fanout_nodes(dealership_graph, 20)
+
+    def compare():
+        delete_seconds = 0.0
+        subgraph_seconds = 0.0
+        for node in nodes:
+            started = time.perf_counter()
+            removed = deletion_set(dealership_graph, [node])
+            delete_seconds += time.perf_counter() - started
+            started = time.perf_counter()
+            result = subgraph_query(dealership_graph, node)
+            subgraph_seconds += time.perf_counter() - started
+            # The deletion frontier is within the node's descendants.
+            assert removed - {node} <= result.descendants
+        return delete_seconds, subgraph_seconds
+
+    delete_seconds, subgraph_seconds = benchmark.pedantic(
+        compare, rounds=1, iterations=1)
+    assert delete_seconds < subgraph_seconds

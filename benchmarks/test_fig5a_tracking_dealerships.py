@@ -1,0 +1,45 @@
+"""Fig 5(a): Car dealerships execution time, with vs without provenance.
+
+Paper claim: provenance tracking roughly doubles-to-triples per-
+execution time (2.7 s → 7 s at 10 prior executions; 3.8 s → 11.9 s at
+100), and the overhead grows with the number of prior executions
+because dealer state (bid history) grows.
+
+These benchmarks measure one full workflow execution appended to a
+run with existing history; the companion assertion checks the
+with/without ordering.
+"""
+
+import pytest
+
+from repro.benchmark import run_dealerships
+from conftest import DEALER_NUM_CARS
+
+HISTORY = 5
+
+
+def _one_execution(track: bool) -> float:
+    outcome = run_dealerships(num_cars=DEALER_NUM_CARS,
+                              num_exec=HISTORY, track=track,
+                              force_decline=True)
+    return outcome.execution_seconds[-1]
+
+
+@pytest.mark.benchmark(group="fig5a")
+def test_execution_with_provenance(benchmark):
+    benchmark(lambda: run_dealerships(num_cars=DEALER_NUM_CARS, num_exec=2,
+                                      track=True, force_decline=True))
+
+
+@pytest.mark.benchmark(group="fig5a")
+def test_execution_without_provenance(benchmark):
+    benchmark(lambda: run_dealerships(num_cars=DEALER_NUM_CARS, num_exec=2,
+                                      track=False, force_decline=True))
+
+
+@pytest.mark.benchmark(group="fig5a-shape")
+def test_shape_tracking_has_overhead(benchmark):
+    """Paper shape: with-provenance is strictly slower."""
+    tracked = benchmark(lambda: _one_execution(True))
+    untracked = _one_execution(False)
+    assert tracked > untracked

@@ -1,0 +1,46 @@
+"""Fig 5(b): Arctic stations execution time by topology.
+
+Paper claims: parallel executes fastest, then dense, then serial
+(an artifact of per-module program dispatch, which our executor also
+has: serial chains dispatch one module at a time while parallel
+stations share a wave); provenance overhead is 16.5% (parallel),
+20% (dense), 35% (serial); execution time is flat in numExec.
+"""
+
+import pytest
+
+from repro.benchmark import run_arctic
+from conftest import ARCTIC_EXECUTIONS, ARCTIC_HISTORY_YEARS, ARCTIC_STATIONS
+
+SHAPES = [("parallel", 2), ("serial", 2), ("dense", 3)]
+
+
+@pytest.mark.benchmark(group="fig5b")
+@pytest.mark.parametrize("topology,fan_out", SHAPES,
+                         ids=[shape[0] for shape in SHAPES])
+def test_execution_with_provenance(benchmark, topology, fan_out):
+    benchmark(lambda: run_arctic(topology, ARCTIC_STATIONS, fan_out,
+                                 "month", 2, ARCTIC_HISTORY_YEARS,
+                                 track=True))
+
+
+@pytest.mark.benchmark(group="fig5b")
+@pytest.mark.parametrize("topology,fan_out", SHAPES,
+                         ids=[shape[0] for shape in SHAPES])
+def test_execution_without_provenance(benchmark, topology, fan_out):
+    benchmark(lambda: run_arctic(topology, ARCTIC_STATIONS, fan_out,
+                                 "month", 2, ARCTIC_HISTORY_YEARS,
+                                 track=False))
+
+
+@pytest.mark.benchmark(group="fig5b-shape")
+def test_shape_flat_in_num_exec(benchmark):
+    """Paper: no increase in per-execution time with numExec (no
+    direct dependency between current and historical outputs)."""
+    def run():
+        return run_arctic("parallel", 4, 2, "month", ARCTIC_EXECUTIONS,
+                          ARCTIC_HISTORY_YEARS, track=True)
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    first, last = outcome.execution_seconds[0], outcome.execution_seconds[-1]
+    # Flat within generous noise bounds (paper Fig 5(b)).
+    assert last < first * 3

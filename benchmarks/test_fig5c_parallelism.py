@@ -1,0 +1,29 @@
+"""Fig 5(c): impact of reduce-phase parallelism (simulated cluster).
+
+Paper claims: best improvement with 2-4 reducers, about 50%, with and
+without provenance; beyond the saturation point the per-reducer
+overhead erodes the gain.  Per-dealer work is measured on the real
+engine; the cluster is simulated (see DESIGN.md substitutions).
+"""
+
+import pytest
+
+from repro.engine import dealership_parallelism_experiment
+
+
+@pytest.mark.benchmark(group="fig5c")
+def test_parallelism_experiment(benchmark):
+    result = benchmark.pedantic(
+        lambda: dealership_parallelism_experiment(num_cars=100),
+        rounds=1, iterations=1)
+    series = result.with_provenance
+    # Shape: best in the 2-4 range at roughly 50%.
+    best = result.best_reducer_count()
+    assert 2 <= best <= 4
+    assert 35.0 <= series[best] <= 65.0
+    # Declining beyond saturation, still positive at 54.
+    assert series[10] > series[20] > series[54] > 0
+    rows = result.rows()
+    print("\nreducers | % improvement (prov) | % improvement (no prov)")
+    for count, tracked, untracked in rows:
+        print(f"{count:8d} | {tracked:20.1f} | {untracked:23.1f}")

@@ -1,0 +1,32 @@
+"""Fig 6(a): provenance graph building time vs graph size.
+
+Paper claims: the Query Processor rebuilds the graph from the
+tracker's spool file in time linear in the number of nodes (under 8 s
+for the paper's largest runs); node count grows approximately linearly
+with the number of workflow executions.
+"""
+
+import pytest
+
+from repro.benchmark import run_dealerships
+from repro.graph import load_graph
+from conftest import DEALER_NUM_CARS
+
+
+@pytest.mark.benchmark(group="fig6a")
+def test_graph_build_from_spool(benchmark, dealership_spool,
+                                dealership_graph):
+    rebuilt = benchmark(load_graph, dealership_spool)
+    assert rebuilt.node_count == dealership_graph.node_count
+
+
+@pytest.mark.benchmark(group="fig6a-shape")
+def test_shape_nodes_linear_in_executions(benchmark):
+    """Node count grows ~linearly with numExec (paper §5.5)."""
+    def build(num_exec):
+        return run_dealerships(num_cars=DEALER_NUM_CARS, num_exec=num_exec,
+                               track=True, force_decline=True).graph
+    small = benchmark.pedantic(lambda: build(2), rounds=1, iterations=1)
+    large = build(6)
+    ratio = large.node_count / small.node_count
+    assert 2.0 < ratio < 4.5  # ≈ 3× executions ⇒ ≈ 3× nodes

@@ -1,0 +1,45 @@
+"""Fig 6(b): graph build time vs selectivity and module count
+(Arctic stations, dense topology, fan-out 2).
+
+Paper claims: build time increases with module count; the lower the
+selectivity, the more edges in the provenance graph and the more
+expensive the build (all > season > month > year).
+"""
+
+import pytest
+
+from repro.benchmark import measure_graph_build, run_arctic
+from conftest import ARCTIC_EXECUTIONS, ARCTIC_HISTORY_YEARS
+
+MODULE_COUNTS = (2, 6)
+SELECTIVITIES = ("all", "season", "month", "year")
+
+
+@pytest.mark.benchmark(group="fig6b")
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+def test_build_by_selectivity(benchmark, arctic_graphs, selectivity):
+    graph = arctic_graphs[("dense", 2, selectivity)]
+    from repro.graph import dump_graph, load_graph
+    import io
+    spool = io.StringIO()
+    dump_graph(graph, spool)
+    text = spool.getvalue()
+    benchmark(lambda: load_graph(io.StringIO(text)))
+
+
+@pytest.mark.benchmark(group="fig6b-shape")
+def test_shape_modules_and_selectivity(benchmark, arctic_graphs):
+    """More modules ⇒ more nodes; lower selectivity ⇒ more edges."""
+    def build():
+        return {count: run_arctic("dense", count, 2, "month",
+                                  ARCTIC_EXECUTIONS, ARCTIC_HISTORY_YEARS,
+                                  track=True).graph
+                for count in MODULE_COUNTS}
+    graphs = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert graphs[6].node_count > graphs[2].node_count
+    edge_counts = {selectivity: arctic_graphs[("dense", 2, selectivity)].edge_count
+                   for selectivity in SELECTIVITIES}
+    assert edge_counts["all"] > edge_counts["season"] > edge_counts["month"]
+    # month vs year can tie at short history (2 years of January ≈ 12
+    # months of the current year); the ordering is non-strict here.
+    assert edge_counts["month"] >= edge_counts["year"]

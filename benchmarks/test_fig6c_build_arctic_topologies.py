@@ -1,0 +1,44 @@
+"""Fig 6(c): graph build time vs selectivity across topologies
+(24 station modules in the paper; scaled down here).
+
+Paper claims: build time "does not vary significantly across
+topologies, but appears to be shortest for serial workflows, followed
+by parallel, and then by dense, in increasing order of fan-out"; per
+selectivity, lower selectivity is costlier.
+"""
+
+import io
+
+import pytest
+
+from repro.graph import dump_graph, load_graph
+
+SHAPES = [("serial", 2), ("parallel", 2), ("dense", 2), ("dense", 3)]
+
+
+def _spool_text(graph) -> str:
+    spool = io.StringIO()
+    dump_graph(graph, spool)
+    return spool.getvalue()
+
+
+@pytest.mark.benchmark(group="fig6c")
+@pytest.mark.parametrize("topology,fan_out", SHAPES,
+                         ids=[f"{t}-f{f}" for t, f in SHAPES])
+def test_build_by_topology(benchmark, arctic_graphs, topology, fan_out):
+    graph = arctic_graphs[(topology, fan_out, "month")]
+    text = _spool_text(graph)
+    rebuilt = benchmark(lambda: load_graph(io.StringIO(text)))
+    assert rebuilt.node_count == graph.node_count
+
+
+@pytest.mark.benchmark(group="fig6c-shape")
+def test_shape_topology_sizes_comparable(benchmark, arctic_graphs):
+    """Same node counts across topologies at fixed selectivity; denser
+    shapes have more station-to-station plumbing (more invocost) but
+    the variation is bounded (paper: 'does not vary significantly')."""
+    sizes = {key: graph.node_count
+             for key, graph in arctic_graphs.items() if key[2] == "month"}
+    benchmark.pedantic(lambda: sizes, rounds=1, iterations=1)
+    low, high = min(sizes.values()), max(sizes.values())
+    assert high < low * 1.5

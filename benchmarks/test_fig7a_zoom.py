@@ -1,0 +1,63 @@
+"""Fig 7(a): ZoomOut / ZoomIn performance.
+
+Paper claims: ZoomOut time is linear in graph size; zooming out the
+aggregate module is faster than the dealer modules (far fewer
+instances: ≤1 vs ≤5 per execution); ZoomIn is about three times
+faster than ZoomOut.
+"""
+
+import pytest
+
+from repro.queries import Zoomer
+
+DEALERS = [f"Mdealer{index}" for index in range(1, 5)]
+
+
+@pytest.mark.benchmark(group="fig7a-zoomout")
+def test_zoom_out_dealer(benchmark, dealership_graph):
+    def zoom():
+        duplicate = dealership_graph.copy()
+        Zoomer(duplicate).zoom_out(DEALERS)
+        return duplicate
+    benchmark(zoom)
+
+
+@pytest.mark.benchmark(group="fig7a-zoomout")
+def test_zoom_out_aggregate(benchmark, dealership_graph):
+    def zoom():
+        duplicate = dealership_graph.copy()
+        Zoomer(duplicate).zoom_out(["Magg"])
+        return duplicate
+    benchmark(zoom)
+
+
+@pytest.mark.benchmark(group="fig7a-zoomin")
+def test_zoom_in_dealer(benchmark, dealership_graph):
+    def roundtrip():
+        duplicate = dealership_graph.copy()
+        zoomer = Zoomer(duplicate)
+        zoomer.zoom_out(DEALERS)
+        zoomer.zoom_in(DEALERS)
+    benchmark(roundtrip)
+
+
+@pytest.mark.benchmark(group="fig7a-shape")
+def test_shape_dealer_slower_than_aggregate(benchmark, dealership_graph):
+    """Dealer invocations outnumber aggregate invocations, so dealer
+    zoom touches more nodes (the paper's explanation of the gap)."""
+    import time
+
+    def measure(modules):
+        duplicate = dealership_graph.copy()
+        zoomer = Zoomer(duplicate)
+        started = time.perf_counter()
+        zoomer.zoom_out(modules)
+        return time.perf_counter() - started
+
+    dealer_seconds = benchmark.pedantic(lambda: measure(DEALERS),
+                                        rounds=1, iterations=1)
+    agg_seconds = measure(["Magg"])
+    dealer_invocations = len(dealership_graph.invocations_of("Mdealer1")) * 4
+    agg_invocations = len(dealership_graph.invocations_of("Magg"))
+    assert dealer_invocations > agg_invocations
+    assert dealer_seconds > agg_seconds

@@ -1,0 +1,44 @@
+"""Fig 7(c): subgraph query time by selectivity and topology (Arctic).
+
+Paper claims: query time depends on selectivity (lower selectivity ⇒
+more nodes/edges ⇒ slower) and on topology (dense fan-out 3 slowest
+due to high-degree nodes on paths to the workflow output).
+"""
+
+import statistics
+import time
+
+import pytest
+
+from repro.queries import highest_fanout_nodes, subgraph_query
+
+SHAPES = [("serial", 2), ("dense", 2), ("dense", 3), ("parallel", 2)]
+
+
+def _mean_query_seconds(graph, count=10):
+    timings = []
+    for node in highest_fanout_nodes(graph, count):
+        started = time.perf_counter()
+        subgraph_query(graph, node)
+        timings.append(time.perf_counter() - started)
+    return statistics.mean(timings)
+
+
+@pytest.mark.benchmark(group="fig7c")
+@pytest.mark.parametrize("topology,fan_out", SHAPES,
+                         ids=[f"{t}-f{f}" for t, f in SHAPES])
+def test_subgraph_by_topology(benchmark, arctic_graphs, topology, fan_out):
+    graph = arctic_graphs[(topology, fan_out, "month")]
+    node = highest_fanout_nodes(graph, 1)[0]
+    benchmark(subgraph_query, graph, node)
+
+
+@pytest.mark.benchmark(group="fig7c-shape")
+def test_shape_selectivity_ordering(benchmark, arctic_graphs):
+    """all-selectivity graphs cost more to query than year graphs."""
+    def measure():
+        return {selectivity: _mean_query_seconds(
+                    arctic_graphs[("dense", 2, selectivity)])
+                for selectivity in ("all", "year")}
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert timings["all"] > timings["year"]

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Arctic stations workflows: topologies, selectivity, provenance size.
+
+Builds the paper's second benchmark family (Section 5.2): N
+meteorological station modules in serial / parallel / dense
+topologies, each recording monthly observations into state and
+computing minimum air temperatures under a query *selectivity*
+(all | season | month | year).  Shows how selectivity drives the
+number of state tuples feeding each MIN aggregate — the paper's
+graph-size mechanism behind Figures 6(b), 6(c) and 7(c).
+
+Run:  python examples/arctic_stations.py
+"""
+
+from repro.benchmark.arctic import ArcticRun, build_arctic_workflow
+from repro.graph import GraphBuilder, NodeKind, graph_stats
+from repro.workflow import WorkflowExecutor
+
+# ----------------------------------------------------------------------
+# 1. Three topologies, same stations
+# ----------------------------------------------------------------------
+print("Topologies (6 stations):")
+for topology, fan_out in (("serial", 2), ("parallel", 2), ("dense", 3)):
+    workflow, modules = build_arctic_workflow(topology, 6, fan_out)
+    print(f"  {workflow.name}: {len(workflow.node_labels)} nodes, "
+          f"{len(workflow.edges)} edges, "
+          f"order {workflow.topological_order()}")
+
+# ----------------------------------------------------------------------
+# 2. Run a dense workflow and read the overall minimum
+# ----------------------------------------------------------------------
+workflow, modules = build_arctic_workflow("dense", 6, 3)
+builder = GraphBuilder()
+executor = WorkflowExecutor(workflow, modules, builder)
+run = ArcticRun(workflow, modules, selectivity="season", num_exec=3,
+                history_years=2)
+state = run.initial_state(executor)
+outputs = run.run(executor, state)
+
+print("\nDense fan-out-3 run (selectivity=season):")
+for output in outputs:
+    query = run.input_batch(output.index)["in"]["Query"][0]
+    overall = output.outputs_of("out")["OverallMin"]
+    print(f"  {query[0]}-{query[1]:02d}: overall min air temp "
+          f"{overall.rows[0].values[0]} °C")
+
+print(f"\nProvenance graph: {graph_stats(builder.graph)}")
+
+# ----------------------------------------------------------------------
+# 3. Selectivity drives aggregate fan-in (and graph size)
+# ----------------------------------------------------------------------
+print("\nState tuples feeding the largest MIN aggregate, by selectivity:")
+for selectivity in ("all", "season", "month", "year"):
+    wf, mods = build_arctic_workflow("parallel", 1)
+    gb = GraphBuilder()
+    ex = WorkflowExecutor(wf, mods, gb)
+    ArcticRun(wf, mods, selectivity=selectivity, num_exec=1,
+              history_years=2).run(ex)
+    fan_in = max(len(gb.graph.preds(node.node_id))
+                 for node in gb.graph.nodes_of_kind(NodeKind.AGG))
+    print(f"  {selectivity:>7}: {fan_in:3d} tuples "
+          f"(graph: {gb.graph.node_count} nodes, "
+          f"{gb.graph.edge_count} edges)")
+print("\n(all > season > month > year — exactly the paper's Figure 6(b) "
+      "ordering mechanism)")

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Quickstart: fine-grained provenance for one Pig Latin query.
+
+Runs the paper's Example 2.3 — the dealer's state-manipulation query
+over a three-car inventory and one bid request — and shows the
+intermediate tables, the provenance graph, and the provenance
+expression of the resulting bid.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.datamodel import FieldType, Relation, Schema
+from repro.graph import GraphBuilder, graph_stats, to_dot, to_expression
+from repro.piglatin import Interpreter, UDFRegistry
+
+# ----------------------------------------------------------------------
+# 1. Schemas and data (paper Example 2.3)
+# ----------------------------------------------------------------------
+CARS = Schema.of(("CarId", FieldType.CHARARRAY),
+                 ("Model", FieldType.CHARARRAY))
+SOLD = Schema.of(("CarId", FieldType.CHARARRAY),
+                 ("BidId", FieldType.CHARARRAY))
+REQUESTS = Schema.of(("UserId", FieldType.CHARARRAY),
+                     ("BidId", FieldType.CHARARRAY),
+                     ("Model", FieldType.CHARARRAY))
+
+environment = {
+    "Cars": Relation.from_values(CARS, [
+        ("C1", "Accord"), ("C2", "Civic"), ("C3", "Civic")]),
+    "SoldCars": Relation.from_values(SOLD, []),
+    "Requests": Relation.from_values(REQUESTS, [("P1", "B1", "Civic")]),
+}
+
+# ----------------------------------------------------------------------
+# 2. A black-box UDF (the paper's CalcBid)
+# ----------------------------------------------------------------------
+udfs = UDFRegistry()
+
+
+def calc_bid(requests, num_cars, num_sold):
+    """Opaque bid calculation: only its name enters the provenance."""
+    request = requests.rows[0].values
+    available = num_cars.rows[0].values[1] if len(num_cars) else 0
+    sold = num_sold.rows[0].values[1] if len(num_sold) else 0
+    return [(request[1], request[0], request[2],
+             25_000 - 1_000 * available - 500 * sold)]
+
+
+udfs.register("CalcBid", calc_bid, returns_bag=True,
+              output_schema=Schema.of("BidId", "UserId", "Model",
+                                      ("Amount", FieldType.INT)))
+
+# ----------------------------------------------------------------------
+# 3. The Pig Latin query (paper Example 2.1, verbatim)
+# ----------------------------------------------------------------------
+SCRIPT = """
+ReqModel = FOREACH Requests GENERATE Model;
+Inventory = JOIN Cars BY Model, ReqModel BY Model;
+SoldInventory = JOIN Inventory BY CarId, SoldCars BY CarId;
+CarsByModel = GROUP Inventory BY Model;
+SoldByModel = GROUP SoldInventory BY Model;
+NumCarsByModel = FOREACH CarsByModel GENERATE group AS Model,
+    COUNT(Inventory) AS NumAvail;
+NumSoldByModel = FOREACH SoldByModel GENERATE group AS Model,
+    COUNT(SoldInventory) AS NumSold;
+AllInfoByModel = COGROUP Requests BY Model, NumCarsByModel BY Model,
+    NumSoldByModel BY Model;
+InventoryBids = FOREACH AllInfoByModel GENERATE
+    FLATTEN(CalcBid(Requests, NumCarsByModel, NumSoldByModel));
+"""
+
+# ----------------------------------------------------------------------
+# 4. Execute with provenance tracking
+# ----------------------------------------------------------------------
+builder = GraphBuilder()
+builder.begin_invocation("Mdealer1")
+interpreter = Interpreter(builder, udfs)
+result = interpreter.execute(SCRIPT, environment)
+builder.end_invocation()
+
+for alias in ("ReqModel", "Inventory", "CarsByModel", "NumCarsByModel",
+              "InventoryBids"):
+    print(f"--- {alias} ---")
+    print(result.relation(alias).pretty())
+    print()
+
+# ----------------------------------------------------------------------
+# 5. Inspect the provenance
+# ----------------------------------------------------------------------
+graph = builder.graph
+print("Provenance graph:", graph_stats(graph))
+bid = result.relation("InventoryBids").rows[0]
+print(f"\nBid tuple {bid.values}")
+print("Provenance expression:")
+print(" ", to_expression(graph, bid.prov))
+
+print("\nGraphviz rendering of the full graph (paste into `dot`):")
+print(to_dot(graph)[:400], "...")

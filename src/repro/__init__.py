@@ -1,0 +1,48 @@
+"""Lipstick: database-style fine-grained workflow provenance.
+
+A from-scratch reproduction of *Putting Lipstick on Pig: Enabling
+Database-style Workflow Provenance* (Amsterdamer, Davidson, Deutch,
+Milo, Stoyanovich, Tannen — VLDB 2011).
+
+The package layers:
+
+* :mod:`repro.datamodel` — Pig Latin's nested relational bags.
+* :mod:`repro.provenance` — semiring provenance (N[X], δ, ⊗).
+* :mod:`repro.graph` — the provenance graph model of Section 3.
+* :mod:`repro.piglatin` — a Pig Latin engine (lexer → parser →
+  interpreter) that evaluates queries *and* emits provenance.
+* :mod:`repro.workflow` — modules, workflow DAGs, execution sequences.
+* :mod:`repro.queries` — ZoomIn/ZoomOut, deletion propagation,
+  subgraph and dependency queries (Section 4).
+* :mod:`repro.engine` — a simulated map-reduce substrate (Fig 5(c)).
+* :mod:`repro.benchmark` — the WorkflowGen benchmark (Section 5.2).
+* :mod:`repro.lipstick` — the Lipstick facade: Provenance Tracker +
+  Query Processor (Section 5.1).
+
+Quickstart::
+
+    from repro import Lipstick
+    from repro.benchmark import build_dealership_workflow
+
+    spec = build_dealership_workflow(num_cars=40, seed=7)
+    lipstick = Lipstick()
+    outputs = lipstick.run_sequence(spec.workflow, spec.modules,
+                                    spec.input_batches, spec.initial_state)
+    print(lipstick.graph)
+"""
+
+__version__ = "1.0.0"
+
+from .errors import LipstickError
+
+__all__ = ["Lipstick", "LipstickError", "QueryProcessor", "__version__"]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` cheap and avoid import cycles;
+    # `repro.Lipstick` still resolves on first access.
+    if name in ("Lipstick", "QueryProcessor"):
+        from . import lipstick
+
+        return getattr(lipstick, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

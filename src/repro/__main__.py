@@ -1,0 +1,13 @@
+"""Command-line entry point: ``python -m repro [experiment ...]``.
+
+Delegates to the WorkflowGen experiment runner
+(:mod:`repro.benchmark.runner`); with no arguments it regenerates
+every table/figure of the paper's evaluation at benchmark scale.
+"""
+
+import sys
+
+from .benchmark.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,71 @@
+"""WorkflowGen: the Lipstick evaluation benchmark (paper Section 5.2)."""
+
+from .datasets import (
+    ARCTIC_VARIABLES,
+    Buyer,
+    GERMAN_CAR_MODELS,
+    arctic_observation,
+    arctic_observations,
+    car_inventory,
+    model_base_price,
+    random_buyer,
+    stable_hash,
+)
+from .dealerships import (
+    DealershipRun,
+    NUM_DEALERS,
+    build_dealership_modules,
+    build_dealership_workflow,
+)
+from .arctic import ArcticRun, SELECTIVITIES, build_arctic_workflow
+from .topologies import (
+    TOPOLOGIES,
+    build_topology,
+    dense_topology,
+    parallel_topology,
+    serial_topology,
+    terminal_stations,
+)
+from .workflowgen import (
+    TimedRun,
+    measure_delete_queries,
+    measure_graph_build,
+    measure_subgraph_queries,
+    measure_zoom_out,
+    measure_zoom_roundtrip,
+    run_arctic,
+    run_dealerships,
+)
+
+__all__ = [
+    "ARCTIC_VARIABLES",
+    "ArcticRun",
+    "Buyer",
+    "DealershipRun",
+    "GERMAN_CAR_MODELS",
+    "NUM_DEALERS",
+    "SELECTIVITIES",
+    "TOPOLOGIES",
+    "TimedRun",
+    "arctic_observation",
+    "arctic_observations",
+    "build_arctic_workflow",
+    "build_dealership_modules",
+    "build_dealership_workflow",
+    "build_topology",
+    "car_inventory",
+    "dense_topology",
+    "measure_delete_queries",
+    "measure_graph_build",
+    "measure_subgraph_queries",
+    "measure_zoom_out",
+    "measure_zoom_roundtrip",
+    "model_base_price",
+    "parallel_topology",
+    "random_buyer",
+    "run_arctic",
+    "run_dealerships",
+    "serial_topology",
+    "stable_hash",
+    "terminal_stations",
+]

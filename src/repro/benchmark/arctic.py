@@ -1,0 +1,243 @@
+"""Arctic stations workflows (paper Section 5.2).
+
+Each workflow has one input module (``Min``: current year, month, and
+query selectivity), N station modules, and one output module
+(``Mout``: overall minimum air temperature).  Per execution a station
+
+1. takes a measurement of six meteorological variables (a seeded
+   ``TakeMeasurement`` black box standing in for the physical sensor)
+   and records it in its ``Observations`` state;
+2. computes the lowest air temperature it has observed to date for
+   the given selectivity (``all`` → every state tuple, ``season`` →
+   ¼, ``month`` → 1/12, ``year`` → at most 12) using relational
+   selection plus the MIN aggregate — so the number of state tuples
+   feeding the aggregate, and hence the provenance size, scales with
+   selectivity exactly as in the paper;
+3. takes the minimum of its local minimum and the ``minTemp`` values
+   received from upstream stations, and outputs it.
+
+Selectivity arrives as *data*, and Pig Latin cannot branch on data,
+so the station query evaluates all four selectivity branches — each
+guarded by a FILTER on the selectivity value that leaves at most one
+branch non-empty — and unions them before aggregating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..datamodel.schema import FieldType, Schema
+from ..datamodel.values import Bag
+from ..piglatin.udf import UDFRegistry
+from ..workflow.module import Module, ModuleRegistry
+from ..workflow.workflow import Workflow
+from .datasets import arctic_observation, arctic_observations
+from .topologies import TopologySpec, build_topology, terminal_stations
+
+SELECTIVITIES = ("all", "season", "month", "year")
+
+QUERY = Schema.of(("Year", FieldType.INT),
+                  ("Month", FieldType.INT),
+                  ("Selectivity", FieldType.CHARARRAY))
+OBSERVATIONS = Schema.of(("Year", FieldType.INT),
+                         ("Month", FieldType.INT),
+                         ("Season", FieldType.CHARARRAY),
+                         ("AirTemp", FieldType.DOUBLE),
+                         ("Pressure", FieldType.DOUBLE),
+                         ("Humidity", FieldType.INT),
+                         ("WindSpeed", FieldType.DOUBLE),
+                         ("Precip", FieldType.DOUBLE),
+                         ("SnowDepth", FieldType.INT))
+MIN_TEMP = Schema.of(("MinTemp", FieldType.DOUBLE),)
+
+
+def _take_measurement_udf(station: int):
+    """The station's sensor black box: deterministic per (station,
+    year, month), so runs are reproducible."""
+    def take_measurement(query: Bag) -> List[Tuple]:
+        if not len(query):
+            return []
+        year_at = query.relation.schema.index_of("Year")
+        month_at = query.relation.schema.index_of("Month")
+        values = query.rows[0].values
+        return [arctic_observation(station, values[year_at], values[month_at])]
+    return take_measurement
+
+
+def station_udfs(station: int) -> UDFRegistry:
+    registry = UDFRegistry()
+    registry.register("TakeMeasurement", _take_measurement_udf(station),
+                      returns_bag=True, output_schema=OBSERVATIONS)
+    return registry
+
+
+STATION_Q_STATE = """
+QueryGroup = GROUP Query ALL;
+NewObs = FOREACH QueryGroup GENERATE FLATTEN(TakeMeasurement(Query));
+Observations = UNION Observations, NewObs;
+"""
+
+
+def _station_q_out(station: int, upstream: Sequence[int]) -> str:
+    """The station's output query, selectivity branches included.
+
+    ``upstream`` lists stations whose minTemp arrives as input.
+    """
+    lines = ["""
+-- all: keep every observation (guard join on a constant key).
+SelAll = FILTER Query BY Selectivity == 'all';
+TagAll = FOREACH SelAll GENERATE 'x' AS Tag;
+RelAll = JOIN Observations BY 'x', TagAll BY 'x';
+TempsAll = FOREACH RelAll GENERATE AirTemp;
+-- month: observations of the queried month (1/12 of state).
+SelMonth = FILTER Query BY Selectivity == 'month';
+QueryMonth = FOREACH SelMonth GENERATE Month;
+RelMonth = JOIN Observations BY Month, QueryMonth BY Month;
+TempsMonth = FOREACH RelMonth GENERATE AirTemp;
+-- season: months of the queried month's season (1/4 of state).
+SelSeason = FILTER Query BY Selectivity == 'season';
+SeasonMonth = FOREACH SelSeason GENERATE Month;
+MonthSeasonPairs = FOREACH Observations GENERATE Month, Season;
+MonthSeason = DISTINCT MonthSeasonPairs;
+QSeason = JOIN MonthSeason BY Month, SeasonMonth BY Month;
+QuerySeason = FOREACH QSeason GENERATE Season;
+RelSeason = JOIN Observations BY Season, QuerySeason BY Season;
+TempsSeason = FOREACH RelSeason GENERATE AirTemp;
+-- year: observations of the queried year (at most 12 tuples).
+SelYear = FILTER Query BY Selectivity == 'year';
+QueryYear = FOREACH SelYear GENERATE Year;
+RelYear = JOIN Observations BY Year, QueryYear BY Year;
+TempsYear = FOREACH RelYear GENERATE AirTemp;
+RelevantTemps = UNION TempsAll, TempsSeason, TempsMonth, TempsYear;
+TempGroup = GROUP RelevantTemps ALL;
+LocalMin = FOREACH TempGroup GENERATE MIN(RelevantTemps.AirTemp) AS MinTemp;
+"""]
+    if upstream:
+        aliases = ["LocalMin"] + [f"MinTemp{index}" for index in upstream]
+        lines.append(f"AllMins = UNION {', '.join(aliases)};")
+    else:
+        lines.append("AllMins = FOREACH LocalMin GENERATE MinTemp;")
+    lines.append("""
+MinGroup = GROUP AllMins ALL;
+OutMin = FOREACH MinGroup GENERATE MIN(AllMins.MinTemp) AS MinTemp;
+""")
+    lines.append(f"STORE OutMin INTO 'MinTemp{station}';")
+    return "\n".join(lines)
+
+
+def station_module(station: int, upstream: Sequence[int]) -> Module:
+    input_schemas: Dict[str, Schema] = {"Query": QUERY}
+    for index in upstream:
+        input_schemas[f"MinTemp{index}"] = MIN_TEMP
+    return Module(
+        name=f"Msta{station}",
+        input_schemas=input_schemas,
+        state_schemas={"Observations": OBSERVATIONS},
+        output_schemas={f"MinTemp{station}": MIN_TEMP},
+        q_state=STATION_Q_STATE,
+        q_out=_station_q_out(station, upstream),
+        udfs=station_udfs(station),
+    )
+
+
+def _out_module(terminals: Sequence[int]) -> Module:
+    input_schemas = {f"MinTemp{index}": MIN_TEMP for index in terminals}
+    if len(terminals) > 1:
+        aliases = ", ".join(f"MinTemp{index}" for index in terminals)
+        union_line = f"AllMins = UNION {aliases};"
+    else:
+        union_line = f"AllMins = FOREACH MinTemp{terminals[0]} GENERATE MinTemp;"
+    q_out = f"""
+{union_line}
+MinGroup = GROUP AllMins ALL;
+OverallMin = FOREACH MinGroup GENERATE MIN(AllMins.MinTemp) AS MinTemp;
+"""
+    return Module("Mout", input_schemas=input_schemas,
+                  output_schemas={"OverallMin": MIN_TEMP}, q_out=q_out)
+
+
+def build_arctic_workflow(topology: str = "parallel", num_stations: int = 4,
+                          fan_out: int = 2) -> Tuple[Workflow, ModuleRegistry]:
+    """An Arctic stations workflow of the requested shape.
+
+    The input module feeds ``Query`` to every station (the paper:
+    "these are passed to each station module M_sta_i").
+    """
+    spec: TopologySpec = build_topology(topology, num_stations, fan_out)
+    layers, edges = spec
+    upstream_of: Dict[int, List[int]] = {station: []
+                                         for layer in layers for station in layer}
+    for source, target in edges:
+        upstream_of[target].append(source)
+    modules = ModuleRegistry()
+    modules.add(Module("Min", output_schemas={"Query": QUERY}))
+    for layer in layers:
+        for station in layer:
+            modules.add(station_module(station, upstream_of[station]))
+    terminals = terminal_stations(spec)
+    modules.add(_out_module(terminals))
+
+    workflow = Workflow(f"arctic-{topology}-{num_stations}"
+                        + (f"-f{fan_out}" if topology == "dense" else ""))
+    workflow.add_node("in", "Min", is_input=True)
+    for layer in layers:
+        for station in layer:
+            workflow.add_node(f"sta{station}", f"Msta{station}")
+            workflow.add_edge("in", f"sta{station}", ["Query"])
+    for source, target in edges:
+        workflow.add_edge(f"sta{source}", f"sta{target}", [f"MinTemp{source}"])
+    workflow.add_node("out", "Mout", is_output=True)
+    for station in terminals:
+        workflow.add_edge(f"sta{station}", "out", [f"MinTemp{station}"])
+    workflow.validate(modules)
+    return workflow, modules
+
+
+class ArcticRun:
+    """Driver for an Arctic stations run: consecutive monthly queries.
+
+    State starts with synthetic history for ``history_years`` years
+    (the paper initializes stations with 1961–2000 observations; the
+    default here is scaled down — see EXPERIMENTS.md); execution i
+    then observes the i-th month after the history window.
+    """
+
+    def __init__(self, workflow: Workflow, modules: ModuleRegistry,
+                 selectivity: str = "month", num_exec: int = 10,
+                 start_year: int = 1961, history_years: int = 10):
+        if selectivity not in SELECTIVITIES:
+            raise ValueError(f"unknown selectivity {selectivity!r}")
+        self.workflow = workflow
+        self.modules = modules
+        self.selectivity = selectivity
+        self.num_exec = num_exec
+        self.start_year = start_year
+        self.history_years = history_years
+
+    def _station_numbers(self) -> List[int]:
+        return sorted(int(name[len("Msta"):]) for name in self.modules.names()
+                      if name.startswith("Msta"))
+
+    def initial_state(self, executor) -> "WorkflowState":
+        state = executor.new_state()
+        end_year = self.start_year + self.history_years - 1
+        for station in self._station_numbers():
+            rows = arctic_observations(station, self.start_year, end_year)
+            state.load(f"Msta{station}", {"Observations": rows},
+                       executor.modules)
+        return state
+
+    def input_batch(self, execution_index: int) -> Dict[str, Dict[str, list]]:
+        months_done = execution_index
+        year = self.start_year + self.history_years + months_done // 12
+        month = months_done % 12 + 1
+        return {"in": {"Query": [(year, month, self.selectivity)]}}
+
+    def input_batches(self) -> List[Dict[str, Dict[str, list]]]:
+        return [self.input_batch(index) for index in range(self.num_exec)]
+
+    def run(self, executor, state=None) -> List["ExecutionOutput"]:
+        if state is None:
+            state = self.initial_state(executor)
+        return [executor.execute(self.input_batch(index), state)
+                for index in range(self.num_exec)]

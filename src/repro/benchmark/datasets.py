@@ -1,0 +1,153 @@
+"""Synthetic datasets for the WorkflowGen benchmark (Section 5.2).
+
+* Car inventories: ``numCars`` cars uniformly assigned one of 12
+  German car models, split across the four dealerships.
+* Arctic meteorological observations: the paper uses the NSIDC
+  "Meteorological data from the Russian Arctic, 1961–2000" dataset
+  [27], which we cannot ship; :func:`arctic_observations` generates a
+  deterministic synthetic stand-in with the same *shape* — monthly
+  observations of six meteorological variables per station, with a
+  seasonal temperature cycle, a per-station offset, and hash-based
+  pseudo-noise.  The benchmark only exercises cardinalities and
+  group sizes (selectivity = fraction of state tuples aggregated), so
+  the substitution preserves all measured behaviour (see DESIGN.md).
+
+Everything is seeded and reproducible; randomness comes from
+``random.Random`` instances, never the global RNG.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Dict, List, Tuple
+
+#: The paper assigns each car "one of 12 German car models".
+GERMAN_CAR_MODELS: Tuple[str, ...] = (
+    "Golf", "Jetta", "Passat", "Tiguan",
+    "A3", "A4", "Q5",
+    "3series", "5series", "X3",
+    "Cclass", "Eclass",
+)
+
+#: Variables recorded by an Arctic station each month ("a measurement
+#: of six meteorological variables, including air temperature").
+ARCTIC_VARIABLES: Tuple[str, ...] = (
+    "AirTemp", "Pressure", "Humidity", "WindSpeed", "Precip", "SnowDepth",
+)
+
+#: Month → meteorological season, Dec-Jan-Feb = winter etc.
+MONTH_SEASONS: Dict[int, str] = {
+    12: "winter", 1: "winter", 2: "winter",
+    3: "spring", 4: "spring", 5: "spring",
+    6: "summer", 7: "summer", 8: "summer",
+    9: "autumn", 10: "autumn", 11: "autumn",
+}
+
+
+def stable_hash(text: str) -> int:
+    """A seed-stable 64-bit hash (Python's ``hash`` is salted)."""
+    digest = hashlib.md5(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def model_base_price(model: str) -> int:
+    """Deterministic base price for a car model, in dollars."""
+    return 18_000 + (stable_hash(model) % 12) * 1_000
+
+
+def car_inventory(num_cars: int, num_dealers: int = 4,
+                  seed: int = 0) -> List[List[Tuple[str, str]]]:
+    """Car rows ``(CarId, Model)`` split evenly across dealerships.
+
+    Matches the paper's setup: "Each dealership starts with the
+    specified number of cars (numCars), with each car randomly
+    assigned one of 12 German car models."
+    """
+    rng = random.Random(seed)
+    per_dealer = [[] for _ in range(num_dealers)]
+    for index in range(num_cars):
+        dealer = index % num_dealers
+        model = rng.choice(GERMAN_CAR_MODELS)
+        per_dealer[dealer].append((f"C{index}", model))
+    return per_dealer
+
+
+class Buyer:
+    """The fixed-per-run buyer of the Car dealerships workflow."""
+
+    __slots__ = ("user_id", "model", "reserve_price", "accept_probability")
+
+    def __init__(self, user_id: str, model: str, reserve_price: int,
+                 accept_probability: float):
+        self.user_id = user_id
+        self.model = model
+        self.reserve_price = reserve_price
+        self.accept_probability = accept_probability
+
+    def __repr__(self) -> str:
+        return (f"Buyer({self.user_id}, wants {self.model}, "
+                f"reserve=${self.reserve_price}, "
+                f"p_accept={self.accept_probability})")
+
+
+def random_buyer(seed: int = 0, user_id: str = "P1") -> Buyer:
+    """A buyer with random model / reserve / acceptance probability."""
+    rng = random.Random(seed)
+    model = rng.choice(GERMAN_CAR_MODELS)
+    base = model_base_price(model)
+    reserve = base + rng.randrange(-2_000, 6_000, 500)
+    return Buyer(user_id, model, reserve, rng.uniform(0.3, 0.9))
+
+
+def arctic_observation(station: int, year: int, month: int) -> Tuple:
+    """One synthetic monthly observation row.
+
+    Row shape: ``(Year, Month, Season, AirTemp, Pressure, Humidity,
+    WindSpeed, Precip, SnowDepth)``.  AirTemp follows a seasonal
+    cosine (coldest in January) shifted by a per-station offset plus
+    deterministic pseudo-noise, keeping minima realistic and unique.
+    """
+    season = MONTH_SEASONS[month]
+    noise = (stable_hash(f"s{station}-y{year}-m{month}") % 1000) / 100.0
+    station_offset = (station % 7) - 3.0
+    seasonal = -18.0 * math.cos(2 * math.pi * (month - 1) / 12.0)
+    air_temp = round(-12.0 + seasonal + station_offset + noise - 5.0, 2)
+    pressure = round(1010.0 + ((stable_hash(f"p{station}-{year}-{month}") % 400) - 200) / 10.0, 1)
+    humidity = 60 + stable_hash(f"h{station}-{year}-{month}") % 35
+    wind = round((stable_hash(f"w{station}-{year}-{month}") % 200) / 10.0, 1)
+    precip = round((stable_hash(f"r{station}-{year}-{month}") % 800) / 10.0, 1)
+    snow = stable_hash(f"n{station}-{year}-{month}") % 120
+    return (year, month, season, air_temp, pressure, humidity, wind,
+            precip, snow)
+
+
+def arctic_observations(station: int, start_year: int = 1961,
+                        end_year: int = 1970) -> List[Tuple]:
+    """All monthly observations for one station over a year range
+    (inclusive).  The paper's dataset spans 1961–2000; the default is
+    a scaled-down decade (see EXPERIMENTS.md for scaling notes)."""
+    rows = []
+    for year in range(start_year, end_year + 1):
+        for month in range(1, 13):
+            rows.append(arctic_observation(station, year, month))
+    return rows
+
+
+def months_of_selectivity(selectivity: str, month: int) -> List[int]:
+    """Which months a station aggregates over, per selectivity.
+
+    ``all`` → every month; ``season`` → the 3 months of the current
+    season (¼ of tuples); ``month`` → the current month (1/12);
+    ``year`` → every month but only the current year (handled by the
+    year filter; this helper returns all months).
+    """
+    if selectivity == "all" or selectivity == "year":
+        return list(range(1, 13))
+    if selectivity == "season":
+        season = MONTH_SEASONS[month]
+        return [m for m, s in MONTH_SEASONS.items() if s == season]
+    if selectivity == "month":
+        return [month]
+    raise ValueError(f"unknown selectivity {selectivity!r}")

@@ -1,0 +1,355 @@
+"""The Car dealerships workflow — the paper's running example (Fig. 1).
+
+Topology: a bid request module fans out through an and-split to four
+dealer modules; their bids feed a min-aggregator; the user's choice
+and the best bid meet at an xor module which notifies the winning
+dealership; the dealerships' sale records feed the final car module.
+Dealer modules keep state (``Cars``, ``SoldCars``, ``InventoryBids``)
+and call the ``CalcBid`` black-box UDF exactly as in Example 2.1; the
+purchase phase re-invokes the same dealer modules (second invocation
+per execution, as the paper notes) and uses a ``PickCar`` black box
+for the omitted purchase code.
+
+The one piece of plumbing the paper leaves implicit is resolved here
+explicitly: Definition 2.2 requires relation names on adjacent
+incoming edges to be disjoint, so dealer k emits ``Bids_k`` /
+``Sold_k`` (same specification, renamed outputs) and buy notifications
+are addressed by ``DealerId`` which each dealer matches against its
+``DealerInfo`` state relation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..datamodel.schema import FieldType, Schema
+from ..datamodel.values import Bag
+from ..piglatin.udf import UDFRegistry
+from ..workflow.module import Module, ModuleRegistry
+from ..workflow.workflow import Workflow
+from .datasets import Buyer, car_inventory, model_base_price, random_buyer
+
+NUM_DEALERS = 4
+
+# ----------------------------------------------------------------------
+# Schemas
+# ----------------------------------------------------------------------
+RAW_REQUESTS = Schema.of(("UserId", FieldType.CHARARRAY),
+                         ("BidId", FieldType.CHARARRAY),
+                         ("Model", FieldType.CHARARRAY))
+REQUESTS = Schema.of(("UserId", FieldType.CHARARRAY),
+                     ("BidId", FieldType.CHARARRAY),
+                     ("Model", FieldType.CHARARRAY),
+                     ("Phase", FieldType.CHARARRAY),
+                     ("DealerId", FieldType.CHARARRAY))
+CARS = Schema.of(("CarId", FieldType.CHARARRAY),
+                 ("Model", FieldType.CHARARRAY))
+SOLD_CARS = Schema.of(("CarId", FieldType.CHARARRAY),
+                      ("BidId", FieldType.CHARARRAY))
+BIDS = Schema.of(("DealerId", FieldType.CHARARRAY),
+                 ("BidId", FieldType.CHARARRAY),
+                 ("UserId", FieldType.CHARARRAY),
+                 ("Model", FieldType.CHARARRAY),
+                 ("Amount", FieldType.INT))
+DEALER_INFO = Schema.of(("DealerId", FieldType.CHARARRAY),)
+CHOICE = Schema.of(("UserId", FieldType.CHARARRAY),
+                   ("Accept", FieldType.CHARARRAY),
+                   ("Reserve", FieldType.INT))
+PURCHASED = Schema.of(("CarId", FieldType.CHARARRAY),
+                      ("BidId", FieldType.CHARARRAY))
+
+CALC_BID_SCHEMA = Schema.of(("BidId", FieldType.CHARARRAY),
+                            ("UserId", FieldType.CHARARRAY),
+                            ("Model", FieldType.CHARARRAY),
+                            ("Amount", FieldType.INT))
+PICK_CAR_SCHEMA = Schema.of(("CarId", FieldType.CHARARRAY),
+                            ("BidId", FieldType.CHARARRAY))
+
+
+# ----------------------------------------------------------------------
+# Black-box UDFs (the paper's CalcBid plus the omitted purchase code)
+# ----------------------------------------------------------------------
+def calc_bid(bid_requests: Bag, num_cars: Bag, num_sold: Bag,
+             model_bids: Bag) -> List[Tuple[str, str, str, int]]:
+    """The dealer's opaque bid calculation.
+
+    Deterministic: base price for the model, discounted by available
+    inventory, raised by demand (recent sales), and — if the buyer was
+    bid to before for this model — "a bid of the same or lower
+    amount" (the paper's bid-history behaviour).
+    """
+    if not len(bid_requests):
+        return []
+    request = bid_requests.rows[0].values
+    user_id, bid_id, model = request[0], request[1], request[2]
+    available = num_cars.rows[0].values[1] if len(num_cars) else 0
+    sold = num_sold.rows[0].values[1] if len(num_sold) else 0
+    if available == 0:
+        return []  # nothing to offer: dealer stays silent
+    price = model_base_price(model) - 150 * available + 250 * sold
+    if len(model_bids):
+        amount_at = model_bids.relation.schema.index_of("Amount")
+        prior_best = min(row.values[amount_at] for row in model_bids.rows)
+        price = min(price, prior_best - 200)
+    price = max(price, 5_000)
+    return [(bid_id, user_id, model, int(price))]
+
+
+def pick_car(my_buys: Bag, available: Bag, already_sold: Bag
+             ) -> List[Tuple[str, str]]:
+    """Choose the car to hand over for an accepted bid.
+
+    Picks the lexicographically first car of the requested model that
+    is in ``Cars`` but not in ``SoldCars``.
+    """
+    if not len(my_buys) or not len(available):
+        return []
+    bid_at = my_buys.relation.schema.index_of("BidId")
+    bid_id = my_buys.rows[0].values[bid_at]
+    car_at = available.relation.schema.index_of("CarId")
+    sold_ids = set()
+    if len(already_sold):
+        sold_car_at = already_sold.relation.schema.index_of("CarId")
+        sold_ids = {row.values[sold_car_at] for row in already_sold.rows}
+    candidates = sorted(row.values[car_at] for row in available.rows
+                        if row.values[car_at] not in sold_ids)
+    if not candidates:
+        return []
+    return [(candidates[0], bid_id)]
+
+
+def dealer_udfs() -> UDFRegistry:
+    registry = UDFRegistry()
+    registry.register("CalcBid", calc_bid, returns_bag=True,
+                      output_schema=CALC_BID_SCHEMA)
+    registry.register("PickCar", pick_car, returns_bag=True,
+                      output_schema=PICK_CAR_SCHEMA)
+    return registry
+
+
+# ----------------------------------------------------------------------
+# Module definitions
+# ----------------------------------------------------------------------
+#: The dealer's state manipulation query (paper Example 2.1, extended
+#: with bid history and the purchase phase the paper omits).
+DEALER_Q_STATE = """
+-- Bid phase -----------------------------------------------------------
+BidRequests = FILTER Requests BY Phase == 'bid';
+ReqModel = FOREACH BidRequests GENERATE Model;
+Inventory = JOIN Cars BY Model, ReqModel BY Model;
+SoldInventory = JOIN Inventory BY CarId, SoldCars BY CarId;
+CarsByModel = GROUP Inventory BY Model;
+SoldByModel = GROUP SoldInventory BY Model;
+NumCarsByModel = FOREACH CarsByModel GENERATE group AS Model,
+    COUNT(Inventory) AS NumAvail;
+NumSoldByModel = FOREACH SoldByModel GENERATE group AS Model,
+    COUNT(SoldInventory) AS NumSold;
+ModelBids = JOIN InventoryBids BY Model, ReqModel BY Model;
+AllInfoByModel = COGROUP BidRequests BY Model, NumCarsByModel BY Model,
+    NumSoldByModel BY Model, ModelBids BY Model;
+NewBids = FOREACH AllInfoByModel GENERATE
+    FLATTEN(CalcBid(BidRequests, NumCarsByModel, NumSoldByModel, ModelBids));
+CurrentBids = JOIN DealerInfo BY 'x', NewBids BY 'x';
+InventoryBids = UNION InventoryBids, CurrentBids;
+-- Purchase phase ------------------------------------------------------
+MyBuys = JOIN Requests BY DealerId, DealerInfo BY DealerId;
+BuyModel = FOREACH MyBuys GENERATE Model;
+BuyInv = JOIN Cars BY Model, BuyModel BY Model;
+BuySold = JOIN BuyInv BY CarId, SoldCars BY CarId;
+BuyAll = COGROUP MyBuys BY Model, BuyInv BY Model, BuySold BY Model;
+NewSold = FOREACH BuyAll GENERATE FLATTEN(PickCar(MyBuys, BuyInv, BuySold));
+SoldCars = UNION SoldCars, NewSold;
+CurrentSold = FOREACH NewSold GENERATE CarId, BidId;
+"""
+
+
+def _dealer_q_out(dealer_index: int) -> str:
+    return f"""
+Bids = FOREACH CurrentBids GENERATE DealerId, BidId, UserId, Model, Amount;
+STORE Bids INTO 'Bids{dealer_index}';
+Sold = FOREACH CurrentSold GENERATE CarId, BidId;
+STORE Sold INTO 'Sold{dealer_index}';
+"""
+
+
+def _dealer_module(dealer_index: int) -> Module:
+    return Module(
+        name=f"Mdealer{dealer_index}",
+        input_schemas={"Requests": REQUESTS},
+        state_schemas={
+            "Cars": CARS,
+            "SoldCars": SOLD_CARS,
+            "InventoryBids": BIDS,
+            "CurrentBids": BIDS,
+            "CurrentSold": SOLD_CARS,
+            "DealerInfo": DEALER_INFO,
+        },
+        output_schemas={f"Bids{dealer_index}": BIDS,
+                        f"Sold{dealer_index}": SOLD_CARS},
+        q_state=DEALER_Q_STATE,
+        q_out=_dealer_q_out(dealer_index),
+        udfs=dealer_udfs(),
+    )
+
+
+def _and_module() -> Module:
+    return Module(
+        name="Mand",
+        input_schemas={"RawRequests": RAW_REQUESTS},
+        output_schemas={"Requests": REQUESTS},
+        q_out="""
+Requests = FOREACH RawRequests GENERATE UserId, BidId, Model,
+    'bid' AS Phase, 'any' AS DealerId;
+""",
+    )
+
+
+def _agg_module() -> Module:
+    bids_inputs = ", ".join(f"Bids{index}" for index in range(1, NUM_DEALERS + 1))
+    return Module(
+        name="Magg",
+        input_schemas={f"Bids{index}": BIDS
+                       for index in range(1, NUM_DEALERS + 1)},
+        output_schemas={"BestBids": BIDS},
+        q_out=f"""
+AllBids = UNION {bids_inputs};
+BidGroup = GROUP AllBids ALL;
+MinBid = FOREACH BidGroup GENERATE MIN(AllBids.Amount) AS Amount;
+WithMin = JOIN AllBids BY Amount, MinBid BY Amount;
+Sorted = ORDER WithMin BY DealerId;
+Top = LIMIT Sorted 1;
+BestBids = FOREACH Top GENERATE DealerId, BidId, UserId, Model, Amount;
+""",
+    )
+
+
+def _xor_module() -> Module:
+    return Module(
+        name="Mxor",
+        input_schemas={"BestBids": BIDS, "Choice": CHOICE},
+        output_schemas={"Requests": REQUESTS},
+        q_out="""
+Accepted = FILTER Choice BY Accept == 'accept';
+Win = JOIN BestBids BY UserId, Accepted BY UserId;
+WinOk = FILTER Win BY Amount <= Reserve;
+Requests = FOREACH WinOk GENERATE UserId, BidId, Model,
+    'buy' AS Phase, DealerId;
+""",
+    )
+
+
+def _car_module() -> Module:
+    sold_inputs = ", ".join(f"Sold{index}" for index in range(1, NUM_DEALERS + 1))
+    return Module(
+        name="Mcar",
+        input_schemas={f"Sold{index}": SOLD_CARS
+                       for index in range(1, NUM_DEALERS + 1)},
+        output_schemas={"PurchasedCars": PURCHASED},
+        q_out=f"""
+SoldAll = UNION {sold_inputs};
+PurchasedCars = FOREACH SoldAll GENERATE CarId, BidId;
+""",
+    )
+
+
+def build_dealership_modules() -> ModuleRegistry:
+    """All modules of the Car dealerships workflow."""
+    registry = ModuleRegistry()
+    registry.add(Module("Mreq", output_schemas={"RawRequests": RAW_REQUESTS}))
+    registry.add(Module("Mchoice", output_schemas={"Choice": CHOICE}))
+    registry.add(_and_module())
+    for index in range(1, NUM_DEALERS + 1):
+        registry.add(_dealer_module(index))
+    registry.add(_agg_module())
+    registry.add(_xor_module())
+    registry.add(_car_module())
+    return registry
+
+
+def build_dealership_workflow() -> Tuple[Workflow, ModuleRegistry]:
+    """The Figure-1 DAG: dealer modules appear twice (bid + purchase)."""
+    modules = build_dealership_modules()
+    workflow = Workflow("car-dealerships")
+    workflow.add_node("req", "Mreq", is_input=True)
+    workflow.add_node("and", "Mand")
+    workflow.add_edge("req", "and", ["RawRequests"])
+    for index in range(1, NUM_DEALERS + 1):
+        workflow.add_node(f"dealer{index}_bid", f"Mdealer{index}")
+        workflow.add_edge("and", f"dealer{index}_bid", ["Requests"])
+    workflow.add_node("agg", "Magg")
+    for index in range(1, NUM_DEALERS + 1):
+        workflow.add_edge(f"dealer{index}_bid", "agg", [f"Bids{index}"])
+    workflow.add_node("choice", "Mchoice", is_input=True)
+    workflow.add_node("xor", "Mxor")
+    workflow.add_edge("agg", "xor", ["BestBids"])
+    workflow.add_edge("choice", "xor", ["Choice"])
+    for index in range(1, NUM_DEALERS + 1):
+        workflow.add_node(f"dealer{index}_buy", f"Mdealer{index}")
+        workflow.add_edge("xor", f"dealer{index}_buy", ["Requests"])
+    workflow.add_node("car", "Mcar", is_output=True)
+    for index in range(1, NUM_DEALERS + 1):
+        workflow.add_edge(f"dealer{index}_buy", "car", [f"Sold{index}"])
+    workflow.validate(modules)
+    return workflow, modules
+
+
+# ----------------------------------------------------------------------
+# Run driver (WorkflowGen semantics, Section 5.2)
+# ----------------------------------------------------------------------
+class DealershipRun:
+    """One WorkflowGen run: a series of executions for a fixed buyer.
+
+    "A run terminates either when a buyer chooses to purchase a car,
+    or the maximum number of executions (numExec) is reached."
+    """
+
+    def __init__(self, num_cars: int = 400, num_exec: int = 10,
+                 seed: int = 0, buyer: Optional[Buyer] = None):
+        self.num_cars = num_cars
+        self.num_exec = num_exec
+        self.seed = seed
+        self.buyer = buyer if buyer is not None else random_buyer(seed)
+        self._rng = random.Random(seed + 1)
+        self.executions_run = 0
+        self.purchase: Optional[Tuple[str, str]] = None
+
+    def initial_state(self, executor) -> "WorkflowState":
+        """Executor state with dealer inventories and identities."""
+        from ..workflow.execution import WorkflowState  # local import: cycle
+        state = executor.new_state()
+        inventories = car_inventory(self.num_cars, NUM_DEALERS, self.seed)
+        for index in range(1, NUM_DEALERS + 1):
+            state.load(f"Mdealer{index}", {
+                "Cars": inventories[index - 1],
+                "DealerInfo": [(f"dealer{index}",)],
+            }, executor.modules)
+        return state
+
+    def input_batch(self, execution_index: int) -> Dict[str, Dict[str, list]]:
+        """External inputs for one execution (request + choice)."""
+        accept = (self._rng.random() < self.buyer.accept_probability)
+        return {
+            "req": {"RawRequests": [(self.buyer.user_id,
+                                     f"B{execution_index}",
+                                     self.buyer.model)]},
+            "choice": {"Choice": [(self.buyer.user_id,
+                                   "accept" if accept else "decline",
+                                   self.buyer.reserve_price)]},
+        }
+
+    def run(self, executor, state=None) -> List["ExecutionOutput"]:
+        """Drive the executor until purchase or numExec executions."""
+        if state is None:
+            state = self.initial_state(executor)
+        outputs = []
+        for execution_index in range(self.num_exec):
+            result = executor.execute(self.input_batch(execution_index), state)
+            outputs.append(result)
+            self.executions_run += 1
+            purchased = result.outputs_of("car").get("PurchasedCars")
+            if purchased is not None and len(purchased):
+                row = purchased.rows[0]
+                self.purchase = (row.values[0], row.values[1])
+                break
+        return outputs

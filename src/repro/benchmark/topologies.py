@@ -1,0 +1,87 @@
+"""Arctic-stations workflow topologies (paper Figure 4).
+
+Three shapes over N station modules:
+
+* ``serial`` — a chain: sta1 → sta2 → ... → staN → out.
+* ``parallel`` — all stations side by side: in → staᵢ → out.
+* ``dense`` with fan-out f — stations arranged in ⌈N/f⌉ layers of f;
+  consecutive layers are completely bipartite ("Msta5 gets three
+  minTemp values as input, one from each Msta1, Msta2 and Msta3").
+
+The functions here return pure structure — layers and station-to-
+station edges — which :mod:`repro.benchmark.arctic` turns into
+modules and a validated workflow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import WorkflowDefinitionError
+
+TOPOLOGIES = ("serial", "parallel", "dense")
+
+#: (layers, edges): layers are lists of 1-based station indices; edges
+#: are (upstream_station, downstream_station) pairs.
+TopologySpec = Tuple[List[List[int]], List[Tuple[int, int]]]
+
+
+def serial_topology(num_stations: int) -> TopologySpec:
+    """sta1 → sta2 → ... → staN."""
+    _check_station_count(num_stations)
+    layers = [[index] for index in range(1, num_stations + 1)]
+    edges = [(index, index + 1) for index in range(1, num_stations)]
+    return layers, edges
+
+
+def parallel_topology(num_stations: int) -> TopologySpec:
+    """All stations independent (single layer)."""
+    _check_station_count(num_stations)
+    return [list(range(1, num_stations + 1))], []
+
+
+def dense_topology(num_stations: int, fan_out: int) -> TopologySpec:
+    """Layers of ``fan_out`` stations, complete bipartite between
+    consecutive layers (paper Figure 4(c))."""
+    _check_station_count(num_stations)
+    if fan_out < 1:
+        raise WorkflowDefinitionError(f"fan-out must be >= 1, got {fan_out}")
+    layers: List[List[int]] = []
+    index = 1
+    while index <= num_stations:
+        layer = list(range(index, min(index + fan_out, num_stations + 1)))
+        layers.append(layer)
+        index += fan_out
+    edges: List[Tuple[int, int]] = []
+    for upstream_layer, downstream_layer in zip(layers, layers[1:]):
+        for upstream in upstream_layer:
+            for downstream in downstream_layer:
+                edges.append((upstream, downstream))
+    return layers, edges
+
+
+def build_topology(topology: str, num_stations: int,
+                   fan_out: int = 2) -> TopologySpec:
+    """Dispatch on the topology name (``serial | parallel | dense``)."""
+    if topology == "serial":
+        return serial_topology(num_stations)
+    if topology == "parallel":
+        return parallel_topology(num_stations)
+    if topology == "dense":
+        return dense_topology(num_stations, fan_out)
+    raise WorkflowDefinitionError(
+        f"unknown topology {topology!r}; expected one of {TOPOLOGIES}")
+
+
+def terminal_stations(spec: TopologySpec) -> List[int]:
+    """Stations with no downstream station (they feed the out module)."""
+    layers, edges = spec
+    upstream = {source for source, _target in edges}
+    return [station for layer in layers for station in layer
+            if station not in upstream]
+
+
+def _check_station_count(num_stations: int) -> None:
+    if num_stations < 1:
+        raise WorkflowDefinitionError(
+            f"need at least one station, got {num_stations}")

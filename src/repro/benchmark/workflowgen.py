@@ -1,0 +1,198 @@
+"""WorkflowGen: the benchmark harness (paper Sections 5.2-5.3).
+
+Generates and executes the two workload families — Car dealerships
+and Arctic stations — with and without provenance tracking, and
+provides the measurement helpers every figure's benchmark builds on:
+
+* per-execution wall time (Figs 5(a), 5(b));
+* provenance-graph build time from the tracker's spool file
+  (Figs 6(a)-6(c));
+* zoom / subgraph / delete query timings (Figs 7(a)-7(c), §5.6).
+
+The paper averages 5 runs per parameter setting; callers control the
+repeat count (pytest-benchmark does its own repetition).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from ..graph.builder import GraphBuilder
+from ..graph.provgraph import ProvenanceGraph
+from ..graph.serialize import dump_graph, load_graph
+from ..queries.subgraph import highest_fanout_nodes, subgraph_query
+from ..queries.zoom import Zoomer
+from ..workflow.execution import WorkflowExecutor
+from .arctic import ArcticRun, build_arctic_workflow
+from .dealerships import DealershipRun, build_dealership_workflow
+
+
+class TimedRun:
+    """Outcome of a timed workflow run."""
+
+    def __init__(self, execution_seconds: List[float],
+                 graph: Optional[ProvenanceGraph]):
+        self.execution_seconds = execution_seconds
+        self.graph = graph
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.execution_seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        if not self.execution_seconds:
+            return 0.0
+        return self.total_seconds / len(self.execution_seconds)
+
+    def __repr__(self) -> str:
+        nodes = self.graph.node_count if self.graph else 0
+        return (f"TimedRun(executions={len(self.execution_seconds)}, "
+                f"mean={self.mean_seconds:.4f}s, nodes={nodes})")
+
+
+# ----------------------------------------------------------------------
+# Car dealerships (Fig 5(a), 6(a), 7(a), 7(b))
+# ----------------------------------------------------------------------
+def run_dealerships(num_cars: int = 400, num_exec: int = 10, seed: int = 0,
+                    track: bool = True,
+                    force_decline: bool = False) -> TimedRun:
+    """Execute a Car dealerships run, timing each execution.
+
+    ``force_decline`` makes the buyer never accept, so exactly
+    ``num_exec`` executions happen and dealer state (bid history)
+    grows monotonically — the configuration behind Fig 5(a)'s x-axis
+    ("number of prior executions").
+    """
+    workflow, modules = build_dealership_workflow()
+    builder = GraphBuilder() if track else None
+    executor = WorkflowExecutor(workflow, modules, builder)
+    run = DealershipRun(num_cars=num_cars, num_exec=num_exec, seed=seed)
+    if force_decline:
+        run.buyer.accept_probability = 0.0
+    state = run.initial_state(executor)
+    seconds: List[float] = []
+    for execution_index in range(num_exec):
+        batch = run.input_batch(execution_index)
+        started = time.perf_counter()
+        result = executor.execute(batch, state)
+        seconds.append(time.perf_counter() - started)
+        purchased = result.outputs_of("car").get("PurchasedCars")
+        if purchased is not None and len(purchased) and not force_decline:
+            break
+    return TimedRun(seconds, builder.graph if builder else None)
+
+
+# ----------------------------------------------------------------------
+# Arctic stations (Fig 5(b), 6(b), 6(c), 7(c))
+# ----------------------------------------------------------------------
+def run_arctic(topology: str = "parallel", num_stations: int = 4,
+               fan_out: int = 2, selectivity: str = "month",
+               num_exec: int = 10, history_years: int = 2,
+               track: bool = True) -> TimedRun:
+    """Execute an Arctic stations run, timing each execution."""
+    workflow, modules = build_arctic_workflow(topology, num_stations, fan_out)
+    builder = GraphBuilder() if track else None
+    executor = WorkflowExecutor(workflow, modules, builder)
+    run = ArcticRun(workflow, modules, selectivity=selectivity,
+                    num_exec=num_exec, history_years=history_years)
+    state = run.initial_state(executor)
+    seconds: List[float] = []
+    for execution_index in range(num_exec):
+        batch = run.input_batch(execution_index)
+        started = time.perf_counter()
+        executor.execute(batch, state)
+        seconds.append(time.perf_counter() - started)
+    return TimedRun(seconds, builder.graph if builder else None)
+
+
+# ----------------------------------------------------------------------
+# Graph building (Fig 6): disk spool → in-memory graph
+# ----------------------------------------------------------------------
+def measure_graph_build(graph: ProvenanceGraph,
+                        path: Optional[str] = None) -> Tuple[float, ProvenanceGraph]:
+    """Seconds to rebuild the graph from its JSONL spool file.
+
+    This is the paper's "time it takes to build the provenance graph
+    in memory from provenance-annotated tuples" (§5.5); the write is
+    excluded from the measurement, exactly as in the paper's split
+    between the Tracker (writes) and Query Processor (reads + builds).
+    """
+    cleanup = False
+    if path is None:
+        handle, path = tempfile.mkstemp(suffix=".jsonl", prefix="lipstick-")
+        os.close(handle)
+        cleanup = True
+    try:
+        dump_graph(graph, path)
+        started = time.perf_counter()
+        rebuilt = load_graph(path)
+        elapsed = time.perf_counter() - started
+        return elapsed, rebuilt
+    finally:
+        if cleanup and os.path.exists(path):
+            os.remove(path)
+
+
+# ----------------------------------------------------------------------
+# Query timings (Fig 7, §5.6)
+# ----------------------------------------------------------------------
+def measure_zoom_out(graph: ProvenanceGraph,
+                     module_names: Sequence[str]) -> Tuple[float, ProvenanceGraph]:
+    """Seconds to ZoomOut the modules on a fresh copy of the graph."""
+    duplicate = graph.copy()
+    zoomer = Zoomer(duplicate)
+    started = time.perf_counter()
+    zoomer.zoom_out(module_names)
+    return time.perf_counter() - started, duplicate
+
+
+def measure_zoom_roundtrip(graph: ProvenanceGraph,
+                           module_names: Sequence[str]) -> Tuple[float, float]:
+    """(ZoomOut seconds, ZoomIn seconds) on a fresh copy."""
+    duplicate = graph.copy()
+    zoomer = Zoomer(duplicate)
+    started = time.perf_counter()
+    zoomer.zoom_out(module_names)
+    out_elapsed = time.perf_counter() - started
+    started = time.perf_counter()
+    zoomer.zoom_in(module_names)
+    in_elapsed = time.perf_counter() - started
+    return out_elapsed, in_elapsed
+
+def measure_subgraph_queries(graph: ProvenanceGraph,
+                             node_count: int = 50) -> List[Tuple[int, float, int]]:
+    """Time subgraph queries on the ``node_count`` highest-fanout
+    nodes (the paper's §5.6 selection policy).
+
+    Returns (node id, seconds, subgraph size) triples.
+    """
+    results = []
+    for node_id in highest_fanout_nodes(graph, node_count):
+        started = time.perf_counter()
+        result = subgraph_query(graph, node_id)
+        elapsed = time.perf_counter() - started
+        results.append((node_id, elapsed, result.size))
+    return results
+
+
+def measure_delete_queries(graph: ProvenanceGraph,
+                           node_count: int = 50) -> List[Tuple[int, float, int]]:
+    """Time deletion propagation on the highest-fanout nodes.
+
+    Each deletion runs on a fresh copy (copy time excluded).
+    Returns (node id, seconds, removed count) triples.
+    """
+    from ..queries.deletion import propagate_deletion
+
+    results = []
+    for node_id in highest_fanout_nodes(graph, node_count):
+        duplicate = graph.copy()
+        started = time.perf_counter()
+        outcome = propagate_deletion(duplicate, [node_id], in_place=True)
+        elapsed = time.perf_counter() - started
+        results.append((node_id, elapsed, outcome.removed_count))
+    return results

@@ -1,0 +1,20 @@
+"""Nested relational data model (Pig Latin's bags of nested tuples)."""
+
+from .schema import EMPTY_SCHEMA, Field, FieldType, Schema
+from .values import Atom, Bag, conforms, infer_type, is_atom, value_signature
+from .relation import Relation, Row
+
+__all__ = [
+    "Atom",
+    "Bag",
+    "EMPTY_SCHEMA",
+    "Field",
+    "FieldType",
+    "Relation",
+    "Row",
+    "Schema",
+    "conforms",
+    "infer_type",
+    "is_atom",
+    "value_signature",
+]

@@ -1,0 +1,193 @@
+"""Annotated relations: bags of rows carrying provenance references.
+
+A :class:`Row` pairs a tuple of values with ``prov`` — the id of the
+p-node in the provenance graph that annotates the tuple (or ``None``
+when provenance is not being tracked).  A :class:`Relation` is an
+unordered bag of rows plus a :class:`~repro.datamodel.schema.Schema`.
+
+This is the runtime representation shared by the Pig Latin interpreter
+and the workflow executor; the provenance graph itself lives in
+:mod:`repro.graph.provgraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import SchemaError
+from .schema import Schema
+from .values import Bag, conforms, value_signature
+
+
+class Row:
+    """One tuple of an annotated relation.
+
+    Attributes
+    ----------
+    values:
+        The field values, a Python tuple positionally aligned with the
+        relation's schema.
+    prov:
+        Provenance graph node id annotating this tuple, or ``None``.
+    """
+
+    __slots__ = ("values", "prov")
+
+    def __init__(self, values: Sequence[Any], prov: Optional[int] = None):
+        self.values = tuple(values)
+        self.prov = prov
+
+    def value(self, position: int) -> Any:
+        return self.values[position]
+
+    def replaced(self, values: Sequence[Any]) -> "Row":
+        """A copy with new values but the same provenance reference."""
+        return Row(values, self.prov)
+
+    def signature(self):
+        """Hashable, provenance-blind signature of the row's values."""
+        return value_signature(self.values)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+    def __repr__(self) -> str:
+        suffix = f" @{self.prov}" if self.prov is not None else ""
+        return f"Row{self.values!r}{suffix}"
+
+
+class Relation:
+    """An unordered bag of :class:`Row` objects with a schema."""
+
+    __slots__ = ("schema", "rows")
+
+    def __init__(self, schema: Schema, rows: Iterable[Row] = ()):
+        self.schema = schema
+        self.rows: List[Row] = list(rows)
+        for row in self.rows:
+            self._check_row(row)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, schema: Schema,
+                    value_rows: Iterable[Sequence[Any]]) -> "Relation":
+        """Build an unannotated relation from raw value tuples."""
+        return cls(schema, (Row(values) for values in value_rows))
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Relation":
+        return cls(schema, [])
+
+    def _check_row(self, row: Row) -> None:
+        if len(row.values) != self.schema.arity:
+            raise SchemaError(
+                f"row arity {len(row.values)} does not match schema "
+                f"{self.schema.describe()}")
+        for value, field in zip(row.values, self.schema.fields):
+            if not conforms(value, field.ftype):
+                raise SchemaError(
+                    f"value {value!r} does not conform to field {field!r}")
+
+    def append(self, row: Row) -> None:
+        self._check_row(row)
+        self.rows.append(row)
+
+    def add(self, values: Sequence[Any], prov: Optional[int] = None) -> Row:
+        """Append a new row and return it."""
+        row = Row(values, prov)
+        self.append(row)
+        return row
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def column(self, reference: str) -> List[Any]:
+        """All values of the referenced field, in row order."""
+        position = self.schema.index_of(reference)
+        return [row.values[position] for row in self.rows]
+
+    def value_rows(self) -> List[Tuple[Any, ...]]:
+        return [row.values for row in self.rows]
+
+    def as_bag(self) -> Bag:
+        return Bag(self)
+
+    # ------------------------------------------------------------------
+    # Bag-level operations (provenance-preserving copies)
+    # ------------------------------------------------------------------
+    def copy(self) -> "Relation":
+        return Relation(self.schema, [Row(r.values, r.prov) for r in self.rows])
+
+    def filter_rows(self, predicate: Callable[[Row], bool]) -> "Relation":
+        return Relation(self.schema, [row for row in self.rows if predicate(row)])
+
+    def map_values(self, schema: Schema,
+                   transform: Callable[[Row], Sequence[Any]]) -> "Relation":
+        """A new relation applying ``transform`` per row, keeping
+        each row's provenance reference."""
+        return Relation(schema, [Row(transform(row), row.prov) for row in self.rows])
+
+    # ------------------------------------------------------------------
+    # Equality (bag equality on values; provenance-blind)
+    # ------------------------------------------------------------------
+    def bag_signature(self):
+        return tuple(sorted(row.signature() for row in self.rows))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return (self.schema.names == other.schema.names
+                and self.bag_signature() == other.bag_signature())
+
+    def __hash__(self) -> int:
+        return hash((self.schema.names, self.bag_signature()))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(row.values) for row in self.rows[:4])
+        if len(self.rows) > 4:
+            preview += f", ... ({len(self.rows)} rows)"
+        return f"Relation{self.schema.describe()}[{preview}]"
+
+    # ------------------------------------------------------------------
+    # Pretty printing (used by examples and the experiment runner)
+    # ------------------------------------------------------------------
+    def pretty(self, limit: int = 20) -> str:
+        """An aligned, human-readable table rendering."""
+        headers = [field.name for field in self.schema.fields]
+        body = [[_render_value(v) for v in row.values] for row in self.rows[:limit]]
+        widths = [len(h) for h in headers]
+        for rendered in body:
+            for index, cell in enumerate(rendered):
+                widths[index] = max(widths[index], len(cell))
+        lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths))]
+        lines.append("-+-".join("-" * w for w in widths))
+        for rendered in body:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(rendered, widths)))
+        if len(self.rows) > limit:
+            lines.append(f"... ({len(self.rows) - limit} more rows)")
+        return "\n".join(lines)
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, Bag):
+        inner = ", ".join(str(row.values) for row in value.rows[:3])
+        if len(value) > 3:
+            inner += ", ..."
+        return "{" + inner + "}"
+    return str(value)

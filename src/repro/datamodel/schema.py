@@ -1,0 +1,270 @@
+"""Schemas for Pig Latin's nested relational data model.
+
+A Pig Latin relation is an unordered bag of tuples whose fields may be
+atoms (int, float, chararray, boolean) or nested bags (Section 2.1 of
+the paper).  A :class:`Schema` describes one tuple shape: an ordered
+list of named, typed :class:`Field` objects.  Bag-typed fields carry
+the schema of their element tuples.
+
+Field references in queries may use simple names (``Model``),
+positional references (``$2``), or disambiguated names produced by
+joins (``Cars::Model``).  Following Pig, a join of ``A`` and ``B``
+produces a schema whose fields are prefixed ``A::f`` / ``B::g``, and an
+unambiguous suffix continues to resolve (the paper's Example 2.1 notes
+this and refers to the join column simply as ``Model``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import FieldResolutionError, SchemaError
+
+
+class FieldType(enum.Enum):
+    """Atomic and complex Pig Latin field types."""
+
+    INT = "int"
+    LONG = "long"
+    FLOAT = "float"
+    DOUBLE = "double"
+    CHARARRAY = "chararray"
+    BOOLEAN = "boolean"
+    BAG = "bag"
+    TUPLE = "tuple"
+    #: Unknown/any type; used when schemas cannot be inferred statically.
+    ANY = "any"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (FieldType.INT, FieldType.LONG, FieldType.FLOAT, FieldType.DOUBLE)
+
+    @property
+    def is_complex(self) -> bool:
+        return self in (FieldType.BAG, FieldType.TUPLE)
+
+
+class Field:
+    """One named, typed field of a schema.
+
+    Parameters
+    ----------
+    name:
+        The field name.  May include a ``::`` disambiguation prefix.
+    ftype:
+        The field's :class:`FieldType`.
+    element_schema:
+        For ``BAG`` and ``TUPLE`` fields, the schema of the nested
+        tuples; ``None`` for atomic fields.
+    """
+
+    __slots__ = ("name", "ftype", "element_schema")
+
+    def __init__(self, name: str, ftype: FieldType = FieldType.ANY,
+                 element_schema: Optional["Schema"] = None):
+        if not name:
+            raise SchemaError("field name must be non-empty")
+        if element_schema is not None and not ftype.is_complex:
+            raise SchemaError(
+                f"field {name!r} of atomic type {ftype.value} cannot carry an element schema")
+        self.name = name
+        self.ftype = ftype
+        self.element_schema = element_schema
+
+    @property
+    def simple_name(self) -> str:
+        """The name with any ``::`` disambiguation prefix stripped."""
+        return self.name.rsplit("::", 1)[-1]
+
+    def prefixed(self, prefix: str) -> "Field":
+        """A copy of this field named ``prefix::<full name>``.
+
+        The full (possibly already qualified) name is kept so that
+        chained joins cannot create duplicate names; references still
+        resolve through suffix matching (``Schema.index_of``).
+        """
+        return Field(f"{prefix}::{self.name}", self.ftype, self.element_schema)
+
+    def renamed(self, name: str) -> "Field":
+        return Field(name, self.ftype, self.element_schema)
+
+    def matches(self, reference: str) -> bool:
+        """Whether ``reference`` resolves to this field.
+
+        A reference matches on the exact name, or on the simple
+        (unprefixed) name.
+        """
+        return reference == self.name or reference == self.simple_name
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Field):
+            return NotImplemented
+        return (self.name == other.name and self.ftype == other.ftype
+                and self.element_schema == other.element_schema)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.ftype))
+
+    def __repr__(self) -> str:
+        if self.element_schema is not None:
+            return f"Field({self.name}: {self.ftype.value}{{{self.element_schema!r}}})"
+        return f"Field({self.name}: {self.ftype.value})"
+
+
+class Schema:
+    """An ordered list of fields describing one tuple shape."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields: Iterable[Field]):
+        self.fields: Tuple[Field, ...] = tuple(fields)
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate field names in schema: {duplicates}")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def of(cls, *specs) -> "Schema":
+        """Build a schema from terse specs.
+
+        Each spec is either a bare field name (type ``ANY``), a
+        ``(name, FieldType)`` pair, or a ``(name, FieldType, Schema)``
+        triple for bag/tuple fields.
+
+        >>> Schema.of("CarId", ("Model", FieldType.CHARARRAY)).names
+        ('CarId', 'Model')
+        """
+        fields: List[Field] = []
+        for spec in specs:
+            if isinstance(spec, Field):
+                fields.append(spec)
+            elif isinstance(spec, str):
+                fields.append(Field(spec))
+            elif isinstance(spec, tuple) and len(spec) == 2:
+                fields.append(Field(spec[0], spec[1]))
+            elif isinstance(spec, tuple) and len(spec) == 3:
+                fields.append(Field(spec[0], spec[1], spec[2]))
+            else:
+                raise SchemaError(f"bad field spec {spec!r}")
+        return cls(fields)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    @property
+    def arity(self) -> int:
+        return len(self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self):
+        return iter(self.fields)
+
+    def __getitem__(self, position: int) -> Field:
+        return self.fields[position]
+
+    def field_at(self, position: int) -> Field:
+        """The field at 0-based ``position`` (Pig's ``$n`` reference)."""
+        if not 0 <= position < len(self.fields):
+            raise FieldResolutionError(f"${position}", self.describe())
+        return self.fields[position]
+
+    def index_of(self, reference: str) -> int:
+        """Resolve a name (possibly ``::``-prefixed) to a position.
+
+        Resolution order: exact-name match, then qualified suffix
+        match (``Cars::Model`` resolves ``X::Cars::Model``), then
+        simple-name match.  When several fields share the referenced
+        simple name — which after a Pig join happens exactly for the
+        join columns, whose values coincide — the *leftmost* match
+        wins, following the paper's convention of referring to the
+        duplicated join column by its bare name ("We refer to this
+        column as Model", Example 2.1).  Missing references raise
+        :class:`FieldResolutionError`.
+        """
+        for position, field in enumerate(self.fields):
+            if field.name == reference:
+                return position
+        suffix = "::" + reference
+        matches = [position for position, field in enumerate(self.fields)
+                   if field.name.endswith(suffix)]
+        if not matches:
+            matches = [position for position, field in enumerate(self.fields)
+                       if field.simple_name == reference]
+        if matches:
+            return matches[0]
+        raise FieldResolutionError(reference, self.describe())
+
+    def resolve(self, reference: str) -> Field:
+        return self.fields[self.index_of(reference)]
+
+    def has_field(self, reference: str) -> bool:
+        try:
+            self.index_of(reference)
+            return True
+        except FieldResolutionError:
+            return False
+
+    def describe(self) -> str:
+        """A compact human-readable rendering, e.g. ``(CarId, Model)``."""
+        parts = []
+        for field in self.fields:
+            if field.ftype is FieldType.ANY:
+                parts.append(field.name)
+            elif field.element_schema is not None:
+                parts.append(f"{field.name}: {field.ftype.value}{field.element_schema.describe()}")
+            else:
+                parts.append(f"{field.name}: {field.ftype.value}")
+        return "(" + ", ".join(parts) + ")"
+
+    # ------------------------------------------------------------------
+    # Derivation (projection / join / group results)
+    # ------------------------------------------------------------------
+    def project(self, references: Sequence[str]) -> "Schema":
+        """Schema of a projection onto the given references, in order."""
+        return Schema([self.resolve(reference) for reference in references])
+
+    def prefixed(self, prefix: str) -> "Schema":
+        """All fields renamed ``prefix::simple_name`` (join convention)."""
+        return Schema([field.prefixed(prefix) for field in self.fields])
+
+    def concat(self, other: "Schema") -> "Schema":
+        return Schema(list(self.fields) + list(other.fields))
+
+    def renamed(self, names: Sequence[str]) -> "Schema":
+        """Schema with fields renamed positionally to ``names``."""
+        if len(names) != len(self.fields):
+            raise SchemaError(
+                f"renaming expects {len(self.fields)} names, got {len(names)}")
+        return Schema([field.renamed(name) for field, name in zip(self.fields, names)])
+
+    @staticmethod
+    def join_schema(left: "Schema", left_alias: str,
+                    right: "Schema", right_alias: str) -> "Schema":
+        """Schema of ``JOIN left BY .., right BY ..`` with Pig's
+        ``alias::field`` disambiguation (paper Example 2.1)."""
+        return left.prefixed(left_alias).concat(right.prefixed(right_alias))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash(self.fields)
+
+    def __repr__(self) -> str:
+        return f"Schema{self.describe()}"
+
+
+#: A schema with no fields (used by empty projections and unit tuples).
+EMPTY_SCHEMA = Schema([])

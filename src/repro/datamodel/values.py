@@ -1,0 +1,124 @@
+"""Atomic and complex values for the nested relational data model.
+
+Atoms are plain Python values (``int``, ``float``, ``str``, ``bool``,
+``None``).  A nested relation inside a tuple field is a :class:`Bag`,
+which wraps a :class:`~repro.datamodel.relation.Relation` so that the
+nested rows keep their own provenance references (the paper's GROUP
+rule: "tuples in the relations nested in t keep their original
+provenance").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from ..errors import SchemaError
+from .schema import FieldType
+
+#: Python types acceptable as atomic Pig values.
+ATOM_TYPES = (int, float, str, bool, type(None))
+
+Atom = Union[int, float, str, bool, None]
+
+
+class Bag:
+    """A nested relation appearing as a tuple field value.
+
+    ``Bag`` is a thin value wrapper around a ``Relation``; equality is
+    bag equality (order-insensitive, multiplicity-sensitive) on the
+    rows' *values*, ignoring provenance, so that data comparisons
+    behave like Pig's.
+    """
+
+    __slots__ = ("relation",)
+
+    def __init__(self, relation):
+        self.relation = relation
+
+    @property
+    def rows(self):
+        return self.relation.rows
+
+    @property
+    def schema(self):
+        return self.relation.schema
+
+    def __len__(self) -> int:
+        return len(self.relation.rows)
+
+    def __iter__(self):
+        return iter(self.relation.rows)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Bag):
+            return NotImplemented
+        return _bag_signature(self) == _bag_signature(other)
+
+    def __hash__(self) -> int:
+        return hash(_bag_signature(self))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(row.values) for row in self.relation.rows)
+        return f"Bag{{{inner}}}"
+
+
+def _bag_signature(bag: Bag):
+    """Order-insensitive signature of a bag's row values."""
+    return tuple(sorted((value_signature(row.values) for row in bag.relation.rows)))
+
+
+def value_signature(value: Any):
+    """A hashable, order-insensitive signature for any model value.
+
+    Used for grouping, distinct, and join keys, where nested bags must
+    compare as bags.
+    """
+    if isinstance(value, Bag):
+        return ("bag", _bag_signature(value))
+    if isinstance(value, tuple):
+        return ("tuple", tuple(value_signature(v) for v in value))
+    if isinstance(value, bool):
+        # bool before int: True != 1 for signature purposes would be
+        # surprising in Pig, so collapse to int semantics deliberately.
+        return ("atom", int(value))
+    return ("atom", value)
+
+
+def is_atom(value: Any) -> bool:
+    return isinstance(value, ATOM_TYPES) and not isinstance(value, Bag)
+
+
+def infer_type(value: Any) -> FieldType:
+    """The :class:`FieldType` a Python value naturally carries."""
+    if isinstance(value, Bag):
+        return FieldType.BAG
+    if isinstance(value, bool):
+        return FieldType.BOOLEAN
+    if isinstance(value, int):
+        return FieldType.INT
+    if isinstance(value, float):
+        return FieldType.DOUBLE
+    if isinstance(value, str):
+        return FieldType.CHARARRAY
+    if value is None:
+        return FieldType.ANY
+    if isinstance(value, tuple):
+        return FieldType.TUPLE
+    raise SchemaError(f"value {value!r} of type {type(value).__name__} "
+                      "is not a valid Pig Latin value")
+
+
+def conforms(value: Any, ftype: FieldType) -> bool:
+    """Whether ``value`` may inhabit a field of type ``ftype``.
+
+    ``ANY`` accepts everything; ``None`` inhabits every type (SQL-style
+    null); numeric types accept any numeric value (Pig coerces).
+    """
+    if ftype is FieldType.ANY or value is None:
+        return True
+    actual = infer_type(value)
+    if actual is ftype:
+        return True
+    if ftype.is_numeric and actual.is_numeric:
+        return True
+    return False

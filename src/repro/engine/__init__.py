@@ -1,0 +1,19 @@
+"""Simulated map-reduce substrate (stands in for Hadoop, Fig 5(c))."""
+
+from .mapreduce import CostModel, JobStats, SimulatedMapReduceJob
+from .cluster import (
+    FIG5C_REDUCERS,
+    MAX_REDUCERS,
+    ParallelismResult,
+    dealership_parallelism_experiment,
+)
+
+__all__ = [
+    "CostModel",
+    "FIG5C_REDUCERS",
+    "JobStats",
+    "MAX_REDUCERS",
+    "ParallelismResult",
+    "SimulatedMapReduceJob",
+    "dealership_parallelism_experiment",
+]

@@ -1,0 +1,145 @@
+"""A simulated map-reduce substrate (substitute for Hadoop, Fig 5(c)).
+
+The paper's parallelism experiment runs Pig on a 27-node Hadoop
+cluster (2 reducer slots per machine, up to 54 reducers) and controls
+the reduce-phase parallelism with the ``PARALLEL`` clause.  We cannot
+ship a cluster; what the experiment actually measures is the
+interplay of two mechanisms:
+
+* the *critical path* — reduce wall time is the maximum over reducers
+  of their assigned work, and work is partitioned by key hash, so with
+  four natural keys (one per dealership) the gain saturates around
+  four reducers; and
+* *per-reducer overhead* — starting more reducers costs more, so
+  beyond the saturation point the improvement degrades.
+
+:class:`SimulatedMapReduceJob` reproduces both mechanisms with a
+calibrated cost model.  Work per key is supplied by the caller in
+seconds (the benchmark measures real single-dealer execution time and
+feeds it in), so the simulated curve is anchored to real work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..errors import LipstickError
+from ..benchmark.datasets import stable_hash
+
+
+class CostModel:
+    """Tunable constants of the simulated cluster.
+
+    Defaults approximate the paper's setup qualitatively: noticeable
+    per-reducer startup (JVM spawn + shuffle setup) and a small
+    coordination cost that grows with the reducer count.
+    """
+
+    def __init__(self, reducer_startup: float = 0.4,
+                 coordination_per_reducer: float = 0.12,
+                 fixed_job_overhead: float = 1.0):
+        self.reducer_startup = reducer_startup
+        self.coordination_per_reducer = coordination_per_reducer
+        self.fixed_job_overhead = fixed_job_overhead
+
+
+class JobStats:
+    """Outcome of one simulated job."""
+
+    __slots__ = ("num_reducers", "wall_time", "reducer_loads")
+
+    def __init__(self, num_reducers: int, wall_time: float,
+                 reducer_loads: List[float]):
+        self.num_reducers = num_reducers
+        self.wall_time = wall_time
+        self.reducer_loads = reducer_loads
+
+    @property
+    def max_load(self) -> float:
+        return max(self.reducer_loads) if self.reducer_loads else 0.0
+
+    @property
+    def skew(self) -> float:
+        """max/mean load ratio (1.0 = perfectly balanced)."""
+        loads = [load for load in self.reducer_loads if load > 0]
+        if not loads:
+            return 1.0
+        return max(loads) / (sum(loads) / len(loads))
+
+    def __repr__(self) -> str:
+        return (f"JobStats(reducers={self.num_reducers}, "
+                f"wall={self.wall_time:.3f}s, skew={self.skew:.2f})")
+
+
+class SimulatedMapReduceJob:
+    """One reduce-phase job over keyed work items.
+
+    ``work_by_key`` maps each reduce key (e.g. a dealership id) to the
+    seconds of work its reduction takes.  Keys are partitioned across
+    reducers by a stable hash — the same mechanism (and the same skew
+    behaviour) as Hadoop's default HashPartitioner.
+    """
+
+    def __init__(self, work_by_key: Mapping[str, float],
+                 cost_model: Optional[CostModel] = None,
+                 serial_seconds: float = 0.0,
+                 partition_strategy: str = "hash"):
+        if not work_by_key:
+            raise LipstickError("a map-reduce job needs at least one key")
+        self.work_by_key = dict(work_by_key)
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        #: Non-parallelizable work outside the reduce phase, added to
+        #: every wall time (the dealership workflow's agg/xor/car part).
+        self.serial_seconds = serial_seconds
+        if partition_strategy not in ("hash", "round_robin"):
+            raise LipstickError(
+                f"unknown partition strategy {partition_strategy!r}")
+        self.partition_strategy = partition_strategy
+
+    def partition(self, num_reducers: int) -> List[List[str]]:
+        """Assign keys to reducers.
+
+        ``hash`` mimics Hadoop's HashPartitioner (collisions and all);
+        ``round_robin`` spreads the keys evenly over
+        ``min(num_reducers, num_keys)`` reducers — the idealized view
+        that reducers beyond the natural task count sit idle.
+        """
+        if num_reducers < 1:
+            raise LipstickError(f"need >= 1 reducer, got {num_reducers}")
+        partitions: List[List[str]] = [[] for _ in range(num_reducers)]
+        keys = sorted(self.work_by_key)
+        if self.partition_strategy == "round_robin":
+            for index, key in enumerate(keys):
+                partitions[index % num_reducers].append(key)
+        else:
+            for key in keys:
+                partitions[stable_hash(key) % num_reducers].append(key)
+        return partitions
+
+    def run(self, num_reducers: int) -> JobStats:
+        model = self.cost_model
+        partitions = self.partition(num_reducers)
+        loads = [sum(self.work_by_key[key] for key in keys)
+                 for keys in partitions]
+        active = sum(1 for load in loads if load > 0)
+        # Startup costs of active reducers are paid in parallel (they
+        # spawn concurrently), coordination scales with requested count.
+        wall = (self.serial_seconds
+                + model.fixed_job_overhead
+                + (model.reducer_startup if active else 0.0)
+                + model.coordination_per_reducer * num_reducers
+                + max(loads, default=0.0))
+        return JobStats(num_reducers, wall, loads)
+
+    def improvement_over_serial(self, num_reducers: int) -> float:
+        """Percent improvement vs the single-reducer run (Fig 5(c) y-axis)."""
+        serial = self.run(1).wall_time
+        parallel = self.run(num_reducers).wall_time
+        if serial <= 0:
+            return 0.0
+        return 100.0 * (serial - parallel) / serial
+
+    def improvement_series(self, reducer_counts: Sequence[int]
+                           ) -> Dict[int, float]:
+        return {count: self.improvement_over_serial(count)
+                for count in reducer_counts}

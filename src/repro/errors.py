@@ -1,0 +1,92 @@
+"""Exception hierarchy for the Lipstick reproduction.
+
+Every error raised by the library derives from :class:`LipstickError`
+so applications can catch library failures with a single ``except``.
+"""
+
+from __future__ import annotations
+
+
+class LipstickError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(LipstickError):
+    """A schema is malformed, or data does not conform to its schema."""
+
+
+class FieldResolutionError(SchemaError):
+    """A field reference (by name or position) cannot be resolved."""
+
+    def __init__(self, reference, schema_description=""):
+        self.reference = reference
+        message = f"cannot resolve field reference {reference!r}"
+        if schema_description:
+            message += f" against schema {schema_description}"
+        super().__init__(message)
+
+
+class PigSyntaxError(LipstickError):
+    """The Pig Latin source text failed to lex or parse."""
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+
+
+class PigRuntimeError(LipstickError):
+    """A Pig Latin statement failed during evaluation."""
+
+
+class UnknownRelationError(PigRuntimeError):
+    """A statement refers to a relation alias that is not defined."""
+
+    def __init__(self, alias):
+        self.alias = alias
+        super().__init__(f"unknown relation alias {alias!r}")
+
+
+class UnknownFunctionError(PigRuntimeError):
+    """A statement calls a UDF that has not been registered."""
+
+    def __init__(self, name):
+        self.name = name
+        super().__init__(f"unknown function {name!r}")
+
+
+class WorkflowDefinitionError(LipstickError):
+    """A workflow DAG violates Definition 2.2 of the paper."""
+
+
+class WorkflowExecutionError(LipstickError):
+    """A workflow execution failed (Definition 2.3)."""
+
+
+class ProvenanceGraphError(LipstickError):
+    """An operation on the provenance graph is invalid."""
+
+
+class UnknownNodeError(ProvenanceGraphError):
+    """A graph operation refers to a node id not present in the graph."""
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        super().__init__(f"unknown provenance graph node {node_id!r}")
+
+
+class ZoomError(LipstickError):
+    """A ZoomIn/ZoomOut request is invalid (e.g. unknown module)."""
+
+
+class QueryError(LipstickError):
+    """A provenance query (ProQL-lite, subgraph, ...) is invalid."""
+
+
+class SerializationError(LipstickError):
+    """Provenance graph (de)serialization failed."""

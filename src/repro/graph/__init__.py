@@ -1,0 +1,37 @@
+"""Provenance graph model (paper Section 3)."""
+
+from .nodes import DEFAULT_LABELS, MULTIPLICATIVE_KINDS, Node, NodeKind, VALUE_KINDS
+from .provgraph import Invocation, ProvenanceGraph
+from .builder import GraphBuilder, to_expression
+from .serialize import dump_graph, load_graph
+from .dot import to_dot
+from .opm import OPMDocument, to_opm
+from .stats import (
+    DependencyProfile,
+    GraphStats,
+    dependency_profile,
+    graph_stats,
+    output_dependency_profiles,
+)
+
+__all__ = [
+    "DEFAULT_LABELS",
+    "DependencyProfile",
+    "GraphBuilder",
+    "GraphStats",
+    "Invocation",
+    "MULTIPLICATIVE_KINDS",
+    "Node",
+    "NodeKind",
+    "OPMDocument",
+    "ProvenanceGraph",
+    "to_opm",
+    "VALUE_KINDS",
+    "dependency_profile",
+    "dump_graph",
+    "graph_stats",
+    "load_graph",
+    "output_dependency_profiles",
+    "to_dot",
+    "to_expression",
+]

@@ -1,0 +1,231 @@
+"""Graph construction rules (paper Section 3) and expression extraction.
+
+:class:`GraphBuilder` is the single place that knows how each Pig Latin
+operator and each workflow event (module invocation, input/output/state
+tuple) turns into provenance-graph structure.  The Pig interpreter and
+the workflow executor both drive it.
+
+:func:`to_expression` converts a graph node back into a provenance
+expression tree (:mod:`repro.provenance.expressions`), giving the
+algebraic reading of the graph; the test-suite uses it to check that
+graph deletion propagation and algebraic token deletion agree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Sequence
+
+from ..errors import ProvenanceGraphError
+from ..provenance.expressions import (
+    ONE,
+    AggExpr,
+    BlackBoxExpr,
+    ProvExpr,
+    TokenExpr,
+    delta,
+    product_of,
+    sum_of,
+    tensor,
+)
+from ..provenance.tokens import Token, TokenFactory
+from .nodes import NodeKind
+from .provgraph import Invocation, ProvenanceGraph
+
+
+class GraphBuilder:
+    """Stateful helper that appends provenance structure to a graph.
+
+    The builder carries the *current invocation context* (set by the
+    workflow executor around each module invocation) so that every
+    node created while interpreting a module's Pig Latin queries is
+    attributed to that invocation — the attribution Zoom relies on.
+    """
+
+    def __init__(self, graph: Optional[ProvenanceGraph] = None,
+                 tokens: Optional[TokenFactory] = None):
+        self.graph = graph if graph is not None else ProvenanceGraph()
+        self.tokens = tokens if tokens is not None else TokenFactory()
+        self._invocation: Optional[Invocation] = None
+
+    # ------------------------------------------------------------------
+    # Invocation context
+    # ------------------------------------------------------------------
+    @property
+    def current_invocation(self) -> Optional[Invocation]:
+        return self._invocation
+
+    def begin_invocation(self, module_name: str) -> Invocation:
+        """Open a module invocation: creates its m-node."""
+        if self._invocation is not None:
+            raise ProvenanceGraphError(
+                f"invocation of {self._invocation.module_name} still open")
+        self._invocation = self.graph.new_invocation(module_name)
+        return self._invocation
+
+    def end_invocation(self) -> None:
+        if self._invocation is None:
+            raise ProvenanceGraphError("no invocation is open")
+        self._invocation = None
+
+    def _context(self):
+        if self._invocation is None:
+            return None, None
+        return self._invocation.module_name, self._invocation.invocation_id
+
+    def _new(self, kind: NodeKind, label: Optional[str] = None,
+             ntype: str = "p", value: Any = None) -> int:
+        module, invocation = self._context()
+        return self.graph.add_node(kind, label, ntype, module, invocation, value)
+
+    # ------------------------------------------------------------------
+    # Workflow-level nodes (Section 3.1)
+    # ------------------------------------------------------------------
+    def workflow_input_node(self, namespace: str = "workflow",
+                            value: Any = None) -> int:
+        """p-node of type "i" for a workflow input tuple (e.g. N00)."""
+        token = self.tokens.fresh(namespace)
+        return self.graph.add_node(NodeKind.WORKFLOW_INPUT, str(token), "p",
+                                   value=value)
+
+    def base_tuple_node(self, namespace: str, value: Any = None) -> int:
+        """p-node for a base (state) tuple, labeled with a fresh token."""
+        token = self.tokens.fresh(namespace)
+        return self._new(NodeKind.TUPLE, str(token), "p", value=value)
+
+    def module_input_node(self, tuple_node: int, value: Any = None) -> int:
+        """Module input node: · of the tuple p-node and the m-node."""
+        return self._plumbing_node(NodeKind.INPUT, tuple_node, value,
+                                   register="input_nodes")
+
+    def module_output_node(self, tuple_node: int, value: Any = None) -> int:
+        """Module output node: same construction, type "o"."""
+        return self._plumbing_node(NodeKind.OUTPUT, tuple_node, value,
+                                   register="output_nodes")
+
+    def module_state_node(self, tuple_node: int, value: Any = None) -> int:
+        """Module state node, type "s" (Section 3.2, State nodes)."""
+        return self._plumbing_node(NodeKind.STATE, tuple_node, value,
+                                   register="state_nodes")
+
+    def _plumbing_node(self, kind: NodeKind, tuple_node: int, value: Any,
+                       register: str) -> int:
+        invocation = self._invocation
+        if invocation is None:
+            raise ProvenanceGraphError(
+                f"{kind.value} nodes require an open module invocation")
+        node = self._new(kind, None, "p", value=value)
+        self.graph.add_edge(tuple_node, node)
+        self.graph.add_edge(invocation.module_node, node)
+        getattr(invocation, register).append(node)
+        return node
+
+    # ------------------------------------------------------------------
+    # Operator nodes (Section 3.2)
+    # ------------------------------------------------------------------
+    def plus_node(self, operands: Sequence[int], value: Any = None) -> int:
+        """FOREACH-projection / union-style alternative derivation."""
+        node = self._new(NodeKind.PLUS, value=value)
+        for operand in operands:
+            self.graph.add_edge(operand, node)
+        return node
+
+    def times_node(self, operands: Sequence[int], value: Any = None) -> int:
+        """JOIN-style joint derivation."""
+        node = self._new(NodeKind.TIMES, value=value)
+        for operand in operands:
+            self.graph.add_edge(operand, node)
+        return node
+
+    def delta_node(self, operands: Sequence[int], value: Any = None) -> int:
+        """GROUP/COGROUP/DISTINCT duplicate elimination.
+
+        Per the paper's footnote 2, attaching the group members
+        directly to the δ node is shorthand for a +-node feeding δ.
+        """
+        node = self._new(NodeKind.DELTA, value=value)
+        for operand in operands:
+            self.graph.add_edge(operand, node)
+        return node
+
+    def value_node(self, value: Any) -> int:
+        """v-node for a constant / aggregated-attribute value."""
+        return self._new(NodeKind.VALUE, str(value), "v", value=value)
+
+    def tensor_node(self, tuple_node: int, value_node: int) -> int:
+        """v-node ⊗ pairing an aggregated value with its tuple."""
+        node = self._new(NodeKind.TENSOR, None, "v")
+        self.graph.add_edge(value_node, node)
+        self.graph.add_edge(tuple_node, node)
+        return node
+
+    def agg_node(self, op: str, tensor_nodes: Sequence[int],
+                 value: Any = None) -> int:
+        """v-node for the aggregate operation (Count, Sum, Min, ...)."""
+        node = self._new(NodeKind.AGG, op, "v", value=value)
+        for tensor_node in tensor_nodes:
+            self.graph.add_edge(tensor_node, node)
+        return node
+
+    def blackbox_node(self, name: str, operands: Sequence[int],
+                      ntype: str = "p", value: Any = None) -> int:
+        """UDF invocation node labeled with the function name."""
+        node = self._new(NodeKind.BLACKBOX, name, ntype, value=value)
+        for operand in operands:
+            self.graph.add_edge(operand, node)
+        return node
+
+
+# ----------------------------------------------------------------------
+# Graph → provenance expression
+# ----------------------------------------------------------------------
+def to_expression(graph: ProvenanceGraph, node_id: int,
+                  _memo: Optional[Dict[int, ProvExpr]] = None) -> ProvExpr:
+    """The provenance expression a graph node denotes.
+
+    Token-bearing leaves (TUPLE / WORKFLOW_INPUT / MODULE) become
+    tokens named by their labels; operator nodes recurse over their
+    operands.  Sub-expressions are memoized, mirroring the sharing the
+    graph itself provides.
+    """
+    memo: Dict[int, ProvExpr] = {} if _memo is None else _memo
+
+    def visit(current: int) -> ProvExpr:
+        if current in memo:
+            return memo[current]
+        node = graph.node(current)
+        operands = graph.preds(current)
+        kind = node.kind
+        if kind in (NodeKind.TUPLE, NodeKind.WORKFLOW_INPUT, NodeKind.MODULE):
+            result: ProvExpr = TokenExpr(Token(node.label))
+        elif kind is NodeKind.PLUS:
+            result = sum_of([visit(op) for op in operands])
+        elif kind in (NodeKind.TIMES, NodeKind.INPUT, NodeKind.OUTPUT,
+                      NodeKind.STATE):
+            result = product_of([visit(op) for op in operands])
+        elif kind is NodeKind.DELTA:
+            result = delta(sum_of([visit(op) for op in operands]))
+        elif kind is NodeKind.VALUE:
+            result = ONE
+        elif kind is NodeKind.TENSOR:
+            provenance_ops = [visit(op) for op in operands
+                              if graph.node(op).kind is not NodeKind.VALUE]
+            result = tensor(product_of(provenance_ops) if provenance_ops else ONE,
+                            _tensor_value(graph, operands))
+        elif kind is NodeKind.AGG:
+            result = AggExpr(node.label.upper(), [visit(op) for op in operands])
+        elif kind in (NodeKind.BLACKBOX, NodeKind.ZOOM):
+            result = BlackBoxExpr(node.label, [visit(op) for op in operands])
+        else:  # pragma: no cover - the kinds above are exhaustive
+            raise ProvenanceGraphError(f"cannot interpret node kind {kind}")
+        memo[current] = result
+        return result
+
+    return visit(node_id)
+
+
+def _tensor_value(graph: ProvenanceGraph, operands: Iterable[int]) -> Any:
+    for operand in operands:
+        node = graph.node(operand)
+        if node.kind is NodeKind.VALUE:
+            return node.value
+    return None

@@ -1,0 +1,71 @@
+"""Graphviz DOT export of provenance graphs.
+
+Follows the paper's visual conventions (Figure 2(a) legend): p-nodes
+are drawn as ellipses, v-nodes as boxes, module invocation nodes are
+shaded, and zoomed-out invocation nodes are rounded rectangles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from .nodes import NodeKind
+from .provgraph import ProvenanceGraph
+
+_SHAPES = {
+    NodeKind.TUPLE: ("ellipse", "white"),
+    NodeKind.WORKFLOW_INPUT: ("ellipse", "lightblue"),
+    NodeKind.MODULE: ("ellipse", "gray85"),
+    NodeKind.INPUT: ("ellipse", "palegreen"),
+    NodeKind.OUTPUT: ("ellipse", "lightsalmon"),
+    NodeKind.STATE: ("ellipse", "khaki"),
+    NodeKind.PLUS: ("ellipse", "white"),
+    NodeKind.TIMES: ("ellipse", "white"),
+    NodeKind.DELTA: ("ellipse", "white"),
+    NodeKind.TENSOR: ("box", "white"),
+    NodeKind.AGG: ("box", "lavender"),
+    NodeKind.VALUE: ("box", "white"),
+    NodeKind.BLACKBOX: ("ellipse", "lightpink"),
+    NodeKind.ZOOM: ("box", "gray90"),
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(graph: ProvenanceGraph, name: str = "provenance",
+           node_ids: Optional[Set[int]] = None,
+           include_values: bool = False) -> str:
+    """Render (a subset of) the graph as a DOT digraph.
+
+    Parameters
+    ----------
+    node_ids:
+        Restrict the rendering to these nodes (e.g. a subgraph query
+        result); edges with an endpoint outside the set are skipped.
+    include_values:
+        Append node payload values to labels.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=BT;"]
+    selected = set(graph.nodes) if node_ids is None else set(node_ids)
+    for node_id in sorted(selected):
+        if not graph.has_node(node_id):
+            continue
+        node = graph.node(node_id)
+        shape, fill = _SHAPES.get(node.kind, ("ellipse", "white"))
+        style = "rounded,filled" if node.kind is NodeKind.ZOOM else "filled"
+        label = node.label
+        if include_values and node.value is not None:
+            label = f"{label}\\n{node.value}"
+        lines.append(
+            f'  n{node_id} [label="{_escape(label)}", shape={shape}, '
+            f'style="{style}", fillcolor="{fill}"];')
+    for node_id in sorted(selected):
+        if not graph.has_node(node_id):
+            continue
+        for pred in graph.preds(node_id):
+            if pred in selected:
+                lines.append(f"  n{pred} -> n{node_id};")
+    lines.append("}")
+    return "\n".join(lines)

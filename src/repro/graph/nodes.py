@@ -1,0 +1,129 @@
+"""Node vocabulary of the Lipstick provenance graph (paper Fig. 2(a)).
+
+The graph mixes *p-nodes* (provenance: tokens, semiring operations,
+module plumbing) and *v-nodes* (values: constants, tensors, aggregate
+results, value-returning black boxes).  Edges run in derivation
+direction: an edge ``u → v`` means v is (partly) derived from u, so
+the paper's "two edges pointing to + from the tᵢ's" is ``tᵢ → +``.
+
+Node kinds and their paper counterparts:
+
+================  ====  =======================================================
+kind              type  meaning
+================  ====  =======================================================
+TUPLE             p     base tuple annotation (a provenance token)
+WORKFLOW_INPUT    p     workflow input tuple, type "i" on the legend (I₁ ...)
+MODULE            p     module invocation node, type "m"
+INPUT             p     module input node: · of tuple p-node and m-node
+OUTPUT            p     module output node: · of tuple p-node and m-node
+STATE             p     module state node, type "s": · of tuple p-node + m-node
+PLUS              p     semiring + (alternative derivation; FOREACH projection)
+TIMES             p     semiring · (joint derivation; JOIN)
+DELTA             p     δ duplicate elimination (GROUP / COGROUP / DISTINCT)
+TENSOR            v     ⊗ pairing a value with a tuple's provenance
+AGG               v     aggregate operation (COUNT/SUM/MIN/MAX...) over tensors
+VALUE             v     a constant / field value participating in aggregation
+BLACKBOX          p/v   UDF call; label is the function name
+ZOOM              p     zoomed-out module invocation meta-node (rounded box)
+================  ====  =======================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+
+class NodeKind(enum.Enum):
+    TUPLE = "tuple"
+    WORKFLOW_INPUT = "workflow_input"
+    MODULE = "module"
+    INPUT = "input"
+    OUTPUT = "output"
+    STATE = "state"
+    PLUS = "plus"
+    TIMES = "times"
+    DELTA = "delta"
+    TENSOR = "tensor"
+    AGG = "agg"
+    VALUE = "value"
+    BLACKBOX = "blackbox"
+    ZOOM = "zoom"
+
+
+#: Kinds labeled with the semiring · or the semimodule ⊗ — the kinds
+#: Definition 4.2's rule (2) applies to: they die as soon as *one*
+#: incoming edge is deleted.
+MULTIPLICATIVE_KINDS = frozenset({
+    NodeKind.INPUT,
+    NodeKind.OUTPUT,
+    NodeKind.STATE,
+    NodeKind.TIMES,
+    NodeKind.TENSOR,
+})
+
+#: Default display labels per kind (token / op nodes override these).
+DEFAULT_LABELS = {
+    NodeKind.PLUS: "+",
+    NodeKind.TIMES: "·",
+    NodeKind.DELTA: "δ",
+    NodeKind.TENSOR: "⊗",
+    NodeKind.INPUT: "·",
+    NodeKind.OUTPUT: "·",
+    NodeKind.STATE: "·",
+}
+
+#: Kinds that are v-nodes (square on the paper's legend).
+VALUE_KINDS = frozenset({NodeKind.TENSOR, NodeKind.AGG, NodeKind.VALUE})
+
+
+class Node:
+    """One provenance graph node.
+
+    Attributes
+    ----------
+    node_id:
+        Graph-unique integer id.
+    kind:
+        The :class:`NodeKind`.
+    label:
+        Display label (token name, operator symbol, UDF name, ...).
+    ntype:
+        ``"p"`` for provenance nodes, ``"v"`` for value nodes.
+    module:
+        Name of the module whose invocation produced this node, or
+        ``None`` for workflow-level nodes.
+    invocation:
+        Id of the module invocation that produced this node (see
+        ``ProvenanceGraph.invocations``), or ``None``.
+    value:
+        Payload for v-nodes (the constant / aggregate result); also
+        used to carry tuple values on INPUT/OUTPUT/STATE nodes so the
+        Query Processor can render data alongside provenance.
+    """
+
+    __slots__ = ("node_id", "kind", "label", "ntype", "module", "invocation", "value")
+
+    def __init__(self, node_id: int, kind: NodeKind, label: str,
+                 ntype: str = "p", module: Optional[str] = None,
+                 invocation: Optional[int] = None, value: Any = None):
+        self.node_id = node_id
+        self.kind = kind
+        self.label = label
+        self.ntype = ntype
+        self.module = module
+        self.invocation = invocation
+        self.value = value
+
+    @property
+    def is_value_node(self) -> bool:
+        return self.ntype == "v"
+
+    @property
+    def is_multiplicative(self) -> bool:
+        return self.kind in MULTIPLICATIVE_KINDS
+
+    def __repr__(self) -> str:
+        invocation = f" inv={self.invocation}" if self.invocation is not None else ""
+        return (f"Node(#{self.node_id} {self.kind.value} {self.label!r} "
+                f"{self.ntype}{invocation})")

@@ -1,0 +1,127 @@
+"""Export to the Open Provenance Model (OPM).
+
+The paper positions its graph model against OPM [Moreau et al., IPAW
+2008] — the standard coarse-grained workflow-provenance interchange —
+and cites Kwasnikowska & Van den Bussche's mapping of NRC provenance
+to OPM.  This module provides the analogous mapping for Lipstick
+graphs, so downstream OPM/PROV tooling can consume them:
+
+* data-carrying p-nodes and v-nodes become OPM **artifacts**;
+* module invocations (m-nodes), operator nodes (+ / · / δ / ⊗ /
+  aggregates) and black boxes become OPM **processes**;
+* a derivation edge ``u → v`` becomes **used**(process v, artifact u)
+  when v is a process, **wasGeneratedBy**(artifact v, process u) when
+  u is a process, and **wasDerivedFrom**(v, u) artifact-to-artifact.
+
+The fine-grained operator structure survives as processes, so a
+ZoomOut before export yields classic coarse-grained OPM, and a full
+export keeps the database-style detail (as the paper argues OPM alone
+cannot express natively).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, List, Union
+
+from .nodes import NodeKind
+from .provgraph import ProvenanceGraph
+
+#: Kinds mapped to OPM processes (things that *happen*).
+_PROCESS_KINDS = frozenset({
+    NodeKind.MODULE, NodeKind.PLUS, NodeKind.TIMES, NodeKind.DELTA,
+    NodeKind.TENSOR, NodeKind.AGG, NodeKind.BLACKBOX, NodeKind.ZOOM,
+})
+
+#: Kinds mapped to OPM artifacts (things that *exist*).
+_ARTIFACT_KINDS = frozenset({
+    NodeKind.TUPLE, NodeKind.WORKFLOW_INPUT, NodeKind.INPUT,
+    NodeKind.OUTPUT, NodeKind.STATE, NodeKind.VALUE,
+})
+
+
+class OPMDocument:
+    """An OPM graph: artifacts, processes, and causal dependencies."""
+
+    def __init__(self):
+        self.artifacts: Dict[str, Dict] = {}
+        self.processes: Dict[str, Dict] = {}
+        self.used: List[Dict] = []
+        self.was_generated_by: List[Dict] = []
+        self.was_derived_from: List[Dict] = []
+        self.was_triggered_by: List[Dict] = []
+
+    def to_dict(self) -> Dict:
+        return {
+            "opm": {
+                "artifacts": self.artifacts,
+                "processes": self.processes,
+                "dependencies": {
+                    "used": self.used,
+                    "wasGeneratedBy": self.was_generated_by,
+                    "wasDerivedFrom": self.was_derived_from,
+                    "wasTriggeredBy": self.was_triggered_by,
+                },
+            }
+        }
+
+    def dump(self, destination: Union[str, IO[str]]) -> None:
+        """Write the document as JSON."""
+        if hasattr(destination, "write"):
+            json.dump(self.to_dict(), destination, indent=2, default=str)
+            return
+        with open(destination, "w", encoding="utf-8") as stream:
+            json.dump(self.to_dict(), stream, indent=2, default=str)
+
+    @property
+    def edge_count(self) -> int:
+        return (len(self.used) + len(self.was_generated_by)
+                + len(self.was_derived_from) + len(self.was_triggered_by))
+
+    def __repr__(self) -> str:
+        return (f"OPMDocument(artifacts={len(self.artifacts)}, "
+                f"processes={len(self.processes)}, "
+                f"dependencies={self.edge_count})")
+
+
+def _identifier(node_id: int, is_process: bool) -> str:
+    return f"{'p' if is_process else 'a'}{node_id}"
+
+
+def to_opm(graph: ProvenanceGraph) -> OPMDocument:
+    """Map a Lipstick provenance graph to an OPM document."""
+    document = OPMDocument()
+    is_process: Dict[int, bool] = {}
+    for node_id, node in graph.nodes.items():
+        process = node.kind in _PROCESS_KINDS
+        is_process[node_id] = process
+        record = {
+            "label": node.label,
+            "kind": node.kind.value,
+        }
+        if node.module is not None:
+            record["account"] = node.module
+        if node.value is not None:
+            record["value"] = repr(node.value)
+        if process:
+            document.processes[_identifier(node_id, True)] = record
+        else:
+            document.artifacts[_identifier(node_id, False)] = record
+    for node_id in graph.node_ids():
+        target_is_process = is_process[node_id]
+        target = _identifier(node_id, target_is_process)
+        for pred in graph.preds(node_id):
+            source_is_process = is_process[pred]
+            source = _identifier(pred, source_is_process)
+            if target_is_process and not source_is_process:
+                document.used.append({"process": target, "artifact": source})
+            elif not target_is_process and source_is_process:
+                document.was_generated_by.append(
+                    {"artifact": target, "process": source})
+            elif not target_is_process and not source_is_process:
+                document.was_derived_from.append(
+                    {"derived": target, "source": source})
+            else:
+                document.was_triggered_by.append(
+                    {"effect": target, "cause": source})
+    return document

@@ -1,0 +1,300 @@
+"""The provenance graph: storage, invocation registry, traversals.
+
+As in the Lipstick Query Processor (paper Section 5.1), the graph
+stores parent and child adjacency per node and computes ancestor /
+descendant sets at query time (no precomputed transitive closure).
+
+Edges run in derivation direction (operand → result); see
+:mod:`repro.graph.nodes` for the node vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from ..errors import ProvenanceGraphError, UnknownNodeError
+from .nodes import DEFAULT_LABELS, Node, NodeKind
+
+
+class Invocation:
+    """Bookkeeping for one module invocation (paper's "m" node).
+
+    Records the invocation's m-node and its input / output / state
+    node ids — the anchors that Zoom (Section 4.1) starts from.
+    """
+
+    __slots__ = ("invocation_id", "module_name", "module_node",
+                 "input_nodes", "output_nodes", "state_nodes")
+
+    def __init__(self, invocation_id: int, module_name: str, module_node: int):
+        self.invocation_id = invocation_id
+        self.module_name = module_name
+        self.module_node = module_node
+        self.input_nodes: List[int] = []
+        self.output_nodes: List[int] = []
+        self.state_nodes: List[int] = []
+
+    def __repr__(self) -> str:
+        return (f"Invocation(#{self.invocation_id} {self.module_name} "
+                f"in={len(self.input_nodes)} out={len(self.output_nodes)} "
+                f"state={len(self.state_nodes)})")
+
+
+class ProvenanceGraph:
+    """A mutable DAG of :class:`Node` objects with adjacency lists."""
+
+    def __init__(self):
+        self.nodes: Dict[int, Node] = {}
+        self._preds: Dict[int, List[int]] = {}
+        self._succs: Dict[int, List[int]] = {}
+        self.invocations: Dict[int, Invocation] = {}
+        self._next_node_id = 0
+        self._next_invocation_id = 0
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, kind: NodeKind, label: Optional[str] = None,
+                 ntype: str = "p", module: Optional[str] = None,
+                 invocation: Optional[int] = None, value: Any = None) -> int:
+        """Create a node and return its id."""
+        if label is None:
+            label = DEFAULT_LABELS.get(kind, kind.value)
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        self.nodes[node_id] = Node(node_id, kind, label, ntype, module,
+                                   invocation, value)
+        self._preds[node_id] = []
+        self._succs[node_id] = []
+        return node_id
+
+    def add_edge(self, source: int, target: int) -> None:
+        """Add a derivation edge ``source → target``."""
+        if source not in self.nodes:
+            raise UnknownNodeError(source)
+        if target not in self.nodes:
+            raise UnknownNodeError(target)
+        if source == target:
+            raise ProvenanceGraphError(f"self-loop on node {source}")
+        self._preds[target].append(source)
+        self._succs[source].append(target)
+        self._edge_count += 1
+
+    def new_invocation(self, module_name: str) -> Invocation:
+        """Register a module invocation and create its m-node."""
+        invocation_id = self._next_invocation_id
+        self._next_invocation_id += 1
+        module_node = self.add_node(NodeKind.MODULE, module_name, "p",
+                                    module=module_name, invocation=invocation_id)
+        invocation = Invocation(invocation_id, module_name, module_node)
+        self.invocations[invocation_id] = invocation
+        return invocation
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> Node:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self.nodes
+
+    def preds(self, node_id: int) -> Tuple[int, ...]:
+        """Operands of ``node_id`` (edges pointing into it)."""
+        if node_id not in self.nodes:
+            raise UnknownNodeError(node_id)
+        return tuple(self._preds[node_id])
+
+    def succs(self, node_id: int) -> Tuple[int, ...]:
+        """Nodes derived (partly) from ``node_id``."""
+        if node_id not in self.nodes:
+            raise UnknownNodeError(node_id)
+        return tuple(self._succs[node_id])
+
+    def in_degree(self, node_id: int) -> int:
+        return len(self._preds[node_id])
+
+    def out_degree(self, node_id: int) -> int:
+        return len(self._succs[node_id])
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def node_ids(self) -> Iterator[int]:
+        return iter(tuple(self.nodes.keys()))
+
+    def nodes_of_kind(self, kind: NodeKind) -> List[Node]:
+        return [node for node in self.nodes.values() if node.kind is kind]
+
+    def invocations_of(self, module_name: str) -> List[Invocation]:
+        return [invocation for invocation in self.invocations.values()
+                if invocation.module_name == module_name]
+
+    def module_names(self) -> Set[str]:
+        return {invocation.module_name for invocation in self.invocations.values()}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node and all edges adjacent to it."""
+        if node_id not in self.nodes:
+            raise UnknownNodeError(node_id)
+        for pred in self._preds[node_id]:
+            if pred in self._succs:
+                successors = self._succs[pred]
+                self._edge_count -= successors.count(node_id)
+                self._succs[pred] = [s for s in successors if s != node_id]
+        for succ in self._succs[node_id]:
+            if succ in self._preds:
+                predecessors = self._preds[succ]
+                self._edge_count -= predecessors.count(node_id)
+                self._preds[succ] = [p for p in predecessors if p != node_id]
+        del self._preds[node_id]
+        del self._succs[node_id]
+        del self.nodes[node_id]
+
+    def remove_nodes(self, node_ids) -> None:
+        """Batch removal: one adjacency rebuild for the whole set.
+
+        Equivalent to calling :meth:`remove_node` per id but O(V+E)
+        instead of quadratic in neighbour degrees — deletion
+        propagation relies on this.
+        """
+        doomed = set(node_ids)
+        for node_id in doomed:
+            if node_id not in self.nodes:
+                raise UnknownNodeError(node_id)
+        # Only the doomed nodes' surviving neighbours need their
+        # adjacency lists rewritten.
+        surviving_preds = set()
+        surviving_succs = set()
+        removed_edges = 0
+        for node_id in doomed:
+            removed_edges += len(self._preds[node_id])
+            for pred in self._preds[node_id]:
+                if pred not in doomed:
+                    surviving_preds.add(pred)
+            for succ in self._succs[node_id]:
+                if succ not in doomed:
+                    surviving_succs.add(succ)
+                    removed_edges += 1
+        for node_id in doomed:
+            del self.nodes[node_id]
+            del self._preds[node_id]
+            del self._succs[node_id]
+        for pred in surviving_preds:
+            self._succs[pred] = [succ for succ in self._succs[pred]
+                                 if succ not in doomed]
+        for succ in surviving_succs:
+            self._preds[succ] = [pred for pred in self._preds[succ]
+                                 if pred not in doomed]
+        self._edge_count -= removed_edges
+
+    def copy(self) -> "ProvenanceGraph":
+        """A deep copy (nodes are re-created; payload values shared)."""
+        duplicate = ProvenanceGraph()
+        duplicate._next_node_id = self._next_node_id
+        duplicate._next_invocation_id = self._next_invocation_id
+        duplicate._edge_count = self._edge_count
+        for node_id, node in self.nodes.items():
+            duplicate.nodes[node_id] = Node(node.node_id, node.kind, node.label,
+                                            node.ntype, node.module,
+                                            node.invocation, node.value)
+        duplicate._preds = {node_id: list(preds) for node_id, preds in self._preds.items()}
+        duplicate._succs = {node_id: list(succs) for node_id, succs in self._succs.items()}
+        for invocation_id, invocation in self.invocations.items():
+            clone = Invocation(invocation.invocation_id, invocation.module_name,
+                               invocation.module_node)
+            clone.input_nodes = list(invocation.input_nodes)
+            clone.output_nodes = list(invocation.output_nodes)
+            clone.state_nodes = list(invocation.state_nodes)
+            duplicate.invocations[invocation_id] = clone
+        return duplicate
+
+    # ------------------------------------------------------------------
+    # Traversals (computed at query time, as in the paper's §5.1)
+    # ------------------------------------------------------------------
+    def ancestors(self, node_id: int) -> Set[int]:
+        """All nodes reachable by following edges backwards."""
+        return self._reach(node_id, self._preds)
+
+    def descendants(self, node_id: int) -> Set[int]:
+        """All nodes reachable by following edges forwards."""
+        return self._reach(node_id, self._succs)
+
+    def _reach(self, start: int, adjacency: Dict[int, List[int]]) -> Set[int]:
+        if start not in self.nodes:
+            raise UnknownNodeError(start)
+        seen: Set[int] = set()
+        stack = list(adjacency[start])
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(adjacency[current])
+        return seen
+
+    def reachable(self, source: int, target: int) -> bool:
+        """Whether a directed path ``source →* target`` exists."""
+        if source == target:
+            return True
+        return target in self.descendants(source)
+
+    def topological_order(self) -> List[int]:
+        """Node ids in a topological order; raises on cycles."""
+        in_degrees = {node_id: len(preds) for node_id, preds in self._preds.items()}
+        frontier = [node_id for node_id, degree in in_degrees.items() if degree == 0]
+        order: List[int] = []
+        while frontier:
+            current = frontier.pop()
+            order.append(current)
+            for succ in self._succs[current]:
+                in_degrees[succ] -= 1
+                if in_degrees[succ] == 0:
+                    frontier.append(succ)
+        if len(order) != len(self.nodes):
+            raise ProvenanceGraphError("provenance graph contains a cycle")
+        return order
+
+    def is_acyclic(self) -> bool:
+        try:
+            self.topological_order()
+            return True
+        except ProvenanceGraphError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Validation (used by tests and after graph surgery)
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Verify adjacency symmetry and edge-count bookkeeping."""
+        forward = 0
+        for node_id, successors in self._succs.items():
+            for succ in successors:
+                if succ not in self.nodes:
+                    raise ProvenanceGraphError(
+                        f"dangling edge {node_id} → {succ}")
+                if node_id not in self._preds[succ]:
+                    raise ProvenanceGraphError(
+                        f"edge {node_id} → {succ} missing from preds")
+                forward += 1
+        backward = sum(len(preds) for preds in self._preds.values())
+        if forward != backward or forward != self._edge_count:
+            raise ProvenanceGraphError(
+                f"edge bookkeeping mismatch: succs={forward} preds={backward} "
+                f"count={self._edge_count}")
+
+    def __repr__(self) -> str:
+        return (f"ProvenanceGraph(nodes={self.node_count}, "
+                f"edges={self.edge_count}, invocations={len(self.invocations)})")

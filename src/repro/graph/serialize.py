@@ -1,0 +1,168 @@
+"""Filesystem round-trip of provenance graphs (JSON Lines).
+
+The Lipstick architecture (paper Section 5.1) splits the system into a
+*Provenance Tracker* whose "output is written to the file-system, and
+is used as input by the Query Processor".  This module is that
+interchange format: a streaming JSONL file with one record per node
+(including its operand edges) plus invocation records, so the Query
+Processor can rebuild the in-memory graph without re-running the
+workflow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, IO, Iterator, Union
+
+from ..errors import SerializationError
+from .nodes import Node, NodeKind
+from .provgraph import Invocation, ProvenanceGraph
+
+FORMAT_VERSION = 1
+
+_JSON_ATOMS = (int, float, str, bool, type(None))
+
+
+def _encode_value(value: Any):
+    """Encode a node payload; non-atomic payloads degrade to repr."""
+    if isinstance(value, _JSON_ATOMS):
+        return {"atom": value}
+    if isinstance(value, tuple) and all(isinstance(v, _JSON_ATOMS) for v in value):
+        return {"tuple": list(value)}
+    return {"repr": repr(value)}
+
+
+def _decode_value(encoded):
+    if encoded is None:
+        return None
+    if "atom" in encoded:
+        return encoded["atom"]
+    if "tuple" in encoded:
+        return tuple(encoded["tuple"])
+    return encoded.get("repr")
+
+
+def dump_graph(graph: ProvenanceGraph, destination: Union[str, os.PathLike, IO[str]]) -> int:
+    """Write ``graph`` as JSONL; returns the number of records written.
+
+    ``destination`` may be a path or an open text file.
+    """
+    if hasattr(destination, "write"):
+        return _dump_to_stream(graph, destination)
+    with open(destination, "w", encoding="utf-8") as stream:
+        return _dump_to_stream(graph, stream)
+
+
+def _dump_to_stream(graph: ProvenanceGraph, stream: IO[str]) -> int:
+    records = 0
+    header = {
+        "record": "header",
+        "version": FORMAT_VERSION,
+        "nodes": graph.node_count,
+        "edges": graph.edge_count,
+        "invocations": len(graph.invocations),
+    }
+    stream.write(json.dumps(header) + "\n")
+    records += 1
+    for invocation in graph.invocations.values():
+        record = {
+            "record": "invocation",
+            "id": invocation.invocation_id,
+            "module": invocation.module_name,
+            "module_node": invocation.module_node,
+            "inputs": invocation.input_nodes,
+            "outputs": invocation.output_nodes,
+            "state": invocation.state_nodes,
+        }
+        stream.write(json.dumps(record) + "\n")
+        records += 1
+    for node_id in sorted(graph.nodes):
+        node = graph.nodes[node_id]
+        record = {
+            "record": "node",
+            "id": node.node_id,
+            "kind": node.kind.value,
+            "label": node.label,
+            "ntype": node.ntype,
+            "module": node.module,
+            "invocation": node.invocation,
+            "value": _encode_value(node.value) if node.value is not None else None,
+            "preds": list(graph.preds(node_id)),
+        }
+        stream.write(json.dumps(record) + "\n")
+        records += 1
+    return records
+
+
+def load_graph(source: Union[str, os.PathLike, IO[str]]) -> ProvenanceGraph:
+    """Rebuild a graph previously written by :func:`dump_graph`."""
+    if hasattr(source, "read"):
+        return _load_from_lines(iter(source))
+    with open(source, "r", encoding="utf-8") as stream:
+        return _load_from_lines(iter(stream))
+
+
+def _load_from_lines(lines: Iterator[str]) -> ProvenanceGraph:
+    graph = ProvenanceGraph()
+    header: Dict[str, Any] = {}
+    pending_edges = []
+    max_node_id = -1
+    max_invocation_id = -1
+    for line_number, raw in enumerate(lines, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise SerializationError(
+                f"line {line_number}: invalid JSON ({error})") from error
+        record_type = record.get("record")
+        if record_type == "header":
+            if record.get("version") != FORMAT_VERSION:
+                raise SerializationError(
+                    f"unsupported format version {record.get('version')!r}")
+            header = record
+        elif record_type == "invocation":
+            invocation = Invocation(record["id"], record["module"],
+                                    record["module_node"])
+            invocation.input_nodes = list(record.get("inputs", []))
+            invocation.output_nodes = list(record.get("outputs", []))
+            invocation.state_nodes = list(record.get("state", []))
+            graph.invocations[invocation.invocation_id] = invocation
+            max_invocation_id = max(max_invocation_id, invocation.invocation_id)
+        elif record_type == "node":
+            try:
+                kind = NodeKind(record["kind"])
+            except ValueError as error:
+                raise SerializationError(
+                    f"line {line_number}: unknown node kind "
+                    f"{record['kind']!r}") from error
+            node = Node(record["id"], kind, record["label"], record["ntype"],
+                        record.get("module"), record.get("invocation"),
+                        _decode_value(record.get("value")))
+            graph.nodes[node.node_id] = node
+            graph._preds[node.node_id] = []
+            graph._succs[node.node_id] = []
+            for pred in record.get("preds", []):
+                pending_edges.append((pred, node.node_id))
+            max_node_id = max(max_node_id, node.node_id)
+        else:
+            raise SerializationError(
+                f"line {line_number}: unknown record type {record_type!r}")
+    if not header:
+        raise SerializationError("missing header record")
+    for source_id, target_id in pending_edges:
+        graph.add_edge(source_id, target_id)
+    graph._next_node_id = max_node_id + 1
+    graph._next_invocation_id = max_invocation_id + 1
+    expected_nodes = header.get("nodes")
+    if expected_nodes is not None and expected_nodes != graph.node_count:
+        raise SerializationError(
+            f"header declares {expected_nodes} nodes, found {graph.node_count}")
+    expected_edges = header.get("edges")
+    if expected_edges is not None and expected_edges != graph.edge_count:
+        raise SerializationError(
+            f"header declares {expected_edges} edges, found {graph.edge_count}")
+    return graph

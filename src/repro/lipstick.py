@@ -1,0 +1,200 @@
+"""The Lipstick system facade (paper Section 5.1).
+
+Lipstick consists of two sub-systems:
+
+* the **Provenance Tracker**, which records provenance while a
+  workflow executes and writes it to the filesystem, and
+* the **Query Processor**, which "is implemented in Java and runs in
+  memory.  It starts by reading provenance-annotated tuples from disk
+  and building the provenance graph" and then answers zoom, deletion,
+  and subgraph queries.  (Here: Python, same architecture.)
+
+:class:`Lipstick` wires workflow execution to the tracker;
+:class:`QueryProcessor` rebuilds a graph from the tracker's spool file
+(or adopts an in-memory graph) and exposes the Section 4 queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .graph.provgraph import ProvenanceGraph
+from .graph.serialize import load_graph
+from .graph.stats import GraphStats, graph_stats, output_dependency_profiles
+from .queries.deletion import DeletionResult, delete_base_tuples, propagate_deletion
+from .queries.dependency import depends_on, depends_on_tuple
+from .queries.proql import ProQL
+from .queries.proql_text import run_query
+from .queries.subgraph import SubgraphResult, highest_fanout_nodes, subgraph_query
+from .queries.whatif import WhatIfResult, what_if_deleted
+from .queries.zoom import Zoomer
+from .workflow.execution import (
+    ExecutionOutput,
+    InputBundle,
+    WorkflowExecutor,
+    WorkflowState,
+)
+from .workflow.module import ModuleRegistry
+from .workflow.tracker import ProvenanceTracker
+from .workflow.workflow import Workflow
+
+
+class QueryProcessor:
+    """In-memory provenance graph querying (zoom / delete / subgraph).
+
+    "In our current implementation, we store information about parents
+    and children of each node, and compute ancestor and descendant
+    information as appropriate at query time." — exactly what
+    :class:`~repro.graph.provgraph.ProvenanceGraph` does.
+    """
+
+    def __init__(self, graph: ProvenanceGraph):
+        self.graph = graph
+        self._zoomer = Zoomer(graph)
+
+    @classmethod
+    def from_file(cls, path: str) -> "QueryProcessor":
+        """Build the graph by reading the tracker's spool file."""
+        return cls(load_graph(path))
+
+    # ------------------------------------------------------------------
+    # Zoom (Section 4.1)
+    # ------------------------------------------------------------------
+    def zoom_out(self, module_names: Union[str, Iterable[str]]) -> List[str]:
+        if isinstance(module_names, str):
+            module_names = [module_names]
+        return self._zoomer.zoom_out(module_names)
+
+    def zoom_in(self, module_names: Union[str, Iterable[str]]) -> List[str]:
+        if isinstance(module_names, str):
+            module_names = [module_names]
+        return self._zoomer.zoom_in(module_names)
+
+    def zoom_out_all(self) -> List[str]:
+        return self._zoomer.zoom_out_all()
+
+    @property
+    def zoomed_out_modules(self):
+        return self._zoomer.zoomed_out_modules
+
+    # ------------------------------------------------------------------
+    # Deletion propagation (Section 4.2) and dependencies (Section 4.3)
+    # ------------------------------------------------------------------
+    def delete(self, node_ids: Union[int, Iterable[int]],
+               in_place: bool = False) -> DeletionResult:
+        if isinstance(node_ids, int):
+            node_ids = [node_ids]
+        return propagate_deletion(self.graph, node_ids, in_place=in_place)
+
+    def delete_tuples(self, labels: Union[str, Iterable[str]],
+                      in_place: bool = False) -> DeletionResult:
+        if isinstance(labels, str):
+            labels = [labels]
+        return delete_base_tuples(self.graph, labels, in_place=in_place)
+
+    def depends_on(self, node_id: int,
+                   source_ids: Union[int, Iterable[int]]) -> bool:
+        if isinstance(source_ids, int):
+            source_ids = [source_ids]
+        return depends_on(self.graph, node_id, source_ids)
+
+    def depends_on_tuple(self, node_id: int,
+                         labels: Union[str, Iterable[str]]) -> bool:
+        if isinstance(labels, str):
+            labels = [labels]
+        return depends_on_tuple(self.graph, node_id, labels)
+
+    # ------------------------------------------------------------------
+    # Subgraph queries (Section 5.1)
+    # ------------------------------------------------------------------
+    def subgraph(self, node_id: int) -> SubgraphResult:
+        return subgraph_query(self.graph, node_id)
+
+    def highest_fanout_nodes(self, count: int = 50) -> List[int]:
+        return highest_fanout_nodes(self.graph, count)
+
+    # ------------------------------------------------------------------
+    # What-if analysis (Section 4.2 + Example 4.3's recomputation)
+    # ------------------------------------------------------------------
+    def what_if(self, node_ids: Iterable[int] = (),
+                tuple_labels: Iterable[str] = ()) -> WhatIfResult:
+        """Deletion propagation plus aggregate recomputation."""
+        return what_if_deleted(self.graph, node_ids, tuple_labels)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def query(self) -> ProQL:
+        """A fresh ProQL-lite query over the whole graph."""
+        return ProQL(self.graph)
+
+    def query_text(self, text: str):
+        """Run a textual ProQL-lite pipeline, e.g.
+        ``"MATCH kind=tuple module=Mdealer1 | descendants | count"``."""
+        return run_query(self.graph, text)
+
+    def stats(self) -> GraphStats:
+        return graph_stats(self.graph)
+
+    def __repr__(self) -> str:
+        return f"QueryProcessor({self.graph!r})"
+
+
+class Lipstick:
+    """End-to-end facade: execute workflows with provenance tracking,
+    spool the graph, query it.
+
+    >>> lipstick = Lipstick()
+    >>> executor = lipstick.executor(workflow, modules)   # doctest: +SKIP
+    """
+
+    def __init__(self, directory: Optional[str] = None,
+                 track_provenance: bool = True):
+        self.track_provenance = track_provenance
+        self.tracker = ProvenanceTracker(directory) if track_provenance else None
+
+    @property
+    def graph(self) -> Optional[ProvenanceGraph]:
+        return self.tracker.graph if self.tracker else None
+
+    def executor(self, workflow: Workflow,
+                 modules: ModuleRegistry,
+                 compact_filter: bool = True) -> WorkflowExecutor:
+        builder = self.tracker.builder if self.tracker else None
+        return WorkflowExecutor(workflow, modules, builder,
+                                compact_filter=compact_filter)
+
+    def run_sequence(self, workflow: Workflow, modules: ModuleRegistry,
+                     input_batches: Sequence[InputBundle],
+                     state: Optional[WorkflowState] = None
+                     ) -> List[ExecutionOutput]:
+        """Run a sequence of executions (Definition 2.3) with tracking."""
+        executor = self.executor(workflow, modules)
+        if state is None:
+            state = executor.new_state()
+        return executor.execute_sequence(input_batches, state)
+
+    def flush(self, path: Optional[str] = None) -> str:
+        """Spool the provenance graph to disk (tracker output)."""
+        if self.tracker is None:
+            raise RuntimeError("provenance tracking is disabled")
+        return self.tracker.flush(path)
+
+    def query_processor(self, path: Optional[str] = None) -> QueryProcessor:
+        """A Query Processor over the spooled file (round-tripping via
+        disk like the paper's architecture) or, when ``path`` is None,
+        over the live in-memory graph."""
+        if path is not None:
+            return QueryProcessor.from_file(path)
+        if self.tracker is None:
+            raise RuntimeError("provenance tracking is disabled")
+        return QueryProcessor(self.tracker.graph)
+
+    def dependency_report(self):
+        """Fine-grainedness profiles of all outputs (Section 5.5)."""
+        if self.tracker is None:
+            raise RuntimeError("provenance tracking is disabled")
+        return output_dependency_profiles(self.tracker.graph)
+
+    def __repr__(self) -> str:
+        return f"Lipstick(tracking={self.track_provenance})"

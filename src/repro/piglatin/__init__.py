@@ -1,0 +1,26 @@
+"""Pig Latin engine: lexer → parser → provenance-emitting interpreter."""
+
+from .lexer import LexToken, TokenType, tokenize
+from .parser import parse, parse_expression
+from .interpreter import ExecutionResult, Interpreter
+from .udf import UDF, UDFRegistry
+from .builtins import AGGREGATE_NAMES, compute_aggregate, is_aggregate
+from .expressions import ExpressionEvaluator
+from . import ast
+
+__all__ = [
+    "AGGREGATE_NAMES",
+    "ExecutionResult",
+    "ExpressionEvaluator",
+    "Interpreter",
+    "LexToken",
+    "TokenType",
+    "UDF",
+    "UDFRegistry",
+    "ast",
+    "compute_aggregate",
+    "is_aggregate",
+    "parse",
+    "parse_expression",
+    "tokenize",
+]

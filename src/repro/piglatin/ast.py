@@ -1,0 +1,369 @@
+"""Abstract syntax for the Pig Latin fragment (Section 2.1).
+
+Two families: *expressions* (evaluated per row by
+:mod:`repro.piglatin.expressions`) and *statements* (evaluated over
+relations by :mod:`repro.piglatin.interpreter`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class Expression:
+    __slots__ = ()
+
+
+class Literal(Expression):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r})"
+
+
+class FieldRef(Expression):
+    """A field reference by (possibly ``::``-qualified) name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"FieldRef({self.name})"
+
+
+class PositionalRef(Expression):
+    """A field reference by position (``$n``)."""
+
+    __slots__ = ("position",)
+
+    def __init__(self, position: int):
+        self.position = position
+
+    def __repr__(self) -> str:
+        return f"PositionalRef(${self.position})"
+
+
+class DottedRef(Expression):
+    """``base.field`` — projection of a field out of a bag/tuple field.
+
+    In the fragment we support, ``base`` is a field reference (usually
+    a bag-typed field of a grouped relation) and ``field`` selects a
+    column of the nested tuples, e.g. ``Inventory.CarId``.
+    """
+
+    __slots__ = ("base", "field")
+
+    def __init__(self, base: Expression, field: str):
+        self.base = base
+        self.field = field
+
+    def __repr__(self) -> str:
+        return f"DottedRef({self.base!r}.{self.field})"
+
+
+class StarRef(Expression):
+    """``*`` — the whole input tuple."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "StarRef()"
+
+
+class UnaryOp(Expression):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expression):
+        self.op = op
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"UnaryOp({self.op}, {self.operand!r})"
+
+
+class BinaryOp(Expression):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"BinaryOp({self.left!r} {self.op} {self.right!r})"
+
+
+class IsNull(Expression):
+    __slots__ = ("operand", "negated")
+
+    def __init__(self, operand: Expression, negated: bool = False):
+        self.operand = operand
+        self.negated = negated
+
+    def __repr__(self) -> str:
+        negation = " NOT" if self.negated else ""
+        return f"IsNull({self.operand!r}{negation})"
+
+
+class FuncCall(Expression):
+    """A function call: aggregate, scalar builtin, or black-box UDF.
+
+    Which of the three it is gets decided at evaluation time from the
+    registries (:mod:`repro.piglatin.builtins`,
+    :mod:`repro.piglatin.udf`).
+    """
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expression]):
+        self.name = name
+        self.args = tuple(args)
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(repr(a) for a in self.args)
+        return f"FuncCall({self.name}, [{rendered}])"
+
+
+class Flatten(Expression):
+    """FLATTEN(e) in a GENERATE list; e yields a bag to be unnested."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expression):
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"Flatten({self.operand!r})"
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+class Statement:
+    __slots__ = ()
+
+
+class GenerateItem:
+    """One item of a GENERATE list: an expression with optional alias."""
+
+    __slots__ = ("expression", "alias")
+
+    def __init__(self, expression: Expression, alias: Optional[str] = None):
+        self.expression = expression
+        self.alias = alias
+
+    def __repr__(self) -> str:
+        alias = f" AS {self.alias}" if self.alias else ""
+        return f"GenerateItem({self.expression!r}{alias})"
+
+
+class Load(Statement):
+    """``alias = LOAD 'name';`` — bind a relation from the environment."""
+
+    __slots__ = ("alias", "source")
+
+    def __init__(self, alias: str, source: str):
+        self.alias = alias
+        self.source = source
+
+    def __repr__(self) -> str:
+        return f"Load({self.alias} <- {self.source!r})"
+
+
+class Filter(Statement):
+    __slots__ = ("alias", "input_alias", "condition")
+
+    def __init__(self, alias: str, input_alias: str, condition: Expression):
+        self.alias = alias
+        self.input_alias = input_alias
+        self.condition = condition
+
+    def __repr__(self) -> str:
+        return f"Filter({self.alias} <- {self.input_alias} BY {self.condition!r})"
+
+
+class Group(Statement):
+    __slots__ = ("alias", "input_alias", "keys", "parallel")
+
+    def __init__(self, alias: str, input_alias: str, keys: Sequence[Expression],
+                 parallel: Optional[int] = None):
+        self.alias = alias
+        self.input_alias = input_alias
+        self.keys = tuple(keys)
+        self.parallel = parallel
+
+    def __repr__(self) -> str:
+        return f"Group({self.alias} <- {self.input_alias} BY {list(self.keys)!r})"
+
+
+class CoGroup(Statement):
+    """``alias = COGROUP a BY k1, b BY k2, ...;``"""
+
+    __slots__ = ("alias", "inputs", "parallel")
+
+    def __init__(self, alias: str,
+                 inputs: Sequence[Tuple[str, Tuple[Expression, ...]]],
+                 parallel: Optional[int] = None):
+        self.alias = alias
+        self.inputs = tuple((name, tuple(keys)) for name, keys in inputs)
+        self.parallel = parallel
+
+    def __repr__(self) -> str:
+        return f"CoGroup({self.alias} <- {self.inputs!r})"
+
+
+class Join(Statement):
+    """``alias = JOIN a BY k1, b BY k2;`` (equi-join, two inputs)."""
+
+    __slots__ = ("alias", "inputs", "parallel")
+
+    def __init__(self, alias: str,
+                 inputs: Sequence[Tuple[str, Tuple[Expression, ...]]],
+                 parallel: Optional[int] = None):
+        self.alias = alias
+        self.inputs = tuple((name, tuple(keys)) for name, keys in inputs)
+        self.parallel = parallel
+
+    def __repr__(self) -> str:
+        return f"Join({self.alias} <- {self.inputs!r})"
+
+
+class Foreach(Statement):
+    __slots__ = ("alias", "input_alias", "items")
+
+    def __init__(self, alias: str, input_alias: str,
+                 items: Sequence[GenerateItem]):
+        self.alias = alias
+        self.input_alias = input_alias
+        self.items = tuple(items)
+
+    def __repr__(self) -> str:
+        return f"Foreach({self.alias} <- {self.input_alias} GENERATE {list(self.items)!r})"
+
+
+class Cross(Statement):
+    """``alias = CROSS a, b, ...;`` — Cartesian product.
+
+    Provenance follows joint derivation: each result tuple gets a
+    ``·`` node over the contributing tuples, exactly like JOIN.
+    """
+
+    __slots__ = ("alias", "input_aliases")
+
+    def __init__(self, alias: str, input_aliases: Sequence[str]):
+        self.alias = alias
+        self.input_aliases = tuple(input_aliases)
+
+    def __repr__(self) -> str:
+        return f"Cross({self.alias} <- {self.input_aliases})"
+
+
+class Split(Statement):
+    """``SPLIT a INTO b IF cond1, c IF cond2;``
+
+    Syntactic sugar for several FILTERs over the same input; tuples
+    may satisfy several conditions (they go to every matching output),
+    and provenance behaves exactly like FILTER's.
+    """
+
+    __slots__ = ("input_alias", "branches")
+
+    def __init__(self, input_alias: str,
+                 branches: Sequence[Tuple[str, Expression]]):
+        self.input_alias = input_alias
+        self.branches = tuple(branches)
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(f"{alias} IF {condition!r}"
+                             for alias, condition in self.branches)
+        return f"Split({self.input_alias} INTO {rendered})"
+
+
+class Union(Statement):
+    __slots__ = ("alias", "input_aliases")
+
+    def __init__(self, alias: str, input_aliases: Sequence[str]):
+        self.alias = alias
+        self.input_aliases = tuple(input_aliases)
+
+    def __repr__(self) -> str:
+        return f"Union({self.alias} <- {self.input_aliases})"
+
+
+class Distinct(Statement):
+    __slots__ = ("alias", "input_alias")
+
+    def __init__(self, alias: str, input_alias: str):
+        self.alias = alias
+        self.input_alias = input_alias
+
+    def __repr__(self) -> str:
+        return f"Distinct({self.alias} <- {self.input_alias})"
+
+
+class OrderBy(Statement):
+    """ORDER is a post-processing step (paper Section 3.2): it affects
+    row order only, never provenance."""
+
+    __slots__ = ("alias", "input_alias", "keys")
+
+    def __init__(self, alias: str, input_alias: str,
+                 keys: Sequence[Tuple[str, bool]]):
+        #: keys: (field reference, ascending?) pairs
+        self.alias = alias
+        self.input_alias = input_alias
+        self.keys = tuple(keys)
+
+    def __repr__(self) -> str:
+        return f"OrderBy({self.alias} <- {self.input_alias} BY {self.keys})"
+
+
+class Limit(Statement):
+    __slots__ = ("alias", "input_alias", "count")
+
+    def __init__(self, alias: str, input_alias: str, count: int):
+        self.alias = alias
+        self.input_alias = input_alias
+        self.count = count
+
+    def __repr__(self) -> str:
+        return f"Limit({self.alias} <- {self.input_alias} {self.count})"
+
+
+class Store(Statement):
+    """``STORE alias INTO 'name';`` — export a relation by name."""
+
+    __slots__ = ("alias", "destination")
+
+    def __init__(self, alias: str, destination: str):
+        self.alias = alias
+        self.destination = destination
+
+    def __repr__(self) -> str:
+        return f"Store({self.alias} -> {self.destination!r})"
+
+
+class Script:
+    """A parsed Pig Latin script: an ordered list of statements."""
+
+    __slots__ = ("statements",)
+
+    def __init__(self, statements: Sequence[Statement]):
+        self.statements = tuple(statements)
+
+    def __iter__(self):
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __repr__(self) -> str:
+        return f"Script({len(self.statements)} statements)"

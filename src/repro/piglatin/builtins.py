@@ -1,0 +1,93 @@
+"""Built-in functions: aggregates and scalar helpers.
+
+Aggregates (COUNT, SUM, MIN, MAX, AVG) follow the paper's arithmetic
+operations (Section 2.1) and produce tensor-based provenance
+(Section 3.2, "FOREACH (aggregation)").  Scalar builtins are pure
+functions evaluated transparently — they are *not* black boxes and
+leave no provenance nodes (unlike UDFs, see :mod:`repro.piglatin.udf`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import PigRuntimeError
+
+#: Names recognized as aggregate operations in GENERATE lists.
+AGGREGATE_NAMES = frozenset({"COUNT", "SUM", "MIN", "MAX", "AVG"})
+
+
+def is_aggregate(name: str) -> bool:
+    return name.upper() in AGGREGATE_NAMES
+
+
+def compute_aggregate(name: str, values: Sequence[Any]) -> Any:
+    """Compute an aggregate over the (already extracted) value column.
+
+    ``values`` excludes nothing: ``None`` entries are skipped the way
+    SQL/Pig aggregates skip nulls.  Empty input yields 0 for COUNT and
+    ``None`` for the others.
+    """
+    op = name.upper()
+    if op == "COUNT":
+        return len(values)
+    usable = [value for value in values if value is not None]
+    if not usable:
+        return None
+    if op == "SUM":
+        return sum(usable)
+    if op == "MIN":
+        return min(usable)
+    if op == "MAX":
+        return max(usable)
+    if op == "AVG":
+        return sum(usable) / len(usable)
+    raise PigRuntimeError(f"unknown aggregate {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Scalar builtins
+# ----------------------------------------------------------------------
+def _builtin_concat(*parts: Any) -> Optional[str]:
+    if any(part is None for part in parts):
+        return None
+    return "".join(str(part) for part in parts)
+
+
+def _builtin_size(value: Any) -> Optional[int]:
+    if value is None:
+        return None
+    if hasattr(value, "__len__"):
+        return len(value)
+    raise PigRuntimeError(f"SIZE is undefined for {type(value).__name__}")
+
+
+def _null_safe(function: Callable[..., Any]) -> Callable[..., Any]:
+    def wrapper(*args: Any) -> Any:
+        if any(arg is None for arg in args):
+            return None
+        return function(*args)
+    return wrapper
+
+
+SCALAR_BUILTINS: Dict[str, Callable[..., Any]] = {
+    "ABS": _null_safe(abs),
+    "ROUND": _null_safe(round),
+    "FLOOR": _null_safe(lambda v: int(v) if v == int(v) else int(v) - (v < 0)),
+    "CEIL": _null_safe(lambda v: int(v) + (v > int(v))),
+    "UPPER": _null_safe(lambda s: str(s).upper()),
+    "LOWER": _null_safe(lambda s: str(s).lower()),
+    "CONCAT": _builtin_concat,
+    "SIZE": _builtin_size,
+}
+
+
+def is_scalar_builtin(name: str) -> bool:
+    return name.upper() in SCALAR_BUILTINS
+
+
+def call_scalar_builtin(name: str, args: List[Any]) -> Any:
+    function = SCALAR_BUILTINS.get(name.upper())
+    if function is None:
+        raise PigRuntimeError(f"unknown scalar builtin {name!r}")
+    return function(*args)

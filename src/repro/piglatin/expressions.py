@@ -1,0 +1,243 @@
+"""Scalar expression evaluation over one row.
+
+Used by FILTER conditions, GROUP/JOIN keys, and the scalar items of
+GENERATE lists.  Aggregates, FLATTEN, and black-box UDF calls are
+*not* handled here — the interpreter treats those specially because
+they create provenance structure; this module is purely value-level.
+
+Null semantics follow Pig/SQL: arithmetic with a null operand yields
+null; comparisons with null are false; ``IS NULL`` observes nulls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..datamodel.relation import Relation, Row
+from ..datamodel.schema import FieldType, Schema
+from ..datamodel.values import Bag
+from ..errors import PigRuntimeError
+from . import ast
+from .builtins import call_scalar_builtin, is_scalar_builtin
+
+#: Resolves a non-builtin function name to a Python callable, or None.
+FunctionResolver = Callable[[str], Optional[Callable[..., Any]]]
+
+
+class ExpressionEvaluator:
+    """Evaluates expressions against rows of a fixed schema."""
+
+    def __init__(self, schema: Schema,
+                 function_resolver: Optional[FunctionResolver] = None):
+        self.schema = schema
+        self._resolver = function_resolver
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def evaluate(self, expression: ast.Expression, row: Row) -> Any:
+        if isinstance(expression, ast.Literal):
+            return expression.value
+        if isinstance(expression, ast.FieldRef):
+            return row.values[self.schema.index_of(expression.name)]
+        if isinstance(expression, ast.PositionalRef):
+            self.schema.field_at(expression.position)
+            return row.values[expression.position]
+        if isinstance(expression, ast.StarRef):
+            return row.values
+        if isinstance(expression, ast.DottedRef):
+            return self._evaluate_dotted(expression, row)
+        if isinstance(expression, ast.UnaryOp):
+            return self._evaluate_unary(expression, row)
+        if isinstance(expression, ast.BinaryOp):
+            return self._evaluate_binary(expression, row)
+        if isinstance(expression, ast.IsNull):
+            value = self.evaluate(expression.operand, row)
+            result = value is None
+            return not result if expression.negated else result
+        if isinstance(expression, ast.FuncCall):
+            return self._evaluate_call(expression, row)
+        if isinstance(expression, ast.Flatten):
+            raise PigRuntimeError("FLATTEN is only allowed in a GENERATE list")
+        raise PigRuntimeError(f"cannot evaluate expression {expression!r}")
+
+    def truth(self, expression: ast.Expression, row: Row) -> bool:
+        """Evaluate a FILTER condition; null is falsy."""
+        return bool(self.evaluate(expression, row))
+
+    # ------------------------------------------------------------------
+    # Cases
+    # ------------------------------------------------------------------
+    def _evaluate_dotted(self, expression: ast.DottedRef, row: Row) -> Any:
+        base = self.evaluate(expression.base, row)
+        if base is None:
+            return None
+        if isinstance(base, Bag):
+            inner_schema = base.relation.schema
+            position = inner_schema.index_of(expression.field)
+            projected = Relation(
+                Schema([inner_schema.fields[position]]),
+                [Row((inner.values[position],), inner.prov)
+                 for inner in base.relation.rows])
+            return Bag(projected)
+        raise PigRuntimeError(
+            f"cannot project field {expression.field!r} out of "
+            f"{type(base).__name__}")
+
+    def _evaluate_unary(self, expression: ast.UnaryOp, row: Row) -> Any:
+        value = self.evaluate(expression.operand, row)
+        if expression.op == "NOT":
+            return not bool(value)
+        if expression.op == "-":
+            return None if value is None else -value
+        raise PigRuntimeError(f"unknown unary operator {expression.op!r}")
+
+    def _evaluate_binary(self, expression: ast.BinaryOp, row: Row) -> Any:
+        op = expression.op
+        if op == "AND":
+            return self.truth(expression.left, row) and self.truth(expression.right, row)
+        if op == "OR":
+            return self.truth(expression.left, row) or self.truth(expression.right, row)
+        left = self.evaluate(expression.left, row)
+        right = self.evaluate(expression.right, row)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return _compare(op, left, right)
+        if left is None or right is None:
+            return None
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                return left / right
+            if op == "%":
+                return left % right
+        except (TypeError, ZeroDivisionError) as error:
+            raise PigRuntimeError(
+                f"arithmetic failed: {left!r} {op} {right!r} ({error})") from error
+        raise PigRuntimeError(f"unknown binary operator {op!r}")
+
+    def _evaluate_call(self, expression: ast.FuncCall, row: Row) -> Any:
+        args = [self.evaluate(arg, row) for arg in expression.args]
+        if is_scalar_builtin(expression.name):
+            return call_scalar_builtin(expression.name, args)
+        if self._resolver is not None:
+            function = self._resolver(expression.name)
+            if function is not None:
+                return function(*args)
+        raise PigRuntimeError(
+            f"function {expression.name!r} is not a scalar builtin and is "
+            "not registered as a UDF")
+
+
+def apply_binary_values(op: str, left: Any, right: Any) -> Any:
+    """Apply a binary operator to already-evaluated values.
+
+    Used by the interpreter when operands were computed outside the
+    scalar evaluator (e.g. aggregates inside arithmetic).  AND/OR are
+    evaluated eagerly here.
+    """
+    if op == "AND":
+        return bool(left) and bool(right)
+    if op == "OR":
+        return bool(left) or bool(right)
+    if op in ("==", "!=", "<", "<=", ">", ">="):
+        return _compare(op, left, right)
+    if left is None or right is None:
+        return None
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        if op == "%":
+            return left % right
+    except (TypeError, ZeroDivisionError) as error:
+        raise PigRuntimeError(
+            f"arithmetic failed: {left!r} {op} {right!r} ({error})") from error
+    raise PigRuntimeError(f"unknown binary operator {op!r}")
+
+
+def apply_unary_value(op: str, value: Any) -> Any:
+    if op == "NOT":
+        return not bool(value)
+    if op == "-":
+        return None if value is None else -value
+    raise PigRuntimeError(f"unknown unary operator {op!r}")
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    if left is None or right is None:
+        return False
+    try:
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError as error:
+        raise PigRuntimeError(
+            f"cannot compare {left!r} {op} {right!r} ({error})") from error
+    raise PigRuntimeError(f"unknown comparison {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Static schema inference for expressions (best effort)
+# ----------------------------------------------------------------------
+def infer_expression_type(expression: ast.Expression, schema: Schema) -> FieldType:
+    """The static type of an expression, ``ANY`` when undecidable."""
+    if isinstance(expression, ast.Literal):
+        from ..datamodel.values import infer_type
+        return infer_type(expression.value)
+    if isinstance(expression, ast.FieldRef):
+        if schema.has_field(expression.name):
+            return schema.resolve(expression.name).ftype
+        return FieldType.ANY
+    if isinstance(expression, ast.PositionalRef):
+        if expression.position < schema.arity:
+            return schema.field_at(expression.position).ftype
+        return FieldType.ANY
+    if isinstance(expression, ast.BinaryOp):
+        if expression.op in ("==", "!=", "<", "<=", ">", ">=", "AND", "OR"):
+            return FieldType.BOOLEAN
+        left = infer_expression_type(expression.left, schema)
+        right = infer_expression_type(expression.right, schema)
+        if FieldType.DOUBLE in (left, right) or expression.op == "/":
+            return FieldType.DOUBLE
+        if left.is_numeric and right.is_numeric:
+            return FieldType.INT
+        return FieldType.ANY
+    if isinstance(expression, ast.UnaryOp):
+        if expression.op == "NOT":
+            return FieldType.BOOLEAN
+        return infer_expression_type(expression.operand, schema)
+    if isinstance(expression, ast.IsNull):
+        return FieldType.BOOLEAN
+    return FieldType.ANY
+
+
+def default_item_name(expression: ast.Expression, index: int) -> str:
+    """The field name a GENERATE item gets when no AS alias is given."""
+    if isinstance(expression, ast.FieldRef):
+        return expression.name.rsplit("::", 1)[-1]
+    if isinstance(expression, ast.DottedRef):
+        return expression.field
+    if isinstance(expression, ast.FuncCall):
+        return expression.name.lower()
+    if isinstance(expression, ast.PositionalRef):
+        return f"f{expression.position}"
+    return f"f{index}"

@@ -1,0 +1,762 @@
+"""The Pig Latin interpreter: bag-semantics evaluation + provenance.
+
+Each statement is evaluated over annotated relations
+(:class:`~repro.datamodel.relation.Relation`), and — when a
+:class:`~repro.graph.builder.GraphBuilder` is attached — emits the
+provenance-graph structure of paper Section 3.2:
+
+* FOREACH (projection): one ``+`` node per distinct result tuple,
+  fed by every input tuple that projects onto it.
+* JOIN: one ``·`` node per result tuple, fed by the joined tuples.
+* GROUP / COGROUP: one ``δ`` node per group, fed by the members
+  (the paper's footnote-2 shorthand); nested tuples keep their
+  original provenance.
+* FOREACH (aggregation): an aggregate v-node fed by ``⊗`` tensor
+  v-nodes pairing each aggregated value with its tuple's provenance.
+* FOREACH (black box): a node labeled with the UDF name, fed by the
+  function's input nodes; computed values connect into the tuples
+  that contain them.
+* FILTER: tuples keep their annotation (semiring selection); the
+  ``compact_filter=False`` ablation wraps survivors in ``+`` nodes.
+* DISTINCT: a ``δ`` node over the duplicates of each distinct tuple.
+* UNION: bag disjoint union; annotations are preserved.
+* ORDER / LIMIT: post-processing; no provenance (paper Section 3.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..datamodel.relation import Relation, Row
+from ..datamodel.schema import Field, FieldType, Schema
+from ..datamodel.values import Bag, infer_type, value_signature
+from ..errors import PigRuntimeError, UnknownRelationError
+from ..graph.builder import GraphBuilder
+from . import ast
+from .builtins import compute_aggregate, is_aggregate
+from .expressions import (
+    ExpressionEvaluator,
+    apply_binary_values,
+    apply_unary_value,
+    default_item_name,
+    infer_expression_type,
+)
+from .parser import parse
+from .udf import UDFRegistry
+
+
+class ExecutionResult:
+    """Outcome of running a script: all aliases plus STOREd relations."""
+
+    __slots__ = ("relations", "stored")
+
+    def __init__(self):
+        self.relations: Dict[str, Relation] = {}
+        self.stored: Dict[str, Relation] = {}
+
+    def relation(self, alias: str) -> Relation:
+        try:
+            return self.relations[alias]
+        except KeyError:
+            raise UnknownRelationError(alias) from None
+
+    def __repr__(self) -> str:
+        return (f"ExecutionResult(aliases={sorted(self.relations)}, "
+                f"stored={sorted(self.stored)})")
+
+
+class Interpreter:
+    """Evaluates Pig Latin scripts over an environment of relations.
+
+    Parameters
+    ----------
+    builder:
+        Provenance graph builder; ``None`` disables tracking entirely
+        (the paper's "without provenance" baseline).
+    udfs:
+        Black-box function registry.
+    track_provenance:
+        Master switch; only meaningful when ``builder`` is given.
+    compact_filter:
+        When True (default), FILTER keeps each surviving tuple's
+        annotation node; when False, survivors get ``+`` wrapper nodes
+        (ablation for graph-size experiments).
+    """
+
+    def __init__(self, builder: Optional[GraphBuilder] = None,
+                 udfs: Optional[UDFRegistry] = None,
+                 track_provenance: bool = True,
+                 compact_filter: bool = True):
+        self.builder = builder
+        self.udfs = udfs if udfs is not None else UDFRegistry()
+        self.track = track_provenance and builder is not None
+        self.compact_filter = compact_filter
+        self._value_nodes: Dict[Any, int] = {}
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def execute(self, script: Union[str, ast.Script],
+                environment: Optional[Dict[str, Relation]] = None) -> ExecutionResult:
+        """Run a script; aliases may reference environment relations
+        directly (the paper's ``Qstate`` does not use LOAD)."""
+        if isinstance(script, str):
+            script = parse(script)
+        environment = environment if environment is not None else {}
+        result = ExecutionResult()
+        for statement in script:
+            self._execute_statement(statement, environment, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Alias resolution
+    # ------------------------------------------------------------------
+    def _resolve(self, alias: str, environment: Dict[str, Relation],
+                 result: ExecutionResult) -> Relation:
+        if alias in result.relations:
+            return result.relations[alias]
+        if alias in environment:
+            relation = environment[alias]
+            return self._ensure_annotated(relation, alias)
+        raise UnknownRelationError(alias)
+
+    def _ensure_annotated(self, relation: Relation, namespace: str) -> Relation:
+        """Mint base-tuple nodes for rows without provenance.
+
+        The workflow executor pre-annotates inputs/state; standalone
+        interpreter runs get lazy base annotations here.
+        """
+        if not self.track:
+            return relation
+        if all(row.prov is not None for row in relation.rows):
+            return relation
+        for row in relation.rows:
+            if row.prov is None:
+                row.prov = self.builder.base_tuple_node(namespace,
+                                                        value=row.values)
+        return relation
+
+    def _scalar_evaluator(self, schema: Schema) -> ExpressionEvaluator:
+        def resolver(name: str) -> Optional[Callable[..., Any]]:
+            if self.udfs.is_registered(name):
+                return self.udfs.udf(name).function
+            return None
+        return ExpressionEvaluator(schema, resolver)
+
+    # ------------------------------------------------------------------
+    # Statement dispatch
+    # ------------------------------------------------------------------
+    def _execute_statement(self, statement: ast.Statement,
+                           environment: Dict[str, Relation],
+                           result: ExecutionResult) -> None:
+        if isinstance(statement, ast.Load):
+            if statement.source not in environment:
+                raise UnknownRelationError(statement.source)
+            relation = self._ensure_annotated(environment[statement.source],
+                                              statement.source)
+            result.relations[statement.alias] = relation
+            return
+        if isinstance(statement, ast.Store):
+            relation = self._resolve(statement.alias, environment, result)
+            result.stored[statement.destination] = relation
+            return
+        if isinstance(statement, ast.Filter):
+            relation = self._resolve(statement.input_alias, environment, result)
+            result.relations[statement.alias] = self._exec_filter(statement, relation)
+            return
+        if isinstance(statement, ast.Group):
+            relation = self._resolve(statement.input_alias, environment, result)
+            result.relations[statement.alias] = self._exec_group(statement, relation)
+            return
+        if isinstance(statement, ast.CoGroup):
+            inputs = [(alias, self._resolve(alias, environment, result), keys)
+                      for alias, keys in statement.inputs]
+            result.relations[statement.alias] = self._exec_cogroup(inputs)
+            return
+        if isinstance(statement, ast.Join):
+            inputs = [(alias, self._resolve(alias, environment, result), keys)
+                      for alias, keys in statement.inputs]
+            result.relations[statement.alias] = self._exec_join(inputs)
+            return
+        if isinstance(statement, ast.Foreach):
+            relation = self._resolve(statement.input_alias, environment, result)
+            result.relations[statement.alias] = self._exec_foreach(statement, relation)
+            return
+        if isinstance(statement, ast.Cross):
+            relations = [(alias, self._resolve(alias, environment, result))
+                         for alias in statement.input_aliases]
+            result.relations[statement.alias] = self._exec_cross(relations)
+            return
+        if isinstance(statement, ast.Split):
+            relation = self._resolve(statement.input_alias, environment, result)
+            for alias, condition in statement.branches:
+                filtered = self._exec_filter(
+                    ast.Filter(alias, statement.input_alias, condition),
+                    relation)
+                result.relations[alias] = filtered
+            return
+        if isinstance(statement, ast.Union):
+            relations = [self._resolve(alias, environment, result)
+                         for alias in statement.input_aliases]
+            result.relations[statement.alias] = self._exec_union(relations)
+            return
+        if isinstance(statement, ast.Distinct):
+            relation = self._resolve(statement.input_alias, environment, result)
+            result.relations[statement.alias] = self._exec_distinct(relation)
+            return
+        if isinstance(statement, ast.OrderBy):
+            relation = self._resolve(statement.input_alias, environment, result)
+            result.relations[statement.alias] = self._exec_order(statement, relation)
+            return
+        if isinstance(statement, ast.Limit):
+            relation = self._resolve(statement.input_alias, environment, result)
+            result.relations[statement.alias] = Relation(
+                relation.schema, list(relation.rows[:statement.count]))
+            return
+        raise PigRuntimeError(f"unsupported statement {statement!r}")
+
+    # ------------------------------------------------------------------
+    # FILTER
+    # ------------------------------------------------------------------
+    def _exec_filter(self, statement: ast.Filter, relation: Relation) -> Relation:
+        evaluator = self._scalar_evaluator(relation.schema)
+        survivors = [row for row in relation.rows
+                     if evaluator.truth(statement.condition, row)]
+        if self.track and not self.compact_filter:
+            wrapped = []
+            for row in survivors:
+                node = self.builder.plus_node([row.prov])
+                wrapped.append(Row(row.values, node))
+            survivors = wrapped
+        else:
+            survivors = [Row(row.values, row.prov) for row in survivors]
+        return Relation(relation.schema, survivors)
+
+    # ------------------------------------------------------------------
+    # GROUP / COGROUP
+    # ------------------------------------------------------------------
+    def _group_key_field(self, keys: Sequence[ast.Expression],
+                         schema: Schema) -> Field:
+        if not keys:  # GROUP ... ALL
+            return Field("group", FieldType.CHARARRAY)
+        if len(keys) == 1:
+            return Field("group", infer_expression_type(keys[0], schema))
+        return Field("group", FieldType.TUPLE)
+
+    def _group_rows(self, relation: Relation, keys: Sequence[ast.Expression]):
+        """Partition rows by key value; yields (key_value, rows) sorted
+        by key signature for deterministic output order."""
+        evaluator = self._scalar_evaluator(relation.schema)
+        groups: Dict[Any, Tuple[Any, List[Row]]] = {}
+        for row in relation.rows:
+            if not keys:
+                key_value: Any = "all"
+            elif len(keys) == 1:
+                key_value = evaluator.evaluate(keys[0], row)
+            else:
+                key_value = tuple(evaluator.evaluate(key, row) for key in keys)
+            signature = value_signature(key_value)
+            if signature not in groups:
+                groups[signature] = (key_value, [])
+            groups[signature][1].append(row)
+        return [groups[signature] for signature in sorted(groups, key=repr)]
+
+    def _exec_group(self, statement: ast.Group, relation: Relation) -> Relation:
+        key_field = self._group_key_field(statement.keys, relation.schema)
+        bag_field = Field(statement.input_alias, FieldType.BAG, relation.schema)
+        out_schema = Schema([key_field, bag_field])
+        out_rows: List[Row] = []
+        for key_value, members in self._group_rows(relation, statement.keys):
+            bag = Bag(Relation(relation.schema,
+                               [Row(m.values, m.prov) for m in members]))
+            prov = None
+            if self.track:
+                prov = self.builder.delta_node(
+                    _unique([m.prov for m in members]), value=key_value)
+            out_rows.append(Row((key_value, bag), prov))
+        return Relation(out_schema, out_rows)
+
+    def _exec_cogroup(self, inputs) -> Relation:
+        # inputs: [(alias, relation, keys)]
+        key_field = self._group_key_field(inputs[0][2], inputs[0][1].schema)
+        fields = [key_field]
+        for alias, relation, _keys in inputs:
+            fields.append(Field(alias, FieldType.BAG, relation.schema))
+        out_schema = Schema(fields)
+        # Group each input independently, then align on key signature.
+        grouped: List[Dict[Any, Tuple[Any, List[Row]]]] = []
+        all_signatures: Dict[Any, Any] = {}
+        for _alias, relation, keys in inputs:
+            partition: Dict[Any, Tuple[Any, List[Row]]] = {}
+            for key_value, members in self._group_rows(relation, keys):
+                signature = value_signature(key_value)
+                partition[signature] = (key_value, members)
+                all_signatures.setdefault(signature, key_value)
+            grouped.append(partition)
+        out_rows: List[Row] = []
+        for signature in sorted(all_signatures, key=repr):
+            key_value = all_signatures[signature]
+            values: List[Any] = [key_value]
+            member_provs: List[Optional[int]] = []
+            for (alias, relation, _keys), partition in zip(inputs, grouped):
+                members = partition.get(signature, (key_value, []))[1]
+                values.append(Bag(Relation(relation.schema,
+                                           [Row(m.values, m.prov) for m in members])))
+                member_provs.extend(m.prov for m in members)
+            prov = None
+            if self.track:
+                prov = self.builder.delta_node(_unique(member_provs),
+                                               value=key_value)
+            out_rows.append(Row(tuple(values), prov))
+        return Relation(out_schema, out_rows)
+
+    # ------------------------------------------------------------------
+    # JOIN
+    # ------------------------------------------------------------------
+    def _exec_join(self, inputs) -> Relation:
+        # inputs: [(alias, relation, keys)]
+        fields: List[Field] = []
+        for alias, relation, _keys in inputs:
+            fields.extend(relation.schema.prefixed(alias).fields)
+        out_schema = Schema(fields)
+        partitions = []
+        for _alias, relation, keys in inputs:
+            evaluator = self._scalar_evaluator(relation.schema)
+            partition: Dict[Any, List[Row]] = {}
+            for row in relation.rows:
+                if len(keys) == 1:
+                    key_value: Any = evaluator.evaluate(keys[0], row)
+                else:
+                    key_value = tuple(evaluator.evaluate(key, row) for key in keys)
+                if key_value is None:
+                    continue  # null keys never join
+                partition.setdefault(value_signature(key_value), []).append(row)
+            partitions.append(partition)
+        shared = set(partitions[0])
+        for partition in partitions[1:]:
+            shared &= set(partition)
+        out_rows: List[Row] = []
+        for signature in sorted(shared, key=repr):
+            for combo in itertools.product(*(partition[signature]
+                                             for partition in partitions)):
+                values: List[Any] = []
+                for row in combo:
+                    values.extend(row.values)
+                prov = None
+                if self.track:
+                    prov = self.builder.times_node(
+                        _unique([row.prov for row in combo]))
+                out_rows.append(Row(tuple(values), prov))
+        return Relation(out_schema, out_rows)
+
+    # ------------------------------------------------------------------
+    # CROSS
+    # ------------------------------------------------------------------
+    def _exec_cross(self, inputs) -> Relation:
+        """Cartesian product; joint-derivation (·) provenance."""
+        fields: List[Field] = []
+        for alias, relation in inputs:
+            fields.extend(relation.schema.prefixed(alias).fields)
+        out_schema = Schema(fields)
+        out_rows: List[Row] = []
+        for combo in itertools.product(*(relation.rows
+                                         for _alias, relation in inputs)):
+            values: List[Any] = []
+            for row in combo:
+                values.extend(row.values)
+            prov = None
+            if self.track:
+                prov = self.builder.times_node(
+                    _unique([row.prov for row in combo]))
+            out_rows.append(Row(tuple(values), prov))
+        return Relation(out_schema, out_rows)
+
+    # ------------------------------------------------------------------
+    # UNION / DISTINCT / ORDER
+    # ------------------------------------------------------------------
+    def _exec_union(self, relations: Sequence[Relation]) -> Relation:
+        first = relations[0]
+        for other in relations[1:]:
+            if other.schema.arity != first.schema.arity:
+                raise PigRuntimeError(
+                    f"UNION inputs have different arities "
+                    f"({first.schema.arity} vs {other.schema.arity})")
+        rows = [Row(row.values, row.prov)
+                for relation in relations for row in relation.rows]
+        return Relation(first.schema, rows)
+
+    def _exec_distinct(self, relation: Relation) -> Relation:
+        buckets: Dict[Any, List[Row]] = {}
+        for row in relation.rows:
+            buckets.setdefault(row.signature(), []).append(row)
+        out_rows: List[Row] = []
+        for signature in sorted(buckets, key=repr):
+            duplicates = buckets[signature]
+            prov = None
+            if self.track:
+                prov = self.builder.delta_node(
+                    _unique([d.prov for d in duplicates]))
+            out_rows.append(Row(duplicates[0].values, prov))
+        return Relation(relation.schema, out_rows)
+
+    def _exec_order(self, statement: ast.OrderBy, relation: Relation) -> Relation:
+        rows = list(relation.rows)
+        # Sort by the last key first so earlier keys take precedence.
+        for reference, ascending in reversed(statement.keys):
+            position = relation.schema.index_of(reference)
+            rows.sort(key=lambda row: _null_safe_sort_key(row.values[position]),
+                      reverse=not ascending)
+        return Relation(relation.schema, rows)
+
+    # ------------------------------------------------------------------
+    # FOREACH
+    # ------------------------------------------------------------------
+    def _exec_foreach(self, statement: ast.Foreach, relation: Relation) -> Relation:
+        if all(self._is_pure_projection(item.expression) for item in statement.items):
+            return self._foreach_projection(statement, relation)
+        return self._foreach_general(statement, relation)
+
+    def _is_pure_projection(self, expression: ast.Expression) -> bool:
+        """No FLATTEN, aggregate, or UDF anywhere in the expression."""
+        if isinstance(expression, ast.Flatten):
+            return False
+        if isinstance(expression, ast.FuncCall):
+            if is_aggregate(expression.name) or self.udfs.is_registered(expression.name):
+                return False
+            return all(self._is_pure_projection(arg) for arg in expression.args)
+        if isinstance(expression, ast.BinaryOp):
+            return (self._is_pure_projection(expression.left)
+                    and self._is_pure_projection(expression.right))
+        if isinstance(expression, (ast.UnaryOp, ast.IsNull)):
+            operand = (expression.operand if not isinstance(expression, ast.IsNull)
+                       else expression.operand)
+            return self._is_pure_projection(operand)
+        if isinstance(expression, ast.DottedRef):
+            return self._is_pure_projection(expression.base)
+        return True
+
+    def _foreach_projection(self, statement: ast.Foreach,
+                            relation: Relation) -> Relation:
+        """Pure projection: one ``+`` node per distinct output tuple."""
+        out_schema = self._projection_schema(statement.items, relation.schema)
+        evaluator = self._scalar_evaluator(relation.schema)
+        outputs: List[Tuple[Tuple[Any, ...], Optional[int]]] = []
+        for row in relation.rows:
+            values = []
+            for item in statement.items:
+                if isinstance(item.expression, ast.StarRef):
+                    values.extend(row.values)
+                else:
+                    values.append(evaluator.evaluate(item.expression, row))
+            outputs.append((tuple(values), row.prov))
+        out_rows: List[Row] = []
+        if self.track:
+            shared_nodes: Dict[Any, int] = {}
+            contributors: Dict[Any, List[int]] = {}
+            for values, prov in outputs:
+                contributors.setdefault(value_signature(values), []).append(prov)
+            for values, _prov in outputs:
+                signature = value_signature(values)
+                if signature not in shared_nodes:
+                    shared_nodes[signature] = self.builder.plus_node(
+                        _unique(contributors[signature]))
+                out_rows.append(Row(values, shared_nodes[signature]))
+        else:
+            out_rows = [Row(values, None) for values, _prov in outputs]
+        return Relation(out_schema, out_rows)
+
+    def _projection_schema(self, items: Sequence[ast.GenerateItem],
+                           schema: Schema) -> Schema:
+        fields: List[Field] = []
+        for index, item in enumerate(items):
+            expression = item.expression
+            if isinstance(expression, ast.StarRef):
+                fields.extend(schema.fields)
+                continue
+            name = item.alias or default_item_name(expression, index)
+            if isinstance(expression, ast.FieldRef) and schema.has_field(expression.name):
+                source = schema.resolve(expression.name)
+                fields.append(Field(name, source.ftype, source.element_schema))
+            else:
+                fields.append(Field(name, infer_expression_type(expression, schema)))
+        return _dedupe_fields(fields)
+
+    # -- general FOREACH (aggregates / black boxes / FLATTEN) ----------
+    def _foreach_general(self, statement: ast.Foreach,
+                         relation: Relation) -> Relation:
+        evaluator = self._scalar_evaluator(relation.schema)
+        plan = [self._plan_item(item, index, relation.schema)
+                for index, item in enumerate(statement.items)]
+        out_rows_raw: List[Tuple[List[Any], Optional[int]]] = []
+        runtime_fields: Dict[int, List[Field]] = {}
+        for row in relation.rows:
+            contributions: List[int] = []
+            expansions: List[List[Tuple[Tuple[Any, ...], Optional[int]]]] = []
+            scalar_cells: List[Tuple[int, Any]] = []
+            # Evaluate every item for this row.
+            for item_index, (item, kind) in enumerate(zip(statement.items, plan)):
+                expression = item.expression
+                if kind == "flatten":
+                    fragments = self._expand_flatten(expression, row, evaluator,
+                                                     contributions, relation.schema,
+                                                     runtime_fields, item_index, item)
+                    expansions.append(fragments)
+                else:
+                    value = self._eval_item(expression, row, evaluator,
+                                            contributions)
+                    scalar_cells.append((item_index, value))
+                    expansions.append([])
+            # Cross product over flatten expansions (Pig semantics).
+            flatten_indices = [i for i, kind in enumerate(plan) if kind == "flatten"]
+            flatten_choices = [expansions[i] for i in flatten_indices]
+            for combo in itertools.product(*flatten_choices) if flatten_choices else [()]:
+                values: List[Any] = []
+                joint: List[Optional[int]] = [row.prov]
+                combo_by_index = dict(zip(flatten_indices, combo))
+                scalar_by_index = dict(scalar_cells)
+                for item_index in range(len(statement.items)):
+                    if item_index in combo_by_index:
+                        fragment_values, fragment_prov = combo_by_index[item_index]
+                        values.extend(fragment_values)
+                        if fragment_prov is not None:
+                            joint.append(fragment_prov)
+                    else:
+                        values.append(scalar_by_index[item_index])
+                prov = None
+                if self.track:
+                    joint_nodes = _unique(joint)
+                    if len(joint_nodes) > 1:
+                        core = self.builder.times_node(joint_nodes)
+                    else:
+                        core = joint_nodes[0]
+                    prov = self.builder.plus_node(
+                        _unique([core] + contributions))
+                out_rows_raw.append((values, prov))
+        out_schema = self._general_schema(statement.items, plan, relation.schema,
+                                          runtime_fields, out_rows_raw)
+        return Relation(out_schema,
+                        [Row(tuple(values), prov) for values, prov in out_rows_raw])
+
+    def _plan_item(self, item: ast.GenerateItem, index: int,
+                   schema: Schema) -> str:
+        if isinstance(item.expression, ast.Flatten):
+            return "flatten"
+        return "scalar"
+
+    def _expand_flatten(self, expression: ast.Flatten, row: Row,
+                        evaluator: ExpressionEvaluator,
+                        contributions: List[int], schema: Schema,
+                        runtime_fields: Dict[int, List[Field]],
+                        item_index: int, item: ast.GenerateItem
+                        ) -> List[Tuple[Tuple[Any, ...], Optional[int]]]:
+        """Evaluate FLATTEN(e) for one row → list of (values, prov).
+
+        For a bag-field operand, the fragments carry the inner tuples'
+        provenance (joint derivation with the outer tuple).  For a
+        black-box operand, the BB node itself lands in
+        ``contributions`` and fragments carry no extra provenance.
+        """
+        operand = expression.operand
+        value = self._eval_item(operand, row, evaluator, contributions)
+        if value is None:
+            return []
+        if isinstance(value, Bag):
+            if item_index not in runtime_fields:
+                runtime_fields[item_index] = list(value.relation.schema.fields)
+            return [(inner.values, inner.prov) for inner in value.relation.rows]
+        if isinstance(value, (list, tuple)) and not isinstance(value, str):
+            # A UDF returned raw tuples (possibly a single tuple).
+            rows = list(value)
+            if rows and not isinstance(rows[0], (list, tuple)):
+                rows = [tuple(rows)]
+            if item_index not in runtime_fields and rows:
+                arity = len(rows[0])
+                names = self._flatten_names(operand, item, arity)
+                runtime_fields[item_index] = [
+                    Field(name, infer_type(cell))
+                    for name, cell in zip(names, rows[0])]
+            return [(tuple(values), None) for values in rows]
+        # FLATTEN of a scalar behaves like the scalar itself.
+        if item_index not in runtime_fields:
+            name = item.alias or default_item_name(operand, item_index)
+            runtime_fields[item_index] = [Field(name, infer_type(value))]
+        return [((value,), None)]
+
+    def _flatten_names(self, operand: ast.Expression, item: ast.GenerateItem,
+                       arity: int) -> List[str]:
+        if (isinstance(operand, ast.FuncCall)
+                and self.udfs.is_registered(operand.name)):
+            declared = self.udfs.udf(operand.name).output_schema
+            if declared is not None and declared.arity == arity:
+                return list(declared.names)
+        if item.alias and arity == 1:
+            return [item.alias]
+        return [f"f{i}" for i in range(arity)]
+
+    def _general_schema(self, items, plan, schema, runtime_fields,
+                        out_rows_raw) -> Schema:
+        fields: List[Field] = []
+        for index, (item, kind) in enumerate(zip(items, plan)):
+            expression = item.expression
+            if kind == "flatten":
+                inner = runtime_fields.get(index)
+                if inner is None:
+                    inner = self._static_flatten_fields(expression.operand, schema)
+                fields.extend(inner)
+                continue
+            name = item.alias or default_item_name(expression, index)
+            ftype = infer_expression_type(expression, schema)
+            if isinstance(expression, ast.FuncCall) and is_aggregate(expression.name):
+                ftype = (FieldType.INT if expression.name.upper() == "COUNT"
+                         else FieldType.ANY)
+            fields.append(Field(name, ftype))
+        return _dedupe_fields(fields)
+
+    def _static_flatten_fields(self, operand: ast.Expression,
+                               schema: Schema) -> List[Field]:
+        if isinstance(operand, ast.FieldRef) and schema.has_field(operand.name):
+            field = schema.resolve(operand.name)
+            if field.element_schema is not None:
+                return list(field.element_schema.fields)
+        if (isinstance(operand, ast.FuncCall)
+                and self.udfs.is_registered(operand.name)):
+            declared = self.udfs.udf(operand.name).output_schema
+            if declared is not None:
+                return list(declared.fields)
+        # Unknowable statically and no rows observed: empty fragment.
+        return []
+
+    # -- item evaluation with provenance side effects -------------------
+    def _eval_item(self, expression: ast.Expression, row: Row,
+                   evaluator: ExpressionEvaluator,
+                   contributions: List[int]) -> Any:
+        """Evaluate a GENERATE item expression for one row.
+
+        Aggregates and black-box UDFs are intercepted here (including
+        under arithmetic); everything else delegates to the scalar
+        evaluator.  Provenance nodes created on the way are appended
+        to ``contributions``.
+        """
+        if isinstance(expression, ast.FuncCall):
+            if is_aggregate(expression.name):
+                return self._eval_aggregate(expression, row, evaluator,
+                                            contributions)
+            if self.udfs.is_registered(expression.name):
+                return self._eval_blackbox(expression, row, evaluator,
+                                           contributions)
+            return evaluator.evaluate(expression, row)
+        if isinstance(expression, ast.BinaryOp):
+            left = self._eval_item(expression.left, row, evaluator, contributions)
+            right = self._eval_item(expression.right, row, evaluator, contributions)
+            return apply_binary_values(expression.op, left, right)
+        if isinstance(expression, ast.UnaryOp):
+            operand = self._eval_item(expression.operand, row, evaluator,
+                                      contributions)
+            return apply_unary_value(expression.op, operand)
+        return evaluator.evaluate(expression, row)
+
+    def _eval_aggregate(self, expression: ast.FuncCall, row: Row,
+                        evaluator: ExpressionEvaluator,
+                        contributions: List[int]) -> Any:
+        if len(expression.args) != 1:
+            raise PigRuntimeError(
+                f"{expression.name} expects exactly one argument")
+        bag_value = self._eval_item(expression.args[0], row, evaluator,
+                                    contributions)
+        op = expression.name.upper()
+        if not isinstance(bag_value, Bag):
+            raise PigRuntimeError(
+                f"{op} expects a bag argument, got {type(bag_value).__name__}")
+        inner_rows = bag_value.relation.rows
+        if op == "COUNT":
+            values = [1] * len(inner_rows)
+        else:
+            column = self._aggregate_column(bag_value)
+            values = [inner.values[column] for inner in inner_rows]
+        aggregate = compute_aggregate(op, values)
+        if self.track:
+            tensors = []
+            for inner, value in zip(inner_rows, values):
+                value_node = self._shared_value_node(value)
+                tensors.append(self.builder.tensor_node(inner.prov, value_node))
+            agg_node = self.builder.agg_node(op.capitalize(), tensors,
+                                             value=aggregate)
+            contributions.append(agg_node)
+        return aggregate
+
+    def _aggregate_column(self, bag_value: Bag) -> int:
+        inner_schema = bag_value.relation.schema
+        if inner_schema.arity == 1:
+            return 0
+        raise PigRuntimeError(
+            "aggregates over multi-attribute bags need a column, e.g. "
+            "SUM(A.Amount)")
+
+    def _shared_value_node(self, value: Any) -> int:
+        """v-node for an aggregated value, shared per distinct value
+        (the paper: "if a node for this value does not exist already")."""
+        key = value_signature(value)
+        node = self._value_nodes.get(key)
+        if node is None:
+            node = self.builder.value_node(value)
+            self._value_nodes[key] = node
+        return node
+
+    def _eval_blackbox(self, expression: ast.FuncCall, row: Row,
+                       evaluator: ExpressionEvaluator,
+                       contributions: List[int]) -> Any:
+        udf = self.udfs.udf(expression.name)
+        args = [self._eval_item(arg, row, evaluator, contributions)
+                for arg in expression.args]
+        result = udf(*args)
+        if self.track:
+            operand_nodes: List[int] = []
+            for arg in args:
+                if isinstance(arg, Bag):
+                    operand_nodes.extend(inner.prov for inner in arg.relation.rows
+                                         if inner.prov is not None)
+            if not operand_nodes and row.prov is not None:
+                operand_nodes = [row.prov]
+            ntype = "p" if udf.returns_bag else "v"
+            node = self.builder.blackbox_node(
+                udf.name, _unique(operand_nodes), ntype=ntype,
+                value=None if udf.returns_bag else result)
+            contributions.append(node)
+        return result
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _unique(items: Sequence[Optional[int]]) -> List[int]:
+    """De-duplicate node ids, drop Nones, preserve first-seen order."""
+    seen = set()
+    unique: List[int] = []
+    for item in items:
+        if item is None or item in seen:
+            continue
+        seen.add(item)
+        unique.append(item)
+    return unique
+
+
+def _dedupe_fields(fields: List[Field]) -> Schema:
+    """Make field names unique by numbering clashes."""
+    seen: Dict[str, int] = {}
+    deduped: List[Field] = []
+    for field in fields:
+        count = seen.get(field.name, 0)
+        seen[field.name] = count + 1
+        if count:
+            deduped.append(field.renamed(f"{field.name}_{count}"))
+        else:
+            deduped.append(field)
+    return Schema(deduped)
+
+
+def _null_safe_sort_key(value: Any):
+    """Sort nulls first, then by type name, then value."""
+    if value is None:
+        return (0, "", "")
+    return (1, type(value).__name__, value)

@@ -1,0 +1,160 @@
+"""Tokenizer for the Pig Latin fragment of Section 2.1.
+
+Keywords are case-insensitive, identifiers keep their case.  ``group``
+is *not* a reserved word in expression position (Pig names the key
+field of a GROUP result ``group``); the parser decides from context.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, NamedTuple
+
+from ..errors import PigSyntaxError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    DOLLAR = "dollar"        # positional field reference $n
+    KEYWORD = "keyword"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "LOAD", "FILTER", "BY", "GROUP", "COGROUP", "JOIN", "FOREACH",
+    "GENERATE", "AS", "UNION", "DISTINCT", "ORDER", "LIMIT", "FLATTEN",
+    "STORE", "INTO", "AND", "OR", "NOT", "IS", "NULL", "ASC", "DESC",
+    "PARALLEL", "TRUE", "FALSE", "ALL", "CROSS", "SPLIT", "IF",
+})
+
+#: Multi-character symbols, longest first so maximal munch works.
+_SYMBOLS = ("::", "==", "!=", "<=", ">=",
+            "=", ";", ",", "(", ")", "{", "}", "[", "]",
+            ".", "+", "-", "*", "/", "%", "<", ">")
+
+
+class LexToken(NamedTuple):
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.type is TokenType.SYMBOL and self.value == symbol
+
+
+def tokenize(source: str) -> List[LexToken]:
+    """Tokenize Pig Latin source; raises :class:`PigSyntaxError`."""
+    tokens: List[LexToken] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and source[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = source[index]
+        # Whitespace
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        # Comments: -- to end of line, or /* ... */
+        if source.startswith("--", index):
+            while index < length and source[index] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end == -1:
+                raise PigSyntaxError("unterminated block comment", line, column)
+            advance(end + 2 - index)
+            continue
+        # Strings
+        if char == "'":
+            start_line, start_column = line, column
+            advance(1)
+            chars: List[str] = []
+            while index < length and source[index] != "'":
+                if source[index] == "\\" and index + 1 < length:
+                    advance(1)
+                    chars.append(source[index])
+                else:
+                    chars.append(source[index])
+                advance(1)
+            if index >= length:
+                raise PigSyntaxError("unterminated string literal",
+                                     start_line, start_column)
+            advance(1)  # closing quote
+            tokens.append(LexToken(TokenType.STRING, "".join(chars),
+                                   start_line, start_column))
+            continue
+        # Positional reference
+        if char == "$":
+            start_line, start_column = line, column
+            advance(1)
+            digits: List[str] = []
+            while index < length and source[index].isdigit():
+                digits.append(source[index])
+                advance(1)
+            if not digits:
+                raise PigSyntaxError("expected digits after '$'",
+                                     start_line, start_column)
+            tokens.append(LexToken(TokenType.DOLLAR, "".join(digits),
+                                   start_line, start_column))
+            continue
+        # Numbers
+        if char.isdigit():
+            start_line, start_column = line, column
+            digits = []
+            seen_dot = False
+            while index < length and (source[index].isdigit()
+                                      or (source[index] == "." and not seen_dot
+                                          and index + 1 < length
+                                          and source[index + 1].isdigit())):
+                if source[index] == ".":
+                    seen_dot = True
+                digits.append(source[index])
+                advance(1)
+            tokens.append(LexToken(TokenType.NUMBER, "".join(digits),
+                                   start_line, start_column))
+            continue
+        # Identifiers / keywords
+        if char.isalpha() or char == "_":
+            start_line, start_column = line, column
+            chars = []
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                chars.append(source[index])
+                advance(1)
+            word = "".join(chars)
+            if word.upper() in KEYWORDS:
+                tokens.append(LexToken(TokenType.KEYWORD, word.upper(),
+                                       start_line, start_column))
+            else:
+                tokens.append(LexToken(TokenType.IDENT, word,
+                                       start_line, start_column))
+            continue
+        # Symbols
+        for symbol in _SYMBOLS:
+            if source.startswith(symbol, index):
+                tokens.append(LexToken(TokenType.SYMBOL, symbol, line, column))
+                advance(len(symbol))
+                break
+        else:
+            raise PigSyntaxError(f"unexpected character {char!r}", line, column)
+    tokens.append(LexToken(TokenType.EOF, "", line, column))
+    return tokens

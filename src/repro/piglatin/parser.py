@@ -1,0 +1,396 @@
+"""Recursive-descent parser for the Pig Latin fragment.
+
+Grammar (loosely)::
+
+    script     := statement* EOF
+    statement  := STORE ident INTO string ';'
+                | ident '=' operator ';'
+    operator   := LOAD string
+                | FILTER ident BY expr
+                | GROUP ident BY keylist [PARALLEL n]
+                | COGROUP byclause (',' byclause)+ [PARALLEL n]
+                | JOIN byclause (',' byclause)+ [PARALLEL n]
+                | FOREACH ident GENERATE genitem (',' genitem)*
+                | UNION ident (',' ident)+
+                | DISTINCT ident
+                | ORDER ident BY orderkey (',' orderkey)*
+                | LIMIT ident number
+    byclause   := ident BY keylist
+    keylist    := expr | '(' expr (',' expr)* ')'
+    genitem    := (FLATTEN '(' expr ')' | expr) [AS ident]
+    expr       := standard precedence-climbing boolean/arith expression
+
+``GROUP`` doubles as the implicit field name of grouping results, so
+keywords are accepted as identifiers wherever a name is expected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import PigSyntaxError
+from . import ast
+from .lexer import LexToken, TokenType, tokenize
+
+#: Binary operator precedence (higher binds tighter).  Prefix NOT
+#: sits between AND and the comparisons (SQL-style), handled in
+#: ``_parse_expression``.
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    "==": 4, "!=": 4, "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+}
+_NOT_PRECEDENCE = 3
+
+
+class Parser:
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> LexToken:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> LexToken:
+        token = self._tokens[self._position]
+        if token.type is not TokenType.EOF:
+            self._position += 1
+        return token
+
+    def _error(self, message: str) -> PigSyntaxError:
+        token = self._peek()
+        return PigSyntaxError(f"{message} (found {token.value!r})",
+                              token.line, token.column)
+
+    def _expect_symbol(self, symbol: str) -> LexToken:
+        token = self._peek()
+        if not token.is_symbol(symbol):
+            raise self._error(f"expected {symbol!r}")
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> LexToken:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise self._error(f"expected {word}")
+        return self._advance()
+
+    def _expect_name(self) -> str:
+        """An identifier; keywords are allowed as names (e.g. ``group``)."""
+        token = self._peek()
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return token.value
+        if token.type is TokenType.KEYWORD:
+            self._advance()
+            return token.value.lower()
+        raise self._error("expected a name")
+
+    def _match_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _match_symbol(self, symbol: str) -> bool:
+        if self._peek().is_symbol(symbol):
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def parse_script(self) -> ast.Script:
+        statements: List[ast.Statement] = []
+        while self._peek().type is not TokenType.EOF:
+            statements.append(self._parse_statement())
+        return ast.Script(statements)
+
+    def parse_expression_only(self) -> ast.Expression:
+        """Parse a standalone expression (used by tests)."""
+        expression = self._parse_expression()
+        if self._peek().type is not TokenType.EOF:
+            raise self._error("trailing tokens after expression")
+        return expression
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _parse_statement(self) -> ast.Statement:
+        if self._peek().is_keyword("STORE"):
+            self._advance()
+            alias = self._expect_name()
+            self._expect_keyword("INTO")
+            destination_token = self._peek()
+            if destination_token.type is not TokenType.STRING:
+                raise self._error("expected a quoted destination name")
+            self._advance()
+            self._expect_symbol(";")
+            return ast.Store(alias, destination_token.value)
+        if self._peek().is_keyword("SPLIT"):
+            self._advance()
+            input_alias = self._expect_name()
+            self._expect_keyword("INTO")
+            branches = [self._parse_split_branch()]
+            while self._match_symbol(","):
+                branches.append(self._parse_split_branch())
+            self._expect_symbol(";")
+            return ast.Split(input_alias, branches)
+
+        alias = self._expect_name()
+        self._expect_symbol("=")
+        statement = self._parse_operator(alias)
+        self._expect_symbol(";")
+        return statement
+
+    def _parse_operator(self, alias: str) -> ast.Statement:
+        token = self._peek()
+        if token.is_keyword("LOAD"):
+            self._advance()
+            source_token = self._peek()
+            if source_token.type is not TokenType.STRING:
+                raise self._error("expected a quoted source name")
+            self._advance()
+            return ast.Load(alias, source_token.value)
+        if token.is_keyword("FILTER"):
+            self._advance()
+            input_alias = self._expect_name()
+            self._expect_keyword("BY")
+            condition = self._parse_expression()
+            return ast.Filter(alias, input_alias, condition)
+        if token.is_keyword("GROUP"):
+            self._advance()
+            input_alias = self._expect_name()
+            if self._match_keyword("ALL"):
+                # GROUP ... ALL: a single group holding every tuple,
+                # enabling ungrouped aggregation (paper's M_agg).
+                keys: List[ast.Expression] = []
+            else:
+                self._expect_keyword("BY")
+                keys = self._parse_key_list()
+            parallel = self._parse_parallel()
+            return ast.Group(alias, input_alias, keys, parallel)
+        if token.is_keyword("COGROUP"):
+            self._advance()
+            inputs = self._parse_by_clauses()
+            parallel = self._parse_parallel()
+            return ast.CoGroup(alias, inputs, parallel)
+        if token.is_keyword("JOIN"):
+            self._advance()
+            inputs = self._parse_by_clauses()
+            parallel = self._parse_parallel()
+            return ast.Join(alias, inputs, parallel)
+        if token.is_keyword("FOREACH"):
+            self._advance()
+            input_alias = self._expect_name()
+            self._expect_keyword("GENERATE")
+            items = [self._parse_generate_item()]
+            while self._match_symbol(","):
+                items.append(self._parse_generate_item())
+            return ast.Foreach(alias, input_alias, items)
+        if token.is_keyword("CROSS"):
+            self._advance()
+            aliases = [self._expect_name()]
+            while self._match_symbol(","):
+                aliases.append(self._expect_name())
+            if len(aliases) < 2:
+                raise self._error("CROSS needs at least two inputs")
+            return ast.Cross(alias, aliases)
+        if token.is_keyword("UNION"):
+            self._advance()
+            aliases = [self._expect_name()]
+            while self._match_symbol(","):
+                aliases.append(self._expect_name())
+            if len(aliases) < 2:
+                raise self._error("UNION needs at least two inputs")
+            return ast.Union(alias, aliases)
+        if token.is_keyword("DISTINCT"):
+            self._advance()
+            return ast.Distinct(alias, self._expect_name())
+        if token.is_keyword("ORDER"):
+            self._advance()
+            input_alias = self._expect_name()
+            self._expect_keyword("BY")
+            keys = [self._parse_order_key()]
+            while self._match_symbol(","):
+                keys.append(self._parse_order_key())
+            return ast.OrderBy(alias, input_alias, keys)
+        if token.is_keyword("LIMIT"):
+            self._advance()
+            input_alias = self._expect_name()
+            count_token = self._peek()
+            if count_token.type is not TokenType.NUMBER:
+                raise self._error("expected a row count")
+            self._advance()
+            return ast.Limit(alias, input_alias, int(count_token.value))
+        raise self._error("expected a Pig Latin operator")
+
+    def _parse_split_branch(self) -> Tuple[str, ast.Expression]:
+        alias = self._expect_name()
+        self._expect_keyword("IF")
+        return alias, self._parse_expression()
+
+    def _parse_by_clauses(self) -> List[Tuple[str, Tuple[ast.Expression, ...]]]:
+        clauses = [self._parse_by_clause()]
+        while self._match_symbol(","):
+            clauses.append(self._parse_by_clause())
+        if len(clauses) < 2:
+            raise self._error("expected at least two BY clauses")
+        return clauses
+
+    def _parse_by_clause(self) -> Tuple[str, Tuple[ast.Expression, ...]]:
+        input_alias = self._expect_name()
+        self._expect_keyword("BY")
+        return input_alias, tuple(self._parse_key_list())
+
+    def _parse_key_list(self) -> List[ast.Expression]:
+        if self._match_symbol("("):
+            keys = [self._parse_expression()]
+            while self._match_symbol(","):
+                keys.append(self._parse_expression())
+            self._expect_symbol(")")
+            return keys
+        return [self._parse_expression()]
+
+    def _parse_order_key(self) -> Tuple[str, bool]:
+        name = self._expect_name()
+        ascending = True
+        if self._match_keyword("DESC"):
+            ascending = False
+        else:
+            self._match_keyword("ASC")
+        return name, ascending
+
+    def _parse_parallel(self) -> Optional[int]:
+        if self._match_keyword("PARALLEL"):
+            token = self._peek()
+            if token.type is not TokenType.NUMBER:
+                raise self._error("expected a reducer count after PARALLEL")
+            self._advance()
+            return int(token.value)
+        return None
+
+    def _parse_generate_item(self) -> ast.GenerateItem:
+        if self._peek().is_keyword("FLATTEN"):
+            self._advance()
+            self._expect_symbol("(")
+            operand = self._parse_expression()
+            self._expect_symbol(")")
+            expression: ast.Expression = ast.Flatten(operand)
+        else:
+            expression = self._parse_expression()
+        alias = None
+        if self._match_keyword("AS"):
+            alias = self._expect_name()
+        return ast.GenerateItem(expression, alias)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _parse_expression(self, min_precedence: int = 1) -> ast.Expression:
+        if (self._peek().is_keyword("NOT")
+                and min_precedence <= _NOT_PRECEDENCE):
+            self._advance()
+            left: ast.Expression = ast.UnaryOp(
+                "NOT", self._parse_expression(_NOT_PRECEDENCE))
+        else:
+            left = self._parse_unary()
+        while True:
+            operator = self._peek_binary_operator()
+            if operator is None or _PRECEDENCE[operator] < min_precedence:
+                return left
+            self._advance()
+            right = self._parse_expression(_PRECEDENCE[operator] + 1)
+            left = ast.BinaryOp(operator, left, right)
+
+    def _peek_binary_operator(self) -> Optional[str]:
+        token = self._peek()
+        if token.type is TokenType.SYMBOL and token.value in _PRECEDENCE:
+            return token.value
+        if token.type is TokenType.KEYWORD and token.value in ("AND", "OR"):
+            return token.value
+        return None
+
+    def _parse_unary(self) -> ast.Expression:
+        token = self._peek()
+        if token.is_symbol("-"):
+            self._advance()
+            return ast.UnaryOp("-", self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expression:
+        expression = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.is_symbol("."):
+                self._advance()
+                expression = ast.DottedRef(expression, self._expect_name())
+            elif token.is_keyword("IS"):
+                self._advance()
+                negated = self._match_keyword("NOT")
+                self._expect_keyword("NULL")
+                expression = ast.IsNull(expression, negated)
+            else:
+                return expression
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return ast.Literal(value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.DOLLAR:
+            self._advance()
+            return ast.PositionalRef(int(token.value))
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.Literal(None)
+        if token.is_symbol("*"):
+            self._advance()
+            return ast.StarRef()
+        if token.is_symbol("("):
+            self._advance()
+            expression = self._parse_expression()
+            self._expect_symbol(")")
+            return expression
+        if token.type is TokenType.IDENT or token.type is TokenType.KEYWORD:
+            # Keywords in expression position act as names (e.g. the
+            # implicit `group` field of a GROUP result).
+            name = self._expect_name()
+            if self._match_symbol("("):
+                args: List[ast.Expression] = []
+                if not self._peek().is_symbol(")"):
+                    args.append(self._parse_expression())
+                    while self._match_symbol(","):
+                        args.append(self._parse_expression())
+                self._expect_symbol(")")
+                return ast.FuncCall(name, args)
+            while self._match_symbol("::"):
+                name = f"{name}::{self._expect_name()}"
+            return ast.FieldRef(name)
+        raise self._error("expected an expression")
+
+
+def parse(source: str) -> ast.Script:
+    """Parse Pig Latin source text into a :class:`~repro.piglatin.ast.Script`."""
+    return Parser(source).parse_script()
+
+
+def parse_expression(source: str) -> ast.Expression:
+    """Parse a standalone expression (testing convenience)."""
+    return Parser(source).parse_expression_only()

@@ -1,0 +1,84 @@
+"""User Defined Functions: black boxes with coarse-grained provenance.
+
+The paper's framework "allows module designers to expose
+collection-oriented data processing, while still allowing opaque
+complex functions": a UDF such as ``CalcBid`` cannot be unfolded, so
+its result's provenance is a single node labeled with the function
+name, connected from all its input nodes (Section 3.2, "FOREACH
+(Black Box)").
+
+A registered UDF receives evaluated argument values (atoms and/or
+:class:`~repro.datamodel.values.Bag` objects) and returns either an
+atom or — when ``returns_bag`` — a list of value tuples, typically
+then unnested with FLATTEN as in the paper's ``InventoryBids``
+statement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..datamodel.schema import Schema
+from ..errors import UnknownFunctionError
+
+
+class UDF:
+    """Registry entry for one user defined function."""
+
+    __slots__ = ("name", "function", "returns_bag", "output_schema")
+
+    def __init__(self, name: str, function: Callable[..., Any],
+                 returns_bag: bool = False,
+                 output_schema: Optional[Schema] = None):
+        self.name = name
+        self.function = function
+        self.returns_bag = returns_bag
+        self.output_schema = output_schema
+
+    def __call__(self, *args: Any) -> Any:
+        return self.function(*args)
+
+    def __repr__(self) -> str:
+        shape = "bag" if self.returns_bag else "scalar"
+        return f"UDF({self.name}, {shape})"
+
+
+class UDFRegistry:
+    """Case-insensitive name → UDF mapping."""
+
+    def __init__(self):
+        self._functions: Dict[str, UDF] = {}
+
+    def register(self, name: str, function: Callable[..., Any],
+                 returns_bag: bool = False,
+                 output_schema: Optional[Schema] = None) -> UDF:
+        """Register (or replace) a UDF and return its entry."""
+        udf = UDF(name, function, returns_bag, output_schema)
+        self._functions[name.upper()] = udf
+        return udf
+
+    def udf(self, name: str) -> UDF:
+        try:
+            return self._functions[name.upper()]
+        except KeyError:
+            raise UnknownFunctionError(name) from None
+
+    def is_registered(self, name: str) -> bool:
+        return name.upper() in self._functions
+
+    def names(self) -> List[str]:
+        return sorted(entry.name for entry in self._functions.values())
+
+    def merged_with(self, other: Optional["UDFRegistry"]) -> "UDFRegistry":
+        """A new registry with ``other``'s entries overriding ours."""
+        merged = UDFRegistry()
+        merged._functions.update(self._functions)
+        if other is not None:
+            merged._functions.update(other._functions)
+        return merged
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __repr__(self) -> str:
+        return f"UDFRegistry({self.names()})"

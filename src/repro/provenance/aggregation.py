@@ -1,0 +1,146 @@
+"""Aggregation provenance: semimodule values Σᵢ tᵢ ⊗ vᵢ.
+
+Following Amsterdamer-Deutch-Tannen (PODS'11), the result of
+aggregating an annotated column is not a plain value but a *formal
+sum* of tensors pairing each contributing value with the provenance of
+its tuple (paper Section 2.3).  Under a concrete token valuation the
+formal sum collapses to an ordinary number: each tᵢ evaluates to a
+multiplicity nᵢ in N, and tᵢ ⊗ vᵢ contributes vᵢ "nᵢ times" under the
+aggregation monoid (e.g. nᵢ·vᵢ for SUM, vᵢ if nᵢ>0 for MIN/MAX).
+
+:class:`AggregateValue` is that formal sum; :func:`evaluate_aggregate`
+collapses it given a valuation into the counting semiring.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..errors import LipstickError
+from .expressions import AggExpr, ProvExpr, tensor
+from .semirings import COUNTING
+from .tokens import Token
+
+#: token ↦ multiplicity (how many copies of the source tuple remain).
+CountValuation = Callable[[Token], int]
+
+
+class AggregateMonoid:
+    """The value-level monoid an aggregate operator folds with."""
+
+    def __init__(self, name: str, unit: Any, combine: Callable[[Any, Any], Any],
+                 scale: Callable[[int, Any], Any]):
+        self.name = name
+        self.unit = unit
+        self.combine = combine
+        #: ``scale(n, v)`` = v ⊕ v ⊕ ... (n times); captures how bag
+        #: multiplicity interacts with the monoid.
+        self.scale = scale
+
+    def fold(self, scaled_values: Sequence[Any]) -> Any:
+        result = self.unit
+        for value in scaled_values:
+            result = self.combine(result, value)
+        return result
+
+
+def _scale_additive(count: int, value: Any) -> Any:
+    return count * value
+
+
+def _scale_idempotent(count: int, value: Any) -> Any:
+    return value  # MIN/MAX ignore multiplicities beyond presence
+
+
+SUM_MONOID = AggregateMonoid("SUM", 0, lambda a, b: a + b, _scale_additive)
+COUNT_MONOID = AggregateMonoid("COUNT", 0, lambda a, b: a + b, _scale_additive)
+MIN_MONOID = AggregateMonoid("MIN", None,
+                             lambda a, b: b if a is None else (a if b is None else min(a, b)),
+                             _scale_idempotent)
+MAX_MONOID = AggregateMonoid("MAX", None,
+                             lambda a, b: b if a is None else (a if b is None else max(a, b)),
+                             _scale_idempotent)
+
+MONOIDS = {
+    "SUM": SUM_MONOID,
+    "COUNT": COUNT_MONOID,
+    "MIN": MIN_MONOID,
+    "MAX": MAX_MONOID,
+}
+
+
+class AggregateValue:
+    """A formal sum Σᵢ tᵢ ⊗ vᵢ tagged with its aggregate operator.
+
+    ``pairs`` holds (provenance expression, value) tensors; for COUNT
+    the value of every tensor is 1 (COUNT = SUM of 1s).  AVG is
+    represented as a SUM tensor plus a COUNT tensor and combined at
+    collapse time by the caller (:mod:`repro.piglatin.builtins`).
+    """
+
+    __slots__ = ("op", "pairs")
+
+    def __init__(self, op: str, pairs: Sequence[Tuple[ProvExpr, Any]]):
+        if op not in MONOIDS:
+            raise LipstickError(f"unknown aggregate operator {op!r}")
+        self.op = op
+        self.pairs: Tuple[Tuple[ProvExpr, Any], ...] = tuple(pairs)
+
+    def to_expression(self) -> AggExpr:
+        """The ⊗/AGG provenance expression of this value."""
+        return AggExpr(self.op, [tensor(prov, value) for prov, value in self.pairs])
+
+    def tokens(self):
+        found = set()
+        for prov, _value in self.pairs:
+            found |= prov.tokens()
+        return found
+
+    def collapse(self, valuation: Optional[CountValuation] = None) -> Any:
+        """Evaluate the formal sum to an ordinary value.
+
+        Each tensor's provenance is evaluated to a multiplicity in N
+        (default: every token present once); the monoid then folds the
+        scaled values.  A tensor whose provenance evaluates to 0 drops
+        out — exactly the re-computation the paper performs after
+        deletion propagation (Example 4.3: COUNT over the surviving
+        car C3 only).
+        """
+        if valuation is None:
+            valuation = lambda _token: 1
+        monoid = MONOIDS[self.op]
+        scaled: List[Any] = []
+        for prov, value in self.pairs:
+            multiplicity = prov.evaluate(COUNTING, valuation)
+            if multiplicity > 0:
+                scaled.append(monoid.scale(multiplicity, value))
+        return monoid.fold(scaled)
+
+    def delete_tokens(self, dead) -> "AggregateValue":
+        """The formal sum after what-if deletion of ``dead`` tokens."""
+        survivors = []
+        for prov, value in self.pairs:
+            simplified = prov.delete_tokens(set(dead))
+            if not simplified.is_zero():
+                survivors.append((simplified, value))
+        return AggregateValue(self.op, survivors)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AggregateValue):
+            return NotImplemented
+        return self.op == other.op and self.pairs == other.pairs
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.pairs))
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(f"{prov}⊗{value}" for prov, value in self.pairs[:4])
+        if len(self.pairs) > 4:
+            rendered += ", ..."
+        return f"AggregateValue[{self.op}]({rendered})"
+
+
+def evaluate_aggregate(op: str, pairs: Sequence[Tuple[ProvExpr, Any]],
+                       valuation: Optional[CountValuation] = None) -> Any:
+    """Convenience: build and immediately collapse an aggregate."""
+    return AggregateValue(op, pairs).collapse(valuation)

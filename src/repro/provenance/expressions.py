@@ -1,0 +1,417 @@
+"""Provenance expression trees: N[X] extended with δ and ⊗.
+
+Plain polynomials cannot express duplicate elimination (δ) or
+aggregation tensors (⊗) — the extensions of Amsterdamer-Deutch-Tannen
+(PODS'11) that the paper builds on (Section 2.3).  This module defines
+a small expression AST closed under those operators:
+
+    e ::= 0 | 1 | token | e + e | e · e | δ(e) | e ⊗ v | AGG(op, [e])
+        | BB(name, [e])
+
+Expressions support evaluation under any semiring (δ via the
+semiring's ``delta``; ⊗ / AGG only under value-producing
+interpretations), conversion to :class:`Polynomial` when δ/⊗-free, and
+token deletion (the algebraic mirror of graph deletion propagation,
+used in tests to cross-validate the graph algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence, Set, Tuple
+
+from ..errors import LipstickError
+from .polynomials import Polynomial
+from .semirings import Semiring, Valuation
+from .tokens import Token
+
+
+class ProvExpr:
+    """Base class of provenance expressions (immutable)."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["ProvExpr", ...]:
+        return ()
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: "ProvExpr") -> "ProvExpr":
+        return sum_of([self, other])
+
+    def __mul__(self, other: "ProvExpr") -> "ProvExpr":
+        return product_of([self, other])
+
+    # ------------------------------------------------------------------
+    # Analyses
+    # ------------------------------------------------------------------
+    def tokens(self) -> Set[Token]:
+        found: Set[Token] = set()
+        stack: List[ProvExpr] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, TokenExpr):
+                found.add(node.token)
+            stack.extend(node.children())
+        return found
+
+    def evaluate(self, semiring: Semiring, valuation: Valuation):
+        """Homomorphic evaluation; δ maps to ``semiring.delta``.
+
+        ⊗ / AGG / BB nodes are value-level and cannot be evaluated into
+        a bare semiring; reaching one raises ``LipstickError``.
+        """
+        raise NotImplementedError
+
+    def to_polynomial(self) -> Polynomial:
+        """Convert to N[X]; raises if the expression uses δ/⊗/AGG/BB."""
+        raise NotImplementedError
+
+    def delete_tokens(self, dead: Set[Token]) -> "ProvExpr":
+        """Simplify under "these tokens are deleted" (set to 0).
+
+        Mirrors Definition 4.2: a product with a deleted factor dies; a
+        sum survives if any addend survives; δ(0) = 0.
+        """
+        raise NotImplementedError
+
+    def is_zero(self) -> bool:
+        return isinstance(self, ZeroExpr)
+
+
+class ZeroExpr(ProvExpr):
+    __slots__ = ()
+
+    def evaluate(self, semiring, valuation):
+        return semiring.zero
+
+    def to_polynomial(self) -> Polynomial:
+        return Polynomial.zero()
+
+    def delete_tokens(self, dead):
+        return self
+
+    def __eq__(self, other):
+        return isinstance(other, ZeroExpr)
+
+    def __hash__(self):
+        return hash("ZeroExpr")
+
+    def __str__(self):
+        return "0"
+
+
+class OneExpr(ProvExpr):
+    __slots__ = ()
+
+    def evaluate(self, semiring, valuation):
+        return semiring.one
+
+    def to_polynomial(self) -> Polynomial:
+        return Polynomial.one()
+
+    def delete_tokens(self, dead):
+        return self
+
+    def __eq__(self, other):
+        return isinstance(other, OneExpr)
+
+    def __hash__(self):
+        return hash("OneExpr")
+
+    def __str__(self):
+        return "1"
+
+
+ZERO = ZeroExpr()
+ONE = OneExpr()
+
+
+class TokenExpr(ProvExpr):
+    __slots__ = ("token",)
+
+    def __init__(self, token: Token):
+        self.token = token
+
+    def evaluate(self, semiring, valuation):
+        return valuation(self.token)
+
+    def to_polynomial(self) -> Polynomial:
+        return Polynomial.of_token(self.token)
+
+    def delete_tokens(self, dead):
+        return ZERO if self.token in dead else self
+
+    def __eq__(self, other):
+        return isinstance(other, TokenExpr) and self.token == other.token
+
+    def __hash__(self):
+        return hash(("TokenExpr", self.token))
+
+    def __str__(self):
+        return str(self.token)
+
+
+class SumExpr(ProvExpr):
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Sequence[ProvExpr]):
+        if len(operands) < 2:
+            raise LipstickError("SumExpr needs at least two operands")
+        self.operands = tuple(operands)
+
+    def children(self):
+        return self.operands
+
+    def evaluate(self, semiring, valuation):
+        return semiring.sum(op.evaluate(semiring, valuation) for op in self.operands)
+
+    def to_polynomial(self) -> Polynomial:
+        result = Polynomial.zero()
+        for operand in self.operands:
+            result = result + operand.to_polynomial()
+        return result
+
+    def delete_tokens(self, dead):
+        return sum_of([op.delete_tokens(dead) for op in self.operands])
+
+    def __eq__(self, other):
+        return isinstance(other, SumExpr) and self.operands == other.operands
+
+    def __hash__(self):
+        return hash(("SumExpr", self.operands))
+
+    def __str__(self):
+        return "(" + " + ".join(str(op) for op in self.operands) + ")"
+
+
+class ProductExpr(ProvExpr):
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Sequence[ProvExpr]):
+        if len(operands) < 2:
+            raise LipstickError("ProductExpr needs at least two operands")
+        self.operands = tuple(operands)
+
+    def children(self):
+        return self.operands
+
+    def evaluate(self, semiring, valuation):
+        return semiring.product(op.evaluate(semiring, valuation) for op in self.operands)
+
+    def to_polynomial(self) -> Polynomial:
+        result = Polynomial.one()
+        for operand in self.operands:
+            result = result * operand.to_polynomial()
+        return result
+
+    def delete_tokens(self, dead):
+        simplified = [op.delete_tokens(dead) for op in self.operands]
+        if any(op.is_zero() for op in simplified):
+            return ZERO
+        return product_of(simplified)
+
+    def __eq__(self, other):
+        return isinstance(other, ProductExpr) and self.operands == other.operands
+
+    def __hash__(self):
+        return hash(("ProductExpr", self.operands))
+
+    def __str__(self):
+        return "(" + " · ".join(str(op) for op in self.operands) + ")"
+
+
+class DeltaExpr(ProvExpr):
+    """δ(e): duplicate elimination of group-by (Section 2.3)."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: ProvExpr):
+        self.operand = operand
+
+    def children(self):
+        return (self.operand,)
+
+    def evaluate(self, semiring, valuation):
+        return semiring.delta(self.operand.evaluate(semiring, valuation))
+
+    def to_polynomial(self) -> Polynomial:
+        raise LipstickError("δ-expressions are not elements of N[X]")
+
+    def delete_tokens(self, dead):
+        inner = self.operand.delete_tokens(dead)
+        if inner.is_zero():
+            return ZERO
+        return DeltaExpr(inner)
+
+    def __eq__(self, other):
+        return isinstance(other, DeltaExpr) and self.operand == other.operand
+
+    def __hash__(self):
+        return hash(("DeltaExpr", self.operand))
+
+    def __str__(self):
+        return f"δ({self.operand})"
+
+
+class TensorExpr(ProvExpr):
+    """t ⊗ v: a value paired with the provenance of its carrier tuple."""
+
+    __slots__ = ("provenance", "value")
+
+    def __init__(self, provenance: ProvExpr, value: Any):
+        self.provenance = provenance
+        self.value = value
+
+    def children(self):
+        return (self.provenance,)
+
+    def evaluate(self, semiring, valuation):
+        raise LipstickError("⊗-expressions live in a semimodule, not the semiring; "
+                            "use repro.provenance.aggregation to evaluate them")
+
+    def to_polynomial(self) -> Polynomial:
+        raise LipstickError("⊗-expressions are not elements of N[X]")
+
+    def delete_tokens(self, dead):
+        inner = self.provenance.delete_tokens(dead)
+        if inner.is_zero():
+            return ZERO
+        return TensorExpr(inner, self.value)
+
+    def __eq__(self, other):
+        return (isinstance(other, TensorExpr)
+                and self.provenance == other.provenance and self.value == other.value)
+
+    def __hash__(self):
+        return hash(("TensorExpr", self.provenance, repr(self.value)))
+
+    def __str__(self):
+        return f"({self.provenance} ⊗ {self.value})"
+
+
+class AggExpr(ProvExpr):
+    """AGG(op, [t₁⊗v₁, ...]): a formal aggregate value Σᵢ tᵢ⊗vᵢ."""
+
+    __slots__ = ("op", "operands")
+
+    def __init__(self, op: str, operands: Sequence[ProvExpr]):
+        self.op = op
+        self.operands = tuple(operands)
+
+    def children(self):
+        return self.operands
+
+    def evaluate(self, semiring, valuation):
+        raise LipstickError("aggregate expressions live in a semimodule; "
+                            "use repro.provenance.aggregation to evaluate them")
+
+    def to_polynomial(self) -> Polynomial:
+        raise LipstickError("aggregate expressions are not elements of N[X]")
+
+    def delete_tokens(self, dead):
+        survivors = [op.delete_tokens(dead) for op in self.operands]
+        survivors = [op for op in survivors if not op.is_zero()]
+        return AggExpr(self.op, survivors)
+
+    def __eq__(self, other):
+        return (isinstance(other, AggExpr) and self.op == other.op
+                and self.operands == other.operands)
+
+    def __hash__(self):
+        return hash(("AggExpr", self.op, self.operands))
+
+    def __str__(self):
+        return f"{self.op}[" + ", ".join(str(op) for op in self.operands) + "]"
+
+
+class BlackBoxExpr(ProvExpr):
+    """BB(name, [e₁...eₙ]): coarse-grained provenance of a UDF call."""
+
+    __slots__ = ("name", "operands")
+
+    def __init__(self, name: str, operands: Sequence[ProvExpr]):
+        self.name = name
+        self.operands = tuple(operands)
+
+    def children(self):
+        return self.operands
+
+    def evaluate(self, semiring, valuation):
+        # A black box depends jointly on all of its inputs; the natural
+        # conservative interpretation is the product.
+        return semiring.product(op.evaluate(semiring, valuation) for op in self.operands)
+
+    def to_polynomial(self) -> Polynomial:
+        raise LipstickError("black-box expressions are not elements of N[X]")
+
+    def delete_tokens(self, dead):
+        simplified = [op.delete_tokens(dead) for op in self.operands]
+        if any(op.is_zero() for op in simplified):
+            return ZERO
+        return BlackBoxExpr(self.name, simplified)
+
+    def __eq__(self, other):
+        return (isinstance(other, BlackBoxExpr) and self.name == other.name
+                and self.operands == other.operands)
+
+    def __hash__(self):
+        return hash(("BlackBoxExpr", self.name, self.operands))
+
+    def __str__(self):
+        return f"{self.name}(" + ", ".join(str(op) for op in self.operands) + ")"
+
+
+# ----------------------------------------------------------------------
+# Smart constructors (absorb 0/1, flatten nested sums/products)
+# ----------------------------------------------------------------------
+def token(tok: Token) -> TokenExpr:
+    return TokenExpr(tok)
+
+
+def sum_of(operands: Iterable[ProvExpr]) -> ProvExpr:
+    flattened: List[ProvExpr] = []
+    for operand in operands:
+        if operand.is_zero():
+            continue
+        if isinstance(operand, SumExpr):
+            flattened.extend(operand.operands)
+        else:
+            flattened.append(operand)
+    if not flattened:
+        return ZERO
+    if len(flattened) == 1:
+        return flattened[0]
+    return SumExpr(flattened)
+
+
+def product_of(operands: Iterable[ProvExpr]) -> ProvExpr:
+    flattened: List[ProvExpr] = []
+    for operand in operands:
+        if operand.is_zero():
+            return ZERO
+        if isinstance(operand, OneExpr):
+            continue
+        if isinstance(operand, ProductExpr):
+            flattened.extend(operand.operands)
+        else:
+            flattened.append(operand)
+    if not flattened:
+        return ONE
+    if len(flattened) == 1:
+        return flattened[0]
+    return ProductExpr(flattened)
+
+
+def delta(operand: ProvExpr) -> ProvExpr:
+    if operand.is_zero():
+        return ZERO
+    if isinstance(operand, DeltaExpr):
+        return operand  # δ is idempotent
+    return DeltaExpr(operand)
+
+
+def tensor(provenance: ProvExpr, value: Any) -> ProvExpr:
+    if provenance.is_zero():
+        return ZERO
+    return TensorExpr(provenance, value)

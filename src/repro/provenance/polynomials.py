@@ -1,0 +1,202 @@
+"""Provenance polynomials: the free commutative semiring N[X].
+
+A :class:`Polynomial` is kept in monomial normal form: a mapping from
+monomials (multisets of tokens, represented as sorted tuples of
+(token, exponent) pairs) to natural-number coefficients.  This gives
+canonical equality, which the property-based tests exploit to check
+the semiring laws.
+
+Polynomials are the *algebraic* view of provenance; the system's
+operational view is the provenance graph (:mod:`repro.graph`), which is
+more compact because it shares sub-derivations.  ``repro.provenance
+.expressions`` converts between graph fragments and polynomial-like
+expression trees, and evaluating either under a token valuation in any
+commutative semiring produces the same result (tested).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from ..errors import LipstickError
+from .semirings import Semiring, Valuation
+from .tokens import Token
+
+#: A monomial: tokens with positive integer exponents, sorted for
+#: canonicity.  The empty monomial is the unit (the constant term).
+Monomial = Tuple[Tuple[Token, int], ...]
+
+UNIT_MONOMIAL: Monomial = ()
+
+
+def _normalize_monomial(powers: Mapping[Token, int]) -> Monomial:
+    items = [(token, exponent) for token, exponent in powers.items() if exponent > 0]
+    items.sort(key=lambda pair: pair[0])
+    return tuple(items)
+
+
+def _multiply_monomials(left: Monomial, right: Monomial) -> Monomial:
+    powers: Dict[Token, int] = {}
+    for token, exponent in left:
+        powers[token] = powers.get(token, 0) + exponent
+    for token, exponent in right:
+        powers[token] = powers.get(token, 0) + exponent
+    return _normalize_monomial(powers)
+
+
+class Polynomial:
+    """An element of N[X] in normal form (immutable)."""
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Mapping[Monomial, int]):
+        cleaned = {monomial: coefficient
+                   for monomial, coefficient in terms.items() if coefficient != 0}
+        for coefficient in cleaned.values():
+            if coefficient < 0:
+                raise LipstickError("N[X] coefficients must be natural numbers")
+        self._terms: Dict[Monomial, int] = cleaned
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        return cls({})
+
+    @classmethod
+    def one(cls) -> "Polynomial":
+        return cls({UNIT_MONOMIAL: 1})
+
+    @classmethod
+    def of_token(cls, token: Token) -> "Polynomial":
+        return cls({((token, 1),): 1})
+
+    @classmethod
+    def constant(cls, value: int) -> "Polynomial":
+        if value < 0:
+            raise LipstickError("N[X] constants must be natural numbers")
+        if value == 0:
+            return cls.zero()
+        return cls({UNIT_MONOMIAL: value})
+
+    # ------------------------------------------------------------------
+    # Semiring structure
+    # ------------------------------------------------------------------
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        terms = dict(self._terms)
+        for monomial, coefficient in other._terms.items():
+            terms[monomial] = terms.get(monomial, 0) + coefficient
+        return Polynomial(terms)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        terms: Dict[Monomial, int] = {}
+        for left_monomial, left_coefficient in self._terms.items():
+            for right_monomial, right_coefficient in other._terms.items():
+                product = _multiply_monomials(left_monomial, right_monomial)
+                terms[product] = terms.get(product, 0) + left_coefficient * right_coefficient
+        return Polynomial(terms)
+
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    def is_one(self) -> bool:
+        return self._terms == {UNIT_MONOMIAL: 1}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def terms(self) -> Dict[Monomial, int]:
+        return dict(self._terms)
+
+    def tokens(self) -> frozenset:
+        """All tokens occurring with positive degree."""
+        found = set()
+        for monomial in self._terms:
+            for token, _exponent in monomial:
+                found.add(token)
+        return frozenset(found)
+
+    def degree(self) -> int:
+        """Total degree of the polynomial (0 for constants/zero)."""
+        best = 0
+        for monomial in self._terms:
+            best = max(best, sum(exponent for _token, exponent in monomial))
+        return best
+
+    def term_count(self) -> int:
+        """Number of distinct monomials (size if fully expanded)."""
+        return len(self._terms)
+
+    # ------------------------------------------------------------------
+    # Specialization and evaluation (the universality of N[X])
+    # ------------------------------------------------------------------
+    def evaluate(self, semiring: Semiring, valuation: Valuation):
+        """The homomorphic image under token ↦ valuation(token)."""
+        result = semiring.zero
+        for monomial, coefficient in self._terms.items():
+            term = semiring.one
+            for token, exponent in monomial:
+                token_value = valuation(token)
+                for _ in range(exponent):
+                    term = semiring.times(term, token_value)
+            summed = semiring.zero
+            for _ in range(coefficient):
+                summed = semiring.plus(summed, term)
+            result = semiring.plus(result, summed)
+        return result
+
+    def specialize(self, bindings: Mapping[Token, "Polynomial"]) -> "Polynomial":
+        """Substitute polynomials for tokens (endomorphism of N[X]).
+
+        Tokens absent from ``bindings`` are kept.  Binding a token to
+        ``Polynomial.zero()`` performs algebraic deletion propagation.
+        """
+        result = Polynomial.zero()
+        for monomial, coefficient in self._terms.items():
+            term = Polynomial.constant(coefficient)
+            for token, exponent in monomial:
+                replacement = bindings.get(token, Polynomial.of_token(token))
+                for _ in range(exponent):
+                    term = term * replacement
+            result = result + term
+        return result
+
+    def delete_tokens(self, tokens: Iterable[Token]) -> "Polynomial":
+        """Set the given tokens to zero (what-if deletion, Section 4.2)."""
+        zero = Polynomial.zero()
+        return self.specialize({token: zero for token in tokens})
+
+    # ------------------------------------------------------------------
+    # Equality / rendering
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._terms.items()))
+
+    def __str__(self) -> str:
+        if not self._terms:
+            return "0"
+        rendered = []
+        for monomial in sorted(self._terms, key=_monomial_sort_key):
+            coefficient = self._terms[monomial]
+            factors = []
+            if coefficient != 1 or monomial == UNIT_MONOMIAL:
+                factors.append(str(coefficient))
+            for token, exponent in monomial:
+                factors.append(str(token) if exponent == 1 else f"{token}^{exponent}")
+            rendered.append("·".join(factors))
+        return " + ".join(rendered)
+
+    def __repr__(self) -> str:
+        return f"Polynomial({self})"
+
+
+def _monomial_sort_key(monomial: Monomial):
+    return (sum(e for _t, e in monomial),
+            tuple((str(t), e) for t, e in monomial))

@@ -1,0 +1,229 @@
+"""Commutative semirings for provenance interpretation.
+
+The paper's provenance model annotates tuples with elements of the
+polynomial semiring ``(N[X], +, ·, 0, 1)`` (Section 2.3, after Green,
+Karvounarakis & Tannen, PODS'07).  The key property of N[X] is
+*universality*: any valuation of the tokens X into another commutative
+semiring K extends uniquely to a semiring homomorphism N[X] → K.  This
+module supplies the K's classically used in provenance applications —
+counting, trust/boolean, tropical (minimum cost), Why-provenance
+(witness sets), and an access-control/security semiring — plus the
+interface they share.
+
+Provenance *expressions* in this codebase also use the unary δ
+(duplicate elimination, from the aggregation extension of
+Amsterdamer-Deutch-Tannen PODS'11).  Each semiring therefore also
+provides a ``delta`` method; for the naturally idempotent semirings
+δ is identity, and for N / N[X] it maps nonzero to "present once"
+semantics (δ(k) = 1 if k ≠ 0 else 0 under counting semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, FrozenSet, Generic, Iterable, TypeVar
+
+from .tokens import Token
+
+K = TypeVar("K")
+
+
+class Semiring(Generic[K]):
+    """A commutative semiring (K, plus, times, zero, one) with δ."""
+
+    name: str = "abstract"
+
+    @property
+    def zero(self) -> K:
+        raise NotImplementedError
+
+    @property
+    def one(self) -> K:
+        raise NotImplementedError
+
+    def plus(self, left: K, right: K) -> K:
+        raise NotImplementedError
+
+    def times(self, left: K, right: K) -> K:
+        raise NotImplementedError
+
+    def delta(self, value: K) -> K:
+        """Duplicate elimination: collapse multiplicity to presence."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Conveniences shared by all semirings
+    # ------------------------------------------------------------------
+    def sum(self, values: Iterable[K]) -> K:
+        result = self.zero
+        for value in values:
+            result = self.plus(result, value)
+        return result
+
+    def product(self, values: Iterable[K]) -> K:
+        result = self.one
+        for value in values:
+            result = self.times(result, value)
+        return result
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class CountingSemiring(Semiring[int]):
+    """(N, +, ·, 0, 1): evaluating a polynomial at token↦count gives
+    the multiplicity of the tuple in the bag-semantics answer."""
+
+    name = "counting"
+
+    @property
+    def zero(self) -> int:
+        return 0
+
+    @property
+    def one(self) -> int:
+        return 1
+
+    def plus(self, left: int, right: int) -> int:
+        return left + right
+
+    def times(self, left: int, right: int) -> int:
+        return left * right
+
+    def delta(self, value: int) -> int:
+        return 1 if value != 0 else 0
+
+
+class BooleanSemiring(Semiring[bool]):
+    """(B, ∨, ∧, False, True): trust / presence-under-deletion.
+
+    Setting a token to ``False`` and evaluating answers "does this
+    tuple survive the deletion of that token's source tuple?" — the
+    algebraic counterpart of the graph deletion propagation of
+    Definition 4.2.
+    """
+
+    name = "boolean"
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def plus(self, left: bool, right: bool) -> bool:
+        return left or right
+
+    def times(self, left: bool, right: bool) -> bool:
+        return left and right
+
+    def delta(self, value: bool) -> bool:
+        return value
+
+
+class TropicalSemiring(Semiring[float]):
+    """(R∞, min, +, ∞, 0): minimum-cost derivation."""
+
+    name = "tropical"
+
+    INFINITY = float("inf")
+
+    @property
+    def zero(self) -> float:
+        return self.INFINITY
+
+    @property
+    def one(self) -> float:
+        return 0.0
+
+    def plus(self, left: float, right: float) -> float:
+        return min(left, right)
+
+    def times(self, left: float, right: float) -> float:
+        return left + right
+
+    def delta(self, value: float) -> float:
+        return value
+
+
+class WhySemiring(Semiring[FrozenSet[FrozenSet[Token]]]):
+    """Why(X): sets of witness sets (Buneman-Khanna-Tan style).
+
+    plus is union of witness families; times is pairwise union of
+    witnesses; δ is identity (Why(X) is + and · idempotent).
+    """
+
+    name = "why"
+
+    @property
+    def zero(self) -> FrozenSet[FrozenSet[Token]]:
+        return frozenset()
+
+    @property
+    def one(self) -> FrozenSet[FrozenSet[Token]]:
+        return frozenset({frozenset()})
+
+    def plus(self, left, right):
+        return left | right
+
+    def times(self, left, right):
+        return frozenset(a | b for a in left for b in right)
+
+    def delta(self, value):
+        return value
+
+    def lift(self, token: Token) -> FrozenSet[FrozenSet[Token]]:
+        """The Why-provenance of a base tuple: one singleton witness."""
+        return frozenset({frozenset({token})})
+
+
+class SecuritySemiring(Semiring[int]):
+    """A totally ordered access-control semiring.
+
+    Levels: 0 = public ... 4 = top-secret-never (absorbing/zero-like).
+    plus = min (most permissive alternative), times = max (most
+    restrictive joint requirement).  This is the classic C (confidence
+    / clearance) semiring used with provenance polynomials.
+    """
+
+    name = "security"
+
+    PUBLIC = 0
+    CONFIDENTIAL = 1
+    SECRET = 2
+    TOP_SECRET = 3
+    NEVER = 4
+
+    @property
+    def zero(self) -> int:
+        return self.NEVER
+
+    @property
+    def one(self) -> int:
+        return self.PUBLIC
+
+    def plus(self, left: int, right: int) -> int:
+        return min(left, right)
+
+    def times(self, left: int, right: int) -> int:
+        return max(left, right)
+
+    def delta(self, value: int) -> int:
+        return value
+
+
+#: Shared singleton instances (semirings are stateless).
+COUNTING = CountingSemiring()
+BOOLEAN = BooleanSemiring()
+TROPICAL = TropicalSemiring()
+WHY = WhySemiring()
+SECURITY = SecuritySemiring()
+
+Valuation = Callable[[Token], Any]
+
+
+def constant_valuation(semiring: Semiring, value: Any = None) -> Valuation:
+    """A valuation mapping every token to ``value`` (default: one)."""
+    chosen = semiring.one if value is None else value
+    return lambda token: chosen

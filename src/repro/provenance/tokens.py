@@ -1,0 +1,84 @@
+"""Provenance tokens: the indeterminates X of the semiring N[X].
+
+Each base tuple (workflow input, module state tuple, ...) is annotated
+with a fresh token.  Tokens carry a *namespace* (e.g. the module name
+or relation name that owns the tuple) so that benchmark analyses can
+ask questions like "how many distinct state tuples does this output
+depend on" (Section 5.5 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class Token:
+    """An atomic provenance annotation (an indeterminate of N[X])."""
+
+    __slots__ = ("name", "namespace")
+
+    def __init__(self, name: str, namespace: str = ""):
+        self.name = name
+        self.namespace = namespace
+
+    @property
+    def qualified_name(self) -> str:
+        if self.namespace:
+            return f"{self.namespace}.{self.name}"
+        return self.name
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Token):
+            return NotImplemented
+        return self.name == other.name and self.namespace == other.namespace
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.namespace))
+
+    def __lt__(self, other: "Token") -> bool:
+        return (self.namespace, self.name) < (other.namespace, other.name)
+
+    def __repr__(self) -> str:
+        return f"Token({self.qualified_name})"
+
+    def __str__(self) -> str:
+        return self.qualified_name
+
+
+class TokenFactory:
+    """Mints fresh, unique tokens, optionally per namespace.
+
+    >>> factory = TokenFactory()
+    >>> factory.fresh("Cars").name
+    't0'
+    >>> factory.fresh("Cars").name
+    't1'
+    """
+
+    def __init__(self, prefix: str = "t"):
+        self._prefix = prefix
+        self._next_id = 0
+        self._interned: Dict[str, Token] = {}
+
+    def fresh(self, namespace: str = "") -> Token:
+        """A brand-new token, never returned before by this factory."""
+        token = Token(f"{self._prefix}{self._next_id}", namespace)
+        self._next_id += 1
+        return token
+
+    def named(self, name: str, namespace: str = "") -> Token:
+        """An interned token with a caller-chosen name.
+
+        Repeated calls with the same (namespace, name) return the same
+        object, which keeps annotated test fixtures readable.
+        """
+        key = f"{namespace}.{name}" if namespace else name
+        token = self._interned.get(key)
+        if token is None:
+            token = Token(name, namespace)
+            self._interned[key] = token
+        return token
+
+    def minted_count(self) -> int:
+        """How many fresh tokens have been minted so far."""
+        return self._next_id

@@ -1,0 +1,75 @@
+"""Provenance graph queries (paper Section 4)."""
+
+from .zoom import (
+    Zoomer,
+    ZoomFragment,
+    coarse_view,
+    intermediate_nodes,
+    zoom_out,
+)
+from .deletion import (
+    DeletionResult,
+    delete_base_tuples,
+    deletion_set,
+    propagate_deletion,
+)
+from .subgraph import (
+    SubgraphResult,
+    extract_subgraph,
+    highest_fanout_nodes,
+    subgraph_query,
+)
+from .dependency import (
+    depends_on,
+    depends_on_tuple,
+    strict_supporting_tuples,
+    supporting_tuples,
+)
+from .proql import ProQL
+from .proql_text import run_query
+from .reachability import ReachabilityIndex
+from .whatif import (
+    AggregateChange,
+    WhatIfResult,
+    recompute_aggregates,
+    what_if_deleted,
+)
+from .valuation import (
+    GraphValuator,
+    derivation_cost,
+    evaluate_node,
+    required_clearance,
+    trust_assessment,
+)
+
+__all__ = [
+    "AggregateChange",
+    "DeletionResult",
+    "GraphValuator",
+    "ProQL",
+    "ReachabilityIndex",
+    "WhatIfResult",
+    "SubgraphResult",
+    "ZoomFragment",
+    "Zoomer",
+    "coarse_view",
+    "delete_base_tuples",
+    "deletion_set",
+    "depends_on",
+    "derivation_cost",
+    "evaluate_node",
+    "required_clearance",
+    "trust_assessment",
+    "depends_on_tuple",
+    "extract_subgraph",
+    "highest_fanout_nodes",
+    "intermediate_nodes",
+    "propagate_deletion",
+    "recompute_aggregates",
+    "run_query",
+    "strict_supporting_tuples",
+    "subgraph_query",
+    "supporting_tuples",
+    "what_if_deleted",
+    "zoom_out",
+]

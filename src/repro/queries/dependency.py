@@ -1,0 +1,77 @@
+"""Dependency queries (paper Section 4.3).
+
+"Dependency queries are enabled, i.e. queries that ask, for a pair of
+nodes n, n′, if the existence of n depends on that of n′.  This may be
+answered by checking for the existence of n in the graph obtained by
+propagating the deletion of n′."  Extended here to sets of nodes, to
+base tuples addressed by label, and to the introduction's motivating
+question shapes ("Which cars affected the computation of this winning
+bid?").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..graph.nodes import NodeKind
+from ..graph.provgraph import ProvenanceGraph
+from .deletion import delete_base_tuples, propagate_deletion
+
+
+def depends_on(graph: ProvenanceGraph, node_id: int,
+               source_ids: Iterable[int],
+               blackbox_multiplicative: bool = False) -> bool:
+    """Does ``node_id``'s existence depend on the ``source_ids``?
+
+    True iff propagating the deletion of the sources removes
+    ``node_id`` (paper Section 4.3).
+    """
+    sources = [source for source in source_ids if source != node_id]
+    if not sources:
+        return False
+    result = propagate_deletion(graph, sources,
+                                blackbox_multiplicative=blackbox_multiplicative)
+    return not result.survived(node_id)
+
+
+def depends_on_tuple(graph: ProvenanceGraph, node_id: int,
+                     tuple_labels: Iterable[str],
+                     blackbox_multiplicative: bool = False) -> bool:
+    """Dependency on base tuples addressed by token label (e.g. does
+    the winning bid depend on car "C2"? — Example 4.5)."""
+    result = delete_base_tuples(graph, tuple_labels,
+                                blackbox_multiplicative=blackbox_multiplicative)
+    return not result.survived(node_id)
+
+
+def supporting_tuples(graph: ProvenanceGraph, node_id: int,
+                      kind: NodeKind = NodeKind.TUPLE) -> List[str]:
+    """Base tuples among the ancestors of ``node_id``.
+
+    Answers "Which cars affected the computation of this winning bid?"
+    — an over-approximation of strict deletion-dependency (a tuple can
+    be an ancestor through a ``+`` alternative without the node's
+    existence depending on it; use :func:`depends_on_tuple` per tuple
+    to refine).
+    """
+    labels = {graph.node(ancestor).label
+              for ancestor in graph.ancestors(node_id)
+              if graph.node(ancestor).kind is kind}
+    return sorted(labels)
+
+
+def strict_supporting_tuples(graph: ProvenanceGraph, node_id: int,
+                             kind: NodeKind = NodeKind.TUPLE,
+                             blackbox_multiplicative: bool = False) -> List[str]:
+    """Base tuples whose individual deletion removes ``node_id``.
+
+    The refined "Had this Toyota Prius not been present, would its
+    dealer still have made a sale?" question, asked for every
+    candidate ancestor tuple.
+    """
+    strict: List[str] = []
+    for label in supporting_tuples(graph, node_id, kind):
+        if depends_on_tuple(graph, node_id, [label],
+                            blackbox_multiplicative=blackbox_multiplicative):
+            strict.append(label)
+    return strict

@@ -1,0 +1,177 @@
+"""ProQL-lite: a small composable query language over provenance graphs.
+
+The paper points at ProQL [Karvounarakis-Ives-Tannen, SIGMOD'10] as the
+graph query language to pair with Zoom and deletion propagation.  This
+module provides a deliberately small fluent core with the same flavor:
+select node sets by kind / label / module / invocation, traverse to
+ancestors / descendants / immediate neighbours, combine with set
+algebra, and project out ids, labels, or values.
+
+Example — "which cars affected this winning bid?"::
+
+    cars = (ProQL(graph)
+            .node(bid_node)
+            .ancestors()
+            .of_kind(NodeKind.TUPLE)
+            .in_module("Mdealer1")
+            .labels())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Set
+
+from ..errors import QueryError
+from ..graph.nodes import Node, NodeKind
+from ..graph.provgraph import ProvenanceGraph
+
+
+class ProQL:
+    """A fluent query anchored to a graph; methods return new queries
+    (queries are immutable; each holds a current node set)."""
+
+    def __init__(self, graph: ProvenanceGraph,
+                 selection: Optional[Set[int]] = None):
+        self.graph = graph
+        self._selection: Set[int] = (set(graph.nodes)
+                                     if selection is None else selection)
+
+    def _derived(self, selection: Set[int]) -> "ProQL":
+        return ProQL(self.graph, selection)
+
+    # ------------------------------------------------------------------
+    # Anchors
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> "ProQL":
+        if not self.graph.has_node(node_id):
+            raise QueryError(f"unknown node {node_id!r}")
+        return self._derived({node_id})
+
+    def nodes(self, node_ids: Iterable[int]) -> "ProQL":
+        selection = set(node_ids)
+        missing = [node_id for node_id in selection
+                   if not self.graph.has_node(node_id)]
+        if missing:
+            raise QueryError(f"unknown nodes {sorted(missing)!r}")
+        return self._derived(selection)
+
+    # ------------------------------------------------------------------
+    # Filters
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[Node], bool]) -> "ProQL":
+        return self._derived({node_id for node_id in self._selection
+                              if predicate(self.graph.node(node_id))})
+
+    def of_kind(self, *kinds: NodeKind) -> "ProQL":
+        wanted = set(kinds)
+        return self.filter(lambda node: node.kind in wanted)
+
+    def with_label(self, label: str) -> "ProQL":
+        return self.filter(lambda node: node.label == label)
+
+    def label_contains(self, fragment: str) -> "ProQL":
+        return self.filter(lambda node: fragment in node.label)
+
+    def in_module(self, module_name: str) -> "ProQL":
+        return self.filter(lambda node: node.module == module_name)
+
+    def in_invocation(self, invocation_id: int) -> "ProQL":
+        return self.filter(lambda node: node.invocation == invocation_id)
+
+    def p_nodes(self) -> "ProQL":
+        return self.filter(lambda node: node.ntype == "p")
+
+    def v_nodes(self) -> "ProQL":
+        return self.filter(lambda node: node.ntype == "v")
+
+    # ------------------------------------------------------------------
+    # Traversals
+    # ------------------------------------------------------------------
+    def ancestors(self, include_self: bool = False) -> "ProQL":
+        reached: Set[int] = set(self._selection) if include_self else set()
+        for node_id in self._selection:
+            reached |= self.graph.ancestors(node_id)
+        return self._derived(reached)
+
+    def descendants(self, include_self: bool = False) -> "ProQL":
+        reached = set(self._selection) if include_self else set()
+        for node_id in self._selection:
+            reached |= self.graph.descendants(node_id)
+        return self._derived(reached)
+
+    def parents(self) -> "ProQL":
+        """Immediate operands (one step backwards)."""
+        reached: Set[int] = set()
+        for node_id in self._selection:
+            reached.update(self.graph.preds(node_id))
+        return self._derived(reached)
+
+    def children(self) -> "ProQL":
+        """Immediate derivations (one step forwards)."""
+        reached: Set[int] = set()
+        for node_id in self._selection:
+            reached.update(self.graph.succs(node_id))
+        return self._derived(reached)
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "ProQL") -> "ProQL":
+        self._check_same_graph(other)
+        return self._derived(self._selection | other._selection)
+
+    def intersect(self, other: "ProQL") -> "ProQL":
+        self._check_same_graph(other)
+        return self._derived(self._selection & other._selection)
+
+    def minus(self, other: "ProQL") -> "ProQL":
+        self._check_same_graph(other)
+        return self._derived(self._selection - other._selection)
+
+    def _check_same_graph(self, other: "ProQL") -> None:
+        if other.graph is not self.graph:
+            raise QueryError("cannot combine queries over different graphs")
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def reaches(self, target: int) -> bool:
+        """Does any selected node have a directed path to ``target``?"""
+        return any(self.graph.reachable(node_id, target)
+                   for node_id in self._selection)
+
+    def is_empty(self) -> bool:
+        return not self._selection
+
+    # ------------------------------------------------------------------
+    # Projections
+    # ------------------------------------------------------------------
+    def ids(self) -> List[int]:
+        return sorted(self._selection)
+
+    def count(self) -> int:
+        return len(self._selection)
+
+    def labels(self) -> List[str]:
+        return sorted({self.graph.node(node_id).label
+                       for node_id in self._selection})
+
+    def values(self) -> List[Any]:
+        extracted = [self.graph.node(node_id).value
+                     for node_id in sorted(self._selection)]
+        return [value for value in extracted if value is not None]
+
+    def one(self) -> Node:
+        if len(self._selection) != 1:
+            raise QueryError(
+                f"expected exactly one node, selection has {len(self._selection)}")
+        return self.graph.node(next(iter(self._selection)))
+
+    def __len__(self) -> int:
+        return len(self._selection)
+
+    def __iter__(self):
+        return iter(self.ids())
+
+    def __repr__(self) -> str:
+        return f"ProQL({len(self._selection)} nodes)"

@@ -1,0 +1,119 @@
+"""A textual pipeline syntax for ProQL-lite queries.
+
+The fluent :class:`~repro.queries.proql.ProQL` API is the engine; this
+module adds a small pipe-separated text form so queries can live in
+config files, notebooks, or a REPL:
+
+    MATCH kind=tuple module=Mdealer1 | ancestors | labels
+    NODE 42 | descendants | kind=output | count
+    MATCH label~Cars | children | ids
+
+Grammar::
+
+    query  := stage ('|' stage)*
+    stage  := 'MATCH' filter*            -- anchor: all nodes, filtered
+            | 'NODE' <int>               -- anchor: one node id
+            | 'ancestors' | 'descendants' | 'parents' | 'children'
+            | filter+                    -- filter the current set
+            | 'ids' | 'labels' | 'values' | 'count'   -- terminal
+    filter := 'kind=' <kind> | 'module=' <name> | 'invocation=' <int>
+            | 'label=' <exact> | 'label~' <substring>
+            | 'ptype=p' | 'ptype=v'
+
+A query without a terminal stage returns the node-id list.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Union
+
+from ..errors import QueryError
+from ..graph.nodes import NodeKind
+from ..graph.provgraph import ProvenanceGraph
+from .proql import ProQL
+
+_TRAVERSALS = {
+    "ancestors": lambda query: query.ancestors(),
+    "descendants": lambda query: query.descendants(),
+    "parents": lambda query: query.parents(),
+    "children": lambda query: query.children(),
+}
+
+_TERMINALS = {
+    "ids": lambda query: query.ids(),
+    "labels": lambda query: query.labels(),
+    "values": lambda query: query.values(),
+    "count": lambda query: query.count(),
+}
+
+
+def _apply_filter(query: ProQL, token: str) -> ProQL:
+    if token.startswith("kind="):
+        name = token[len("kind="):]
+        try:
+            kind = NodeKind(name)
+        except ValueError:
+            raise QueryError(f"unknown node kind {name!r}") from None
+        return query.of_kind(kind)
+    if token.startswith("module="):
+        return query.in_module(token[len("module="):])
+    if token.startswith("invocation="):
+        try:
+            invocation = int(token[len("invocation="):])
+        except ValueError:
+            raise QueryError(f"bad invocation id in {token!r}") from None
+        return query.in_invocation(invocation)
+    if token.startswith("label="):
+        return query.with_label(token[len("label="):])
+    if token.startswith("label~"):
+        return query.label_contains(token[len("label~"):])
+    if token == "ptype=p":
+        return query.p_nodes()
+    if token == "ptype=v":
+        return query.v_nodes()
+    raise QueryError(f"unknown filter {token!r}")
+
+
+def run_query(graph: ProvenanceGraph, text: str) -> Union[List[Any], int]:
+    """Parse and run a textual ProQL-lite query against ``graph``."""
+    stages = [stage.strip() for stage in text.split("|")]
+    if not stages or not stages[0]:
+        raise QueryError("empty query")
+    query = _anchor(graph, stages[0])
+    terminal_result: Union[None, List[Any], int] = None
+    for stage in stages[1:]:
+        if terminal_result is not None:
+            raise QueryError(
+                f"stage {stage!r} follows a terminal projection")
+        if not stage:
+            raise QueryError("empty pipeline stage")
+        if stage in _TRAVERSALS:
+            query = _TRAVERSALS[stage](query)
+        elif stage in _TERMINALS:
+            terminal_result = _TERMINALS[stage](query)
+        else:
+            for token in stage.split():
+                query = _apply_filter(query, token)
+    if terminal_result is not None:
+        return terminal_result
+    return query.ids()
+
+
+def _anchor(graph: ProvenanceGraph, stage: str) -> ProQL:
+    tokens = stage.split()
+    head = tokens[0].upper()
+    if head == "MATCH":
+        query = ProQL(graph)
+        for token in tokens[1:]:
+            query = _apply_filter(query, token)
+        return query
+    if head == "NODE":
+        if len(tokens) != 2:
+            raise QueryError("NODE expects exactly one id")
+        try:
+            node_id = int(tokens[1])
+        except ValueError:
+            raise QueryError(f"bad node id {tokens[1]!r}") from None
+        return ProQL(graph).node(node_id)
+    raise QueryError(
+        f"query must start with MATCH or NODE, got {tokens[0]!r}")

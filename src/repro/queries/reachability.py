@@ -1,0 +1,100 @@
+"""Precomputed reachability: the §5.1 trade-off, implemented.
+
+"In our current implementation, we store information about parents and
+children of each node, and compute ancestor and descendant information
+as appropriate at query time.  An alternative is to pre-compute the
+transitive closure of each node, or to keep pair-wise reachability
+information.  Both these options would result in higher memory
+overhead, but may speed up query processing."
+
+:class:`ReachabilityIndex` is that alternative: it materializes each
+node's descendant set (and, symmetrically, ancestor sets on demand) in
+one reverse-topological pass, after which subgraph and dependency
+queries answer from set unions instead of traversals.  The index is a
+snapshot — it does not track graph mutations; rebuild after surgery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Set
+
+from ..errors import UnknownNodeError
+from ..graph.provgraph import ProvenanceGraph
+from .subgraph import SubgraphResult
+
+
+class ReachabilityIndex:
+    """Materialized descendant/ancestor sets for every node."""
+
+    def __init__(self, graph: ProvenanceGraph,
+                 index_ancestors: bool = True):
+        self.graph = graph
+        order = graph.topological_order()
+        self._descendants: Dict[int, FrozenSet[int]] = {}
+        for node_id in reversed(order):
+            reached: Set[int] = set()
+            for successor in graph.succs(node_id):
+                reached.add(successor)
+                reached |= self._descendants[successor]
+            self._descendants[node_id] = frozenset(reached)
+        self._ancestors: Optional[Dict[int, FrozenSet[int]]] = None
+        if index_ancestors:
+            ancestors: Dict[int, FrozenSet[int]] = {}
+            for node_id in order:
+                reached = set()
+                for predecessor in graph.preds(node_id):
+                    reached.add(predecessor)
+                    reached |= ancestors[predecessor]
+                ancestors[node_id] = frozenset(reached)
+            self._ancestors = ancestors
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def descendants(self, node_id: int) -> FrozenSet[int]:
+        try:
+            return self._descendants[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def ancestors(self, node_id: int) -> FrozenSet[int]:
+        if self._ancestors is None:
+            # Fallback: ancestors were not indexed; traverse.
+            return frozenset(self.graph.ancestors(node_id))
+        try:
+            return self._ancestors[node_id]
+        except KeyError:
+            raise UnknownNodeError(node_id) from None
+
+    def reachable(self, source: int, target: int) -> bool:
+        if source == target:
+            return True
+        return target in self.descendants(source)
+
+    # ------------------------------------------------------------------
+    # Indexed queries
+    # ------------------------------------------------------------------
+    def subgraph(self, node_id: int) -> SubgraphResult:
+        """The §5.1 subgraph query answered from the index."""
+        ancestors = set(self.ancestors(node_id))
+        descendants = set(self.descendants(node_id))
+        siblings: Set[int] = set()
+        for descendant in descendants:
+            siblings.update(self.graph.preds(descendant))
+        siblings -= descendants | ancestors | {node_id}
+        return SubgraphResult(node_id, ancestors, descendants, siblings)
+
+    # ------------------------------------------------------------------
+    # Cost accounting (for the ablation benchmark)
+    # ------------------------------------------------------------------
+    def memory_cells(self) -> int:
+        """Total stored node references — the memory-overhead side of
+        the paper's trade-off."""
+        cells = sum(len(reached) for reached in self._descendants.values())
+        if self._ancestors is not None:
+            cells += sum(len(reached) for reached in self._ancestors.values())
+        return cells
+
+    def __repr__(self) -> str:
+        return (f"ReachabilityIndex(nodes={len(self._descendants)}, "
+                f"cells={self.memory_cells()})")

@@ -1,0 +1,88 @@
+"""Subgraph queries (paper Section 5.1, Query Processor).
+
+"A subgraph query takes a node id as input and returns a subgraph that
+includes all ancestors and descendants of the node, along with all
+siblings of its descendants."  Siblings of a descendant are its other
+operands — the nodes that jointly derived it.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..graph.provgraph import ProvenanceGraph
+
+
+class SubgraphResult:
+    """Node sets of a subgraph query (the union is the answer)."""
+
+    __slots__ = ("root", "ancestors", "descendants", "siblings")
+
+    def __init__(self, root: int, ancestors: Set[int], descendants: Set[int],
+                 siblings: Set[int]):
+        self.root = root
+        self.ancestors = ancestors
+        self.descendants = descendants
+        self.siblings = siblings
+
+    @property
+    def node_ids(self) -> Set[int]:
+        return ({self.root} | self.ancestors | self.descendants
+                | self.siblings)
+
+    @property
+    def size(self) -> int:
+        return len(self.node_ids)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.node_ids
+
+    def __repr__(self) -> str:
+        return (f"SubgraphResult(root={self.root}, size={self.size}, "
+                f"ancestors={len(self.ancestors)}, "
+                f"descendants={len(self.descendants)}, "
+                f"siblings={len(self.siblings)})")
+
+
+def subgraph_query(graph: ProvenanceGraph, node_id: int) -> SubgraphResult:
+    """Ancestors + descendants + siblings-of-descendants of a node."""
+    ancestors = graph.ancestors(node_id)
+    descendants = graph.descendants(node_id)
+    siblings: Set[int] = set()
+    for descendant in descendants:
+        for sibling in graph.preds(descendant):
+            siblings.add(sibling)
+    siblings -= descendants | ancestors | {node_id}
+    return SubgraphResult(node_id, ancestors, descendants, siblings)
+
+
+def extract_subgraph(graph: ProvenanceGraph,
+                     result: SubgraphResult) -> ProvenanceGraph:
+    """Materialize a subgraph query result as a standalone graph
+    (edges restricted to the selected node set)."""
+    selected = result.node_ids
+    extracted = ProvenanceGraph()
+    for node_id in sorted(selected):
+        node = graph.node(node_id)
+        extracted.nodes[node_id] = node
+        extracted._preds[node_id] = []
+        extracted._succs[node_id] = []
+    for node_id in sorted(selected):
+        for pred in graph.preds(node_id):
+            if pred in selected:
+                extracted.add_edge(pred, node_id)
+    extracted._next_node_id = graph._next_node_id
+    for invocation_id, invocation in graph.invocations.items():
+        if invocation.module_node in selected:
+            extracted.invocations[invocation_id] = invocation
+    extracted._next_invocation_id = graph._next_invocation_id
+    return extracted
+
+
+def highest_fanout_nodes(graph: ProvenanceGraph, count: int) -> list:
+    """The ``count`` nodes with most children — the paper's §5.6 node
+    selection policy for subgraph benchmarks ("we select nodes that we
+    expect to induce large subgraphs, choosing 50 nodes with the
+    highest number of children per run")."""
+    return sorted(graph.node_ids(),
+                  key=lambda node_id: (-graph.out_degree(node_id), node_id))[:count]

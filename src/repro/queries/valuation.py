@@ -1,0 +1,142 @@
+"""Semiring-valued graph analyses: trust, security, derivation cost.
+
+The semiring foundation "was proven to be highly effective ... for
+applications such as deletion propagation, trust assessment, security,
+and view maintenance" (paper, related work) — and the authors argue
+that building workflow provenance on it "will allow to support similar
+applications in this context."  This module delivers those
+applications directly over the provenance graph: assign a semiring
+value to each base tuple (by token label) and evaluate any node.
+
+Evaluation rules per node kind (memoized over the shared graph):
+
+=====================  ====================================================
+TUPLE / WORKFLOW_INPUT  the assignment (default: the semiring's one)
+MODULE                  the assignment (modules can be (dis)trusted too)
+PLUS                    ⊕ of operands (alternative derivation)
+TIMES / INPUT / OUTPUT
+/ STATE                 ⊗ of operands (joint derivation)
+DELTA                   δ(⊕ of operands)
+VALUE                   one (constants carry no provenance)
+TENSOR                  ⊗ of non-constant operands
+AGG / BLACKBOX / ZOOM   ⊗ of operands — the conservative "the result
+                        depends jointly on all contributions" reading
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from ..errors import ProvenanceGraphError
+from ..graph.nodes import NodeKind
+from ..graph.provgraph import ProvenanceGraph
+from ..provenance.semirings import (
+    BOOLEAN,
+    SECURITY,
+    Semiring,
+    TROPICAL,
+)
+
+#: token label → semiring value for base tuples / modules.
+Assignment = Mapping[str, Any]
+
+_LEAF_KINDS = frozenset({NodeKind.TUPLE, NodeKind.WORKFLOW_INPUT,
+                         NodeKind.MODULE})
+_SUM_KINDS = frozenset({NodeKind.PLUS})
+_PRODUCT_KINDS = frozenset({NodeKind.TIMES, NodeKind.INPUT, NodeKind.OUTPUT,
+                            NodeKind.STATE, NodeKind.TENSOR, NodeKind.AGG,
+                            NodeKind.BLACKBOX, NodeKind.ZOOM})
+
+
+class GraphValuator:
+    """Evaluates graph nodes into a semiring under a base assignment."""
+
+    def __init__(self, graph: ProvenanceGraph, semiring: Semiring,
+                 assignment: Optional[Assignment] = None,
+                 default: Any = None):
+        self.graph = graph
+        self.semiring = semiring
+        self.assignment = dict(assignment or {})
+        self.default = semiring.one if default is None else default
+        self._memo: Dict[int, Any] = {}
+
+    def value_of(self, node_id: int) -> Any:
+        memo = self._memo
+        if node_id in memo:
+            return memo[node_id]
+        # Iterative post-order: graphs can be deep.
+        stack = [(node_id, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if current in memo:
+                continue
+            if not expanded:
+                stack.append((current, True))
+                for operand in self.graph.preds(current):
+                    if operand not in memo:
+                        stack.append((operand, False))
+                continue
+            memo[current] = self._combine(current)
+        return memo[node_id]
+
+    def _combine(self, node_id: int) -> Any:
+        node = self.graph.node(node_id)
+        semiring = self.semiring
+        kind = node.kind
+        if kind in _LEAF_KINDS:
+            return self.assignment.get(node.label, self.default)
+        operands = [self._memo[operand]
+                    for operand in self.graph.preds(node_id)
+                    if self.graph.node(operand).kind is not NodeKind.VALUE]
+        if kind is NodeKind.VALUE:
+            return semiring.one
+        if kind in _SUM_KINDS:
+            return semiring.sum(operands)
+        if kind is NodeKind.DELTA:
+            return semiring.delta(semiring.sum(operands))
+        if kind in _PRODUCT_KINDS:
+            return semiring.product(operands)
+        raise ProvenanceGraphError(
+            f"cannot evaluate node kind {kind}")  # pragma: no cover
+
+
+def evaluate_node(graph: ProvenanceGraph, node_id: int, semiring: Semiring,
+                  assignment: Optional[Assignment] = None,
+                  default: Any = None) -> Any:
+    """One-shot node evaluation (build a :class:`GraphValuator` to
+    amortize over many nodes)."""
+    return GraphValuator(graph, semiring, assignment, default).value_of(node_id)
+
+
+# ----------------------------------------------------------------------
+# The classic applications
+# ----------------------------------------------------------------------
+def trust_assessment(graph: ProvenanceGraph, node_id: int,
+                     untrusted_labels) -> bool:
+    """Is the node derivable from trusted data alone?
+
+    Base tuples in ``untrusted_labels`` get False; the node is trusted
+    iff some derivation avoids all of them (boolean semiring).
+    """
+    assignment = {label: False for label in untrusted_labels}
+    return evaluate_node(graph, node_id, BOOLEAN, assignment, default=True)
+
+
+def required_clearance(graph: ProvenanceGraph, node_id: int,
+                       level_by_label: Assignment) -> int:
+    """Minimum clearance needed to see the node (security semiring).
+
+    Base tuples default to PUBLIC; alternatives take the most
+    permissive derivation, joint use the most restrictive input.
+    """
+    return evaluate_node(graph, node_id, SECURITY, level_by_label,
+                         default=SECURITY.PUBLIC)
+
+
+def derivation_cost(graph: ProvenanceGraph, node_id: int,
+                    cost_by_label: Assignment,
+                    default_cost: float = 0.0) -> float:
+    """Cheapest derivation cost of the node (tropical semiring)."""
+    return evaluate_node(graph, node_id, TROPICAL, cost_by_label,
+                         default=default_cost)

@@ -1,0 +1,142 @@
+"""What-if analysis: deletion propagation + aggregate recomputation.
+
+Example 4.3 of the paper deletes car C2 and observes: "the COUNT
+aggregate is now applied to a single value (the one obtained for car
+C3), and so we can easily re-compute its value."  This module turns
+that observation into an operation: :func:`what_if_deleted` propagates
+a deletion and then re-collapses every surviving aggregate v-node over
+its surviving ⊗ tensors, reporting old → new values.
+
+Black-box results cannot be recomputed (they are opaque); surviving
+black boxes whose inputs changed are reported as *stale* so the
+analyst knows which values to take with a grain of salt.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+from ..graph.nodes import NodeKind
+from ..graph.provgraph import ProvenanceGraph
+from ..piglatin.builtins import compute_aggregate
+from .deletion import DeletionResult, propagate_deletion
+
+
+class AggregateChange:
+    """One aggregate whose value changed under the what-if deletion."""
+
+    __slots__ = ("node_id", "op", "old_value", "new_value",
+                 "surviving_inputs")
+
+    def __init__(self, node_id: int, op: str, old_value: Any,
+                 new_value: Any, surviving_inputs: int):
+        self.node_id = node_id
+        self.op = op
+        self.old_value = old_value
+        self.new_value = new_value
+        self.surviving_inputs = surviving_inputs
+
+    def __repr__(self) -> str:
+        return (f"AggregateChange(#{self.node_id} {self.op}: "
+                f"{self.old_value} → {self.new_value} "
+                f"over {self.surviving_inputs} inputs)")
+
+
+class WhatIfResult:
+    """Outcome of a what-if deletion analysis."""
+
+    def __init__(self, deletion: DeletionResult,
+                 changes: List[AggregateChange],
+                 stale_blackboxes: List[int]):
+        self.deletion = deletion
+        #: aggregates whose re-collapsed value differs from the original
+        self.changes = changes
+        #: surviving BLACKBOX nodes that lost at least one input
+        self.stale_blackboxes = stale_blackboxes
+
+    @property
+    def graph(self) -> ProvenanceGraph:
+        return self.deletion.graph
+
+    def change_for(self, node_id: int) -> Optional[AggregateChange]:
+        for change in self.changes:
+            if change.node_id == node_id:
+                return change
+        return None
+
+    def __repr__(self) -> str:
+        return (f"WhatIfResult(removed={self.deletion.removed_count}, "
+                f"changed_aggregates={len(self.changes)}, "
+                f"stale_blackboxes={len(self.stale_blackboxes)})")
+
+
+def _tensor_value(graph: ProvenanceGraph, tensor: int) -> Any:
+    for operand in graph.preds(tensor):
+        node = graph.node(operand)
+        if node.kind is NodeKind.VALUE:
+            return node.value
+    return None
+
+
+def recompute_aggregates(original: ProvenanceGraph,
+                         deletion: DeletionResult) -> List[AggregateChange]:
+    """Re-collapse surviving aggregates over their surviving tensors.
+
+    The aggregate's operator is its node label (Count, Sum, Min, ...);
+    each surviving ⊗ tensor contributes its VALUE operand.  COUNT
+    tensors carry the constant 1, so re-collapsing degrades gracefully
+    to "count the survivors".
+    """
+    changes: List[AggregateChange] = []
+    residual = deletion.graph
+    for node in original.nodes_of_kind(NodeKind.AGG):
+        if not residual.has_node(node.node_id):
+            continue
+        original_tensors = original.preds(node.node_id)
+        surviving = [tensor for tensor in residual.preds(node.node_id)]
+        if len(surviving) == len(original_tensors):
+            continue  # nothing changed
+        values = [_tensor_value(residual, tensor) for tensor in surviving]
+        new_value = compute_aggregate(node.label, values)
+        if new_value != node.value:
+            changes.append(AggregateChange(node.node_id, node.label,
+                                           node.value, new_value,
+                                           len(surviving)))
+            residual.node(node.node_id).value = new_value
+    return changes
+
+
+def _stale_blackboxes(original: ProvenanceGraph,
+                      deletion: DeletionResult) -> List[int]:
+    stale = []
+    residual = deletion.graph
+    for node in original.nodes_of_kind(NodeKind.BLACKBOX):
+        if not residual.has_node(node.node_id):
+            continue
+        if len(residual.preds(node.node_id)) < len(original.preds(node.node_id)):
+            stale.append(node.node_id)
+    return stale
+
+
+def what_if_deleted(graph: ProvenanceGraph,
+                    node_ids: Iterable[int] = (),
+                    tuple_labels: Iterable[str] = (),
+                    blackbox_multiplicative: bool = False) -> WhatIfResult:
+    """Full what-if analysis: delete nodes and/or base tuples (by
+    label), propagate, and recompute surviving aggregates.
+
+    >>> result = what_if_deleted(graph, tuple_labels=["Mdealer1.Cars.t2"])
+    ... # doctest: +SKIP
+    """
+    seeds = list(node_ids)
+    labels = list(tuple_labels)
+    if labels:
+        wanted = set(labels)
+        seeds.extend(node.node_id for node in graph.nodes.values()
+                     if node.kind in (NodeKind.TUPLE, NodeKind.WORKFLOW_INPUT)
+                     and node.label in wanted)
+    deletion = propagate_deletion(
+        graph, seeds, blackbox_multiplicative=blackbox_multiplicative)
+    changes = recompute_aggregates(graph, deletion)
+    stale = _stale_blackboxes(graph, deletion)
+    return WhatIfResult(deletion, changes, stale)

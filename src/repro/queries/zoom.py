@@ -1,0 +1,212 @@
+"""ZoomIn / ZoomOut graph transformations (paper Section 4.1).
+
+ZoomOut hides the intermediate computations and state of every
+invocation of the chosen modules, replacing each invocation by a
+single meta-node between its original inputs and outputs.  ZoomIn is
+its inverse: ``ZoomIn(ZoomOut(G, M), M) = G``.
+
+Because invocations of the same module may share state, zooming out a
+*proper subset* of a module's invocations is not meaningful (paper
+Section 4.1); the API therefore works on module names only.
+
+Intermediate-computation detection follows Definition 4.1: a node v is
+part of the intermediate computation of an invocation of M iff some
+directed path reaches v from an input node, a state node, or another
+intermediate v-node of an invocation of M, with no output node on the
+path (including v itself).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..errors import ZoomError
+from ..graph.nodes import Node, NodeKind
+from ..graph.provgraph import ProvenanceGraph
+
+
+def intermediate_nodes(graph: ProvenanceGraph,
+                       module_names: Iterable[str]) -> Set[int]:
+    """All nodes that Definition 4.1 classifies as intermediate
+    computations of invocations of the given modules."""
+    targets = set(module_names)
+    start: Set[int] = set()
+    for invocation in graph.invocations.values():
+        if invocation.module_name in targets:
+            start.update(invocation.input_nodes)
+            start.update(invocation.state_nodes)
+    intermediates: Set[int] = set()
+    frontier = [successor for node in start if graph.has_node(node)
+                for successor in graph.succs(node)]
+    while frontier:
+        current = frontier.pop()
+        if current in intermediates:
+            continue
+        node = graph.node(current)
+        if node.kind is NodeKind.OUTPUT:
+            continue  # paths stop at (and exclude) output nodes
+        intermediates.add(current)
+        frontier.extend(graph.succs(current))
+    # Start nodes themselves are input/state nodes, never intermediate.
+    return intermediates - start
+
+
+class ZoomFragment:
+    """Everything ZoomOut removed for one module (for ZoomIn)."""
+
+    __slots__ = ("module_name", "nodes", "edges", "zoom_nodes")
+
+    def __init__(self, module_name: str):
+        self.module_name = module_name
+        #: removed Node objects keyed by id
+        self.nodes: Dict[int, Node] = {}
+        #: removed edges (source, target) — includes boundary edges
+        self.edges: List[Tuple[int, int]] = []
+        #: zoom meta-node ids created, keyed by invocation id
+        self.zoom_nodes: Dict[int, int] = {}
+
+
+class Zoomer:
+    """Applies ZoomOut / ZoomIn to a graph *in place*.
+
+    The zoomer stashes removed fragments so that ZoomIn can restore
+    them exactly; fragments survive arbitrarily interleaved zoom
+    operations on other modules because node ids are stable.
+    """
+
+    def __init__(self, graph: ProvenanceGraph):
+        self.graph = graph
+        self._fragments: Dict[str, ZoomFragment] = {}
+
+    @property
+    def zoomed_out_modules(self) -> Set[str]:
+        return set(self._fragments)
+
+    # ------------------------------------------------------------------
+    # ZoomOut (paper Section 4.1, steps 1–5)
+    # ------------------------------------------------------------------
+    def zoom_out(self, module_names: Iterable[str]) -> List[str]:
+        """Zoom out of the given modules; returns those actually done."""
+        done = []
+        for module_name in module_names:
+            if module_name in self._fragments:
+                continue  # already zoomed out
+            if not self.graph.invocations_of(module_name):
+                raise ZoomError(
+                    f"module {module_name!r} has no invocations in the graph")
+            self._zoom_out_single(module_name)
+            done.append(module_name)
+        return done
+
+    def _zoom_out_single(self, module_name: str) -> None:
+        graph = self.graph
+        fragment = ZoomFragment(module_name)
+        invocations = graph.invocations_of(module_name)
+        # Steps 1–3: find and remove intermediate computations.
+        to_remove = intermediate_nodes(graph, [module_name])
+        # Step 4: remove state nodes, plus base tuple nodes that feed
+        # only state nodes of this module's invocations.
+        state_nodes: Set[int] = set()
+        for invocation in invocations:
+            state_nodes.update(node for node in invocation.state_nodes
+                               if graph.has_node(node))
+        base_candidates: Set[int] = set()
+        for state_node in state_nodes:
+            for pred in graph.preds(state_node):
+                if graph.node(pred).kind is NodeKind.TUPLE:
+                    base_candidates.add(pred)
+        removable_bases = {
+            base for base in base_candidates
+            if all(succ in state_nodes or succ in to_remove
+                   for succ in graph.succs(base))}
+        to_remove |= state_nodes | removable_bases
+        # Also sweep nodes of these invocations that become edgeless
+        # (shared VALUE leaves of aggregate computations).
+        invocation_ids = {invocation.invocation_id for invocation in invocations}
+        for node_id in list(graph.node_ids()):
+            node = graph.node(node_id)
+            if (node.invocation in invocation_ids
+                    and node.kind is NodeKind.VALUE
+                    and all(succ in to_remove for succ in graph.succs(node_id))):
+                to_remove.add(node_id)
+        # Record and remove.
+        recorded_edges: Set[Tuple[int, int]] = set()
+        for node_id in to_remove:
+            if not graph.has_node(node_id):
+                continue
+            fragment.nodes[node_id] = graph.node(node_id)
+            for pred in graph.preds(node_id):
+                recorded_edges.add((pred, node_id))
+            for succ in graph.succs(node_id):
+                recorded_edges.add((node_id, succ))
+        fragment.edges = sorted(recorded_edges)
+        for node_id in to_remove:
+            if graph.has_node(node_id):
+                graph.remove_node(node_id)
+        # Step 5: one zoom meta-node per invocation.
+        for invocation in invocations:
+            zoom_node = graph.add_node(NodeKind.ZOOM, module_name, "p",
+                                       module=module_name,
+                                       invocation=invocation.invocation_id)
+            fragment.zoom_nodes[invocation.invocation_id] = zoom_node
+            for input_node in invocation.input_nodes:
+                if graph.has_node(input_node):
+                    graph.add_edge(input_node, zoom_node)
+            for output_node in invocation.output_nodes:
+                if graph.has_node(output_node):
+                    graph.add_edge(zoom_node, output_node)
+        self._fragments[module_name] = fragment
+
+    # ------------------------------------------------------------------
+    # ZoomIn (inverse restore)
+    # ------------------------------------------------------------------
+    def zoom_in(self, module_names: Iterable[str]) -> List[str]:
+        """Restore previously zoomed-out modules."""
+        done = []
+        for module_name in module_names:
+            fragment = self._fragments.pop(module_name, None)
+            if fragment is None:
+                raise ZoomError(
+                    f"module {module_name!r} is not zoomed out")
+            self._zoom_in_single(fragment)
+            done.append(module_name)
+        return done
+
+    def _zoom_in_single(self, fragment: ZoomFragment) -> None:
+        graph = self.graph
+        for zoom_node in fragment.zoom_nodes.values():
+            if graph.has_node(zoom_node):
+                graph.remove_node(zoom_node)
+        for node_id, node in fragment.nodes.items():
+            graph.nodes[node_id] = node
+            graph._preds[node_id] = []
+            graph._succs[node_id] = []
+        for source, target in fragment.edges:
+            if graph.has_node(source) and graph.has_node(target):
+                graph.add_edge(source, target)
+
+    # ------------------------------------------------------------------
+    # Coarse view
+    # ------------------------------------------------------------------
+    def zoom_out_all(self) -> List[str]:
+        """ZoomOut on every module: the coarse-grained provenance view
+        (paper: "Applying ZoomOut on all modules in a fine-grained
+        provenance graph results in a coarse-grained provenance
+        graph")."""
+        return self.zoom_out(sorted(self.graph.module_names()))
+
+
+def zoom_out(graph: ProvenanceGraph,
+             module_names: Iterable[str]) -> Tuple[ProvenanceGraph, Zoomer]:
+    """Functional ZoomOut: returns a zoomed *copy* plus its zoomer."""
+    duplicate = graph.copy()
+    zoomer = Zoomer(duplicate)
+    zoomer.zoom_out(module_names)
+    return duplicate, zoomer
+
+
+def coarse_view(graph: ProvenanceGraph) -> ProvenanceGraph:
+    """A coarse-grained copy of the graph (all modules zoomed out)."""
+    duplicate = graph.copy()
+    Zoomer(duplicate).zoom_out_all()
+    return duplicate

@@ -1,0 +1,24 @@
+"""Workflow model and execution (paper Section 2.2, Definitions 2.1-2.3)."""
+
+from .module import Module, ModuleRegistry
+from .workflow import Edge, Workflow
+from .execution import (
+    ExecutionOutput,
+    WorkflowExecutor,
+    WorkflowState,
+)
+from .tracker import ProvenanceTracker
+from .unfold import LoopSpec, unfold_workflow
+
+__all__ = [
+    "Edge",
+    "LoopSpec",
+    "ExecutionOutput",
+    "Module",
+    "ModuleRegistry",
+    "ProvenanceTracker",
+    "Workflow",
+    "WorkflowExecutor",
+    "WorkflowState",
+    "unfold_workflow",
+]

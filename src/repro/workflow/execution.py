@@ -1,0 +1,333 @@
+"""Workflow execution: Definition 2.3 and execution sequences.
+
+A single execution walks one (deterministic) topological order of the
+DAG; per node it runs the module's ``Q_state`` then ``Q_out`` and
+copies outputs along outgoing edges.  A *sequence* of executions
+threads each module's state from one execution to the next, which is
+how "a learning-algorithm-like module" accumulates history in the
+paper's motivating example.
+
+Provenance events per invocation (Sections 3.1–3.2):
+
+* a fresh ``m`` node;
+* an ``i`` node ``·(tuple, m)`` per input tuple;
+* an ``s`` node ``·(tuple, m)`` per state tuple (base state tuples are
+  lazily given identifier p-nodes the first time they are seen);
+* whatever the Pig interpreter emits while running the queries;
+* an ``o`` node ``·(tuple, m)`` per output tuple.
+
+Workflow-input tuples get ``i``-type workflow input nodes (I₁, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from ..datamodel.relation import Relation, Row
+from ..datamodel.schema import Schema
+from ..errors import WorkflowExecutionError
+from ..graph.builder import GraphBuilder
+from ..piglatin.interpreter import Interpreter
+from .module import Module, ModuleRegistry
+from .workflow import Workflow
+
+#: External inputs: node id → relation name → Relation or raw rows.
+InputBundle = Mapping[str, Mapping[str, Union[Relation, Sequence[Sequence[Any]]]]]
+
+
+class WorkflowState:
+    """Persistent module state across executions (module name keyed).
+
+    State is per module *identity*: two workflow nodes labeled with
+    the same module name share state, matching the paper's modeling
+    (the dealer's bid-phase node and purchase-phase node see the same
+    ``Cars`` / ``SoldCars`` / ``InventoryBids``).
+    """
+
+    def __init__(self, modules: ModuleRegistry,
+                 module_names: Iterable[str]):
+        self._relations: Dict[str, Dict[str, Relation]] = {}
+        for module_name in module_names:
+            module = modules.module(module_name)
+            self._relations[module_name] = module.initial_state()
+
+    def of(self, module_name: str) -> Dict[str, Relation]:
+        return self._relations.setdefault(module_name, {})
+
+    def set(self, module_name: str, relation_name: str,
+            relation: Relation) -> None:
+        self._relations.setdefault(module_name, {})[relation_name] = relation
+
+    def load(self, module_name: str,
+             relations: Mapping[str, Union[Relation, Sequence[Sequence[Any]]]],
+             modules: ModuleRegistry) -> None:
+        """Initialize state relations from raw rows or relations."""
+        module = modules.module(module_name)
+        for relation_name, data in relations.items():
+            schema = module.state_schemas.get(relation_name)
+            if schema is None:
+                raise WorkflowExecutionError(
+                    f"module {module_name!r} has no state relation "
+                    f"{relation_name!r}")
+            self.set(module_name, relation_name, _as_relation(data, schema))
+
+    def total_rows(self) -> int:
+        return sum(len(relation)
+                   for per_module in self._relations.values()
+                   for relation in per_module.values())
+
+    def __repr__(self) -> str:
+        summary = {module: {name: len(relation)
+                            for name, relation in relations.items()}
+                   for module, relations in self._relations.items()}
+        return f"WorkflowState({summary})"
+
+
+class ExecutionOutput:
+    """Result of one workflow execution."""
+
+    def __init__(self, index: int):
+        self.index = index
+        #: node id → relation name → annotated output Relation
+        self.node_outputs: Dict[str, Dict[str, Relation]] = {}
+        #: node id → provenance invocation id (absent for input nodes)
+        self.invocations: Dict[str, int] = {}
+
+    def outputs_of(self, node_id: str) -> Dict[str, Relation]:
+        return self.node_outputs.get(node_id, {})
+
+    def workflow_outputs(self, workflow: Workflow) -> Dict[str, Dict[str, Relation]]:
+        return {node_id: self.node_outputs.get(node_id, {})
+                for node_id in workflow.output_nodes}
+
+    def __repr__(self) -> str:
+        return f"ExecutionOutput(#{self.index}, nodes={sorted(self.node_outputs)})"
+
+
+class WorkflowExecutor:
+    """Runs workflows, optionally tracking provenance.
+
+    Parameters
+    ----------
+    workflow / modules:
+        The DAG and its module registry (validated on construction).
+    builder:
+        Provenance graph builder; ``None`` disables tracking (the
+        benchmark's "without provenance" baseline).
+    compact_filter:
+        Forwarded to the Pig interpreter (FILTER provenance ablation).
+    """
+
+    def __init__(self, workflow: Workflow, modules: ModuleRegistry,
+                 builder: Optional[GraphBuilder] = None,
+                 compact_filter: bool = True):
+        workflow.validate(modules)
+        self.workflow = workflow
+        self.modules = modules
+        self.builder = builder
+        self.compact_filter = compact_filter
+        self._order = workflow.topological_order()
+        self._execution_count = 0
+
+    @property
+    def track(self) -> bool:
+        return self.builder is not None
+
+    # ------------------------------------------------------------------
+    # Sequences (Definition 2.3, second half)
+    # ------------------------------------------------------------------
+    def new_state(self) -> WorkflowState:
+        return WorkflowState(self.modules, self.workflow.module_names())
+
+    def execute_sequence(self, input_batches: Sequence[InputBundle],
+                         state: Optional[WorkflowState] = None
+                         ) -> List[ExecutionOutput]:
+        """Run executions E₀...Eₙ threading state through the run."""
+        state = state if state is not None else self.new_state()
+        return [self.execute(batch, state) for batch in input_batches]
+
+    # ------------------------------------------------------------------
+    # Single execution (Definition 2.3)
+    # ------------------------------------------------------------------
+    def execute(self, workflow_inputs: InputBundle,
+                state: Optional[WorkflowState] = None) -> ExecutionOutput:
+        state = state if state is not None else self.new_state()
+        output = ExecutionOutput(self._execution_count)
+        self._execution_count += 1
+        produced: Dict[str, Dict[str, Relation]] = {}
+        for node_id in self._order:
+            module = self.modules.module(self.workflow.node_labels[node_id])
+            if node_id in self.workflow.input_nodes:
+                produced[node_id] = self._inject_inputs(
+                    node_id, module, workflow_inputs.get(node_id, {}))
+            else:
+                inputs = self._gather_inputs(node_id, produced)
+                produced[node_id] = self._invoke_module(
+                    node_id, module, inputs, state, output)
+            output.node_outputs[node_id] = produced[node_id]
+        return output
+
+    # ------------------------------------------------------------------
+    # Input nodes
+    # ------------------------------------------------------------------
+    def _inject_inputs(self, node_id: str, module: Module,
+                       provided: Mapping[str, Union[Relation, Sequence]]
+                       ) -> Dict[str, Relation]:
+        outputs: Dict[str, Relation] = {}
+        for relation_name, schema in module.output_schemas.items():
+            data = provided.get(relation_name, [])
+            relation = _as_relation(data, schema)
+            rows = []
+            for row in relation.rows:
+                prov = None
+                if self.track:
+                    prov = self.builder.workflow_input_node(
+                        namespace=f"{module.name}.{relation_name}",
+                        value=row.values)
+                rows.append(Row(row.values, prov))
+            outputs[relation_name] = Relation(schema, rows)
+        return outputs
+
+    def _gather_inputs(self, node_id: str,
+                       produced: Dict[str, Dict[str, Relation]]
+                       ) -> Dict[str, Relation]:
+        inputs: Dict[str, Relation] = {}
+        for edge in self.workflow.predecessors(node_id):
+            upstream = produced.get(edge.source, {})
+            for relation_name in edge.relations:
+                if relation_name not in upstream:
+                    raise WorkflowExecutionError(
+                        f"node {edge.source!r} did not produce relation "
+                        f"{relation_name!r} needed by {node_id!r}")
+                inputs[relation_name] = upstream[relation_name]
+        return inputs
+
+    # ------------------------------------------------------------------
+    # Module invocation
+    # ------------------------------------------------------------------
+    def _invoke_module(self, node_id: str, module: Module,
+                       inputs: Dict[str, Relation], state: WorkflowState,
+                       output: ExecutionOutput) -> Dict[str, Relation]:
+        if self.track:
+            invocation = self.builder.begin_invocation(module.name)
+            output.invocations[node_id] = invocation.invocation_id
+        try:
+            input_env = self._wrap_inputs(module, inputs)
+            state_env = self._wrap_state(module, state)
+            interpreter = Interpreter(self.builder, module.udfs,
+                                      track_provenance=self.track,
+                                      compact_filter=self.compact_filter)
+            # Q_state first; its results become the new persistent state.
+            touched: Dict[str, Relation] = {}
+            if module.q_state_ast is not None:
+                environment = {**input_env, **state_env}
+                result = interpreter.execute(module.q_state_ast, environment)
+                for relation_name, schema in module.state_schemas.items():
+                    relation = result.stored.get(relation_name,
+                                                 result.relations.get(relation_name))
+                    if relation is not None:
+                        touched[relation_name] = _conform(relation, schema,
+                                                          module.name,
+                                                          relation_name)
+            for relation_name, relation in touched.items():
+                state.set(module.name, relation_name, relation)
+            # Q_out reads inputs plus post-Q_state state (wrapped state
+            # tuples for untouched relations, computed ones otherwise).
+            outputs: Dict[str, Relation] = {}
+            if module.q_out_ast is not None:
+                state_for_out = dict(state_env)
+                state_for_out.update(touched)
+                environment = {**input_env, **state_for_out}
+                result = interpreter.execute(module.q_out_ast, environment)
+                for relation_name, schema in module.output_schemas.items():
+                    relation = result.stored.get(relation_name,
+                                                 result.relations.get(relation_name))
+                    if relation is None:
+                        relation = Relation.empty(schema)
+                    outputs[relation_name] = self._wrap_outputs(
+                        _conform(relation, schema, module.name, relation_name))
+            else:
+                outputs = {relation_name: Relation.empty(schema)
+                           for relation_name, schema in module.output_schemas.items()}
+            return outputs
+        finally:
+            if self.track:
+                self.builder.end_invocation()
+
+    def _wrap_inputs(self, module: Module,
+                     inputs: Dict[str, Relation]) -> Dict[str, Relation]:
+        wrapped: Dict[str, Relation] = {}
+        for relation_name, schema in module.input_schemas.items():
+            relation = inputs.get(relation_name)
+            if relation is None:
+                raise WorkflowExecutionError(
+                    f"module {module.name!r} is missing input relation "
+                    f"{relation_name!r}")
+            rows = []
+            for row in relation.rows:
+                prov = row.prov
+                if self.track:
+                    prov = self.builder.module_input_node(row.prov,
+                                                          value=row.values)
+                rows.append(Row(row.values, prov))
+            wrapped[relation_name] = Relation(relation.schema, rows)
+        return wrapped
+
+    def _wrap_state(self, module: Module,
+                    state: WorkflowState) -> Dict[str, Relation]:
+        wrapped: Dict[str, Relation] = {}
+        persistent = state.of(module.name)
+        for relation_name, schema in module.state_schemas.items():
+            relation = persistent.get(relation_name)
+            if relation is None:
+                relation = Relation.empty(schema)
+                persistent[relation_name] = relation
+            rows = []
+            for row in relation.rows:
+                if self.track and row.prov is None:
+                    # First sighting of a base state tuple: give it its
+                    # identifier p-node (persists across invocations).
+                    row.prov = self.builder.base_tuple_node(
+                        f"{module.name}.{relation_name}", value=row.values)
+                prov = row.prov
+                if self.track:
+                    prov = self.builder.module_state_node(row.prov,
+                                                          value=row.values)
+                rows.append(Row(row.values, prov))
+            wrapped[relation_name] = Relation(relation.schema, rows)
+        return wrapped
+
+    def _wrap_outputs(self, relation: Relation) -> Relation:
+        if not self.track:
+            return relation
+        rows = [Row(row.values,
+                    self.builder.module_output_node(row.prov, value=row.values))
+                for row in relation.rows]
+        return Relation(relation.schema, rows)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _as_relation(data: Union[Relation, Sequence[Sequence[Any]]],
+                 schema: Schema) -> Relation:
+    if isinstance(data, Relation):
+        return data
+    return Relation.from_values(schema, data)
+
+
+def _conform(relation: Relation, schema: Schema, module_name: str,
+             relation_name: str) -> Relation:
+    """Align a query result with the declared schema (by position).
+
+    Computed aliases may carry derived field names; what must match is
+    the arity.  Rows keep their provenance.
+    """
+    if relation.schema.arity != schema.arity:
+        raise WorkflowExecutionError(
+            f"module {module_name!r}: query result for {relation_name!r} "
+            f"has arity {relation.schema.arity}, declared "
+            f"{schema.arity}")
+    if relation.schema.names == schema.names:
+        return relation
+    return Relation(schema, [Row(row.values, row.prov) for row in relation.rows])

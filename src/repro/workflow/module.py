@@ -1,0 +1,152 @@
+"""Workflow modules: Definition 2.1 of the paper.
+
+A module is a 5-tuple ``(S_in, S_state, S_out, Q_state, Q_out)``:
+disjoint relational schemas for inputs, internal state, and outputs,
+plus two Pig Latin queries — ``Q_state : S_in × S_state → S_state``
+(state manipulation) and ``Q_out : S_in × S_state → S_out``.
+
+Queries bind output relations either with ``STORE alias INTO 'Name';``
+or simply by defining an alias with the target relation's name (the
+paper's example scripts use the latter, e.g. the ``InventoryBids =``
+statement of ``Q_state``).
+
+*Input modules* (``Mreq``, ``Mchoice``) have no queries: they inject
+externally provided tuples into the workflow; their tuples become
+workflow-input p-nodes in the provenance graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..datamodel.relation import Relation
+from ..datamodel.schema import Schema
+from ..errors import WorkflowDefinitionError
+from ..piglatin import ast
+from ..piglatin.parser import parse
+from ..piglatin.udf import UDFRegistry
+
+SchemaMap = Mapping[str, Schema]
+
+
+class Module:
+    """A named workflow module (paper Definition 2.1).
+
+    Parameters
+    ----------
+    name:
+        Unique module identity.  Modules sharing a *specification* but
+        not an identity (the paper's ``Mdealer1..4``) are built via
+        :meth:`specialized`.
+    input_schemas / state_schemas / output_schemas:
+        Relation name → :class:`Schema` for S_in / S_state / S_out.
+        The three name sets must be pairwise disjoint.
+    q_state / q_out:
+        Pig Latin source for the two queries (``None`` = identity /
+        no output, also used by input modules).
+    udfs:
+        Black boxes available to this module's queries.
+    """
+
+    def __init__(self, name: str,
+                 input_schemas: Optional[SchemaMap] = None,
+                 state_schemas: Optional[SchemaMap] = None,
+                 output_schemas: Optional[SchemaMap] = None,
+                 q_state: Optional[str] = None,
+                 q_out: Optional[str] = None,
+                 udfs: Optional[UDFRegistry] = None):
+        self.name = name
+        self.input_schemas: Dict[str, Schema] = dict(input_schemas or {})
+        self.state_schemas: Dict[str, Schema] = dict(state_schemas or {})
+        self.output_schemas: Dict[str, Schema] = dict(output_schemas or {})
+        self.q_state = q_state
+        self.q_out = q_out
+        self.udfs = udfs if udfs is not None else UDFRegistry()
+        self._check_disjoint()
+        #: Parsed scripts, cached because modules run many times.
+        self._q_state_ast = parse(q_state) if q_state else None
+        self._q_out_ast = parse(q_out) if q_out else None
+
+    def _check_disjoint(self) -> None:
+        input_names = set(self.input_schemas)
+        state_names = set(self.state_schemas)
+        output_names = set(self.output_schemas)
+        overlap = ((input_names & state_names) | (input_names & output_names)
+                   | (state_names & output_names))
+        if overlap:
+            raise WorkflowDefinitionError(
+                f"module {self.name!r}: schemas S_in/S_state/S_out must be "
+                f"disjoint; overlapping relation names: {sorted(overlap)}")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def is_input_module(self) -> bool:
+        """No input schema and no queries: injects external tuples."""
+        return not self.input_schemas and self.q_state is None and self.q_out is None
+
+    @property
+    def q_state_ast(self) -> Optional[ast.Script]:
+        return self._q_state_ast
+
+    @property
+    def q_out_ast(self) -> Optional[ast.Script]:
+        return self._q_out_ast
+
+    def initial_state(self) -> Dict[str, Relation]:
+        """Empty instances of every state relation."""
+        return {name: Relation.empty(schema)
+                for name, schema in self.state_schemas.items()}
+
+    def specialized(self, name: str) -> "Module":
+        """A module with the same specification but a new identity.
+
+        Mirrors the paper's dealerships: "These modules have the same
+        specification, but different identities."
+        """
+        return Module(name, self.input_schemas, self.state_schemas,
+                      self.output_schemas, self.q_state, self.q_out, self.udfs)
+
+    def __repr__(self) -> str:
+        return (f"Module({self.name}, in={sorted(self.input_schemas)}, "
+                f"state={sorted(self.state_schemas)}, "
+                f"out={sorted(self.output_schemas)})")
+
+
+class ModuleRegistry:
+    """Name → :class:`Module` lookup used by executors."""
+
+    def __init__(self, modules: Optional[Mapping[str, Module]] = None):
+        self._modules: Dict[str, Module] = {}
+        if modules:
+            for module in modules.values():
+                self.add(module)
+
+    def add(self, module: Module) -> Module:
+        if module.name in self._modules:
+            raise WorkflowDefinitionError(
+                f"duplicate module name {module.name!r}")
+        self._modules[module.name] = module
+        return module
+
+    def module(self, name: str) -> Module:
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise WorkflowDefinitionError(f"unknown module {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._modules
+
+    def names(self):
+        return sorted(self._modules)
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __repr__(self) -> str:
+        return f"ModuleRegistry({self.names()})"

@@ -1,0 +1,54 @@
+"""The Provenance Tracker sub-system (paper Section 5.1).
+
+"This sub-system is responsible for tracking provenance for tuples
+that are generated over the course of workflow execution ... The
+sub-system output is written to the file-system, and is used as input
+by the Query Processor sub-system."
+
+:class:`ProvenanceTracker` owns the
+:class:`~repro.graph.builder.GraphBuilder` the executor drives and can
+spool the accumulated graph to a JSONL file at any point.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Optional
+
+from ..graph.builder import GraphBuilder
+from ..graph.provgraph import ProvenanceGraph
+from ..graph.serialize import dump_graph
+
+
+class ProvenanceTracker:
+    """Accumulates provenance during execution and spools it to disk."""
+
+    def __init__(self, directory: Optional[str] = None,
+                 builder: Optional[GraphBuilder] = None):
+        self._directory = directory
+        self.builder = builder if builder is not None else GraphBuilder()
+        self._flush_count = 0
+
+    @property
+    def graph(self) -> ProvenanceGraph:
+        return self.builder.graph
+
+    @property
+    def directory(self) -> str:
+        if self._directory is None:
+            self._directory = tempfile.mkdtemp(prefix="lipstick-provenance-")
+        return self._directory
+
+    def flush(self, path: Optional[str] = None) -> str:
+        """Write the current graph as JSONL; returns the file path."""
+        if path is None:
+            path = os.path.join(self.directory,
+                                f"provenance-{self._flush_count:04d}.jsonl")
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        dump_graph(self.graph, path)
+        self._flush_count += 1
+        return path
+
+    def __repr__(self) -> str:
+        return f"ProvenanceTracker({self.graph!r})"

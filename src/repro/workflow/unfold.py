@@ -1,0 +1,135 @@
+"""Bounded-loop unfolding (paper Section 2.2 / future work).
+
+"This does not prevent modules from being executed multiple times,
+e.g., in a loop or parallel (forked) manner; however looping must be
+bounded.  Workflows with bounded looping can be unfolded into acyclic
+ones, and are thus amenable to our treatment."
+
+:class:`LoopSpec` declares a cyclic region — a body of nodes, the
+back-edge closing the cycle, and an iteration bound — over an
+otherwise acyclic :class:`~repro.workflow.workflow.Workflow`.
+:func:`unfold_workflow` replicates the body ``iterations`` times,
+rewiring each copy's loop input to the previous copy's loop output,
+yielding a plain DAG the executor and provenance machinery accept
+unchanged.  Body nodes keep their module labels, so every iteration's
+invocation shares the module's state — exactly the semantics repeated
+invocation already has in the paper's model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..errors import WorkflowDefinitionError
+from .workflow import Workflow
+
+
+class LoopSpec:
+    """A bounded loop over a workflow region.
+
+    Parameters
+    ----------
+    body:
+        Node ids forming the loop body, in body-internal dataflow
+        order (first receives the loop input, last produces the loop
+        output).
+    back_edge:
+        ``(source, target, relations)`` — the conceptual edge from the
+        body's last node back to its first, carried relation names
+        included.  It must *not* be present in the workflow (which
+        stays acyclic); the spec describes it.
+    iterations:
+        How many times the body runs (≥ 1).
+    """
+
+    def __init__(self, body: Sequence[str],
+                 back_edge: Tuple[str, str, Sequence[str]],
+                 iterations: int):
+        if iterations < 1:
+            raise WorkflowDefinitionError(
+                f"loop iterations must be >= 1, got {iterations}")
+        if not body:
+            raise WorkflowDefinitionError("loop body must be non-empty")
+        self.body = list(body)
+        source, target, relations = back_edge
+        if source != self.body[-1] or target != self.body[0]:
+            raise WorkflowDefinitionError(
+                "back edge must run from the last body node to the first")
+        self.back_edge_relations = tuple(relations)
+        self.iterations = iterations
+
+
+def _iteration_name(node_id: str, iteration: int) -> str:
+    return f"{node_id}#{iteration}"
+
+
+def unfold_workflow(workflow: Workflow, loop: LoopSpec) -> Workflow:
+    """Unfold a bounded loop into an acyclic workflow.
+
+    Iteration 0 keeps the body nodes' original ids (so existing edges
+    into the body keep working); iterations 1..n-1 get fresh ids
+    ``node#k``.  Edges leaving the body are re-attached to the *last*
+    iteration's copies.
+    """
+    body = set(loop.body)
+    unknown = body - set(workflow.node_labels)
+    if unknown:
+        raise WorkflowDefinitionError(
+            f"loop body references unknown nodes {sorted(unknown)}")
+    unfolded = Workflow(f"{workflow.name}-unfolded{loop.iterations}")
+    # Non-body nodes copy over verbatim.
+    for node_id, module_name in workflow.node_labels.items():
+        if node_id not in body:
+            unfolded.add_node(node_id, module_name,
+                              is_input=node_id in workflow.input_nodes,
+                              is_output=node_id in workflow.output_nodes)
+    # Body copies.
+    def copy_name(node_id: str, iteration: int) -> str:
+        if iteration == 0:
+            return node_id
+        return _iteration_name(node_id, iteration)
+
+    for iteration in range(loop.iterations):
+        for node_id in loop.body:
+            unfolded.add_node(copy_name(node_id, iteration),
+                              workflow.node_labels[node_id])
+    last = loop.iterations - 1
+    for edge in workflow.edges:
+        in_body_source = edge.source in body
+        in_body_target = edge.target in body
+        if not in_body_source and not in_body_target:
+            unfolded.add_edge(edge.source, edge.target, edge.relations)
+        elif not in_body_source and in_body_target:
+            seeds_loop_input = (edge.target == loop.body[0]
+                                and set(edge.relations)
+                                & set(loop.back_edge_relations))
+            if seeds_loop_input:
+                # The loop-carried relations are fed externally only
+                # once; iterations ≥ 1 receive them via the unrolled
+                # back edge.
+                unfolded.add_edge(edge.source, copy_name(edge.target, 0),
+                                  edge.relations)
+            else:
+                # Loop-invariant external input (e.g. a broadcast
+                # query): replicate to every iteration so Definition
+                # 2.2's input coverage holds for each copy.
+                for iteration in range(loop.iterations):
+                    unfolded.add_edge(edge.source,
+                                      copy_name(edge.target, iteration),
+                                      edge.relations)
+        elif in_body_source and not in_body_target:
+            # The loop's result leaves from the last iteration only.
+            unfolded.add_edge(copy_name(edge.source, last), edge.target,
+                              edge.relations)
+        else:
+            # Body-internal edge: replicate per iteration.
+            for iteration in range(loop.iterations):
+                unfolded.add_edge(copy_name(edge.source, iteration),
+                                  copy_name(edge.target, iteration),
+                                  edge.relations)
+    # The back edge becomes iteration-(k) → iteration-(k+1) forward edges.
+    for iteration in range(loop.iterations - 1):
+        unfolded.add_edge(copy_name(loop.body[-1], iteration),
+                          copy_name(loop.body[0], iteration + 1),
+                          loop.back_edge_relations)
+    return unfolded

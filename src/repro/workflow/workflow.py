@@ -1,0 +1,180 @@
+"""Workflow DAGs: Definition 2.2 of the paper.
+
+A workflow ``W = (V, E, L_V, L_E, In, Out)`` is a connected DAG whose
+nodes are labeled with module names and whose edges carry relation
+names.  Each relation name on an edge ``(v1, v2)`` must belong to both
+``S_out`` of ``L_V(v1)`` and ``S_in`` of ``L_V(v2)``; relation names on
+two incoming edges of the same node must be disjoint; and every
+non-input node must receive its full ``S_in`` from its predecessors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..errors import WorkflowDefinitionError
+from .module import Module, ModuleRegistry
+
+
+class Edge:
+    """A dataflow edge carrying one or more named relations."""
+
+    __slots__ = ("source", "target", "relations")
+
+    def __init__(self, source: str, target: str, relations: Iterable[str]):
+        self.source = source
+        self.target = target
+        self.relations: Tuple[str, ...] = tuple(relations)
+        if not self.relations:
+            raise WorkflowDefinitionError(
+                f"edge {source} → {target} must carry at least one relation")
+
+    def __repr__(self) -> str:
+        return f"Edge({self.source} → {self.target}: {list(self.relations)})"
+
+
+class Workflow:
+    """A connected DAG of module-labeled nodes (paper Definition 2.2)."""
+
+    def __init__(self, name: str = "workflow"):
+        self.name = name
+        #: node id → module name (L_V)
+        self.node_labels: Dict[str, str] = {}
+        self.edges: List[Edge] = []
+        self.input_nodes: Set[str] = set()
+        self.output_nodes: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: str, module_name: str,
+                 is_input: bool = False, is_output: bool = False) -> str:
+        if node_id in self.node_labels:
+            raise WorkflowDefinitionError(f"duplicate node id {node_id!r}")
+        self.node_labels[node_id] = module_name
+        if is_input:
+            self.input_nodes.add(node_id)
+        if is_output:
+            self.output_nodes.add(node_id)
+        return node_id
+
+    def add_edge(self, source: str, target: str,
+                 relations: Iterable[str]) -> Edge:
+        for endpoint in (source, target):
+            if endpoint not in self.node_labels:
+                raise WorkflowDefinitionError(f"unknown node {endpoint!r}")
+        edge = Edge(source, target, relations)
+        self.edges.append(edge)
+        return edge
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def predecessors(self, node_id: str) -> List[Edge]:
+        return [edge for edge in self.edges if edge.target == node_id]
+
+    def successors(self, node_id: str) -> List[Edge]:
+        return [edge for edge in self.edges if edge.source == node_id]
+
+    def topological_order(self) -> List[str]:
+        """One reference topological order (deterministic: sorted ids
+        break ties, giving a fixed reference semantics per Section 2.2)."""
+        incoming = {node_id: 0 for node_id in self.node_labels}
+        for edge in self.edges:
+            incoming[edge.target] += 1
+        frontier = sorted(node_id for node_id, degree in incoming.items()
+                          if degree == 0)
+        order: List[str] = []
+        while frontier:
+            current = frontier.pop(0)
+            order.append(current)
+            for edge in self.successors(current):
+                incoming[edge.target] -= 1
+                if incoming[edge.target] == 0:
+                    frontier.append(edge.target)
+            frontier.sort()
+        if len(order) != len(self.node_labels):
+            raise WorkflowDefinitionError(
+                f"workflow {self.name!r} contains a cycle")
+        return order
+
+    def module_names(self) -> Set[str]:
+        return set(self.node_labels.values())
+
+    # ------------------------------------------------------------------
+    # Validation (Definition 2.2)
+    # ------------------------------------------------------------------
+    def validate(self, modules: ModuleRegistry) -> None:
+        """Check every condition of Definition 2.2; raises otherwise."""
+        if not self.node_labels:
+            raise WorkflowDefinitionError("workflow has no nodes")
+        for node_id, module_name in self.node_labels.items():
+            if module_name not in modules:
+                raise WorkflowDefinitionError(
+                    f"node {node_id!r} labeled with unknown module "
+                    f"{module_name!r}")
+        self.topological_order()  # acyclicity
+        self._check_connected()
+        for node_id in self.input_nodes:
+            if self.predecessors(node_id):
+                raise WorkflowDefinitionError(
+                    f"input node {node_id!r} has incoming edges")
+        for node_id in self.output_nodes:
+            if self.successors(node_id):
+                raise WorkflowDefinitionError(
+                    f"output node {node_id!r} has outgoing edges")
+        for edge in self.edges:
+            source_module = modules.module(self.node_labels[edge.source])
+            target_module = modules.module(self.node_labels[edge.target])
+            for relation in edge.relations:
+                if relation not in source_module.output_schemas:
+                    raise WorkflowDefinitionError(
+                        f"{edge!r}: relation {relation!r} is not in S_out of "
+                        f"{source_module.name!r}")
+                if relation not in target_module.input_schemas:
+                    raise WorkflowDefinitionError(
+                        f"{edge!r}: relation {relation!r} is not in S_in of "
+                        f"{target_module.name!r}")
+        for node_id in self.node_labels:
+            incoming = self.predecessors(node_id)
+            seen: Dict[str, str] = {}
+            for edge in incoming:
+                for relation in edge.relations:
+                    if relation in seen:
+                        raise WorkflowDefinitionError(
+                            f"node {node_id!r} receives relation {relation!r} "
+                            f"from both {seen[relation]!r} and {edge.source!r}")
+                    seen[relation] = edge.source
+            if node_id not in self.input_nodes:
+                module = modules.module(self.node_labels[node_id])
+                missing = set(module.input_schemas) - set(seen)
+                if missing:
+                    raise WorkflowDefinitionError(
+                        f"node {node_id!r} ({module.name}) does not receive "
+                        f"input relations {sorted(missing)}")
+
+    def _check_connected(self) -> None:
+        """The underlying undirected graph must be connected."""
+        if len(self.node_labels) <= 1:
+            return
+        neighbours: Dict[str, Set[str]] = {node: set() for node in self.node_labels}
+        for edge in self.edges:
+            neighbours[edge.source].add(edge.target)
+            neighbours[edge.target].add(edge.source)
+        start = next(iter(self.node_labels))
+        seen = {start}
+        stack = [start]
+        while stack:
+            for neighbour in neighbours[stack.pop()]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    stack.append(neighbour)
+        unreachable = set(self.node_labels) - seen
+        if unreachable:
+            raise WorkflowDefinitionError(
+                f"workflow {self.name!r} is not connected; unreachable "
+                f"nodes: {sorted(unreachable)}")
+
+    def __repr__(self) -> str:
+        return (f"Workflow({self.name}, nodes={len(self.node_labels)}, "
+                f"edges={len(self.edges)})")

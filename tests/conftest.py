@@ -1,0 +1,93 @@
+"""Shared fixtures: paper-example relations and executed workflows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datamodel import FieldType, Relation, Schema
+from repro.graph import GraphBuilder
+from repro.piglatin import Interpreter, UDFRegistry
+from repro.workflow import WorkflowExecutor
+
+CARS_SCHEMA = Schema.of(("CarId", FieldType.CHARARRAY),
+                        ("Model", FieldType.CHARARRAY))
+SOLD_SCHEMA = Schema.of(("CarId", FieldType.CHARARRAY),
+                        ("BidId", FieldType.CHARARRAY))
+REQUESTS_SCHEMA = Schema.of(("UserId", FieldType.CHARARRAY),
+                            ("BidId", FieldType.CHARARRAY),
+                            ("Model", FieldType.CHARARRAY))
+
+
+@pytest.fixture
+def cars_relation():
+    """The paper's Example 2.3 Cars state."""
+    return Relation.from_values(CARS_SCHEMA, [
+        ("C1", "Accord"), ("C2", "Civic"), ("C3", "Civic")])
+
+
+@pytest.fixture
+def requests_relation():
+    """The paper's Example 2.3 bid request."""
+    return Relation.from_values(REQUESTS_SCHEMA, [("P1", "B1", "Civic")])
+
+
+@pytest.fixture
+def sold_relation():
+    return Relation.from_values(SOLD_SCHEMA, [])
+
+
+@pytest.fixture
+def builder():
+    return GraphBuilder()
+
+
+@pytest.fixture
+def tracked_interpreter(builder):
+    """An interpreter inside an open module invocation."""
+    builder.begin_invocation("Mtest")
+    yield Interpreter(builder)
+    builder.end_invocation()
+
+
+@pytest.fixture
+def untracked_interpreter():
+    return Interpreter()
+
+
+# ----------------------------------------------------------------------
+# Executed dealership workflow (expensive: session scope)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def dealership_execution():
+    """A small executed dealership run with provenance.
+
+    Returns (graph, outputs, run, executor).  The buyer declines until
+    the final execution, so the run has bid history.
+    """
+    from repro.benchmark.dealerships import (
+        DealershipRun,
+        build_dealership_workflow,
+    )
+
+    workflow, modules = build_dealership_workflow()
+    graph_builder = GraphBuilder()
+    executor = WorkflowExecutor(workflow, modules, graph_builder)
+    run = DealershipRun(num_cars=24, num_exec=4, seed=11)
+    run.buyer.accept_probability = 0.0
+    state = run.initial_state(executor)
+    outputs = run.run(executor, state)
+    return graph_builder.graph, outputs, run, executor
+
+
+@pytest.fixture(scope="session")
+def arctic_execution():
+    """A small executed Arctic run (parallel, 3 stations)."""
+    from repro.benchmark.arctic import ArcticRun, build_arctic_workflow
+
+    workflow, modules = build_arctic_workflow("parallel", 3)
+    graph_builder = GraphBuilder()
+    executor = WorkflowExecutor(workflow, modules, graph_builder)
+    run = ArcticRun(workflow, modules, selectivity="month", num_exec=2,
+                    history_years=1)
+    outputs = run.run(executor)
+    return graph_builder.graph, outputs, run, executor

@@ -1,0 +1,208 @@
+"""Tests for the Arctic stations benchmark workload and topologies."""
+
+import pytest
+
+from repro.benchmark.arctic import ArcticRun, build_arctic_workflow
+from repro.benchmark.datasets import (
+    MONTH_SEASONS,
+    arctic_observation,
+    arctic_observations,
+    months_of_selectivity,
+)
+from repro.benchmark.topologies import (
+    build_topology,
+    dense_topology,
+    parallel_topology,
+    serial_topology,
+    terminal_stations,
+)
+from repro.errors import WorkflowDefinitionError
+from repro.graph import GraphBuilder, NodeKind
+from repro.workflow import WorkflowExecutor
+
+
+class TestSyntheticData:
+    def test_observation_shape(self):
+        row = arctic_observation(1, 1961, 7)
+        assert len(row) == 9
+        year, month, season, air_temp = row[:4]
+        assert (year, month, season) == (1961, 7, "summer")
+        assert isinstance(air_temp, float)
+
+    def test_deterministic(self):
+        assert arctic_observation(1, 1961, 7) == arctic_observation(1, 1961, 7)
+        assert arctic_observation(1, 1961, 7) != arctic_observation(2, 1961, 7)
+
+    def test_winter_colder_than_summer(self):
+        winter = arctic_observation(1, 1970, 1)[3]
+        summer = arctic_observation(1, 1970, 7)[3]
+        assert winter < summer
+
+    def test_observations_cardinality(self):
+        rows = arctic_observations(3, 1961, 1965)
+        assert len(rows) == 5 * 12
+
+    def test_seasons_map(self):
+        assert MONTH_SEASONS[12] == "winter"
+        assert MONTH_SEASONS[6] == "summer"
+        assert len(MONTH_SEASONS) == 12
+
+    def test_months_of_selectivity(self):
+        assert len(months_of_selectivity("all", 5)) == 12
+        assert months_of_selectivity("month", 5) == [5]
+        assert len(months_of_selectivity("season", 1)) == 3
+        with pytest.raises(ValueError):
+            months_of_selectivity("wat", 1)
+
+
+class TestTopologies:
+    def test_serial(self):
+        layers, edges = serial_topology(4)
+        assert layers == [[1], [2], [3], [4]]
+        assert edges == [(1, 2), (2, 3), (3, 4)]
+        assert terminal_stations((layers, edges)) == [4]
+
+    def test_parallel(self):
+        layers, edges = parallel_topology(3)
+        assert layers == [[1, 2, 3]]
+        assert edges == []
+        assert terminal_stations((layers, edges)) == [1, 2, 3]
+
+    def test_dense_fan_out_3(self):
+        # Fig 4(c): 9 stations, fan-out 3, complete bipartite layers.
+        layers, edges = dense_topology(9, 3)
+        assert layers == [[1, 2, 3], [4, 5, 6], [7, 8, 9]]
+        assert (1, 5) in edges and (3, 4) in edges
+        assert len(edges) == 9 + 9
+        # "Msta5 gets three minTemp values, one from each 1,2,3."
+        upstream_of_5 = [source for source, target in edges if target == 5]
+        assert upstream_of_5 == [1, 2, 3]
+
+    def test_dense_ragged_last_layer(self):
+        layers, _edges = dense_topology(5, 2)
+        assert layers == [[1, 2], [3, 4], [5]]
+
+    def test_build_topology_dispatch(self):
+        assert build_topology("serial", 2) == serial_topology(2)
+        with pytest.raises(WorkflowDefinitionError):
+            build_topology("ring", 2)
+        with pytest.raises(WorkflowDefinitionError):
+            build_topology("serial", 0)
+        with pytest.raises(WorkflowDefinitionError):
+            dense_topology(4, 0)
+
+
+class TestArcticWorkflow:
+    @pytest.mark.parametrize("topology,stations,fan_out", [
+        ("serial", 2, 2), ("parallel", 4, 2), ("dense", 6, 2),
+        ("dense", 9, 3),
+    ])
+    def test_workflows_validate(self, topology, stations, fan_out):
+        workflow, modules = build_arctic_workflow(topology, stations, fan_out)
+        # validate() already ran inside; sanity-check the shape.
+        assert len(workflow.input_nodes) == 1
+        assert len(workflow.output_nodes) == 1
+        station_nodes = [node for node in workflow.node_labels
+                         if node.startswith("sta")]
+        assert len(station_nodes) == stations
+
+    def test_overall_min_correct(self, arctic_execution):
+        """The workflow's overall minimum equals a direct Python
+        computation over the same observations and selectivity."""
+        _graph, outputs, run, executor = arctic_execution
+        final = outputs[-1].outputs_of("out")["OverallMin"]
+        reported = final.rows[0].values[0]
+        # Recompute: months seen = history + the executed months.
+        expected = None
+        for station in (1, 2, 3):
+            rows = arctic_observations(station, run.start_year,
+                                       run.start_year + run.history_years - 1)
+            for execution_index in range(len(outputs)):
+                batch = run.input_batch(execution_index)
+                year, month, _sel = batch["in"]["Query"][0]
+                rows.append(arctic_observation(station, year, month))
+            last_year, last_month, _sel = run.input_batch(
+                len(outputs) - 1)["in"]["Query"][0]
+            for row in rows:
+                if row[1] == last_month:  # selectivity = month
+                    temp = row[3]
+                    expected = temp if expected is None else min(expected, temp)
+        assert reported == pytest.approx(expected)
+
+    def test_state_grows_per_execution(self, arctic_execution):
+        _graph, outputs, run, executor = arctic_execution
+        # (history + executions) observations per station — reflected
+        # in the last invocation's state node count.
+        graph = _graph
+        invocations = graph.invocations_of("Msta1")
+        assert len(invocations) == len(outputs)
+        history = run.history_years * 12
+        assert len(invocations[0].state_nodes) == history
+        assert len(invocations[1].state_nodes) == history + 1
+
+    def test_selectivity_affects_aggregate_size(self):
+        """Lower selectivity ⇒ more tuples feed the MIN aggregate —
+        the mechanism behind Figs 6(b)/6(c)/7(c)."""
+        sizes = {}
+        for selectivity in ("all", "season", "month", "year"):
+            workflow, modules = build_arctic_workflow("parallel", 1)
+            builder = GraphBuilder()
+            executor = WorkflowExecutor(workflow, modules, builder)
+            run = ArcticRun(workflow, modules, selectivity=selectivity,
+                            num_exec=1, history_years=2)
+            run.run(executor)
+            agg_nodes = builder.graph.nodes_of_kind(NodeKind.AGG)
+            sizes[selectivity] = max(
+                len(builder.graph.preds(node.node_id)) for node in agg_nodes)
+        assert sizes["all"] > sizes["season"] > sizes["month"] > sizes["year"]
+        # Exact expectations with 2 years of history + 1 new January
+        # observation: all = 25; season (Dec/Jan/Feb) = 2·3 + 1 = 7;
+        # month (January) = 2 + 1 = 3; year (the query year) = 1.
+        assert sizes["all"] == 25
+        assert sizes["season"] == 7
+        assert sizes["month"] == 3
+        assert sizes["year"] == 1
+
+    def test_graph_size_by_topology(self):
+        """Denser topologies yield more edges (Fig 6(c) ordering)."""
+        edges = {}
+        for topology, fan_out in (("serial", 2), ("parallel", 2),
+                                  ("dense", 3)):
+            workflow, modules = build_arctic_workflow(topology, 6, fan_out)
+            builder = GraphBuilder()
+            executor = WorkflowExecutor(workflow, modules, builder)
+            run = ArcticRun(workflow, modules, selectivity="month",
+                            num_exec=2, history_years=1)
+            run.run(executor)
+            edges[topology] = builder.graph.edge_count
+        assert edges["dense"] > edges["parallel"]
+
+    def test_invalid_selectivity(self):
+        workflow, modules = build_arctic_workflow("parallel", 1)
+        with pytest.raises(ValueError):
+            ArcticRun(workflow, modules, selectivity="everything")
+
+    def test_input_batches_advance_months(self):
+        workflow, modules = build_arctic_workflow("parallel", 1)
+        run = ArcticRun(workflow, modules, num_exec=14, history_years=1,
+                        start_year=1961)
+        batches = run.input_batches()
+        first = batches[0]["in"]["Query"][0]
+        thirteenth = batches[12]["in"]["Query"][0]
+        assert first[:2] == (1962, 1)
+        assert thirteenth[:2] == (1963, 1)
+
+    def test_serial_min_flows_downstream(self):
+        """In a serial chain, the last station's output min is ≤ every
+        upstream station's local min."""
+        workflow, modules = build_arctic_workflow("serial", 3)
+        executor = WorkflowExecutor(workflow, modules)
+        run = ArcticRun(workflow, modules, selectivity="year", num_exec=1,
+                        history_years=1)
+        state = run.initial_state(executor)
+        output = executor.execute(run.input_batch(0), state)
+        sta1 = output.outputs_of("sta1")["MinTemp1"].rows[0].values[0]
+        sta3 = output.outputs_of("sta3")["MinTemp3"].rows[0].values[0]
+        overall = output.outputs_of("out")["OverallMin"].rows[0].values[0]
+        assert sta3 <= sta1
+        assert overall == sta3

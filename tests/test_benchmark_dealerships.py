@@ -1,0 +1,236 @@
+"""Tests for the Car dealerships benchmark workload."""
+
+import pytest
+
+from repro.benchmark.datasets import (
+    GERMAN_CAR_MODELS,
+    Buyer,
+    car_inventory,
+    model_base_price,
+    random_buyer,
+    stable_hash,
+)
+from repro.benchmark.dealerships import (
+    DealershipRun,
+    build_dealership_workflow,
+    calc_bid,
+    pick_car,
+)
+from repro.datamodel import Bag, FieldType, Relation, Schema
+from repro.graph import GraphBuilder, NodeKind
+from repro.workflow import WorkflowExecutor
+
+
+class TestDatasets:
+    def test_stable_hash_deterministic(self):
+        assert stable_hash("x") == stable_hash("x")
+        assert stable_hash("x") != stable_hash("y")
+
+    def test_twelve_models(self):
+        assert len(GERMAN_CAR_MODELS) == 12
+
+    def test_inventory_split(self):
+        per_dealer = car_inventory(40, 4, seed=1)
+        assert len(per_dealer) == 4
+        assert sum(len(cars) for cars in per_dealer) == 40
+        all_ids = [car_id for cars in per_dealer for car_id, _m in cars]
+        assert len(set(all_ids)) == 40
+
+    def test_inventory_models_valid(self):
+        for cars in car_inventory(20, 4, seed=2):
+            for _car_id, model in cars:
+                assert model in GERMAN_CAR_MODELS
+
+    def test_inventory_seeded(self):
+        assert car_inventory(20, seed=3) == car_inventory(20, seed=3)
+        assert car_inventory(20, seed=3) != car_inventory(20, seed=4)
+
+    def test_base_price_range(self):
+        for model in GERMAN_CAR_MODELS:
+            assert 18_000 <= model_base_price(model) <= 29_000
+
+    def test_random_buyer_seeded(self):
+        assert random_buyer(7).model == random_buyer(7).model
+        buyer = random_buyer(7)
+        assert 0.3 <= buyer.accept_probability <= 0.9
+
+
+def _bag(schema, rows):
+    return Bag(Relation.from_values(schema, rows))
+
+
+REQ = Schema.of("UserId", "BidId", "Model", "Phase", "DealerId")
+NUM = Schema.of("Model", ("NumAvail", FieldType.INT))
+BIDS = Schema.of("DealerId", "BidId", "UserId", "Model",
+                 ("Amount", FieldType.INT))
+
+
+class TestCalcBid:
+    def test_basic_bid(self):
+        bids = calc_bid(
+            _bag(REQ, [("P1", "B1", "Golf", "bid", "any")]),
+            _bag(NUM, [("Golf", 3)]),
+            _bag(Schema.of("Model", ("NumSold", FieldType.INT)), []),
+            _bag(BIDS, []))
+        assert len(bids) == 1
+        bid_id, user, model, amount = bids[0]
+        assert (bid_id, user, model) == ("B1", "P1", "Golf")
+        assert amount == model_base_price("Golf") - 450
+
+    def test_no_inventory_no_bid(self):
+        bids = calc_bid(
+            _bag(REQ, [("P1", "B1", "Golf", "bid", "any")]),
+            _bag(NUM, []), _bag(NUM, []), _bag(BIDS, []))
+        assert bids == []
+
+    def test_no_request_no_bid(self):
+        assert calc_bid(_bag(REQ, []), _bag(NUM, [("Golf", 1)]),
+                        _bag(NUM, []), _bag(BIDS, [])) == []
+
+    def test_bid_history_lowers_bid(self):
+        # "a bid of the same or lower amount" on repeated requests.
+        first = calc_bid(
+            _bag(REQ, [("P1", "B1", "Golf", "bid", "any")]),
+            _bag(NUM, [("Golf", 3)]), _bag(NUM, []), _bag(BIDS, []))
+        prior_amount = first[0][3]
+        second = calc_bid(
+            _bag(REQ, [("P1", "B2", "Golf", "bid", "any")]),
+            _bag(NUM, [("Golf", 3)]), _bag(NUM, []),
+            _bag(BIDS, [("dealer1", "B1", "P1", "Golf", prior_amount)]))
+        assert second[0][3] < prior_amount
+
+    def test_price_floor(self):
+        bids = calc_bid(
+            _bag(REQ, [("P1", "B9", "Golf", "bid", "any")]),
+            _bag(NUM, [("Golf", 3)]), _bag(NUM, []),
+            _bag(BIDS, [("dealer1", "B1", "P1", "Golf", 5100)]))
+        assert bids[0][3] == 5_000
+
+
+class TestPickCar:
+    CARS_JOINED = Schema.of("CarId", "Model")
+    SOLD = Schema.of("CarId", "BidId")
+    BUYS = Schema.of("UserId", "BidId", "Model", "Phase", "DealerId")
+
+    def test_picks_first_available(self):
+        sold = pick_car(
+            _bag(self.BUYS, [("P1", "B1", "Golf", "buy", "dealer1")]),
+            _bag(self.CARS_JOINED, [("C5", "Golf"), ("C2", "Golf")]),
+            _bag(self.SOLD, []))
+        assert sold == [("C2", "B1")]
+
+    def test_skips_sold_cars(self):
+        sold = pick_car(
+            _bag(self.BUYS, [("P1", "B1", "Golf", "buy", "dealer1")]),
+            _bag(self.CARS_JOINED, [("C2", "Golf"), ("C5", "Golf")]),
+            _bag(self.SOLD, [("C2", "B0")]))
+        assert sold == [("C5", "B1")]
+
+    def test_nothing_available(self):
+        assert pick_car(
+            _bag(self.BUYS, [("P1", "B1", "Golf", "buy", "dealer1")]),
+            _bag(self.CARS_JOINED, []), _bag(self.SOLD, [])) == []
+
+    def test_all_sold(self):
+        assert pick_car(
+            _bag(self.BUYS, [("P1", "B1", "Golf", "buy", "dealer1")]),
+            _bag(self.CARS_JOINED, [("C2", "Golf")]),
+            _bag(self.SOLD, [("C2", "B0")])) == []
+
+
+class TestDealershipWorkflow:
+    def test_workflow_validates(self):
+        workflow, modules = build_dealership_workflow()
+        assert len(workflow.node_labels) == 14  # 2 inputs + 12 modules
+        assert workflow.input_nodes == {"req", "choice"}
+        assert workflow.output_nodes == {"car"}
+
+    def test_dealers_invoked_twice_per_execution(self):
+        workflow, modules = build_dealership_workflow()
+        builder = GraphBuilder()
+        executor = WorkflowExecutor(workflow, modules, builder)
+        run = DealershipRun(num_cars=8, num_exec=1, seed=0)
+        run.run(executor)
+        assert len(builder.graph.invocations_of("Mdealer1")) == 2
+
+    def test_bids_decrease_on_repeated_declines(self):
+        # The paper: "each dealer will consult its bid history and
+        # will generate a bid of the same or lower amount."
+        workflow, modules = build_dealership_workflow()
+        executor = WorkflowExecutor(workflow, modules)
+        run = DealershipRun(num_cars=40, num_exec=4, seed=9)
+        run.buyer.accept_probability = 0.0
+        state = run.initial_state(executor)
+        outputs = run.run(executor, state)
+        amounts = []
+        for output in outputs:
+            best = output.outputs_of("agg")["BestBids"]
+            if best.rows:
+                amounts.append(best.rows[0].values[4])
+        assert len(amounts) >= 2
+        assert all(later < earlier
+                   for earlier, later in zip(amounts, amounts[1:]))
+
+    def test_purchase_updates_sold_cars(self):
+        workflow, modules = build_dealership_workflow()
+        executor = WorkflowExecutor(workflow, modules)
+        run = DealershipRun(num_cars=40, num_exec=10, seed=1)
+        run.buyer.accept_probability = 1.0
+        run.buyer.reserve_price = 10 ** 9  # always above any bid
+        state = run.initial_state(executor)
+        run.run(executor, state)
+        assert run.purchase is not None
+        car_id, bid_id = run.purchase
+        sold = [relation for name, relation
+                in ((f"Mdealer{i}", state.of(f"Mdealer{i}")["SoldCars"])
+                    for i in range(1, 5))
+                if len(relation)]
+        assert len(sold) == 1
+        assert sold[0].value_rows() == [(car_id, bid_id)]
+
+    def test_losing_dealers_unchanged(self):
+        workflow, modules = build_dealership_workflow()
+        executor = WorkflowExecutor(workflow, modules)
+        run = DealershipRun(num_cars=40, num_exec=10, seed=1)
+        run.buyer.accept_probability = 1.0
+        run.buyer.reserve_price = 10 ** 9
+        state = run.initial_state(executor)
+        outputs = run.run(executor, state)
+        winner = outputs[-1].outputs_of("agg")["BestBids"].rows[0].values[0]
+        for index in range(1, 5):
+            name = f"dealer{index}"
+            sold = state.of(f"Mdealer{index}")["SoldCars"]
+            if name == winner:
+                assert len(sold) == 1
+            else:
+                assert len(sold) == 0
+
+    def test_best_bid_is_minimum(self):
+        workflow, modules = build_dealership_workflow()
+        executor = WorkflowExecutor(workflow, modules)
+        run = DealershipRun(num_cars=60, num_exec=1, seed=4)
+        run.buyer.accept_probability = 0.0
+        state = run.initial_state(executor)
+        output = executor.execute(run.input_batch(0), state)
+        all_amounts = []
+        for index in range(1, 5):
+            bids = output.outputs_of(f"dealer{index}_bid")[f"Bids{index}"]
+            all_amounts.extend(row.values[4] for row in bids.rows)
+        best = output.outputs_of("agg")["BestBids"]
+        if all_amounts:
+            assert best.rows[0].values[4] == min(all_amounts)
+
+    def test_decline_means_no_purchase(self):
+        workflow, modules = build_dealership_workflow()
+        executor = WorkflowExecutor(workflow, modules)
+        run = DealershipRun(num_cars=20, num_exec=3, seed=6)
+        run.buyer.accept_probability = 0.0
+        state = run.initial_state(executor)
+        run.run(executor, state)
+        assert run.purchase is None
+        assert run.executions_run == 3
+
+    def test_provenance_graph_grows_linearly(self, dealership_execution):
+        graph, outputs, _run, _executor = dealership_execution
+        # Invocations: 12 per execution (4 dealers × 2 + and/agg/xor/car).
+        assert len(graph.invocations) == 12 * len(outputs)

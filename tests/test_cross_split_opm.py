@@ -1,0 +1,165 @@
+"""Tests for CROSS / SPLIT statements and the OPM export."""
+
+import io
+import json
+
+import pytest
+
+from repro.datamodel import FieldType, Relation, Schema
+from repro.errors import PigSyntaxError
+from repro.graph import GraphBuilder, NodeKind, to_opm
+from repro.piglatin import Interpreter, ast, parse
+from repro.queries import coarse_view
+
+ITEMS = Schema.of(("Item", FieldType.CHARARRAY), ("Qty", FieldType.INT))
+TAGS = Schema.of(("Tag", FieldType.CHARARRAY),)
+
+
+def env():
+    return {
+        "Items": Relation.from_values(ITEMS, [("a", 1), ("b", 5), ("c", 9)]),
+        "Tags": Relation.from_values(TAGS, [("x",), ("y",)]),
+    }
+
+
+class TestCross:
+    def test_parse(self):
+        statement = parse("C = CROSS A, B;").statements[0]
+        assert isinstance(statement, ast.Cross)
+        assert statement.input_aliases == ("A", "B")
+
+    def test_needs_two_inputs(self):
+        with pytest.raises(PigSyntaxError):
+            parse("C = CROSS A;")
+
+    def test_cartesian_product(self):
+        result = Interpreter().execute("C = CROSS Items, Tags;", env())
+        crossed = result.relation("C")
+        assert len(crossed) == 6
+        assert crossed.schema.names == ("Items::Item", "Items::Qty",
+                                        "Tags::Tag")
+
+    def test_three_way(self):
+        e = env()
+        e["More"] = Relation.from_values(TAGS, [("z",)])
+        result = Interpreter().execute("C = CROSS Items, Tags, More;", e)
+        assert len(result.relation("C")) == 6
+
+    def test_provenance_is_joint(self):
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        result = Interpreter(builder).execute("C = CROSS Items, Tags;", env())
+        builder.end_invocation()
+        for row in result.relation("C").rows:
+            node = builder.graph.node(row.prov)
+            assert node.kind is NodeKind.TIMES
+            assert len(builder.graph.preds(row.prov)) == 2
+
+    def test_empty_side(self):
+        e = env()
+        e["Tags"] = Relation.empty(TAGS)
+        result = Interpreter().execute("C = CROSS Items, Tags;", e)
+        assert len(result.relation("C")) == 0
+
+
+class TestSplit:
+    def test_parse(self):
+        statement = parse(
+            "SPLIT Items INTO Small IF Qty < 3, Big IF Qty >= 3;").statements[0]
+        assert isinstance(statement, ast.Split)
+        assert [alias for alias, _cond in statement.branches] == [
+            "Small", "Big"]
+
+    def test_partitions(self):
+        result = Interpreter().execute(
+            "SPLIT Items INTO Small IF Qty < 3, Big IF Qty >= 3;", env())
+        assert result.relation("Small").value_rows() == [("a", 1)]
+        assert len(result.relation("Big")) == 2
+
+    def test_overlapping_branches(self):
+        # Tuples go to every matching branch (Pig semantics).
+        result = Interpreter().execute(
+            "SPLIT Items INTO Lo IF Qty < 6, Mid IF Qty > 0;", env())
+        assert len(result.relation("Lo")) == 2
+        assert len(result.relation("Mid")) == 3
+
+    def test_provenance_like_filter(self):
+        e = env()
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        result = Interpreter(builder).execute(
+            "SPLIT Items INTO Small IF Qty < 3, Big IF Qty >= 3;", e)
+        builder.end_invocation()
+        base = {row.prov for row in e["Items"].rows}
+        for alias in ("Small", "Big"):
+            for row in result.relation(alias).rows:
+                assert row.prov in base  # compact filter semantics
+
+    def test_branches_usable_downstream(self):
+        script = """
+SPLIT Items INTO Small IF Qty < 3, Big IF Qty >= 3;
+U = UNION Small, Big;
+"""
+        result = Interpreter().execute(script, env())
+        assert len(result.relation("U")) == 3
+
+
+class TestOPMExport:
+    @pytest.fixture
+    def tracked_graph(self):
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        Interpreter(builder).execute("""
+G = GROUP Items BY Item;
+C = FOREACH G GENERATE group, COUNT(Items) AS n;
+""", env())
+        builder.end_invocation()
+        return builder.graph
+
+    def test_partition_covers_all_nodes(self, tracked_graph):
+        document = to_opm(tracked_graph)
+        total = len(document.artifacts) + len(document.processes)
+        assert total == tracked_graph.node_count
+
+    def test_module_is_process_tuples_are_artifacts(self, tracked_graph):
+        document = to_opm(tracked_graph)
+        process_kinds = {record["kind"]
+                         for record in document.processes.values()}
+        artifact_kinds = {record["kind"]
+                          for record in document.artifacts.values()}
+        assert "module" in process_kinds
+        assert "tuple" in artifact_kinds
+        assert process_kinds.isdisjoint(artifact_kinds)
+
+    def test_edge_count_preserved(self, tracked_graph):
+        document = to_opm(tracked_graph)
+        assert document.edge_count == tracked_graph.edge_count
+
+    def test_dependency_directions(self, tracked_graph):
+        document = to_opm(tracked_graph)
+        # Every `used` points process ← artifact.
+        for record in document.used:
+            assert record["process"].startswith("p")
+            assert record["artifact"].startswith("a")
+        for record in document.was_generated_by:
+            assert record["artifact"].startswith("a")
+            assert record["process"].startswith("p")
+
+    def test_json_round_trip(self, tracked_graph, tmp_path):
+        document = to_opm(tracked_graph)
+        buffer = io.StringIO()
+        document.dump(buffer)
+        parsed = json.loads(buffer.getvalue())
+        assert "opm" in parsed
+        path = tmp_path / "graph.opm.json"
+        document.dump(str(path))
+        assert json.loads(path.read_text())["opm"]["processes"]
+
+    def test_coarse_view_export_is_classic_opm(self, dealership_execution):
+        # ZoomOut everything, then export: processes are only module
+        # invocations and zoom boxes — classic coarse-grained OPM.
+        graph, _outputs, _run, _executor = dealership_execution
+        coarse = coarse_view(graph)
+        document = to_opm(coarse)
+        kinds = {record["kind"] for record in document.processes.values()}
+        assert kinds <= {"module", "zoom"}

@@ -1,0 +1,109 @@
+"""Tests for the simulated map-reduce substrate (Fig 5(c))."""
+
+import pytest
+
+from repro.engine import (
+    CostModel,
+    FIG5C_REDUCERS,
+    MAX_REDUCERS,
+    SimulatedMapReduceJob,
+    dealership_parallelism_experiment,
+)
+from repro.errors import LipstickError
+
+
+def four_dealer_job(**kwargs):
+    work = {f"dealer{index}": 1.0 for index in range(1, 5)}
+    return SimulatedMapReduceJob(work, **kwargs)
+
+
+class TestSimulatedJob:
+    def test_needs_keys(self):
+        with pytest.raises(LipstickError):
+            SimulatedMapReduceJob({})
+
+    def test_needs_positive_reducers(self):
+        with pytest.raises(LipstickError):
+            four_dealer_job().run(0)
+
+    def test_round_robin_balances(self):
+        job = four_dealer_job(partition_strategy="round_robin")
+        partitions = job.partition(2)
+        assert [len(keys) for keys in partitions] == [2, 2]
+        partitions = job.partition(4)
+        assert [len(keys) for keys in partitions] == [1, 1, 1, 1]
+
+    def test_hash_partition_covers_all_keys(self):
+        job = four_dealer_job(partition_strategy="hash")
+        partitions = job.partition(3)
+        assert sorted(key for keys in partitions for key in keys) == [
+            "dealer1", "dealer2", "dealer3", "dealer4"]
+
+    def test_unknown_strategy(self):
+        with pytest.raises(LipstickError):
+            four_dealer_job(partition_strategy="magic")
+
+    def test_wall_time_components(self):
+        model = CostModel(reducer_startup=0.5,
+                          coordination_per_reducer=0.1,
+                          fixed_job_overhead=1.0)
+        job = four_dealer_job(cost_model=model,
+                              partition_strategy="round_robin",
+                              serial_seconds=2.0)
+        stats = job.run(1)
+        # serial 2 + fixed 1 + startup .5 + coord .1 + all 4 keys
+        assert stats.wall_time == pytest.approx(2 + 1 + 0.5 + 0.1 + 4.0)
+
+    def test_more_reducers_less_critical_path(self):
+        job = four_dealer_job(partition_strategy="round_robin")
+        assert job.run(4).max_load < job.run(1).max_load
+
+    def test_skew_metric(self):
+        job = SimulatedMapReduceJob({"a": 3.0, "b": 1.0},
+                                    partition_strategy="round_robin")
+        assert job.run(2).skew == pytest.approx(1.5)
+        assert job.run(1).skew == 1.0
+
+    def test_improvement_series_keys(self):
+        job = four_dealer_job(partition_strategy="round_robin")
+        series = job.improvement_series([2, 4])
+        assert set(series) == {2, 4}
+
+
+class TestParallelismExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return dealership_parallelism_experiment(num_cars=60)
+
+    def test_shape_best_in_2_to_4(self, result):
+        # Paper: "Best improvement is achieved with between 2 and 4
+        # reducers, and is about 50%."
+        best = result.best_reducer_count()
+        assert 2 <= best <= 4
+        assert 35.0 <= result.with_provenance[best] <= 65.0
+
+    def test_declines_beyond_saturation(self, result):
+        series = result.with_provenance
+        assert series[10] > series[20] > series[54]
+
+    def test_positive_everywhere(self, result):
+        assert all(value > 0 for value in result.with_provenance.values())
+
+    def test_tracked_and_untracked_comparable(self, result):
+        # Paper: differences between the two curves are noise.
+        for count in result.with_provenance:
+            assert result.with_provenance[count] == pytest.approx(
+                result.without_provenance[count], abs=10.0)
+
+    def test_rows_sorted(self, result):
+        rows = result.rows()
+        counts = [row[0] for row in rows]
+        assert counts == sorted(counts)
+
+    def test_reducer_cap(self):
+        result = dealership_parallelism_experiment(
+            num_cars=20, reducer_counts=[2, MAX_REDUCERS + 10])
+        assert all(count <= MAX_REDUCERS for count in result.with_provenance)
+
+    def test_fig5c_reducer_list(self):
+        assert max(FIG5C_REDUCERS) == MAX_REDUCERS

@@ -1,0 +1,193 @@
+"""Unit tests for scalar expression evaluation."""
+
+import pytest
+
+from repro.datamodel import Bag, FieldType, Relation, Row, Schema
+from repro.errors import PigRuntimeError
+from repro.piglatin import parse_expression
+from repro.piglatin.expressions import (
+    ExpressionEvaluator,
+    apply_binary_values,
+    apply_unary_value,
+    default_item_name,
+    infer_expression_type,
+)
+from repro.piglatin import ast
+
+SCHEMA = Schema.of(("Model", FieldType.CHARARRAY),
+                   ("Price", FieldType.INT),
+                   ("Discount", FieldType.INT))
+
+
+def evaluate(source, values=("Civic", 20000, None), schema=SCHEMA):
+    evaluator = ExpressionEvaluator(schema)
+    return evaluator.evaluate(parse_expression(source), Row(values))
+
+
+class TestFieldAccess:
+    def test_field_ref(self):
+        assert evaluate("Model") == "Civic"
+
+    def test_positional_ref(self):
+        assert evaluate("$1") == 20000
+
+    def test_star(self):
+        assert evaluate("*") == ("Civic", 20000, None)
+
+    def test_dotted_on_bag(self):
+        inner = Relation.from_values(Schema.of("CarId", "Model"),
+                                     [("C1", "Golf"), ("C2", "Golf")])
+        schema = Schema.of(("Items", FieldType.BAG, inner.schema))
+        evaluator = ExpressionEvaluator(schema)
+        result = evaluator.evaluate(parse_expression("Items.CarId"),
+                                    Row((Bag(inner),)))
+        assert isinstance(result, Bag)
+        assert [row.values for row in result.rows] == [("C1",), ("C2",)]
+
+    def test_dotted_on_atom_fails(self):
+        with pytest.raises(PigRuntimeError):
+            evaluate("Model.x")
+
+    def test_dotted_on_null_is_null(self):
+        schema = Schema.of("Items")
+        evaluator = ExpressionEvaluator(schema)
+        assert evaluator.evaluate(parse_expression("Items.x"), Row((None,))) is None
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert evaluate("Price + 1") == 20001
+        assert evaluate("Price - 1") == 19999
+        assert evaluate("Price * 2") == 40000
+        assert evaluate("Price / 2") == 10000
+        assert evaluate("Price % 3") == 20000 % 3
+
+    def test_null_propagates(self):
+        assert evaluate("Discount + 1") is None
+        assert evaluate("-Discount") is None
+
+    def test_division_by_zero(self):
+        with pytest.raises(PigRuntimeError):
+            evaluate("Price / 0")
+
+    def test_unary_minus(self):
+        assert evaluate("-Price") == -20000
+
+
+class TestComparisons:
+    def test_all_operators(self):
+        assert evaluate("Price == 20000") is True
+        assert evaluate("Price != 20000") is False
+        assert evaluate("Price < 30000") is True
+        assert evaluate("Price <= 20000") is True
+        assert evaluate("Price > 30000") is False
+        assert evaluate("Price >= 20001") is False
+
+    def test_null_comparisons_false(self):
+        assert evaluate("Discount == 1") is False
+        assert evaluate("Discount < 1") is False
+
+    def test_incomparable_types(self):
+        with pytest.raises(PigRuntimeError):
+            evaluate("Model < 3")
+
+    def test_is_null(self):
+        assert evaluate("Discount IS NULL") is True
+        assert evaluate("Discount IS NOT NULL") is False
+        assert evaluate("Price IS NULL") is False
+
+
+class TestBoolean:
+    def test_and_or(self):
+        assert evaluate("Price > 1 AND Model == 'Civic'") is True
+        assert evaluate("Price > 1 AND Model == 'Golf'") is False
+        assert evaluate("Price < 1 OR Model == 'Civic'") is True
+
+    def test_not(self):
+        assert evaluate("NOT Price > 1") is False
+
+    def test_truth_treats_null_falsy(self):
+        evaluator = ExpressionEvaluator(SCHEMA)
+        assert evaluator.truth(parse_expression("Discount"),
+                               Row(("Civic", 1, None))) is False
+
+
+class TestFunctions:
+    def test_scalar_builtins(self):
+        assert evaluate("ABS(0 - Price)") == 20000
+        assert evaluate("UPPER(Model)") == "CIVIC"
+        assert evaluate("LOWER(Model)") == "civic"
+        assert evaluate("CONCAT(Model, '!')") == "Civic!"
+        assert evaluate("SIZE(Model)") == 5
+        assert evaluate("ROUND(1.6)") == 2
+        assert evaluate("FLOOR(1.6)") == 1
+        assert evaluate("CEIL(1.2)") == 2
+
+    def test_null_safe_builtins(self):
+        assert evaluate("ABS(Discount)") is None
+        assert evaluate("CONCAT(Model, Discount)") is None
+
+    def test_resolver_udf(self):
+        def resolver(name):
+            if name == "Twice":
+                return lambda value: value * 2
+            return None
+        evaluator = ExpressionEvaluator(SCHEMA, resolver)
+        result = evaluator.evaluate(parse_expression("Twice(Price)"),
+                                    Row(("Civic", 100, None)))
+        assert result == 200
+
+    def test_unknown_function(self):
+        with pytest.raises(PigRuntimeError):
+            evaluate("Nope(Price)")
+
+    def test_flatten_outside_generate(self):
+        evaluator = ExpressionEvaluator(SCHEMA)
+        with pytest.raises(PigRuntimeError):
+            evaluator.evaluate(ast.Flatten(ast.FieldRef("Model")),
+                               Row(("Civic", 1, None)))
+
+
+class TestApplyHelpers:
+    def test_apply_binary_values(self):
+        assert apply_binary_values("+", 1, 2) == 3
+        assert apply_binary_values("AND", 1, 0) is False
+        assert apply_binary_values("==", "a", "a") is True
+        assert apply_binary_values("*", None, 2) is None
+
+    def test_apply_unary_value(self):
+        assert apply_unary_value("NOT", 0) is True
+        assert apply_unary_value("-", 3) == -3
+        assert apply_unary_value("-", None) is None
+
+    def test_unknown_operators(self):
+        with pytest.raises(PigRuntimeError):
+            apply_binary_values("**", 1, 2)
+        with pytest.raises(PigRuntimeError):
+            apply_unary_value("~", 1)
+
+
+class TestInference:
+    def test_literal_types(self):
+        assert infer_expression_type(ast.Literal(1), SCHEMA) is FieldType.INT
+        assert infer_expression_type(ast.Literal("x"), SCHEMA) is FieldType.CHARARRAY
+
+    def test_field_types(self):
+        assert infer_expression_type(ast.FieldRef("Price"), SCHEMA) is FieldType.INT
+        assert infer_expression_type(ast.FieldRef("nope"), SCHEMA) is FieldType.ANY
+
+    def test_comparison_is_boolean(self):
+        expression = parse_expression("Price > 3")
+        assert infer_expression_type(expression, SCHEMA) is FieldType.BOOLEAN
+
+    def test_arithmetic_types(self):
+        assert infer_expression_type(parse_expression("Price + 1"),
+                                     SCHEMA) is FieldType.INT
+        assert infer_expression_type(parse_expression("Price / 2"),
+                                     SCHEMA) is FieldType.DOUBLE
+
+    def test_default_item_name(self):
+        assert default_item_name(ast.FieldRef("Cars::Model"), 0) == "Model"
+        assert default_item_name(ast.FuncCall("COUNT", []), 0) == "count"
+        assert default_item_name(ast.Literal(1), 3) == "f3"
+        assert default_item_name(ast.PositionalRef(2), 0) == "f2"

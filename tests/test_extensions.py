@@ -1,0 +1,269 @@
+"""Tests for the extension features: the precomputed reachability
+index (§5.1 trade-off), bounded-loop unfolding (§2.2 / future work),
+and semiring-valued graph analyses (trust / security / cost)."""
+
+import pytest
+
+from repro.datamodel import FieldType, Schema
+from repro.errors import UnknownNodeError, WorkflowDefinitionError
+from repro.graph import GraphBuilder, NodeKind
+from repro.provenance import BOOLEAN, SECURITY, TROPICAL
+from repro.queries import (
+    GraphValuator,
+    ReachabilityIndex,
+    derivation_cost,
+    evaluate_node,
+    required_clearance,
+    subgraph_query,
+    trust_assessment,
+)
+from repro.workflow import (
+    LoopSpec,
+    Module,
+    ModuleRegistry,
+    Workflow,
+    WorkflowExecutor,
+    unfold_workflow,
+)
+
+
+# ----------------------------------------------------------------------
+# ReachabilityIndex
+# ----------------------------------------------------------------------
+class TestReachabilityIndex:
+    @pytest.fixture
+    def diamond(self):
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        a = builder.base_tuple_node("R")
+        b = builder.plus_node([a])
+        c = builder.plus_node([a])
+        d = builder.times_node([b, c])
+        builder.end_invocation()
+        return builder.graph, (a, b, c, d)
+
+    def test_descendants(self, diamond):
+        graph, (a, b, c, d) = diamond
+        index = ReachabilityIndex(graph)
+        assert index.descendants(a) == {b, c, d}
+        assert index.descendants(d) == frozenset()
+
+    def test_ancestors(self, diamond):
+        graph, (a, b, c, d) = diamond
+        index = ReachabilityIndex(graph)
+        assert index.ancestors(d) == {a, b, c}
+
+    def test_ancestors_fallback_without_index(self, diamond):
+        graph, (a, _b, _c, d) = diamond
+        index = ReachabilityIndex(graph, index_ancestors=False)
+        assert a in index.ancestors(d)
+
+    def test_reachable(self, diamond):
+        graph, (a, _b, _c, d) = diamond
+        index = ReachabilityIndex(graph)
+        assert index.reachable(a, d)
+        assert index.reachable(a, a)
+        assert not index.reachable(d, a)
+
+    def test_unknown_node(self, diamond):
+        graph, _nodes = diamond
+        index = ReachabilityIndex(graph)
+        with pytest.raises(UnknownNodeError):
+            index.descendants(999)
+        with pytest.raises(UnknownNodeError):
+            index.ancestors(999)
+
+    def test_memory_cells_positive(self, diamond):
+        graph, _nodes = diamond
+        index = ReachabilityIndex(graph)
+        assert index.memory_cells() > 0
+        assert "cells" in repr(index)
+
+    def test_indexed_subgraph_matches_traversal(self, dealership_execution):
+        graph, _outputs, _run, _executor = dealership_execution
+        index = ReachabilityIndex(graph)
+        from repro.queries import highest_fanout_nodes
+        for node in highest_fanout_nodes(graph, 10):
+            indexed = index.subgraph(node)
+            traversed = subgraph_query(graph, node)
+            assert indexed.node_ids == traversed.node_ids
+
+
+# ----------------------------------------------------------------------
+# Loop unfolding
+# ----------------------------------------------------------------------
+ITEMS = Schema.of(("Item", FieldType.CHARARRAY), ("Qty", FieldType.INT))
+
+
+def _looped_workflow():
+    """src → body (refine) → sink, with a conceptual body self-loop."""
+    modules = ModuleRegistry()
+    modules.add(Module("Msrc", output_schemas={"Items": ITEMS}))
+    modules.add(Module(
+        "Mrefine",
+        input_schemas={"Items": ITEMS},
+        output_schemas={"Refined": ITEMS},
+        q_out="Refined = FOREACH Items GENERATE Item, Qty + 1 AS Qty;"))
+    modules.add(Module(
+        "Mglue",
+        input_schemas={"Refined": ITEMS},
+        output_schemas={"Items": ITEMS},
+        q_out="Items = FOREACH Refined GENERATE Item, Qty;"))
+    modules.add(Module(
+        "Msink",
+        input_schemas={"Refined": ITEMS},
+        output_schemas={"Final": ITEMS},
+        q_out="Final = FOREACH Refined GENERATE Item, Qty;"))
+    workflow = Workflow("refinement")
+    workflow.add_node("src", "Msrc", is_input=True)
+    workflow.add_node("refine", "Mrefine")
+    workflow.add_node("glue", "Mglue")
+    workflow.add_node("sink", "Msink", is_output=True)
+    workflow.add_edge("src", "refine", ["Items"])
+    workflow.add_edge("refine", "glue", ["Refined"])
+    workflow.add_edge("refine", "sink", ["Refined"])
+    return workflow, modules
+
+
+class TestLoopUnfolding:
+    def test_unfolds_to_valid_dag(self):
+        workflow, modules = _looped_workflow()
+        loop = LoopSpec(body=["refine", "glue"],
+                        back_edge=("glue", "refine", ["Items"]),
+                        iterations=3)
+        unfolded = unfold_workflow(workflow, loop)
+        unfolded.validate(modules)
+        # 2 fixed nodes + 2 body nodes × 3 iterations.
+        assert len(unfolded.node_labels) == 2 + 2 * 3
+
+    def test_iterations_chain(self):
+        workflow, modules = _looped_workflow()
+        loop = LoopSpec(body=["refine", "glue"],
+                        back_edge=("glue", "refine", ["Items"]),
+                        iterations=3)
+        unfolded = unfold_workflow(workflow, loop)
+        order = unfolded.topological_order()
+        assert order.index("refine") < order.index("refine#1")
+        assert order.index("refine#1") < order.index("refine#2")
+
+    def test_execution_applies_body_n_times(self):
+        workflow, modules = _looped_workflow()
+        loop = LoopSpec(body=["refine", "glue"],
+                        back_edge=("glue", "refine", ["Items"]),
+                        iterations=4)
+        unfolded = unfold_workflow(workflow, loop)
+        executor = WorkflowExecutor(unfolded, modules)
+        output = executor.execute({"src": {"Items": [("widget", 0)]}})
+        final = output.outputs_of("sink")["Final"]
+        # Four refinements: Qty 0 → 4.
+        assert final.value_rows() == [("widget", 4)]
+
+    def test_single_iteration_is_identity_shape(self):
+        workflow, modules = _looped_workflow()
+        loop = LoopSpec(body=["refine", "glue"],
+                        back_edge=("glue", "refine", ["Items"]),
+                        iterations=1)
+        unfolded = unfold_workflow(workflow, loop)
+        assert set(unfolded.node_labels) == set(workflow.node_labels)
+
+    def test_provenance_spans_iterations(self):
+        workflow, modules = _looped_workflow()
+        loop = LoopSpec(body=["refine", "glue"],
+                        back_edge=("glue", "refine", ["Items"]),
+                        iterations=2)
+        unfolded = unfold_workflow(workflow, loop)
+        builder = GraphBuilder()
+        executor = WorkflowExecutor(unfolded, modules, builder)
+        output = executor.execute({"src": {"Items": [("widget", 0)]}})
+        final = output.outputs_of("sink")["Final"].rows[0]
+        ancestors = builder.graph.ancestors(final.prov)
+        labels = {builder.graph.node(a).label for a in ancestors}
+        # The final tuple's lineage crosses both refine invocations.
+        assert "Mrefine" in labels
+        assert len(builder.graph.invocations_of("Mrefine")) == 2
+
+    def test_bad_specs(self):
+        workflow, _modules = _looped_workflow()
+        with pytest.raises(WorkflowDefinitionError):
+            LoopSpec(body=[], back_edge=("a", "b", ["R"]), iterations=1)
+        with pytest.raises(WorkflowDefinitionError):
+            LoopSpec(body=["refine"], back_edge=("glue", "refine", ["R"]),
+                     iterations=2)
+        with pytest.raises(WorkflowDefinitionError):
+            LoopSpec(body=["refine", "glue"],
+                     back_edge=("glue", "refine", ["Items"]), iterations=0)
+        # body references an unknown node
+        bad = LoopSpec(body=["nope", "glue"],
+                       back_edge=("glue", "nope", ["Items"]), iterations=2)
+        with pytest.raises(WorkflowDefinitionError):
+            unfold_workflow(workflow, bad)
+
+
+# ----------------------------------------------------------------------
+# Semiring-valued analyses
+# ----------------------------------------------------------------------
+class TestGraphValuation:
+    @pytest.fixture
+    def alt_graph(self):
+        """out = +( ·(a, b), c ): two alternative derivations."""
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        a = builder.base_tuple_node("R")
+        b = builder.base_tuple_node("R")
+        c = builder.base_tuple_node("R")
+        joint = builder.times_node([a, b])
+        out = builder.plus_node([joint, c])
+        builder.end_invocation()
+        graph = builder.graph
+        labels = {name: graph.node(node).label
+                  for name, node in (("a", a), ("b", b), ("c", c))}
+        return graph, out, labels
+
+    def test_trust_assessment(self, alt_graph):
+        graph, out, labels = alt_graph
+        # Distrust a: the c-alternative still supports out.
+        assert trust_assessment(graph, out, [labels["a"]])
+        # Distrust both alternatives: out is no longer trusted.
+        assert not trust_assessment(graph, out, [labels["a"], labels["c"]])
+
+    def test_required_clearance(self, alt_graph):
+        graph, out, labels = alt_graph
+        levels = {labels["a"]: SECURITY.SECRET,
+                  labels["b"]: SECURITY.CONFIDENTIAL,
+                  labels["c"]: SECURITY.TOP_SECRET}
+        # Cheapest path: via ·(a,b) requires SECRET; via c TOP_SECRET.
+        assert required_clearance(graph, out, levels) == SECURITY.SECRET
+
+    def test_derivation_cost(self, alt_graph):
+        graph, out, labels = alt_graph
+        costs = {labels["a"]: 1.0, labels["b"]: 2.0, labels["c"]: 10.0}
+        # min(1 + 2, 10) = 3.
+        assert derivation_cost(graph, out, costs) == 3.0
+
+    def test_delta_and_agg_nodes_evaluate(self, dealership_execution):
+        graph, outputs, _run, _executor = dealership_execution
+        best = outputs[0].outputs_of("agg")["BestBids"].rows[0]
+        # Every node type in a real execution evaluates without error.
+        assert evaluate_node(graph, best.prov, BOOLEAN, default=True) is True
+        assert derivation_cost(graph, best.prov, {}, default_cost=0.0) >= 0.0
+
+    def test_valuator_memoizes(self, alt_graph):
+        graph, out, _labels = alt_graph
+        valuator = GraphValuator(graph, TROPICAL, {}, default=1.0)
+        first = valuator.value_of(out)
+        assert valuator.value_of(out) == first
+
+    def test_boolean_matches_deletion(self, dealership_execution):
+        """Trust with distrusted = deleted tuples agrees with deletion
+        propagation on p-node survival (for multiplicative paths)."""
+        from repro.queries import delete_base_tuples
+
+        graph, outputs, _run, _executor = dealership_execution
+        victim = next(node.label for node in
+                      graph.nodes_of_kind(NodeKind.WORKFLOW_INPUT)
+                      if "Mreq" in node.label)
+        outcome = delete_base_tuples(graph, [victim])
+        best = outputs[0].outputs_of("agg")["BestBids"].rows[0]
+        survived = outcome.survived(best.prov)
+        trusted = trust_assessment(graph, best.prov, [victim])
+        assert survived == trusted

@@ -1,0 +1,353 @@
+"""Unit tests for the provenance graph: nodes, storage, builder,
+serialization, DOT export, stats."""
+
+import io
+
+import pytest
+
+from repro.errors import (
+    ProvenanceGraphError,
+    SerializationError,
+    UnknownNodeError,
+)
+from repro.graph import (
+    GraphBuilder,
+    Node,
+    NodeKind,
+    ProvenanceGraph,
+    dependency_profile,
+    dump_graph,
+    graph_stats,
+    load_graph,
+    to_dot,
+    to_expression,
+)
+from repro.provenance import COUNTING, BOOLEAN
+
+
+class TestProvenanceGraph:
+    def test_add_node_and_edge(self):
+        graph = ProvenanceGraph()
+        a = graph.add_node(NodeKind.TUPLE, "t0")
+        b = graph.add_node(NodeKind.PLUS)
+        graph.add_edge(a, b)
+        assert graph.preds(b) == (a,)
+        assert graph.succs(a) == (b,)
+        assert graph.node_count == 2
+        assert graph.edge_count == 1
+
+    def test_default_labels(self):
+        graph = ProvenanceGraph()
+        assert graph.node(graph.add_node(NodeKind.PLUS)).label == "+"
+        assert graph.node(graph.add_node(NodeKind.TIMES)).label == "·"
+        assert graph.node(graph.add_node(NodeKind.DELTA)).label == "δ"
+
+    def test_unknown_node_errors(self):
+        graph = ProvenanceGraph()
+        with pytest.raises(UnknownNodeError):
+            graph.node(99)
+        with pytest.raises(UnknownNodeError):
+            graph.preds(99)
+        a = graph.add_node(NodeKind.TUPLE, "t")
+        with pytest.raises(UnknownNodeError):
+            graph.add_edge(a, 99)
+
+    def test_self_loop_rejected(self):
+        graph = ProvenanceGraph()
+        a = graph.add_node(NodeKind.TUPLE, "t")
+        with pytest.raises(ProvenanceGraphError):
+            graph.add_edge(a, a)
+
+    def test_remove_node_cleans_edges(self):
+        graph = ProvenanceGraph()
+        a = graph.add_node(NodeKind.TUPLE, "a")
+        b = graph.add_node(NodeKind.PLUS)
+        c = graph.add_node(NodeKind.PLUS)
+        graph.add_edge(a, b)
+        graph.add_edge(b, c)
+        graph.remove_node(b)
+        assert graph.succs(a) == ()
+        assert graph.preds(c) == ()
+        assert graph.edge_count == 0
+        graph.check_consistency()
+
+    def test_ancestors_descendants(self):
+        graph = ProvenanceGraph()
+        a, b, c = (graph.add_node(NodeKind.TUPLE, f"t{i}") for i in range(3))
+        graph.add_edge(a, b)
+        graph.add_edge(b, c)
+        assert graph.ancestors(c) == {a, b}
+        assert graph.descendants(a) == {b, c}
+        assert graph.reachable(a, c)
+        assert not graph.reachable(c, a)
+
+    def test_topological_order(self):
+        graph = ProvenanceGraph()
+        a, b, c = (graph.add_node(NodeKind.TUPLE, f"t{i}") for i in range(3))
+        graph.add_edge(a, b)
+        graph.add_edge(b, c)
+        order = graph.topological_order()
+        assert order.index(a) < order.index(b) < order.index(c)
+        assert graph.is_acyclic()
+
+    def test_copy_is_independent(self):
+        graph = ProvenanceGraph()
+        a = graph.add_node(NodeKind.TUPLE, "t")
+        duplicate = graph.copy()
+        duplicate.remove_node(a)
+        assert graph.has_node(a)
+        graph.check_consistency()
+        duplicate.check_consistency()
+
+    def test_invocation_registry(self):
+        graph = ProvenanceGraph()
+        invocation = graph.new_invocation("Mdealer1")
+        assert graph.node(invocation.module_node).kind is NodeKind.MODULE
+        assert graph.invocations_of("Mdealer1") == [invocation]
+        assert graph.module_names() == {"Mdealer1"}
+
+    def test_nodes_of_kind(self):
+        graph = ProvenanceGraph()
+        graph.add_node(NodeKind.TUPLE, "a")
+        graph.add_node(NodeKind.PLUS)
+        assert len(graph.nodes_of_kind(NodeKind.TUPLE)) == 1
+
+
+class TestGraphBuilder:
+    def test_invocation_lifecycle(self):
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        with pytest.raises(ProvenanceGraphError):
+            builder.begin_invocation("M2")
+        builder.end_invocation()
+        with pytest.raises(ProvenanceGraphError):
+            builder.end_invocation()
+
+    def test_plumbing_requires_invocation(self):
+        builder = GraphBuilder()
+        tuple_node = builder.workflow_input_node()
+        with pytest.raises(ProvenanceGraphError):
+            builder.module_input_node(tuple_node)
+
+    def test_input_node_structure(self):
+        # The paper's i-node: ·(tuple p-node, m-node), registered on
+        # the invocation.
+        builder = GraphBuilder()
+        tuple_node = builder.workflow_input_node(value=("P1", "B1"))
+        invocation = builder.begin_invocation("M")
+        input_node = builder.module_input_node(tuple_node)
+        builder.end_invocation()
+        assert set(builder.graph.preds(input_node)) == {
+            tuple_node, invocation.module_node}
+        assert invocation.input_nodes == [input_node]
+        assert builder.graph.node(input_node).kind is NodeKind.INPUT
+
+    def test_state_and_output_nodes_registered(self):
+        builder = GraphBuilder()
+        invocation = builder.begin_invocation("M")
+        base = builder.base_tuple_node("Cars", value=("C2", "Civic"))
+        state = builder.module_state_node(base)
+        output = builder.module_output_node(state)
+        builder.end_invocation()
+        assert invocation.state_nodes == [state]
+        assert invocation.output_nodes == [output]
+        assert builder.graph.node(base).module == "M"
+
+    def test_aggregate_construction(self):
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        t1 = builder.base_tuple_node("Cars")
+        t2 = builder.base_tuple_node("Cars")
+        one = builder.value_node(1)
+        tensor1 = builder.tensor_node(t1, one)
+        tensor2 = builder.tensor_node(t2, one)
+        agg = builder.agg_node("Count", [tensor1, tensor2], value=2)
+        builder.end_invocation()
+        graph = builder.graph
+        assert graph.node(agg).ntype == "v"
+        assert set(graph.preds(agg)) == {tensor1, tensor2}
+        assert graph.node(agg).value == 2
+
+    def test_to_expression_counting_semantics(self):
+        # A + node over two tuples evaluates to multiplicity 2.
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        t1 = builder.base_tuple_node("R")
+        t2 = builder.base_tuple_node("R")
+        plus = builder.plus_node([t1, t2])
+        times = builder.times_node([t1, t2])
+        builder.end_invocation()
+        plus_expr = to_expression(builder.graph, plus)
+        times_expr = to_expression(builder.graph, times)
+        assert plus_expr.evaluate(COUNTING, lambda _t: 1) == 2
+        assert times_expr.evaluate(COUNTING, lambda _t: 1) == 1
+
+    def test_to_expression_delta(self):
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        t1 = builder.base_tuple_node("R")
+        t2 = builder.base_tuple_node("R")
+        group = builder.delta_node([t1, t2])
+        builder.end_invocation()
+        expression = to_expression(builder.graph, group)
+        assert expression.evaluate(COUNTING, lambda _t: 3) == 1  # δ(6) = 1
+
+    def test_to_expression_blackbox(self):
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        t1 = builder.base_tuple_node("R")
+        bb = builder.blackbox_node("CalcBid", [t1], ntype="v", value=42)
+        builder.end_invocation()
+        expression = to_expression(builder.graph, bb)
+        assert "CalcBid" in str(expression)
+
+
+class TestSerialization:
+    def _sample_graph(self):
+        builder = GraphBuilder()
+        tuple_node = builder.workflow_input_node(value=("P1", "B1", "Civic"))
+        invocation = builder.begin_invocation("Mdealer1")
+        input_node = builder.module_input_node(tuple_node,
+                                               value=("P1", "B1", "Civic"))
+        base = builder.base_tuple_node("Cars", value=("C2", "Civic"))
+        state = builder.module_state_node(base)
+        join = builder.times_node([input_node, state])
+        builder.module_output_node(join)
+        builder.end_invocation()
+        return builder.graph
+
+    def test_round_trip(self):
+        graph = self._sample_graph()
+        buffer = io.StringIO()
+        dump_graph(graph, buffer)
+        buffer.seek(0)
+        rebuilt = load_graph(buffer)
+        assert rebuilt.node_count == graph.node_count
+        assert rebuilt.edge_count == graph.edge_count
+        assert len(rebuilt.invocations) == len(graph.invocations)
+        for node_id in graph.node_ids():
+            original = graph.node(node_id)
+            loaded = rebuilt.node(node_id)
+            assert original.kind is loaded.kind
+            assert original.label == loaded.label
+            assert sorted(graph.preds(node_id)) == sorted(rebuilt.preds(node_id))
+        rebuilt.check_consistency()
+
+    def test_round_trip_file(self, tmp_path):
+        graph = self._sample_graph()
+        path = tmp_path / "graph.jsonl"
+        dump_graph(graph, str(path))
+        rebuilt = load_graph(str(path))
+        assert rebuilt.node_count == graph.node_count
+
+    def test_new_nodes_after_reload_get_fresh_ids(self):
+        graph = self._sample_graph()
+        buffer = io.StringIO()
+        dump_graph(graph, buffer)
+        buffer.seek(0)
+        rebuilt = load_graph(buffer)
+        fresh = rebuilt.add_node(NodeKind.PLUS)
+        assert fresh not in graph.nodes or fresh >= graph.node_count
+
+    def test_missing_header(self):
+        with pytest.raises(SerializationError):
+            load_graph(io.StringIO('{"record": "node", "id": 0, '
+                                   '"kind": "tuple", "label": "t", '
+                                   '"ntype": "p"}\n'))
+
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            load_graph(io.StringIO("not-json\n"))
+
+    def test_unknown_kind(self):
+        lines = ('{"record": "header", "version": 1}\n'
+                 '{"record": "node", "id": 0, "kind": "wat", '
+                 '"label": "t", "ntype": "p"}\n')
+        with pytest.raises(SerializationError):
+            load_graph(io.StringIO(lines))
+
+    def test_wrong_version(self):
+        with pytest.raises(SerializationError):
+            load_graph(io.StringIO('{"record": "header", "version": 99}\n'))
+
+    def test_header_count_mismatch(self):
+        lines = '{"record": "header", "version": 1, "nodes": 5}\n'
+        with pytest.raises(SerializationError):
+            load_graph(io.StringIO(lines))
+
+    def test_value_encodings(self):
+        graph = ProvenanceGraph()
+        graph.add_node(NodeKind.VALUE, "v", "v", value=3.5)
+        graph.add_node(NodeKind.VALUE, "t", "v", value=("a", 1))
+        graph.add_node(NodeKind.VALUE, "o", "v", value={"weird": "payload"})
+        buffer = io.StringIO()
+        dump_graph(graph, buffer)
+        buffer.seek(0)
+        rebuilt = load_graph(buffer)
+        assert rebuilt.node(0).value == 3.5
+        assert rebuilt.node(1).value == ("a", 1)
+        assert "weird" in rebuilt.node(2).value  # repr fallback
+
+
+class TestDotExport:
+    def test_renders_nodes_and_edges(self):
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        a = builder.base_tuple_node("R")
+        b = builder.plus_node([a])
+        builder.end_invocation()
+        dot = to_dot(builder.graph)
+        assert "digraph" in dot
+        assert f"n{a} -> n{b}" in dot
+
+    def test_subset_rendering(self):
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        a = builder.base_tuple_node("R")
+        b = builder.plus_node([a])
+        builder.end_invocation()
+        dot = to_dot(builder.graph, node_ids={a})
+        assert f"n{b}" not in dot
+
+    def test_include_values(self):
+        graph = ProvenanceGraph()
+        graph.add_node(NodeKind.VALUE, "v", "v", value=42)
+        assert "42" in to_dot(graph, include_values=True)
+
+    def test_escapes_quotes(self):
+        graph = ProvenanceGraph()
+        graph.add_node(NodeKind.TUPLE, 'we"ird')
+        assert '\\"' in to_dot(graph)
+
+
+class TestStats:
+    def test_graph_stats_counts(self):
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        a = builder.base_tuple_node("R")
+        builder.plus_node([a])
+        builder.end_invocation()
+        stats = graph_stats(builder.graph)
+        assert stats.node_count == 3
+        assert stats.nodes_by_kind["tuple"] == 1
+        assert stats.invocation_count == 1
+        assert "nodes=3" in str(stats)
+
+    def test_dependency_profile(self):
+        builder = GraphBuilder()
+        w = builder.workflow_input_node()
+        builder.begin_invocation("M")
+        input_node = builder.module_input_node(w)
+        used = builder.base_tuple_node("Cars")
+        unused = builder.base_tuple_node("Cars")
+        state_used = builder.module_state_node(used)
+        builder.module_state_node(unused)
+        join = builder.times_node([input_node, state_used])
+        output = builder.module_output_node(join)
+        builder.end_invocation()
+        profile = dependency_profile(builder.graph, output)
+        assert profile.fine_grained_state == 1
+        assert profile.total_state == 2
+        assert profile.state_fraction == 0.5
+        assert profile.fine_grained_inputs == 1
+        assert "50.0%" in str(profile)

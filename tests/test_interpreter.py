@@ -1,0 +1,444 @@
+"""Unit + integration tests for the Pig Latin interpreter: bag
+semantics and the Section 3.2 provenance construction rules."""
+
+import pytest
+
+from repro.datamodel import Bag, FieldType, Relation, Schema
+from repro.errors import PigRuntimeError, UnknownRelationError
+from repro.graph import GraphBuilder, NodeKind, to_expression
+from repro.piglatin import Interpreter, UDFRegistry
+from repro.provenance import COUNTING
+
+CARS = Schema.of(("CarId", FieldType.CHARARRAY),
+                 ("Model", FieldType.CHARARRAY))
+NUMS = Schema.of(("k", FieldType.CHARARRAY), ("n", FieldType.INT))
+
+
+def cars_env():
+    return {"Cars": Relation.from_values(CARS, [
+        ("C1", "Accord"), ("C2", "Civic"), ("C3", "Civic")])}
+
+
+def run(script, env, builder=None, udfs=None, **kwargs):
+    interpreter = Interpreter(builder, udfs, **kwargs)
+    return interpreter.execute(script, env)
+
+
+def run_tracked(script, env, udfs=None, **kwargs):
+    builder = GraphBuilder()
+    builder.begin_invocation("M")
+    result = run(script, env, builder, udfs, **kwargs)
+    builder.end_invocation()
+    return result, builder.graph
+
+
+class TestLoadStore:
+    def test_load_binds_alias(self):
+        result = run("A = LOAD 'Cars';", cars_env())
+        assert len(result.relation("A")) == 3
+
+    def test_env_alias_direct_reference(self):
+        # The paper's Q_state scripts reference env relations directly.
+        result = run("B = FILTER Cars BY Model == 'Civic';", cars_env())
+        assert len(result.relation("B")) == 2
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnknownRelationError):
+            run("B = FILTER Nope BY Model == 'x';", cars_env())
+
+    def test_unknown_load_source(self):
+        with pytest.raises(UnknownRelationError):
+            run("A = LOAD 'Nope';", cars_env())
+
+    def test_store(self):
+        result = run("A = DISTINCT Cars; STORE A INTO 'out';", cars_env())
+        assert len(result.stored["out"]) == 3
+
+    def test_lazy_base_annotation(self):
+        _result, graph = run_tracked("B = FILTER Cars BY Model == 'Civic';",
+                                     cars_env())
+        assert len(graph.nodes_of_kind(NodeKind.TUPLE)) == 3
+
+
+class TestFilter:
+    def test_rows_keep_annotations(self):
+        result, _graph = run_tracked("B = FILTER Cars BY Model == 'Civic';",
+                                     cars_env())
+        b_rel = result.relation("B")
+        assert all(row.prov is not None for row in b_rel.rows)
+
+    def test_compact_filter_reuses_nodes(self):
+        env = cars_env()
+        result, graph = run_tracked("B = FILTER Cars BY Model == 'Civic';", env)
+        tuple_provs = {row.prov for row in env["Cars"].rows}
+        assert all(row.prov in tuple_provs for row in result.relation("B").rows)
+
+    def test_uncompacted_filter_wraps_in_plus(self):
+        env = cars_env()
+        result, graph = run_tracked("B = FILTER Cars BY Model == 'Civic';",
+                                    env, compact_filter=False)
+        for row in result.relation("B").rows:
+            assert graph.node(row.prov).kind is NodeKind.PLUS
+
+
+class TestForeachProjection:
+    def test_projection_values(self):
+        result = run("B = FOREACH Cars GENERATE Model;", cars_env())
+        assert sorted(result.relation("B").value_rows()) == [
+            ("Accord",), ("Civic",), ("Civic",)]
+
+    def test_distinct_outputs_share_plus_node(self):
+        # Paper rule: one + node per distinct result tuple, fed by all
+        # input tuples projecting onto it.
+        result, graph = run_tracked("B = FOREACH Cars GENERATE Model;",
+                                    cars_env())
+        rows = result.relation("B").rows
+        civic_rows = [row for row in rows if row.values == ("Civic",)]
+        assert len({row.prov for row in civic_rows}) == 1
+        plus = graph.node(civic_rows[0].prov)
+        assert plus.kind is NodeKind.PLUS
+        assert len(graph.preds(civic_rows[0].prov)) == 2
+
+    def test_projection_multiplicity_counting(self):
+        # Counting semantics: the Civic projection has multiplicity 2.
+        result, graph = run_tracked("B = FOREACH Cars GENERATE Model;",
+                                    cars_env())
+        civic = next(row for row in result.relation("B").rows
+                     if row.values == ("Civic",))
+        expression = to_expression(graph, civic.prov)
+        assert expression.evaluate(COUNTING, lambda _t: 1) == 2
+
+    def test_star_and_literal(self):
+        result = run("B = FOREACH Cars GENERATE *, 'tag' AS T;", cars_env())
+        assert result.relation("B").schema.arity == 3
+        assert result.relation("B").rows[0].values[2] == "tag"
+
+    def test_arithmetic_projection(self):
+        env = {"N": Relation.from_values(NUMS, [("a", 1), ("b", 2)])}
+        result = run("B = FOREACH N GENERATE k, n * 10 AS big;", env)
+        assert sorted(result.relation("B").value_rows()) == [
+            ("a", 10), ("b", 20)]
+
+    def test_positional_projection(self):
+        result = run("B = FOREACH Cars GENERATE $1;", cars_env())
+        assert result.relation("B").schema.names == ("f1",)
+
+    def test_duplicate_output_names_deduped(self):
+        result = run("B = FOREACH Cars GENERATE Model, Model;", cars_env())
+        assert len(set(result.relation("B").schema.names)) == 2
+
+
+class TestGroup:
+    def test_group_by_shapes(self):
+        result = run("G = GROUP Cars BY Model;", cars_env())
+        groups = result.relation("G")
+        assert groups.schema.names == ("group", "Cars")
+        by_key = {row.values[0]: row.values[1] for row in groups.rows}
+        assert len(by_key["Civic"]) == 2
+        assert len(by_key["Accord"]) == 1
+
+    def test_group_delta_nodes(self):
+        result, graph = run_tracked("G = GROUP Cars BY Model;", cars_env())
+        for row in result.relation("G").rows:
+            node = graph.node(row.prov)
+            assert node.kind is NodeKind.DELTA
+            assert len(graph.preds(row.prov)) == len(row.values[1])
+
+    def test_nested_rows_keep_provenance(self):
+        # "tuples in the relations nested in t keep their original
+        # provenance"
+        env = cars_env()
+        result, _graph = run_tracked("G = GROUP Cars BY Model;", env)
+        base_provs = {row.prov for row in env["Cars"].rows}
+        for row in result.relation("G").rows:
+            for inner in row.values[1].rows:
+                assert inner.prov in base_provs
+
+    def test_group_all(self):
+        result = run("G = GROUP Cars ALL;", cars_env())
+        rows = result.relation("G").rows
+        assert len(rows) == 1
+        assert rows[0].values[0] == "all"
+        assert len(rows[0].values[1]) == 3
+
+    def test_group_multi_key(self):
+        result = run("G = GROUP Cars BY (Model, CarId);", cars_env())
+        assert len(result.relation("G")) == 3
+        assert isinstance(result.relation("G").rows[0].values[0], tuple)
+
+    def test_group_empty_input(self):
+        env = {"E": Relation.empty(CARS)}
+        result = run("G = GROUP E BY Model;", env)
+        assert len(result.relation("G")) == 0
+
+
+class TestCoGroup:
+    def test_cogroup_aligns_keys(self):
+        env = cars_env()
+        env["Requests"] = Relation.from_values(
+            Schema.of("UserId", "Model"), [("P1", "Civic")])
+        result = run("G = COGROUP Requests BY Model, Cars BY Model;", env)
+        groups = {row.values[0]: row for row in result.relation("G").rows}
+        assert set(groups) == {"Civic", "Accord"}
+        civic = groups["Civic"]
+        assert len(civic.values[1]) == 1  # one request
+        assert len(civic.values[2]) == 2  # two civics
+
+    def test_cogroup_delta_over_all_members(self):
+        env = cars_env()
+        env["Requests"] = Relation.from_values(
+            Schema.of("UserId", "Model"), [("P1", "Civic")])
+        _result, graph = run_tracked(
+            "G = COGROUP Requests BY Model, Cars BY Model;", env)
+        deltas = graph.nodes_of_kind(NodeKind.DELTA)
+        by_value = {node.value: node for node in deltas}
+        assert len(graph.preds(by_value["Civic"].node_id)) == 3
+
+
+class TestJoin:
+    def test_join_values_and_schema(self):
+        env = cars_env()
+        env["Req"] = Relation.from_values(Schema.of("Model"), [("Civic",)])
+        result = run("J = JOIN Cars BY Model, Req BY Model;", env)
+        joined = result.relation("J")
+        assert joined.schema.names == ("Cars::CarId", "Cars::Model",
+                                       "Req::Model")
+        assert len(joined) == 2
+
+    def test_join_times_nodes(self):
+        env = cars_env()
+        env["Req"] = Relation.from_values(Schema.of("Model"), [("Civic",)])
+        result, graph = run_tracked("J = JOIN Cars BY Model, Req BY Model;", env)
+        for row in result.relation("J").rows:
+            node = graph.node(row.prov)
+            assert node.kind is NodeKind.TIMES
+            assert len(graph.preds(row.prov)) == 2
+
+    def test_join_null_keys_never_match(self):
+        schema = Schema.of("k", "v")
+        env = {
+            "L": Relation.from_values(schema, [(None, 1), ("a", 2)]),
+            "R": Relation.from_values(schema, [(None, 3), ("a", 4)]),
+        }
+        result = run("J = JOIN L BY k, R BY k;", env)
+        assert len(result.relation("J")) == 1
+
+    def test_three_way_join(self):
+        schema = Schema.of("k")
+        env = {name: Relation.from_values(schema, [("x",)])
+               for name in ("A", "B", "C")}
+        result = run("J = JOIN A BY k, B BY k, C BY k;", env)
+        assert len(result.relation("J")) == 1
+        assert result.relation("J").schema.arity == 3
+
+    def test_cross_join_via_literal_key(self):
+        env = cars_env()
+        env["Tag"] = Relation.from_values(Schema.of("T"), [("t",)])
+        result = run("J = JOIN Cars BY 'x', Tag BY 'x';", env)
+        assert len(result.relation("J")) == 3
+
+    def test_join_multiplicities(self):
+        schema = Schema.of("k")
+        env = {
+            "L": Relation.from_values(schema, [("x",), ("x",)]),
+            "R": Relation.from_values(schema, [("x",)] * 3),
+        }
+        result = run("J = JOIN L BY k, R BY k;", env)
+        assert len(result.relation("J")) == 6
+
+
+class TestUnionDistinctOrderLimit:
+    def test_union_is_bag_union(self):
+        env = cars_env()
+        env["More"] = Relation.from_values(CARS, [("C2", "Civic")])
+        result = run("U = UNION Cars, More;", env)
+        assert len(result.relation("U")) == 4
+
+    def test_union_arity_mismatch(self):
+        env = cars_env()
+        env["Bad"] = Relation.from_values(Schema.of("x"), [("a",)])
+        with pytest.raises(PigRuntimeError):
+            run("U = UNION Cars, Bad;", env)
+
+    def test_distinct_collapses_and_deltas(self):
+        env = {"R": Relation.from_values(Schema.of("x"),
+                                         [("a",), ("a",), ("b",)])}
+        result, graph = run_tracked("D = DISTINCT R;", env)
+        distinct = result.relation("D")
+        assert len(distinct) == 2
+        for row in distinct.rows:
+            assert graph.node(row.prov).kind is NodeKind.DELTA
+        a_row = next(row for row in distinct.rows if row.values == ("a",))
+        assert len(graph.preds(a_row.prov)) == 2
+
+    def test_order_by(self):
+        result = run("O = ORDER Cars BY CarId DESC;", cars_env())
+        assert [row.values[0] for row in result.relation("O").rows] == [
+            "C3", "C2", "C1"]
+
+    def test_order_multi_key(self):
+        result = run("O = ORDER Cars BY Model, CarId DESC;", cars_env())
+        assert [row.values[0] for row in result.relation("O").rows] == [
+            "C1", "C3", "C2"]
+
+    def test_order_nulls_first(self):
+        env = {"R": Relation.from_values(Schema.of("x"), [(1,), (None,), (0,)])}
+        result = run("O = ORDER R BY x;", env)
+        assert result.relation("O").rows[0].values == (None,)
+
+    def test_order_creates_no_provenance(self):
+        env = cars_env()
+        _result, graph = run_tracked("O = ORDER Cars BY CarId;", env)
+        # Only the m-node and the three lazily annotated base tuples.
+        assert graph.node_count == 4
+
+    def test_limit(self):
+        result = run("L = LIMIT Cars 2;", cars_env())
+        assert len(result.relation("L")) == 2
+
+
+class TestAggregation:
+    def test_count_per_group(self):
+        result = run("""
+G = GROUP Cars BY Model;
+C = FOREACH G GENERATE group AS Model, COUNT(Cars) AS N;
+""", cars_env())
+        counts = dict(result.relation("C").value_rows())
+        assert counts == {"Accord": 1, "Civic": 2}
+
+    def test_aggregate_node_structure(self):
+        # Tensor v-nodes pair each member with the aggregated value;
+        # the Count v-node folds them (paper Example 3.4).
+        _result, graph = run_tracked("""
+G = GROUP Cars BY Model;
+C = FOREACH G GENERATE group AS Model, COUNT(Cars) AS N;
+""", cars_env())
+        agg_nodes = graph.nodes_of_kind(NodeKind.AGG)
+        assert {node.value for node in agg_nodes} == {1, 2}
+        civic_agg = next(node for node in agg_nodes if node.value == 2)
+        tensors = graph.preds(civic_agg.node_id)
+        assert len(tensors) == 2
+        assert all(graph.node(t).kind is NodeKind.TENSOR for t in tensors)
+
+    def test_value_nodes_shared(self):
+        # "if a node for this value does not exist already"
+        _result, graph = run_tracked("""
+G = GROUP Cars BY Model;
+C = FOREACH G GENERATE group AS Model, COUNT(Cars) AS N;
+""", cars_env())
+        value_nodes = graph.nodes_of_kind(NodeKind.VALUE)
+        assert len(value_nodes) == 1  # the shared constant 1
+
+    def test_sum_min_max_avg(self):
+        env = {"N": Relation.from_values(NUMS, [("a", 1), ("a", 2), ("b", 5)])}
+        result = run("""
+G = GROUP N BY k;
+S = FOREACH G GENERATE group, SUM(N.n) AS s, MIN(N.n) AS lo,
+    MAX(N.n) AS hi, AVG(N.n) AS mean;
+""", env)
+        by_key = {row.values[0]: row.values[1:] for row in result.relation("S").rows}
+        assert by_key["a"] == (3, 1, 2, 1.5)
+        assert by_key["b"] == (5, 5, 5, 5.0)
+
+    def test_group_all_aggregation(self):
+        env = {"N": Relation.from_values(NUMS, [("a", 3), ("b", 7)])}
+        result = run("""
+G = GROUP N ALL;
+M = FOREACH G GENERATE MIN(N.n) AS lo;
+""", env)
+        assert result.relation("M").value_rows() == [(3,)]
+
+    def test_aggregate_in_arithmetic(self):
+        env = {"N": Relation.from_values(NUMS, [("a", 3), ("a", 7)])}
+        result = run("""
+G = GROUP N BY k;
+M = FOREACH G GENERATE group, MIN(N.n) - 1 AS below;
+""", env)
+        assert result.relation("M").value_rows() == [("a", 2)]
+
+    def test_aggregate_over_empty_group_input(self):
+        env = {"E": Relation.empty(NUMS)}
+        result = run("""
+G = GROUP E BY k;
+C = FOREACH G GENERATE group, COUNT(E) AS n;
+""", env)
+        assert len(result.relation("C")) == 0
+
+    def test_aggregate_needs_bag(self):
+        with pytest.raises(PigRuntimeError):
+            run("B = FOREACH Cars GENERATE COUNT(Model);", cars_env())
+
+    def test_aggregate_multi_column_needs_projection(self):
+        with pytest.raises(PigRuntimeError):
+            run("""
+G = GROUP Cars BY Model;
+B = FOREACH G GENERATE SUM(Cars);
+""", cars_env())
+
+
+class TestBlackBoxes:
+    def _udfs(self):
+        registry = UDFRegistry()
+
+        def tag_price(cars_bag):
+            return len(cars_bag) * 1000
+
+        def explode(cars_bag):
+            return [(row.values[0],) for row in cars_bag.rows]
+
+        registry.register("TagPrice", tag_price)
+        registry.register("Explode", explode, returns_bag=True,
+                          output_schema=Schema.of("CarId"))
+        return registry
+
+    def test_scalar_udf_value_and_node(self):
+        result, graph = run_tracked("""
+G = GROUP Cars BY Model;
+B = FOREACH G GENERATE group AS Model, TagPrice(Cars) AS price;
+""", cars_env(), udfs=self._udfs())
+        prices = dict(result.relation("B").value_rows())
+        assert prices == {"Accord": 1000, "Civic": 2000}
+        blackboxes = graph.nodes_of_kind(NodeKind.BLACKBOX)
+        assert len(blackboxes) == 2
+        assert all(node.label == "TagPrice" for node in blackboxes)
+        assert all(node.ntype == "v" for node in blackboxes)
+
+    def test_blackbox_preds_are_bag_members(self):
+        env = cars_env()
+        _result, graph = run_tracked("""
+G = GROUP Cars BY Model;
+B = FOREACH G GENERATE group AS Model, TagPrice(Cars) AS price;
+""", env, udfs=self._udfs())
+        base_provs = {row.prov for row in env["Cars"].rows}
+        for node in graph.nodes_of_kind(NodeKind.BLACKBOX):
+            assert set(graph.preds(node.node_id)) <= base_provs
+
+    def test_flatten_bag_udf(self):
+        result, graph = run_tracked("""
+G = GROUP Cars BY Model;
+B = FOREACH G GENERATE FLATTEN(Explode(Cars));
+""", cars_env(), udfs=self._udfs())
+        assert sorted(result.relation("B").value_rows()) == [
+            ("C1",), ("C2",), ("C3",)]
+        bag_bbs = [node for node in graph.nodes_of_kind(NodeKind.BLACKBOX)]
+        assert all(node.ntype == "p" for node in bag_bbs)
+
+    def test_flatten_bag_field(self):
+        result, graph = run_tracked("""
+G = GROUP Cars BY Model;
+B = FOREACH G GENERATE group AS Model, FLATTEN(Cars.CarId);
+""", cars_env())
+        assert sorted(result.relation("B").value_rows()) == [
+            ("Accord", "C1"), ("Civic", "C2"), ("Civic", "C3")]
+        # Each flattened row: + over ·(group δ, inner tuple).
+        for row in result.relation("B").rows:
+            node = graph.node(row.prov)
+            assert node.kind is NodeKind.PLUS
+
+    def test_flatten_empty_bag_produces_no_rows(self):
+        env = {"E": Relation.empty(CARS)}
+        result = run("""
+G = GROUP E BY Model;
+B = FOREACH G GENERATE FLATTEN(E);
+""", env)
+        assert len(result.relation("B")) == 0

@@ -1,0 +1,232 @@
+"""Edge cases of the Pig Latin interpreter: multiple FLATTENs, empty
+inputs, schema inference corners, nested aggregation pipelines."""
+
+import pytest
+
+from repro.datamodel import Bag, FieldType, Relation, Schema
+from repro.errors import PigRuntimeError
+from repro.graph import GraphBuilder, NodeKind
+from repro.piglatin import Interpreter, UDFRegistry
+
+ORDERS = Schema.of(("OrderId", FieldType.CHARARRAY),
+                   ("Customer", FieldType.CHARARRAY),
+                   ("Total", FieldType.INT))
+
+
+def orders_env():
+    return {"Orders": Relation.from_values(ORDERS, [
+        ("O1", "alice", 10), ("O2", "alice", 30),
+        ("O3", "bob", 20), ("O4", "carol", 5)])}
+
+
+def run(script, env, builder=None, udfs=None):
+    return Interpreter(builder, udfs).execute(script, env)
+
+
+class TestMultipleFlatten:
+    def test_two_flattens_cross_product(self):
+        # Pig semantics: multiple FLATTENs expand to the cross product.
+        env = orders_env()
+        script = """
+G = GROUP Orders BY Customer;
+Pairs = FOREACH G GENERATE group, FLATTEN(Orders.OrderId),
+    FLATTEN(Orders.Total);
+"""
+        result = run(script, env)
+        pairs = result.relation("Pairs")
+        # alice: 2 orders → 2×2 = 4 combos; bob 1; carol 1.
+        assert len(pairs) == 4 + 1 + 1
+        alice = [row.values for row in pairs.rows if row.values[0] == "alice"]
+        assert ("alice", "O1", 30) in alice  # genuine cross product
+
+    def test_flatten_with_scalar_items(self):
+        env = orders_env()
+        script = """
+G = GROUP Orders BY Customer;
+X = FOREACH G GENERATE group AS Customer, COUNT(Orders) AS N,
+    FLATTEN(Orders.OrderId);
+"""
+        result = run(script, env)
+        rows = {row.values for row in result.relation("X").rows}
+        assert ("alice", 2, "O1") in rows
+        assert ("alice", 2, "O2") in rows
+
+    def test_flatten_joint_provenance(self):
+        env = orders_env()
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        result = run("""
+G = GROUP Orders BY Customer;
+X = FOREACH G GENERATE group, FLATTEN(Orders.OrderId);
+""", env, builder)
+        builder.end_invocation()
+        graph = builder.graph
+        for row in result.relation("X").rows:
+            node = graph.node(row.prov)
+            assert node.kind is NodeKind.PLUS
+            (core,) = graph.preds(row.prov)
+            # ·(group δ, inner tuple): joint derivation.
+            assert graph.node(core).kind is NodeKind.TIMES
+
+
+class TestChainedAggregation:
+    def test_aggregate_of_aggregates(self):
+        # Per-customer totals, then the max over customers.
+        env = orders_env()
+        script = """
+ByCustomer = GROUP Orders BY Customer;
+Totals = FOREACH ByCustomer GENERATE group AS Customer,
+    SUM(Orders.Total) AS Spent;
+All = GROUP Totals ALL;
+Best = FOREACH All GENERATE MAX(Totals.Spent) AS Top;
+"""
+        result = run(script, env)
+        assert result.relation("Best").value_rows() == [(40,)]
+
+    def test_aggregate_provenance_chains(self):
+        env = orders_env()
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        result = run("""
+ByCustomer = GROUP Orders BY Customer;
+Totals = FOREACH ByCustomer GENERATE group AS Customer,
+    SUM(Orders.Total) AS Spent;
+All = GROUP Totals ALL;
+Best = FOREACH All GENERATE MAX(Totals.Spent) AS Top;
+""", env, builder)
+        builder.end_invocation()
+        graph = builder.graph
+        best = result.relation("Best").rows[0]
+        ancestor_kinds = {graph.node(a).kind for a in graph.ancestors(best.prov)}
+        assert NodeKind.AGG in ancestor_kinds
+        assert NodeKind.TENSOR in ancestor_kinds
+        # The MAX depends on every base order tuple.
+        base = {graph.node(a).label for a in graph.ancestors(best.prov)
+                if graph.node(a).kind is NodeKind.TUPLE}
+        assert len(base) == 4
+
+    def test_avg_then_filter(self):
+        env = orders_env()
+        script = """
+ByCustomer = GROUP Orders BY Customer;
+Means = FOREACH ByCustomer GENERATE group AS Customer,
+    AVG(Orders.Total) AS Mean;
+Big = FILTER Means BY Mean > 10;
+"""
+        result = run(script, env)
+        customers = sorted(row.values[0] for row in result.relation("Big").rows)
+        assert customers == ["alice", "bob"]
+
+
+class TestEmptyAndDegenerate:
+    def test_everything_over_empty_input(self):
+        env = {"E": Relation.empty(ORDERS)}
+        script = """
+F = FILTER E BY Total > 0;
+G = GROUP E BY Customer;
+D = DISTINCT E;
+O = ORDER E BY Total;
+L = LIMIT E 5;
+P = FOREACH E GENERATE Customer;
+"""
+        result = run(script, env)
+        for alias in "FGDOLP":
+            assert len(result.relation(alias)) == 0
+
+    def test_join_with_empty_side(self):
+        env = orders_env()
+        env["Empty"] = Relation.empty(Schema.of("Customer"))
+        result = run("J = JOIN Orders BY Customer, Empty BY Customer;", env)
+        assert len(result.relation("J")) == 0
+
+    def test_union_of_three_empties(self):
+        env = {name: Relation.empty(ORDERS) for name in ("A", "B", "C")}
+        result = run("U = UNION A, B, C;", env)
+        assert len(result.relation("U")) == 0
+
+    def test_limit_beyond_size(self):
+        result = run("L = LIMIT Orders 99;", orders_env())
+        assert len(result.relation("L")) == 4
+
+    def test_alias_shadowing_env_relation(self):
+        # `Orders = FILTER Orders ...` reads the env relation then
+        # rebinds the alias — the dealer scripts rely on this.
+        env = orders_env()
+        script = """
+Orders = FILTER Orders BY Total > 10;
+N = FOREACH Orders GENERATE OrderId;
+"""
+        result = run(script, env)
+        assert len(result.relation("N")) == 2
+        assert len(env["Orders"]) == 4  # env untouched
+
+
+class TestSchemaInferenceCorners:
+    def test_positional_in_general_foreach(self):
+        env = orders_env()
+        script = """
+G = GROUP Orders BY Customer;
+X = FOREACH G GENERATE $0, COUNT(Orders) AS N;
+"""
+        result = run(script, env)
+        assert result.relation("X").schema.names[1] == "N"
+
+    def test_static_flatten_fields_from_bag_field(self):
+        # FLATTEN over an empty grouped relation: schema must come
+        # from the bag field's element schema.
+        env = {"E": Relation.empty(ORDERS)}
+        result = run("""
+G = GROUP E BY Customer;
+X = FOREACH G GENERATE FLATTEN(E);
+""", env)
+        assert result.relation("X").schema.names == ORDERS.names
+
+    def test_flatten_udf_without_schema_infers_from_rows(self):
+        udfs = UDFRegistry()
+        udfs.register("MakePair", lambda bag: [(len(bag), "tag")],
+                      returns_bag=True)  # no output schema declared
+        result = run("""
+G = GROUP Orders BY Customer;
+X = FOREACH G GENERATE FLATTEN(MakePair(Orders));
+""", orders_env(), udfs=udfs)
+        relation = result.relation("X")
+        assert relation.schema.arity == 2
+        assert sorted(relation.value_rows()) == [(1, "tag"), (1, "tag"),
+                                                 (2, "tag")]
+
+    def test_udf_scalar_flatten_behaves_like_scalar(self):
+        udfs = UDFRegistry()
+        udfs.register("One", lambda bag: 1)
+        result = run("""
+G = GROUP Orders BY Customer;
+X = FOREACH G GENERATE group, FLATTEN(One(Orders));
+""", orders_env(), udfs=udfs)
+        assert len(result.relation("X")) == 3
+
+    def test_group_key_expression(self):
+        # Grouping by a computed key.
+        result = run("G = GROUP Orders BY Total / 10;", orders_env())
+        keys = sorted(row.values[0] for row in result.relation("G").rows)
+        assert keys == [0.5, 1.0, 2.0, 3.0]
+
+
+class TestProvenanceToggle:
+    def test_untracked_has_no_graph_effects(self):
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        interpreter = Interpreter(builder, track_provenance=False)
+        interpreter.execute("G = GROUP Orders BY Customer;", orders_env())
+        builder.end_invocation()
+        # Only the m-node exists.
+        assert builder.graph.node_count == 1
+
+    def test_partial_annotation_completion(self):
+        env = orders_env()
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        interpreter = Interpreter(builder)
+        # Pre-annotate one row, leave the rest to lazy annotation.
+        env["Orders"].rows[0].prov = builder.base_tuple_node("pre")
+        interpreter.execute("P = FOREACH Orders GENERATE OrderId;", env)
+        builder.end_invocation()
+        assert all(row.prov is not None for row in env["Orders"].rows)

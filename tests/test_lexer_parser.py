@@ -1,0 +1,242 @@
+"""Unit tests for the Pig Latin lexer and parser."""
+
+import pytest
+
+from repro.errors import PigSyntaxError
+from repro.piglatin import TokenType, ast, parse, parse_expression, tokenize
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("foreach FOREACH ForEach")
+        assert all(token.value == "FOREACH" for token in tokens[:-1])
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("ReqModel")
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "ReqModel"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.5")
+        assert tokens[0].value == "42"
+        assert tokens[1].value == "3.5"
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_string_escape(self):
+        assert tokenize(r"'a\'b'")[0].value == "a'b"
+
+    def test_unterminated_string(self):
+        with pytest.raises(PigSyntaxError):
+            tokenize("'oops")
+
+    def test_dollar_ref(self):
+        token = tokenize("$2")[0]
+        assert token.type is TokenType.DOLLAR
+        assert token.value == "2"
+
+    def test_dollar_without_digits(self):
+        with pytest.raises(PigSyntaxError):
+            tokenize("$x")
+
+    def test_line_comment(self):
+        tokens = tokenize("a -- comment here\nb")
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+
+    def test_block_comment(self):
+        tokens = tokenize("a /* multi\nline */ b")
+        assert [t.value for t in tokens[:-1]] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(PigSyntaxError):
+            tokenize("/* forever")
+
+    def test_double_colon_symbol(self):
+        tokens = tokenize("Cars::Model")
+        assert tokens[1].value == "::"
+
+    def test_comparison_operators(self):
+        values = [t.value for t in tokenize("== != <= >= < >")[:-1]]
+        assert values == ["==", "!=", "<=", ">=", "<", ">"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(PigSyntaxError) as info:
+            tokenize("a @ b")
+        assert info.value.line == 1
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestParserStatements:
+    def test_load(self):
+        statement = parse("A = LOAD 'cars';").statements[0]
+        assert isinstance(statement, ast.Load)
+        assert statement.alias == "A"
+        assert statement.source == "cars"
+
+    def test_filter(self):
+        statement = parse("B = FILTER A BY Model == 'Civic';").statements[0]
+        assert isinstance(statement, ast.Filter)
+        assert isinstance(statement.condition, ast.BinaryOp)
+
+    def test_group_by(self):
+        statement = parse("G = GROUP A BY Model;").statements[0]
+        assert isinstance(statement, ast.Group)
+        assert len(statement.keys) == 1
+
+    def test_group_by_multiple_keys(self):
+        statement = parse("G = GROUP A BY (Model, Year);").statements[0]
+        assert len(statement.keys) == 2
+
+    def test_group_all(self):
+        statement = parse("G = GROUP A ALL;").statements[0]
+        assert statement.keys == ()
+
+    def test_group_parallel(self):
+        statement = parse("G = GROUP A BY Model PARALLEL 4;").statements[0]
+        assert statement.parallel == 4
+
+    def test_cogroup(self):
+        statement = parse(
+            "G = COGROUP A BY Model, B BY Model, C BY Model;").statements[0]
+        assert isinstance(statement, ast.CoGroup)
+        assert len(statement.inputs) == 3
+
+    def test_join(self):
+        statement = parse("J = JOIN A BY x, B BY y;").statements[0]
+        assert isinstance(statement, ast.Join)
+        assert statement.inputs[0][0] == "A"
+
+    def test_join_needs_two_clauses(self):
+        with pytest.raises(PigSyntaxError):
+            parse("J = JOIN A BY x;")
+
+    def test_foreach_generate(self):
+        statement = parse(
+            "B = FOREACH A GENERATE Model, COUNT(Inventory) AS n;").statements[0]
+        assert isinstance(statement, ast.Foreach)
+        assert statement.items[1].alias == "n"
+
+    def test_foreach_flatten(self):
+        statement = parse(
+            "B = FOREACH A GENERATE FLATTEN(CalcBid(R, N));").statements[0]
+        assert isinstance(statement.items[0].expression, ast.Flatten)
+
+    def test_union(self):
+        statement = parse("U = UNION A, B, C;").statements[0]
+        assert statement.input_aliases == ("A", "B", "C")
+
+    def test_distinct(self):
+        statement = parse("D = DISTINCT A;").statements[0]
+        assert isinstance(statement, ast.Distinct)
+
+    def test_order_by(self):
+        statement = parse("O = ORDER A BY Model DESC, Price;").statements[0]
+        assert statement.keys == (("Model", False), ("Price", True))
+
+    def test_limit(self):
+        statement = parse("L = LIMIT A 5;").statements[0]
+        assert statement.count == 5
+
+    def test_store(self):
+        statement = parse("STORE A INTO 'out';").statements[0]
+        assert isinstance(statement, ast.Store)
+        assert statement.destination == "out"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(PigSyntaxError):
+            parse("A = LOAD 'x'")
+
+    def test_group_as_field_name(self):
+        # `group` is the implicit key field of GROUP results.
+        statement = parse("B = FOREACH G GENERATE group AS Model;").statements[0]
+        expression = statement.items[0].expression
+        assert isinstance(expression, ast.FieldRef)
+        assert expression.name == "group"
+
+    def test_multi_statement_script(self):
+        script = parse("A = LOAD 'x'; B = DISTINCT A; STORE B INTO 'y';")
+        assert len(script) == 3
+
+
+class TestParserExpressions:
+    def test_precedence(self):
+        expression = parse_expression("1 + 2 * 3")
+        assert expression.op == "+"
+        assert expression.right.op == "*"
+
+    def test_parentheses(self):
+        expression = parse_expression("(1 + 2) * 3")
+        assert expression.op == "*"
+
+    def test_boolean_precedence(self):
+        expression = parse_expression("a == 1 OR b == 2 AND c == 3")
+        assert expression.op == "OR"
+        assert expression.right.op == "AND"
+
+    def test_not(self):
+        expression = parse_expression("NOT a == 1")
+        assert isinstance(expression, ast.UnaryOp)
+
+    def test_unary_minus(self):
+        expression = parse_expression("-5")
+        assert isinstance(expression, ast.UnaryOp)
+
+    def test_is_null(self):
+        expression = parse_expression("Model IS NULL")
+        assert isinstance(expression, ast.IsNull)
+        assert not expression.negated
+
+    def test_is_not_null(self):
+        expression = parse_expression("Model IS NOT NULL")
+        assert expression.negated
+
+    def test_dotted_ref(self):
+        expression = parse_expression("Inventory.CarId")
+        assert isinstance(expression, ast.DottedRef)
+        assert expression.field == "CarId"
+
+    def test_double_colon_ref(self):
+        expression = parse_expression("Cars::Model")
+        assert isinstance(expression, ast.FieldRef)
+        assert expression.name == "Cars::Model"
+
+    def test_positional_ref(self):
+        expression = parse_expression("$2")
+        assert expression.position == 2
+
+    def test_function_call(self):
+        expression = parse_expression("CONCAT(a, 'x')")
+        assert isinstance(expression, ast.FuncCall)
+        assert len(expression.args) == 2
+
+    def test_empty_arg_call(self):
+        assert parse_expression("F()").args == ()
+
+    def test_literals(self):
+        assert parse_expression("TRUE").value is True
+        assert parse_expression("NULL").value is None
+        assert parse_expression("3.5").value == 3.5
+        assert parse_expression("'s'").value == "s"
+
+    def test_star(self):
+        assert isinstance(parse_expression("*"), ast.StarRef)
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(PigSyntaxError):
+            parse_expression("1 1")
+
+    def test_repr_smoke(self):
+        # reprs exist for debugging; just exercise them.
+        script = parse("B = FOREACH A GENERATE FLATTEN(F(x)) AS y;")
+        assert "Foreach" in repr(script.statements[0])
+        assert "Script" in repr(script)

@@ -1,0 +1,99 @@
+"""Integration tests for the Lipstick facade: tracker → disk → query
+processor (the paper's Section 5.1 architecture)."""
+
+import pytest
+
+from repro import Lipstick
+from repro.benchmark.dealerships import DealershipRun, build_dealership_workflow
+from repro.graph import NodeKind
+
+
+@pytest.fixture(scope="module")
+def lipstick_run(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("lipstick")
+    lipstick = Lipstick(str(directory))
+    workflow, modules = build_dealership_workflow()
+    executor = lipstick.executor(workflow, modules)
+    run = DealershipRun(num_cars=16, num_exec=2, seed=5)
+    run.buyer.accept_probability = 0.0
+    state = run.initial_state(executor)
+    outputs = run.run(executor, state)
+    return lipstick, outputs
+
+
+class TestLipstickFacade:
+    def test_graph_accumulates(self, lipstick_run):
+        lipstick, _outputs = lipstick_run
+        assert lipstick.graph.node_count > 0
+
+    def test_flush_and_reload(self, lipstick_run):
+        lipstick, _outputs = lipstick_run
+        path = lipstick.flush()
+        processor = lipstick.query_processor(path)
+        assert processor.graph.node_count == lipstick.graph.node_count
+        processor.graph.check_consistency()
+
+    def test_query_processor_zoom(self, lipstick_run):
+        lipstick, _outputs = lipstick_run
+        processor = lipstick.query_processor(lipstick.flush())
+        before = processor.graph.node_count
+        processor.zoom_out("Magg")
+        assert "Magg" in processor.zoomed_out_modules
+        processor.zoom_in("Magg")
+        assert processor.graph.node_count == before
+
+    def test_query_processor_delete(self, lipstick_run):
+        lipstick, outputs = lipstick_run
+        processor = lipstick.query_processor(lipstick.flush())
+        best = outputs[0].outputs_of("agg")["BestBids"]
+        if best.rows:
+            result = processor.delete(best.rows[0].prov)
+            assert result.removed_count >= 1
+            # Non-in-place: original untouched.
+            assert processor.graph.has_node(best.rows[0].prov)
+
+    def test_query_processor_subgraph(self, lipstick_run):
+        lipstick, _outputs = lipstick_run
+        processor = lipstick.query_processor(lipstick.flush())
+        top = processor.highest_fanout_nodes(5)
+        assert len(top) == 5
+        result = processor.subgraph(top[0])
+        assert result.size > 0
+
+    def test_query_processor_proql(self, lipstick_run):
+        lipstick, _outputs = lipstick_run
+        processor = lipstick.query_processor()
+        modules = processor.query().of_kind(NodeKind.MODULE).labels()
+        assert "Magg" in modules
+
+    def test_dependency_report(self, lipstick_run):
+        lipstick, _outputs = lipstick_run
+        profiles = lipstick.dependency_report()
+        assert profiles
+        meaningful = [p for p in profiles if p.fine_grained_state > 0]
+        # Fine-grained: no output depends on everything.
+        for profile in meaningful:
+            assert profile.state_fraction < 1.0
+
+    def test_stats(self, lipstick_run):
+        lipstick, _outputs = lipstick_run
+        stats = lipstick.query_processor().stats()
+        assert stats.node_count == lipstick.graph.node_count
+
+    def test_tracking_disabled(self):
+        lipstick = Lipstick(track_provenance=False)
+        assert lipstick.graph is None
+        with pytest.raises(RuntimeError):
+            lipstick.flush()
+        with pytest.raises(RuntimeError):
+            lipstick.query_processor()
+
+    def test_run_sequence_api(self, tmp_path):
+        lipstick = Lipstick(str(tmp_path))
+        workflow, modules = build_dealership_workflow()
+        run = DealershipRun(num_cars=8, num_exec=1, seed=2)
+        executor = lipstick.executor(workflow, modules)
+        state = run.initial_state(executor)
+        outputs = lipstick.run_sequence(workflow, modules,
+                                        [run.input_batch(0)], state)
+        assert len(outputs) == 1

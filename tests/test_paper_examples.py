@@ -1,0 +1,206 @@
+"""End-to-end reproduction of the paper's worked examples.
+
+Example 2.3 (the dealer's state-manipulation query, intermediate
+tables included), Example 3.x (provenance construction), and the
+Section 4 deletion examples 4.3-4.5.
+"""
+
+import pytest
+
+from repro.datamodel import FieldType, Relation, Schema
+from repro.graph import GraphBuilder, NodeKind, to_expression
+from repro.piglatin import Interpreter, UDFRegistry
+from repro.provenance import BOOLEAN, COUNTING
+from repro.queries import delete_base_tuples, depends_on_tuple
+
+CARS = Schema.of(("CarId", FieldType.CHARARRAY),
+                 ("Model", FieldType.CHARARRAY))
+SOLD = Schema.of(("CarId", FieldType.CHARARRAY),
+                 ("BidId", FieldType.CHARARRAY))
+REQUESTS = Schema.of(("UserId", FieldType.CHARARRAY),
+                     ("BidId", FieldType.CHARARRAY),
+                     ("Model", FieldType.CHARARRAY))
+
+#: The paper's Q_state for Mdealer1 (Example 2.1), verbatim modulo the
+#: bid-history argument.
+DEALER_SCRIPT = """
+ReqModel = FOREACH Requests GENERATE Model;
+Inventory = JOIN Cars BY Model, ReqModel BY Model;
+SoldInventory = JOIN Inventory BY CarId, SoldCars BY CarId;
+CarsByModel = GROUP Inventory BY Model;
+SoldByModel = GROUP SoldInventory BY Model;
+NumCarsByModel = FOREACH CarsByModel GENERATE group AS Model,
+    COUNT(Inventory) AS NumAvail;
+NumSoldByModel = FOREACH SoldByModel GENERATE group AS Model,
+    COUNT(SoldInventory) AS NumSold;
+AllInfoByModel = COGROUP Requests BY Model, NumCarsByModel BY Model,
+    NumSoldByModel BY Model;
+InventoryBids = FOREACH AllInfoByModel GENERATE
+    FLATTEN(CalcBid(Requests, NumCarsByModel, NumSoldByModel));
+"""
+
+
+def calc_bid(requests, num_cars, num_sold):
+    request = requests.rows[0].values
+    available = num_cars.rows[0].values[1] if len(num_cars) else 0
+    sold = num_sold.rows[0].values[1] if len(num_sold) else 0
+    return [(request[1], request[0], request[2],
+             25000 - 1000 * available - 500 * sold)]
+
+
+@pytest.fixture
+def dealer_run():
+    env = {
+        "Cars": Relation.from_values(CARS, [
+            ("C1", "Accord"), ("C2", "Civic"), ("C3", "Civic")]),
+        "SoldCars": Relation.from_values(SOLD, []),
+        "Requests": Relation.from_values(REQUESTS, [("P1", "B1", "Civic")]),
+    }
+    udfs = UDFRegistry()
+    udfs.register("CalcBid", calc_bid, returns_bag=True,
+                  output_schema=Schema.of("BidId", "UserId", "Model",
+                                          ("Amount", FieldType.INT)))
+    builder = GraphBuilder()
+    builder.begin_invocation("Mdealer1")
+    interpreter = Interpreter(builder, udfs)
+    result = interpreter.execute(DEALER_SCRIPT, env)
+    builder.end_invocation()
+    return env, result, builder.graph
+
+
+class TestExample23IntermediateTables:
+    def test_req_model(self, dealer_run):
+        _env, result, _graph = dealer_run
+        assert result.relation("ReqModel").value_rows() == [("Civic",)]
+
+    def test_inventory(self, dealer_run):
+        _env, result, _graph = dealer_run
+        inventory = result.relation("Inventory")
+        assert sorted(row.values[0] for row in inventory.rows) == ["C2", "C3"]
+
+    def test_sold_inventory_empty(self, dealer_run):
+        _env, result, _graph = dealer_run
+        assert len(result.relation("SoldInventory")) == 0
+
+    def test_cars_by_model(self, dealer_run):
+        _env, result, _graph = dealer_run
+        groups = result.relation("CarsByModel")
+        assert len(groups) == 1
+        key, bag = groups.rows[0].values
+        assert key == "Civic" and len(bag) == 2
+
+    def test_num_cars_by_model(self, dealer_run):
+        _env, result, _graph = dealer_run
+        assert result.relation("NumCarsByModel").value_rows() == [("Civic", 2)]
+
+    def test_num_sold_empty(self, dealer_run):
+        _env, result, _graph = dealer_run
+        assert len(result.relation("NumSoldByModel")) == 0
+
+    def test_all_info_by_model(self, dealer_run):
+        _env, result, _graph = dealer_run
+        rows = result.relation("AllInfoByModel").rows
+        assert len(rows) == 1
+        key, requests, num_cars, num_sold = rows[0].values
+        assert key == "Civic"
+        assert len(requests) == 1 and len(num_cars) == 1 and len(num_sold) == 0
+
+    def test_inventory_bids(self, dealer_run):
+        _env, result, _graph = dealer_run
+        bids = result.relation("InventoryBids")
+        assert bids.value_rows() == [("B1", "P1", "Civic", 23000)]
+
+
+class TestExample3xGraphStructure:
+    def test_projection_plus_node(self, dealer_run):
+        # Example 3.1: ReqModel's tuple hangs off a + node (N50).
+        _env, result, graph = dealer_run
+        node = graph.node(result.relation("ReqModel").rows[0].prov)
+        assert node.kind is NodeKind.PLUS
+
+    def test_join_times_nodes(self, dealer_run):
+        # Example 3.2: N60, N61 for the two joined cars.
+        _env, result, graph = dealer_run
+        for row in result.relation("Inventory").rows:
+            assert graph.node(row.prov).kind is NodeKind.TIMES
+
+    def test_group_delta_node(self, dealer_run):
+        # Example 3.3: N71 for the single Civic group.
+        _env, result, graph = dealer_run
+        node = graph.node(result.relation("CarsByModel").rows[0].prov)
+        assert node.kind is NodeKind.DELTA
+        assert len(graph.preds(node.node_id)) == 2
+
+    def test_count_aggregate_node(self, dealer_run):
+        # Example 3.4: N70, the Count v-node over two tensors.
+        _env, _result, graph = dealer_run
+        counts = [node for node in graph.nodes_of_kind(NodeKind.AGG)
+                  if node.label == "Count"]
+        assert any(node.value == 2 for node in counts)
+        civic_count = next(node for node in counts if node.value == 2)
+        assert len(graph.preds(civic_count.node_id)) == 2
+
+    def test_blackbox_node(self, dealer_run):
+        # Example 3.6: the calcBid v-node N80 feeds the output tuple.
+        _env, result, graph = dealer_run
+        blackboxes = graph.nodes_of_kind(NodeKind.BLACKBOX)
+        assert len(blackboxes) == 1
+        bid_prov = result.relation("InventoryBids").rows[0].prov
+        assert blackboxes[0].node_id in graph.ancestors(bid_prov)
+
+
+class TestSection4DeletionExamples:
+    def _label_of_car(self, env, graph, car_id):
+        for row in env["Cars"].rows:
+            if row.values[0] == car_id:
+                return graph.node(row.prov).label
+        raise AssertionError(f"no car {car_id}")
+
+    def test_example_4_3_deleting_c2_keeps_bid(self, dealer_run):
+        # "the calculation of the bid does not depend on the existence
+        # of car C2" (Example 4.5): the bid survives C2's deletion, and
+        # the COUNT is now applied to a single value (C3's).
+        env, result, graph = dealer_run
+        c2_label = self._label_of_car(env, graph, "C2")
+        outcome = delete_base_tuples(graph, [c2_label])
+        bid_prov = result.relation("InventoryBids").rows[0].prov
+        assert outcome.survived(bid_prov)
+        surviving_counts = [node for node in
+                            outcome.graph.nodes_of_kind(NodeKind.AGG)
+                            if node.label == "Count" and node.value == 2]
+        for count in surviving_counts:
+            assert len(outcome.graph.preds(count.node_id)) == 1
+
+    def test_example_4_4_deleting_request_kills_everything(self, dealer_run):
+        # Deleting the request deletes the whole graph except state
+        # tuples and module invocation nodes.
+        env, result, graph = dealer_run
+        request_label = graph.node(env["Requests"].rows[0].prov).label
+        outcome = delete_base_tuples(graph, [request_label])
+        bid_prov = result.relation("InventoryBids").rows[0].prov
+        assert not outcome.survived(bid_prov)
+        surviving_kinds = {node.kind for node in outcome.graph.nodes.values()}
+        assert surviving_kinds <= {NodeKind.TUPLE, NodeKind.MODULE,
+                                   NodeKind.STATE, NodeKind.VALUE}
+
+    def test_example_4_5_dependency_queries(self, dealer_run):
+        env, result, graph = dealer_run
+        bid_prov = result.relation("InventoryBids").rows[0].prov
+        c2_label = self._label_of_car(env, graph, "C2")
+        request_label = graph.node(env["Requests"].rows[0].prov).label
+        assert not depends_on_tuple(graph, bid_prov, [c2_label])
+        assert depends_on_tuple(graph, bid_prov, [request_label])
+
+    def test_deleting_both_civics_matches_algebra(self, dealer_run):
+        # Graph deletion and algebraic token deletion agree: removing
+        # both Civics kills the join, the group, and the bid.
+        env, result, graph = dealer_run
+        c2 = self._label_of_car(env, graph, "C2")
+        c3 = self._label_of_car(env, graph, "C3")
+        group_prov = result.relation("CarsByModel").rows[0].prov
+        expression = to_expression(graph, group_prov)
+        dead_tokens = {token for token in expression.tokens()
+                       if token.name in (c2, c3)}
+        assert expression.delete_tokens(dead_tokens).is_zero()
+        outcome = delete_base_tuples(graph, [c2, c3])
+        assert not outcome.survived(group_prov)

@@ -1,0 +1,269 @@
+"""Unit tests for tokens, polynomials, semirings, and expressions."""
+
+import pytest
+
+from repro.errors import LipstickError
+from repro.provenance import (
+    BOOLEAN,
+    COUNTING,
+    MONOIDS,
+    ONE,
+    SECURITY,
+    TROPICAL,
+    WHY,
+    ZERO,
+    AggExpr,
+    AggregateValue,
+    BlackBoxExpr,
+    DeltaExpr,
+    Polynomial,
+    Token,
+    TokenFactory,
+    TokenExpr,
+    constant_valuation,
+    delta,
+    evaluate_aggregate,
+    product_of,
+    sum_of,
+    tensor,
+    token,
+)
+
+
+@pytest.fixture
+def tokens():
+    factory = TokenFactory()
+    return factory.fresh("R"), factory.fresh("R"), factory.fresh("S")
+
+
+class TestTokens:
+    def test_fresh_tokens_are_unique(self):
+        factory = TokenFactory()
+        assert factory.fresh() != factory.fresh()
+        assert factory.minted_count() == 2
+
+    def test_named_tokens_interned(self):
+        factory = TokenFactory()
+        assert factory.named("C2") is factory.named("C2")
+        assert factory.named("C2", "Cars") is not factory.named("C2")
+
+    def test_qualified_name(self):
+        assert Token("t0", "Cars").qualified_name == "Cars.t0"
+        assert Token("t0").qualified_name == "t0"
+
+    def test_ordering(self):
+        assert Token("a", "A") < Token("b", "A")
+        assert Token("z", "A") < Token("a", "B")
+
+
+class TestPolynomial:
+    def test_zero_one(self):
+        assert Polynomial.zero().is_zero()
+        assert Polynomial.one().is_one()
+        assert (Polynomial.zero() + Polynomial.one()).is_one()
+
+    def test_addition_merges_terms(self, tokens):
+        a, _b, _c = tokens
+        doubled = Polynomial.of_token(a) + Polynomial.of_token(a)
+        assert doubled == Polynomial.constant(2) * Polynomial.of_token(a)
+
+    def test_multiplication_builds_monomials(self, tokens):
+        a, b, _c = tokens
+        product = Polynomial.of_token(a) * Polynomial.of_token(b)
+        assert product.degree() == 2
+        assert product.tokens() == {a, b}
+
+    def test_squaring(self, tokens):
+        a, _b, _c = tokens
+        squared = Polynomial.of_token(a) * Polynomial.of_token(a)
+        assert squared.degree() == 2
+        assert squared.term_count() == 1
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(LipstickError):
+            Polynomial.constant(-1)
+
+    def test_evaluate_counting(self, tokens):
+        a, b, _c = tokens
+        # 2a·b + a  at a=2, b=3  →  2·2·3 + 2 = 14
+        polynomial = (Polynomial.constant(2) * Polynomial.of_token(a)
+                      * Polynomial.of_token(b)) + Polynomial.of_token(a)
+        values = {a: 2, b: 3}
+        assert polynomial.evaluate(COUNTING, values.__getitem__) == 14
+
+    def test_evaluate_boolean_deletion(self, tokens):
+        a, b, _c = tokens
+        polynomial = (Polynomial.of_token(a) * Polynomial.of_token(b)
+                      + Polynomial.of_token(a))
+        alive = {a: True, b: False}
+        assert polynomial.evaluate(BOOLEAN, alive.__getitem__) is True
+        dead = {a: False, b: True}
+        assert polynomial.evaluate(BOOLEAN, dead.__getitem__) is False
+
+    def test_specialize(self, tokens):
+        a, b, _c = tokens
+        polynomial = Polynomial.of_token(a) * Polynomial.of_token(b)
+        specialized = polynomial.specialize({a: Polynomial.constant(3)})
+        assert specialized == Polynomial.constant(3) * Polynomial.of_token(b)
+
+    def test_delete_tokens(self, tokens):
+        a, b, _c = tokens
+        polynomial = (Polynomial.of_token(a) * Polynomial.of_token(b)
+                      + Polynomial.of_token(b))
+        assert polynomial.delete_tokens([a]) == Polynomial.of_token(b)
+        assert polynomial.delete_tokens([b]).is_zero()
+
+    def test_str_sorted_and_readable(self, tokens):
+        a, b, _c = tokens
+        polynomial = Polynomial.of_token(b) * Polynomial.of_token(a) \
+            + Polynomial.of_token(a)
+        rendered = str(polynomial)
+        assert "R.t0" in rendered and "+" in rendered
+
+    def test_str_zero(self):
+        assert str(Polynomial.zero()) == "0"
+
+
+class TestSemirings:
+    def test_counting_delta(self):
+        assert COUNTING.delta(5) == 1
+        assert COUNTING.delta(0) == 0
+
+    def test_boolean(self):
+        assert BOOLEAN.plus(False, True) is True
+        assert BOOLEAN.times(True, False) is False
+
+    def test_tropical(self):
+        assert TROPICAL.plus(3.0, 5.0) == 3.0
+        assert TROPICAL.times(3.0, 5.0) == 8.0
+        assert TROPICAL.zero == float("inf")
+
+    def test_security_levels(self):
+        assert SECURITY.plus(SECURITY.SECRET, SECURITY.PUBLIC) == SECURITY.PUBLIC
+        assert SECURITY.times(SECURITY.SECRET, SECURITY.PUBLIC) == SECURITY.SECRET
+
+    def test_why_provenance(self):
+        a, b = Token("a"), Token("b")
+        witnesses = WHY.times(WHY.lift(a), WHY.lift(b))
+        assert witnesses == frozenset({frozenset({a, b})})
+        either = WHY.plus(WHY.lift(a), WHY.lift(b))
+        assert len(either) == 2
+
+    def test_sum_product_helpers(self):
+        assert COUNTING.sum([1, 2, 3]) == 6
+        assert COUNTING.product([2, 3]) == 6
+
+    def test_constant_valuation(self):
+        valuation = constant_valuation(COUNTING)
+        assert valuation(Token("x")) == 1
+
+
+class TestProvExpressions:
+    def test_smart_sum_absorbs_zero(self, tokens):
+        a, _b, _c = tokens
+        assert sum_of([ZERO, token(a)]) == TokenExpr(a)
+        assert sum_of([]) is ZERO
+
+    def test_smart_product_absorbs(self, tokens):
+        a, _b, _c = tokens
+        assert product_of([ONE, token(a)]) == TokenExpr(a)
+        assert product_of([ZERO, token(a)]) is ZERO
+        assert product_of([]) is ONE
+
+    def test_flattening(self, tokens):
+        a, b, c = tokens
+        nested = sum_of([token(a), sum_of([token(b), token(c)])])
+        assert len(nested.operands) == 3
+
+    def test_delta_idempotent(self, tokens):
+        a, _b, _c = tokens
+        assert delta(delta(token(a))) == delta(token(a))
+        assert delta(ZERO) is ZERO
+
+    def test_evaluate_matches_polynomial(self, tokens):
+        a, b, _c = tokens
+        expression = sum_of([product_of([token(a), token(b)]), token(a)])
+        values = {a: 2, b: 3}
+        assert (expression.evaluate(COUNTING, values.__getitem__)
+                == expression.to_polynomial().evaluate(COUNTING, values.__getitem__))
+
+    def test_delta_not_polynomial(self, tokens):
+        a, _b, _c = tokens
+        with pytest.raises(LipstickError):
+            delta(token(a)).to_polynomial()
+
+    def test_delete_tokens_product_dies(self, tokens):
+        a, b, _c = tokens
+        expression = product_of([token(a), token(b)])
+        assert expression.delete_tokens({a}).is_zero()
+
+    def test_delete_tokens_sum_survives(self, tokens):
+        a, b, _c = tokens
+        expression = sum_of([token(a), token(b)])
+        assert expression.delete_tokens({a}) == TokenExpr(b)
+
+    def test_tensor_deletion(self, tokens):
+        a, _b, _c = tokens
+        paired = tensor(token(a), 42)
+        assert paired.delete_tokens({a}).is_zero()
+
+    def test_blackbox_evaluates_as_product(self, tokens):
+        a, b, _c = tokens
+        expression = BlackBoxExpr("CalcBid", [token(a), token(b)])
+        values = {a: 2, b: 3}
+        assert expression.evaluate(COUNTING, values.__getitem__) == 6
+
+    def test_tokens_collects_leaves(self, tokens):
+        a, b, c = tokens
+        expression = sum_of([product_of([token(a), token(b)]),
+                             delta(token(c))])
+        assert expression.tokens() == {a, b, c}
+
+    def test_str_rendering(self, tokens):
+        a, b, _c = tokens
+        rendered = str(sum_of([product_of([token(a), token(b)]), token(a)]))
+        assert "·" in rendered and "+" in rendered
+
+
+class TestAggregation:
+    def test_count_collapse(self, tokens):
+        a, b, _c = tokens
+        value = AggregateValue("COUNT", [(token(a), 1), (token(b), 1)])
+        assert value.collapse() == 2
+
+    def test_sum_respects_multiplicity(self, tokens):
+        a, _b, _c = tokens
+        value = AggregateValue("SUM", [(token(a), 10)])
+        assert value.collapse(lambda _t: 3) == 30
+
+    def test_min_ignores_multiplicity(self, tokens):
+        a, b, _c = tokens
+        value = AggregateValue("MIN", [(token(a), 10), (token(b), 7)])
+        assert value.collapse(lambda _t: 5) == 7
+
+    def test_deletion_recomputes(self, tokens):
+        # Example 4.3: after deleting C2, COUNT re-computes over C3 only.
+        a, b, _c = tokens
+        count = AggregateValue("COUNT", [(token(a), 1), (token(b), 1)])
+        assert count.delete_tokens({a}).collapse() == 1
+
+    def test_empty_aggregates(self):
+        assert AggregateValue("COUNT", []).collapse() == 0
+        assert AggregateValue("MIN", []).collapse() is None
+
+    def test_unknown_operator(self):
+        with pytest.raises(LipstickError):
+            AggregateValue("MEDIAN", [])
+
+    def test_to_expression(self, tokens):
+        a, _b, _c = tokens
+        expression = AggregateValue("SUM", [(token(a), 5)]).to_expression()
+        assert isinstance(expression, AggExpr)
+        assert expression.op == "SUM"
+
+    def test_evaluate_aggregate_helper(self, tokens):
+        a, b, _c = tokens
+        assert evaluate_aggregate("MAX", [(token(a), 3), (token(b), 9)]) == 9
+
+    def test_monoid_table(self):
+        assert set(MONOIDS) == {"SUM", "COUNT", "MIN", "MAX"}

@@ -1,0 +1,107 @@
+"""Unit tests for annotated relations."""
+
+import pytest
+
+from repro.datamodel import FieldType, Relation, Row, Schema
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def schema():
+    return Schema.of(("CarId", FieldType.CHARARRAY),
+                     ("Model", FieldType.CHARARRAY))
+
+
+@pytest.fixture
+def relation(schema):
+    return Relation.from_values(schema, [("C1", "Accord"), ("C2", "Civic")])
+
+
+class TestRow:
+    def test_values_tuple(self):
+        row = Row(["a", "b"], prov=3)
+        assert row.values == ("a", "b")
+        assert row.prov == 3
+
+    def test_replaced_keeps_provenance(self):
+        row = Row(("a",), prov=7)
+        replaced = row.replaced(("b",))
+        assert replaced.values == ("b",)
+        assert replaced.prov == 7
+
+    def test_equality_is_provenance_blind(self):
+        assert Row(("a",), 1) == Row(("a",), 2)
+        assert Row(("a",)) != Row(("b",))
+
+    def test_repr_shows_provenance(self):
+        assert "@4" in repr(Row(("a",), 4))
+
+
+class TestRelation:
+    def test_from_values(self, relation):
+        assert len(relation) == 2
+        assert relation.value_rows() == [("C1", "Accord"), ("C2", "Civic")]
+
+    def test_empty(self, schema):
+        assert len(Relation.empty(schema)) == 0
+        assert not Relation.empty(schema)
+
+    def test_arity_check(self, schema):
+        with pytest.raises(SchemaError):
+            Relation(schema, [Row(("only-one",))])
+
+    def test_type_check(self):
+        schema = Schema.of(("n", FieldType.INT))
+        with pytest.raises(SchemaError):
+            Relation(schema, [Row(("not-a-number",))])
+
+    def test_add_and_append(self, schema):
+        relation = Relation.empty(schema)
+        row = relation.add(("C9", "Golf"), prov=1)
+        assert row.prov == 1
+        assert len(relation) == 1
+
+    def test_column(self, relation):
+        assert relation.column("Model") == ["Accord", "Civic"]
+
+    def test_as_bag(self, relation):
+        assert len(relation.as_bag()) == 2
+
+    def test_copy_is_deep_on_rows(self, relation):
+        duplicate = relation.copy()
+        duplicate.rows[0].prov = 99
+        assert relation.rows[0].prov is None
+
+    def test_filter_rows(self, relation):
+        kept = relation.filter_rows(lambda row: row.values[1] == "Civic")
+        assert kept.value_rows() == [("C2", "Civic")]
+
+    def test_map_values(self, relation):
+        target = Schema.of("Model")
+        mapped = relation.map_values(target, lambda row: (row.values[1],))
+        assert mapped.value_rows() == [("Accord",), ("Civic",)]
+
+    def test_bag_equality(self, schema):
+        left = Relation.from_values(schema, [("a", "x"), ("b", "y")])
+        right = Relation.from_values(schema, [("b", "y"), ("a", "x")])
+        assert left == right
+
+    def test_bag_equality_multiplicity(self, schema):
+        left = Relation.from_values(schema, [("a", "x"), ("a", "x")])
+        right = Relation.from_values(schema, [("a", "x")])
+        assert left != right
+
+    def test_pretty_renders_headers(self, relation):
+        rendered = relation.pretty()
+        assert "CarId" in rendered
+        assert "Civic" in rendered
+
+    def test_pretty_truncates(self, schema):
+        relation = Relation.from_values(
+            schema, [(f"C{i}", "Golf") for i in range(30)])
+        assert "more rows" in relation.pretty(limit=5)
+
+    def test_repr_truncates(self, schema):
+        relation = Relation.from_values(
+            schema, [(f"C{i}", "Golf") for i in range(10)])
+        assert "10 rows" in repr(relation)

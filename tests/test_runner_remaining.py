@@ -1,0 +1,71 @@
+"""Shape tests for the remaining runner experiments (6c, 7c, 5c,
+delete) at tiny scale, plus the Lipstick facade's what-if/text-query
+entry points."""
+
+import pytest
+
+from repro import Lipstick
+from repro.benchmark.runner import (
+    experiment_delete,
+    experiment_fig5c,
+    experiment_fig6c,
+    experiment_fig7c,
+)
+
+
+class TestRemainingExperiments:
+    def test_fig5c_rows(self):
+        rows = experiment_fig5c(num_cars=20)
+        counts = [row[0] for row in rows]
+        assert counts[0] == 2 and counts[-1] == 54
+        best = max(rows, key=lambda row: row[1])
+        assert 2 <= best[0] <= 4
+
+    def test_fig6c_rows(self):
+        rows = experiment_fig6c(num_stations=2, num_exec=1, history_years=1)
+        assert [row[0] for row in rows] == ["all", "season", "month", "year"]
+        assert all(len(row) == 5 for row in rows)
+        assert all(cell > 0 for row in rows for cell in row[1:])
+
+    def test_fig7c_rows(self):
+        rows = experiment_fig7c(num_stations=2, num_exec=1,
+                                history_years=1, node_count=3)
+        assert len(rows) == 4
+        assert all(cell >= 0 for row in rows for cell in row[1:])
+
+    def test_delete_rows(self):
+        rows = experiment_delete(num_cars=12, num_exec=2, node_count=5)
+        assert len(rows) == 5
+        for removed, milliseconds in rows:
+            assert removed >= 1
+            assert milliseconds >= 0
+
+
+class TestFacadeExtensions:
+    @pytest.fixture(scope="class")
+    def processor(self):
+        from repro.benchmark.dealerships import (
+            DealershipRun,
+            build_dealership_workflow,
+        )
+
+        workflow, modules = build_dealership_workflow()
+        lipstick = Lipstick()
+        executor = lipstick.executor(workflow, modules)
+        run = DealershipRun(num_cars=12, num_exec=1, seed=3)
+        run.buyer.accept_probability = 0.0
+        run.run(executor, run.initial_state(executor))
+        return lipstick.query_processor()
+
+    def test_query_text(self, processor):
+        count = processor.query_text("MATCH kind=module | count")
+        assert count == 12  # one execution: 12 invocations
+
+    def test_what_if(self, processor):
+        victim = processor.query_text(
+            "MATCH kind=tuple label~Cars | labels")[0]
+        outcome = processor.what_if(tuple_labels=[victim])
+        assert outcome.deletion.removed_count >= 1
+
+    def test_main_module_entry(self):
+        import repro.__main__  # noqa: F401 - importable without running

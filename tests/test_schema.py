@@ -1,0 +1,171 @@
+"""Unit tests for the nested relational schemas."""
+
+import pytest
+
+from repro.datamodel import EMPTY_SCHEMA, Field, FieldType, Schema
+from repro.errors import FieldResolutionError, SchemaError
+
+
+class TestField:
+    def test_simple_field(self):
+        field = Field("Model", FieldType.CHARARRAY)
+        assert field.name == "Model"
+        assert field.simple_name == "Model"
+        assert field.ftype is FieldType.CHARARRAY
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("")
+
+    def test_atomic_field_rejects_element_schema(self):
+        inner = Schema.of("a")
+        with pytest.raises(SchemaError):
+            Field("x", FieldType.INT, inner)
+
+    def test_bag_field_carries_element_schema(self):
+        inner = Schema.of("a", "b")
+        field = Field("stuff", FieldType.BAG, inner)
+        assert field.element_schema is inner
+
+    def test_prefixed_keeps_full_name(self):
+        field = Field("Cars::Model").prefixed("Inventory")
+        assert field.name == "Inventory::Cars::Model"
+        assert field.simple_name == "Model"
+
+    def test_renamed(self):
+        field = Field("a", FieldType.INT).renamed("b")
+        assert field.name == "b"
+        assert field.ftype is FieldType.INT
+
+    def test_matches_simple_and_exact(self):
+        field = Field("Cars::Model")
+        assert field.matches("Cars::Model")
+        assert field.matches("Model")
+        assert not field.matches("Cars")
+
+    def test_equality_and_hash(self):
+        assert Field("a", FieldType.INT) == Field("a", FieldType.INT)
+        assert Field("a", FieldType.INT) != Field("a", FieldType.DOUBLE)
+        assert hash(Field("a")) == hash(Field("a"))
+
+    def test_repr_mentions_type(self):
+        assert "int" in repr(Field("a", FieldType.INT))
+
+
+class TestFieldType:
+    def test_numeric(self):
+        assert FieldType.INT.is_numeric
+        assert FieldType.DOUBLE.is_numeric
+        assert not FieldType.CHARARRAY.is_numeric
+
+    def test_complex(self):
+        assert FieldType.BAG.is_complex
+        assert FieldType.TUPLE.is_complex
+        assert not FieldType.INT.is_complex
+
+
+class TestSchema:
+    def test_of_terse_specs(self):
+        schema = Schema.of("a", ("b", FieldType.INT),
+                           ("c", FieldType.BAG, Schema.of("x")))
+        assert schema.names == ("a", "b", "c")
+        assert schema[2].element_schema.names == ("x",)
+
+    def test_of_rejects_bad_spec(self):
+        with pytest.raises(SchemaError):
+            Schema.of(42)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "a")
+
+    def test_arity_len_iter(self):
+        schema = Schema.of("a", "b")
+        assert schema.arity == 2
+        assert len(schema) == 2
+        assert [field.name for field in schema] == ["a", "b"]
+
+    def test_field_at(self):
+        schema = Schema.of("a", "b")
+        assert schema.field_at(1).name == "b"
+
+    def test_field_at_out_of_range(self):
+        with pytest.raises(FieldResolutionError):
+            Schema.of("a").field_at(3)
+
+    def test_index_of_exact(self):
+        schema = Schema.of("Cars::Model", "Model")
+        assert schema.index_of("Model") == 1
+        assert schema.index_of("Cars::Model") == 0
+
+    def test_index_of_suffix(self):
+        schema = Schema.of("Inventory::Cars::Model", "Other")
+        assert schema.index_of("Cars::Model") == 0
+        assert schema.index_of("Model") == 0
+
+    def test_index_of_simple(self):
+        schema = Schema.of("Cars::CarId", "Cars::Model")
+        assert schema.index_of("CarId") == 0
+
+    def test_ambiguous_simple_name_resolves_leftmost(self):
+        # Paper Example 2.1: the duplicated join column is referred to
+        # by its bare name; the leftmost match wins.
+        schema = Schema.of("Cars::Model", "ReqModel::Model")
+        assert schema.index_of("Model") == 0
+
+    def test_missing_reference_raises(self):
+        with pytest.raises(FieldResolutionError):
+            Schema.of("a").index_of("zzz")
+
+    def test_has_field(self):
+        schema = Schema.of("a")
+        assert schema.has_field("a")
+        assert not schema.has_field("b")
+
+    def test_project(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.project(["c", "a"]).names == ("c", "a")
+
+    def test_prefixed(self):
+        schema = Schema.of("a", "b").prefixed("X")
+        assert schema.names == ("X::a", "X::b")
+
+    def test_concat(self):
+        schema = Schema.of("a").concat(Schema.of("b"))
+        assert schema.names == ("a", "b")
+
+    def test_renamed(self):
+        schema = Schema.of("a", "b").renamed(["x", "y"])
+        assert schema.names == ("x", "y")
+
+    def test_renamed_wrong_count(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "b").renamed(["x"])
+
+    def test_join_schema(self):
+        left = Schema.of("CarId", "Model")
+        right = Schema.of("Model")
+        joined = Schema.join_schema(left, "Cars", right, "ReqModel")
+        assert joined.names == ("Cars::CarId", "Cars::Model",
+                                "ReqModel::Model")
+
+    def test_chained_prefix_no_duplicates(self):
+        # The scenario that motivated full-name prefixing: joining a
+        # relation that already has prefixed columns must not clash.
+        joined = Schema.join_schema(Schema.of("CarId", "Model"), "Cars",
+                                    Schema.of("Model"), "ReqModel")
+        rejoined = joined.prefixed("Inventory")
+        assert len(set(rejoined.names)) == 3
+
+    def test_describe(self):
+        schema = Schema.of(("a", FieldType.INT), "b")
+        assert "a: int" in schema.describe()
+        assert "b" in schema.describe()
+
+    def test_empty_schema(self):
+        assert EMPTY_SCHEMA.arity == 0
+
+    def test_equality(self):
+        assert Schema.of("a") == Schema.of("a")
+        assert Schema.of("a") != Schema.of("b")
+        assert hash(Schema.of("a")) == hash(Schema.of("a"))

@@ -1,0 +1,111 @@
+"""Unit tests for values: bags, signatures, type inference."""
+
+import pytest
+
+from repro.datamodel import (
+    Bag,
+    FieldType,
+    Relation,
+    Row,
+    Schema,
+    conforms,
+    infer_type,
+    is_atom,
+    value_signature,
+)
+from repro.errors import SchemaError
+
+
+def _bag(*value_rows):
+    schema = Schema.of(*[f"f{i}" for i in range(len(value_rows[0]))]) \
+        if value_rows else Schema.of("f0")
+    return Bag(Relation.from_values(schema, list(value_rows)))
+
+
+class TestBag:
+    def test_len_iter(self):
+        bag = _bag((1,), (2,))
+        assert len(bag) == 2
+        assert [row.values for row in bag] == [(1,), (2,)]
+
+    def test_equality_is_order_insensitive(self):
+        assert _bag((1,), (2,)) == _bag((2,), (1,))
+
+    def test_equality_is_multiplicity_sensitive(self):
+        assert _bag((1,), (1,)) != _bag((1,),)
+
+    def test_equality_ignores_provenance(self):
+        schema = Schema.of("a")
+        left = Bag(Relation(schema, [Row((1,), prov=5)]))
+        right = Bag(Relation(schema, [Row((1,), prov=9)]))
+        assert left == right
+
+    def test_hashable(self):
+        assert hash(_bag((1,))) == hash(_bag((1,)))
+
+    def test_repr(self):
+        assert "Bag" in repr(_bag((1,)))
+
+
+class TestValueSignature:
+    def test_atoms(self):
+        assert value_signature(1) == value_signature(1)
+        assert value_signature(1) != value_signature(2)
+
+    def test_bool_collapses_to_int(self):
+        assert value_signature(True) == value_signature(1)
+
+    def test_nested_tuples(self):
+        assert value_signature((1, (2, 3))) == value_signature((1, (2, 3)))
+        assert value_signature((1, 2)) != value_signature((2, 1))
+
+    def test_bags_order_insensitive(self):
+        assert value_signature(_bag((1,), (2,))) == value_signature(_bag((2,), (1,)))
+
+
+class TestInferType:
+    @pytest.mark.parametrize("value,expected", [
+        (True, FieldType.BOOLEAN),
+        (1, FieldType.INT),
+        (1.5, FieldType.DOUBLE),
+        ("x", FieldType.CHARARRAY),
+        (None, FieldType.ANY),
+        ((1, 2), FieldType.TUPLE),
+    ])
+    def test_atoms(self, value, expected):
+        assert infer_type(value) is expected
+
+    def test_bag(self):
+        assert infer_type(_bag((1,))) is FieldType.BAG
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(SchemaError):
+            infer_type(object())
+
+
+class TestConforms:
+    def test_any_accepts_everything(self):
+        assert conforms("x", FieldType.ANY)
+        assert conforms(_bag((1,)), FieldType.ANY)
+
+    def test_null_inhabits_all(self):
+        assert conforms(None, FieldType.INT)
+        assert conforms(None, FieldType.BAG)
+
+    def test_numeric_coercion(self):
+        assert conforms(1, FieldType.DOUBLE)
+        assert conforms(1.5, FieldType.INT)
+
+    def test_mismatch(self):
+        assert not conforms("x", FieldType.INT)
+        assert not conforms(1, FieldType.BAG)
+
+
+class TestIsAtom:
+    def test_atoms(self):
+        assert is_atom(1)
+        assert is_atom("x")
+        assert is_atom(None)
+
+    def test_non_atoms(self):
+        assert not is_atom(_bag((1,)))

@@ -1,0 +1,158 @@
+"""Tests for what-if aggregate recomputation and the textual ProQL."""
+
+import pytest
+
+from repro.datamodel import FieldType, Relation, Schema
+from repro.errors import QueryError
+from repro.graph import GraphBuilder, NodeKind
+from repro.piglatin import Interpreter, UDFRegistry
+from repro.queries import run_query, what_if_deleted
+
+CARS = Schema.of(("CarId", FieldType.CHARARRAY),
+                 ("Model", FieldType.CHARARRAY))
+
+
+@pytest.fixture
+def counted_cars():
+    """GROUP + COUNT over the Example 2.3 inventory, tracked."""
+    env = {"Cars": Relation.from_values(CARS, [
+        ("C1", "Accord"), ("C2", "Civic"), ("C3", "Civic")])}
+    builder = GraphBuilder()
+    builder.begin_invocation("Mdealer1")
+    result = Interpreter(builder).execute("""
+ByModel = GROUP Cars BY Model;
+Counts = FOREACH ByModel GENERATE group AS Model, COUNT(Cars) AS N;
+""", env)
+    builder.end_invocation()
+    return builder.graph, env, result
+
+
+class TestWhatIf:
+    def _car_label(self, graph, env, car_id):
+        for row in env["Cars"].rows:
+            if row.values[0] == car_id:
+                return graph.node(row.prov).label
+        raise AssertionError(car_id)
+
+    def test_example_4_3_count_recomputed(self, counted_cars):
+        # Deleting C2: the Civic COUNT re-collapses from 2 to 1.
+        graph, env, _result = counted_cars
+        label = self._car_label(graph, env, "C2")
+        outcome = what_if_deleted(graph, tuple_labels=[label])
+        assert len(outcome.changes) == 1
+        change = outcome.changes[0]
+        assert change.op == "Count"
+        assert change.old_value == 2
+        assert change.new_value == 1
+        assert change.surviving_inputs == 1
+        # The residual graph carries the recomputed value.
+        assert outcome.graph.node(change.node_id).value == 1
+
+    def test_unaffected_aggregates_unchanged(self, counted_cars):
+        graph, env, _result = counted_cars
+        label = self._car_label(graph, env, "C2")
+        outcome = what_if_deleted(graph, tuple_labels=[label])
+        accord_counts = [node for node in
+                         outcome.graph.nodes_of_kind(NodeKind.AGG)
+                         if node.value == 1
+                         and node.node_id not in
+                         {change.node_id for change in outcome.changes}]
+        assert accord_counts  # the Accord count survives untouched
+
+    def test_deleting_all_members_kills_aggregate(self, counted_cars):
+        graph, env, _result = counted_cars
+        labels = [self._car_label(graph, env, car) for car in ("C2", "C3")]
+        outcome = what_if_deleted(graph, tuple_labels=labels)
+        # The Civic COUNT node itself is deleted (all tensors died),
+        # so no change is reported for it.
+        assert all(change.old_value != 2 for change in outcome.changes)
+
+    def test_stale_blackboxes_reported(self):
+        env = {"Cars": Relation.from_values(CARS, [
+            ("C1", "Civic"), ("C2", "Civic")])}
+        udfs = UDFRegistry()
+        udfs.register("Appraise", lambda bag: 1000 * len(bag))
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        Interpreter(builder, udfs).execute("""
+ByModel = GROUP Cars BY Model;
+Prices = FOREACH ByModel GENERATE group, Appraise(Cars) AS P;
+""", env)
+        builder.end_invocation()
+        graph = builder.graph
+        label = graph.node(env["Cars"].rows[0].prov).label
+        outcome = what_if_deleted(graph, tuple_labels=[label])
+        assert len(outcome.stale_blackboxes) == 1
+
+    def test_repr(self, counted_cars):
+        graph, env, _result = counted_cars
+        label = self._car_label(graph, env, "C2")
+        outcome = what_if_deleted(graph, tuple_labels=[label])
+        assert "changed_aggregates=1" in repr(outcome)
+        assert "→" in repr(outcome.changes[0])
+        assert outcome.change_for(outcome.changes[0].node_id) is not None
+        assert outcome.change_for(-1) is None
+
+    def test_what_if_on_dealership(self, dealership_execution):
+        graph, _outputs, _run, _executor = dealership_execution
+        victim = next(node.label for node in
+                      graph.nodes_of_kind(NodeKind.TUPLE)
+                      if "Cars" in node.label)
+        outcome = what_if_deleted(graph, tuple_labels=[victim])
+        # Every changed aggregate re-collapsed to a sensible value.
+        for change in outcome.changes:
+            assert change.new_value is not None or change.surviving_inputs == 0
+
+
+class TestTextualProQL:
+    def test_match_with_filters(self, counted_cars):
+        graph, _env, _result = counted_cars
+        ids = run_query(graph, "MATCH kind=tuple module=Mdealer1")
+        assert len(ids) == 3
+
+    def test_traversal_pipeline(self, counted_cars):
+        graph, env, result = counted_cars
+        civic = next(row for row in result.relation("Counts").rows
+                     if row.values[0] == "Civic")
+        labels = run_query(graph, f"NODE {civic.prov} | ancestors | "
+                                  "kind=tuple | labels")
+        assert len(labels) == 2  # C2 and C3
+
+    def test_terminals(self, counted_cars):
+        graph, _env, _result = counted_cars
+        assert run_query(graph, "MATCH kind=tuple | count") == 3
+        assert isinstance(run_query(graph, "MATCH kind=agg | values"), list)
+        assert run_query(graph, "MATCH kind=module | labels") == ["Mdealer1"]
+
+    def test_label_filters(self, counted_cars):
+        graph, _env, _result = counted_cars
+        assert run_query(graph, "MATCH label~Cars | count") == 3
+
+    def test_ptype_filters(self, counted_cars):
+        graph, _env, _result = counted_cars
+        p_count = run_query(graph, "MATCH ptype=p | count")
+        v_count = run_query(graph, "MATCH ptype=v | count")
+        assert p_count + v_count == graph.node_count
+
+    def test_children_parents(self, counted_cars):
+        graph, env, _result = counted_cars
+        base = env["Cars"].rows[0].prov
+        children = run_query(graph, f"NODE {base} | children")
+        assert children
+        back = run_query(graph, f"NODE {children[0]} | parents")
+        assert base in back
+
+    def test_errors(self, counted_cars):
+        graph, _env, _result = counted_cars
+        for bad in ("", "FETCH x", "NODE", "NODE xyz",
+                    "MATCH kind=wat", "MATCH | nope=1",
+                    "MATCH kind=tuple | count | labels",
+                    "MATCH invocation=xy", "MATCH kind=tuple | "):
+            with pytest.raises(QueryError):
+                run_query(graph, bad)
+
+    def test_invocation_filter(self, counted_cars):
+        graph, _env, _result = counted_cars
+        invocation = next(iter(graph.invocations))
+        ids = run_query(graph, f"MATCH invocation={invocation}")
+        assert ids

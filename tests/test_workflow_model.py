@@ -1,0 +1,324 @@
+"""Unit tests for modules, workflow DAGs, execution, and the tracker."""
+
+import pytest
+
+from repro.datamodel import FieldType, Relation, Schema
+from repro.errors import WorkflowDefinitionError, WorkflowExecutionError
+from repro.graph import GraphBuilder, NodeKind, load_graph
+from repro.workflow import (
+    Module,
+    ModuleRegistry,
+    ProvenanceTracker,
+    Workflow,
+    WorkflowExecutor,
+)
+
+ITEMS = Schema.of(("Item", FieldType.CHARARRAY), ("Qty", FieldType.INT))
+TOTALS = Schema.of(("Total", FieldType.INT),)
+LOG = Schema.of(("Item", FieldType.CHARARRAY), ("Qty", FieldType.INT))
+
+
+def _source_module():
+    return Module("Msrc", output_schemas={"Items": ITEMS})
+
+
+def _sum_module():
+    """Accumulates every seen item in state, outputs the running total."""
+    return Module(
+        "Msum",
+        input_schemas={"Items": ITEMS},
+        state_schemas={"Log": LOG},
+        output_schemas={"Totals": TOTALS},
+        q_state="""
+NewLog = FOREACH Items GENERATE Item, Qty;
+Log = UNION Log, NewLog;
+""",
+        q_out="""
+G = GROUP Log ALL;
+Totals = FOREACH G GENERATE SUM(Log.Qty) AS Total;
+""",
+    )
+
+
+def _sink_module():
+    return Module(
+        "Msink",
+        input_schemas={"Totals": TOTALS},
+        output_schemas={"Report": TOTALS},
+        q_out="Report = FOREACH Totals GENERATE Total;",
+    )
+
+
+def _simple_workflow():
+    modules = ModuleRegistry()
+    modules.add(_source_module())
+    modules.add(_sum_module())
+    modules.add(_sink_module())
+    workflow = Workflow("totals")
+    workflow.add_node("src", "Msrc", is_input=True)
+    workflow.add_node("sum", "Msum")
+    workflow.add_node("sink", "Msink", is_output=True)
+    workflow.add_edge("src", "sum", ["Items"])
+    workflow.add_edge("sum", "sink", ["Totals"])
+    return workflow, modules
+
+
+class TestModule:
+    def test_schema_disjointness_enforced(self):
+        with pytest.raises(WorkflowDefinitionError):
+            Module("M", input_schemas={"R": ITEMS},
+                   output_schemas={"R": ITEMS})
+
+    def test_input_module_detection(self):
+        assert _source_module().is_input_module
+        assert not _sum_module().is_input_module
+
+    def test_initial_state(self):
+        state = _sum_module().initial_state()
+        assert set(state) == {"Log"}
+        assert len(state["Log"]) == 0
+
+    def test_specialized_shares_spec(self):
+        dealer = _sum_module().specialized("Msum2")
+        assert dealer.name == "Msum2"
+        assert dealer.q_state == _sum_module().q_state
+        assert dealer.input_schemas == _sum_module().input_schemas
+
+    def test_queries_parsed_once(self):
+        module = _sum_module()
+        assert module.q_state_ast is not None
+        assert module.q_out_ast is not None
+
+    def test_registry_rejects_duplicates(self):
+        registry = ModuleRegistry()
+        registry.add(_source_module())
+        with pytest.raises(WorkflowDefinitionError):
+            registry.add(_source_module())
+
+    def test_registry_lookup(self):
+        registry = ModuleRegistry()
+        module = registry.add(_source_module())
+        assert registry.module("Msrc") is module
+        assert "Msrc" in registry
+        with pytest.raises(WorkflowDefinitionError):
+            registry.module("Nope")
+
+
+class TestWorkflowValidation:
+    def test_valid_workflow_passes(self):
+        workflow, modules = _simple_workflow()
+        workflow.validate(modules)
+
+    def test_duplicate_node_rejected(self):
+        workflow = Workflow()
+        workflow.add_node("a", "M")
+        with pytest.raises(WorkflowDefinitionError):
+            workflow.add_node("a", "M")
+
+    def test_unknown_module_label(self):
+        workflow, modules = _simple_workflow()
+        workflow.add_node("ghost", "Mghost")
+        workflow.add_edge("sum", "ghost", ["Totals"])
+        with pytest.raises(WorkflowDefinitionError):
+            workflow.validate(modules)
+
+    def test_edge_endpoints_must_exist(self):
+        workflow = Workflow()
+        workflow.add_node("a", "M")
+        with pytest.raises(WorkflowDefinitionError):
+            workflow.add_edge("a", "missing", ["R"])
+
+    def test_edge_needs_relations(self):
+        workflow, _modules = _simple_workflow()
+        with pytest.raises(WorkflowDefinitionError):
+            workflow.add_edge("src", "sum", [])
+
+    def test_cycle_detected(self):
+        modules = ModuleRegistry()
+        loop = Module("Mloop", input_schemas={"Totals": TOTALS},
+                      output_schemas={"Items": ITEMS})
+        modules.add(loop)
+        consumer = Module("Mback", input_schemas={"Items": ITEMS},
+                          output_schemas={"Totals": TOTALS})
+        modules.add(consumer)
+        workflow = Workflow()
+        workflow.add_node("a", "Mloop")
+        workflow.add_node("b", "Mback")
+        workflow.add_edge("a", "b", ["Items"])
+        workflow.add_edge("b", "a", ["Totals"])
+        with pytest.raises(WorkflowDefinitionError):
+            workflow.validate(modules)
+
+    def test_disconnected_rejected(self):
+        workflow, modules = _simple_workflow()
+        workflow.add_node("island", "Msrc", is_input=True)
+        with pytest.raises(WorkflowDefinitionError):
+            workflow.validate(modules)
+
+    def test_relation_must_be_in_source_sout(self):
+        workflow, modules = _simple_workflow()
+        workflow.edges[0].relations = ("Nope",)
+        with pytest.raises(WorkflowDefinitionError):
+            workflow.validate(modules)
+
+    def test_incoming_relations_must_be_disjoint(self):
+        workflow, modules = _simple_workflow()
+        workflow.add_node("src2", "Msrc", is_input=True)
+        workflow.add_edge("src2", "sum", ["Items"])
+        with pytest.raises(WorkflowDefinitionError):
+            workflow.validate(modules)
+
+    def test_all_inputs_must_be_covered(self):
+        modules = ModuleRegistry()
+        modules.add(_source_module())
+        modules.add(_sum_module())
+        workflow = Workflow()
+        workflow.add_node("src", "Msrc", is_input=True)
+        workflow.add_node("sum", "Msum")
+        # no edge: Msum's Items input is not covered
+        with pytest.raises(WorkflowDefinitionError):
+            workflow.validate(modules)
+
+    def test_input_node_cannot_have_incoming(self):
+        workflow, modules = _simple_workflow()
+        workflow.input_nodes.add("sum")
+        with pytest.raises(WorkflowDefinitionError):
+            workflow.validate(modules)
+
+    def test_output_node_cannot_have_outgoing(self):
+        workflow, modules = _simple_workflow()
+        workflow.output_nodes.add("src")
+        with pytest.raises(WorkflowDefinitionError):
+            workflow.validate(modules)
+
+    def test_topological_order_is_deterministic(self):
+        workflow, _modules = _simple_workflow()
+        assert workflow.topological_order() == ["src", "sum", "sink"]
+
+
+class TestExecution:
+    def test_single_execution_output(self):
+        workflow, modules = _simple_workflow()
+        executor = WorkflowExecutor(workflow, modules)
+        output = executor.execute({"src": {"Items": [("apple", 3),
+                                                     ("pear", 4)]}})
+        report = output.outputs_of("sink")["Report"]
+        assert report.value_rows() == [(7,)]
+
+    def test_state_threads_across_executions(self):
+        workflow, modules = _simple_workflow()
+        executor = WorkflowExecutor(workflow, modules)
+        state = executor.new_state()
+        executor.execute({"src": {"Items": [("apple", 3)]}}, state)
+        second = executor.execute({"src": {"Items": [("pear", 4)]}}, state)
+        report = second.outputs_of("sink")["Report"]
+        assert report.value_rows() == [(7,)]  # 3 + 4 accumulated
+
+    def test_execute_sequence(self):
+        workflow, modules = _simple_workflow()
+        executor = WorkflowExecutor(workflow, modules)
+        outputs = executor.execute_sequence([
+            {"src": {"Items": [("a", 1)]}},
+            {"src": {"Items": [("b", 2)]}},
+            {"src": {"Items": [("c", 3)]}},
+        ])
+        totals = [output.outputs_of("sink")["Report"].value_rows()[0][0]
+                  for output in outputs]
+        assert totals == [1, 3, 6]
+
+    def test_missing_input_defaults_to_empty(self):
+        workflow, modules = _simple_workflow()
+        executor = WorkflowExecutor(workflow, modules)
+        output = executor.execute({})
+        report = output.outputs_of("sink")["Report"]
+        # GROUP ALL over an empty log yields no groups, hence no total.
+        assert report.value_rows() == []
+
+    def test_provenance_node_structure(self):
+        workflow, modules = _simple_workflow()
+        builder = GraphBuilder()
+        executor = WorkflowExecutor(workflow, modules, builder)
+        executor.execute({"src": {"Items": [("apple", 3)]}})
+        graph = builder.graph
+        assert len(graph.nodes_of_kind(NodeKind.WORKFLOW_INPUT)) == 1
+        # Two module invocations (sum + sink); input nodes are ·.
+        assert len(graph.invocations) == 2
+        sum_invocation = graph.invocations_of("Msum")[0]
+        assert len(sum_invocation.input_nodes) == 1
+        input_node = sum_invocation.input_nodes[0]
+        assert graph.node(input_node).kind is NodeKind.INPUT
+        assert sum_invocation.module_node in graph.preds(input_node)
+
+    def test_state_nodes_created_per_invocation(self):
+        workflow, modules = _simple_workflow()
+        builder = GraphBuilder()
+        executor = WorkflowExecutor(workflow, modules, builder)
+        state = executor.new_state()
+        executor.execute({"src": {"Items": [("apple", 3)]}}, state)
+        executor.execute({"src": {"Items": [("pear", 2)]}}, state)
+        invocations = builder.graph.invocations_of("Msum")
+        assert len(invocations) == 2
+        # Second invocation sees one accumulated state tuple.
+        assert len(invocations[0].state_nodes) == 0
+        assert len(invocations[1].state_nodes) == 1
+
+    def test_invocation_recorded_in_output(self):
+        workflow, modules = _simple_workflow()
+        builder = GraphBuilder()
+        executor = WorkflowExecutor(workflow, modules, builder)
+        output = executor.execute({"src": {"Items": [("apple", 3)]}})
+        assert "sum" in output.invocations
+        assert "src" not in output.invocations  # input nodes don't invoke
+
+    def test_workflow_outputs_helper(self):
+        workflow, modules = _simple_workflow()
+        executor = WorkflowExecutor(workflow, modules)
+        output = executor.execute({"src": {"Items": [("apple", 3)]}})
+        assert set(output.workflow_outputs(workflow)) == {"sink"}
+
+    def test_state_load_validation(self):
+        workflow, modules = _simple_workflow()
+        executor = WorkflowExecutor(workflow, modules)
+        state = executor.new_state()
+        with pytest.raises(WorkflowExecutionError):
+            state.load("Msum", {"Nope": [("a", 1)]}, modules)
+
+    def test_state_total_rows(self):
+        workflow, modules = _simple_workflow()
+        executor = WorkflowExecutor(workflow, modules)
+        state = executor.new_state()
+        state.load("Msum", {"Log": [("a", 1), ("b", 2)]}, modules)
+        assert state.total_rows() == 2
+
+    def test_arity_conformance_error(self):
+        modules = ModuleRegistry()
+        modules.add(_source_module())
+        modules.add(Module(
+            "Mbad", input_schemas={"Items": ITEMS},
+            output_schemas={"Totals": TOTALS},
+            q_out="Totals = FOREACH Items GENERATE Item, Qty;"))
+        workflow = Workflow()
+        workflow.add_node("src", "Msrc", is_input=True)
+        workflow.add_node("bad", "Mbad")
+        workflow.add_edge("src", "bad", ["Items"])
+        executor = WorkflowExecutor(workflow, modules)
+        with pytest.raises(WorkflowExecutionError):
+            executor.execute({"src": {"Items": [("a", 1)]}})
+
+
+class TestTracker:
+    def test_flush_round_trip(self, tmp_path):
+        workflow, modules = _simple_workflow()
+        tracker = ProvenanceTracker(str(tmp_path))
+        executor = WorkflowExecutor(workflow, modules, tracker.builder)
+        executor.execute({"src": {"Items": [("apple", 3)]}})
+        path = tracker.flush()
+        rebuilt = load_graph(path)
+        assert rebuilt.node_count == tracker.graph.node_count
+        rebuilt.check_consistency()
+
+    def test_flush_numbering(self, tmp_path):
+        tracker = ProvenanceTracker(str(tmp_path))
+        first = tracker.flush()
+        second = tracker.flush()
+        assert first != second

@@ -16,6 +16,9 @@ The package layers:
   subgraph and dependency queries (Section 4).
 * :mod:`repro.engine` — a simulated map-reduce substrate (Fig 5(c)).
 * :mod:`repro.benchmark` — the WorkflowGen benchmark (Section 5.2).
+* :mod:`repro.store` — persistent multi-run provenance storage:
+  pluggable :class:`~repro.store.GraphStore` backends (memory,
+  SQLite), the CSR read path, and the run catalog / query service.
 * :mod:`repro.lipstick` — the Lipstick facade: Provenance Tracker +
   Query Processor (Section 5.1).
 

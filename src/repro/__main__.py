@@ -1,13 +1,15 @@
-"""Command-line entry point: ``python -m repro [experiment ...]``.
+"""Command-line entry point: ``python -m repro [command ...]``.
 
-Delegates to the WorkflowGen experiment runner
-(:mod:`repro.benchmark.runner`); with no arguments it regenerates
-every table/figure of the paper's evaluation at benchmark scale.
+Store subcommands (``ingest`` / ``query`` / ``runs``) are handled by
+:mod:`repro.cli`; experiment names (or no arguments) delegate to the
+WorkflowGen experiment runner (:mod:`repro.benchmark.runner`), which
+regenerates every table/figure of the paper's evaluation at benchmark
+scale.
 """
 
 import sys
 
-from .benchmark.runner import main
+from .cli import main
 
 if __name__ == "__main__":
     sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,207 @@
+"""Store-backed command-line interface.
+
+Subcommands (anything else falls through to the benchmark runner):
+
+* ``python -m repro ingest`` — execute a WorkflowGen workload (or
+  import a tracker spool file) and persist the provenance graph into
+  a SQLite store;
+* ``python -m repro query`` — answer zoom / subgraph / reachability /
+  ProQL queries from a stored run *without re-executing the
+  workflow* — the paper's Tracker / Query Processor split (§5.1)
+  across two processes;
+* ``python -m repro runs`` — list the runs cataloged in a store.
+
+Example session::
+
+    python -m repro ingest --db prov.db --run demo --workload dealerships
+    python -m repro runs --db prov.db
+    python -m repro query --db prov.db --run demo --subgraph 42
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .errors import LipstickError
+from .store import ProvenanceService, RunCatalog, SQLiteStore
+
+STORE_COMMANDS = ("ingest", "query", "runs")
+
+
+def _add_db(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--db", default="provenance.db",
+                        help="SQLite store path (default: provenance.db)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Lipstick provenance store CLI")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    ingest = subparsers.add_parser(
+        "ingest", help="execute a workload or import a spool file, "
+                       "then persist the provenance graph")
+    _add_db(ingest)
+    ingest.add_argument("--run", default=None,
+                        help="run id (default: auto run-NNNN)")
+    source = ingest.add_mutually_exclusive_group()
+    source.add_argument("--spool", default=None,
+                        help="tracker JSONL spool file to import "
+                             "(.gz transparent)")
+    source.add_argument("--workload", choices=("dealerships", "arctic"),
+                        default="dealerships",
+                        help="WorkflowGen workload to execute "
+                             "(default: dealerships)")
+    ingest.add_argument("--cars", type=int, default=100,
+                        help="dealerships: number of cars")
+    ingest.add_argument("--executions", type=int, default=5,
+                        help="number of workflow executions")
+    ingest.add_argument("--stations", type=int, default=4,
+                        help="arctic: number of stations")
+    ingest.add_argument("--topology", default="parallel",
+                        choices=("parallel", "serial", "dense"),
+                        help="arctic: workflow topology")
+    ingest.add_argument("--export", default=None,
+                        help="also export the run as a JSONL spool "
+                             "(.gz transparent)")
+
+    query = subparsers.add_parser(
+        "query", help="answer provenance queries from a stored run")
+    _add_db(query)
+    query.add_argument("--run", default=None,
+                       help="run id (default: most recent run)")
+    query.add_argument("--backend", choices=("csr", "dict"), default="csr",
+                       help="traversal backend (default: csr)")
+    what = query.add_mutually_exclusive_group(required=True)
+    what.add_argument("--subgraph", type=int, metavar="NODE",
+                      help="subgraph query on NODE")
+    what.add_argument("--reachable", nargs=2, type=int,
+                      metavar=("SOURCE", "TARGET"),
+                      help="is TARGET derived (partly) from SOURCE?")
+    what.add_argument("--zoom-out", nargs="+", metavar="MODULE",
+                      help="ZoomOut the given modules")
+    what.add_argument("--proql", metavar="TEXT",
+                      help='ProQL-lite pipeline, e.g. '
+                           '"MATCH kind=tuple | descendants | count"')
+    what.add_argument("--stats", action="store_true",
+                      help="graph statistics for the run")
+
+    runs = subparsers.add_parser("runs", help="list runs in the store")
+    _add_db(runs)
+    return parser
+
+
+def _execute_workload(args) -> "object":
+    from .benchmark.workflowgen import run_arctic, run_dealerships
+    if args.workload == "arctic":
+        outcome = run_arctic(args.topology, args.stations,
+                             num_exec=args.executions, track=True)
+    else:
+        outcome = run_dealerships(num_cars=args.cars,
+                                  num_exec=args.executions,
+                                  track=True, force_decline=True)
+    return outcome.graph
+
+
+def cmd_ingest(args) -> int:
+    with SQLiteStore(args.db) as store:
+        catalog = RunCatalog(store)
+        if args.spool:
+            info = catalog.ingest(args.spool, run_id=args.run)
+        else:
+            graph = _execute_workload(args)
+            info = catalog.register(graph, run_id=args.run,
+                                    source=f"workload:{args.workload}")
+        print(f"ingested {info.run_id}: {info.node_count} nodes, "
+              f"{info.edge_count} edges, "
+              f"{info.invocation_count} invocations -> {args.db}")
+        if args.export:
+            records = catalog.export(info.run_id, args.export)
+            print(f"exported {records} records -> {args.export}")
+    return 0
+
+
+def _resolve_run(service: ProvenanceService, run_id: Optional[str]) -> str:
+    runs = service.runs()
+    if not runs:
+        raise LipstickError("store holds no runs; ingest one first")
+    if run_id is None:
+        return runs[-1].run_id
+    if not any(info.run_id == run_id for info in runs):
+        raise LipstickError(
+            f"unknown run {run_id!r}; stored runs: "
+            f"{[info.run_id for info in runs]}")
+    return run_id
+
+
+def cmd_query(args) -> int:
+    with SQLiteStore(args.db) as store:
+        service = ProvenanceService(store)
+        run_id = _resolve_run(service, args.run)
+        use_csr = args.backend == "csr"
+        if args.subgraph is not None:
+            if use_csr:
+                result = service.subgraph(run_id, args.subgraph)
+            else:
+                from .queries.subgraph import subgraph_query
+                result = subgraph_query(service.graph(run_id), args.subgraph)
+            print(f"{run_id}: subgraph({args.subgraph}) -> "
+                  f"{result.size} nodes ({len(result.ancestors)} ancestors, "
+                  f"{len(result.descendants)} descendants, "
+                  f"{len(result.siblings)} siblings)")
+        elif args.reachable is not None:
+            source, target = args.reachable
+            if use_csr:
+                answer = service.reachable(run_id, source, target)
+            else:
+                answer = service.graph(run_id).reachable(source, target)
+            print(f"{run_id}: reachable({source} -> {target}) = {answer}")
+        elif args.zoom_out is not None:
+            zoomed = service.zoom_out(run_id, args.zoom_out)
+            graph = service.graph(run_id)
+            print(f"{run_id}: zoomed out {zoomed}; graph now "
+                  f"{graph.node_count} nodes / {graph.edge_count} edges")
+        elif args.proql is not None:
+            outcome = service.processor(run_id).query_text(args.proql)
+            print(f"{run_id}: {outcome}")
+        else:
+            print(f"{run_id}: {service.stats(run_id)}")
+    return 0
+
+
+def cmd_runs(args) -> int:
+    with SQLiteStore(args.db) as store:
+        runs = store.list_runs()
+        if not runs:
+            print(f"{args.db}: no runs")
+            return 0
+        print(f"{'run id':<16} {'nodes':>8} {'edges':>8} "
+              f"{'invocations':>12}  source")
+        for info in runs:
+            print(f"{info.run_id:<16} {info.node_count:>8} "
+                  f"{info.edge_count:>8} {info.invocation_count:>12}  "
+                  f"{info.source or '-'}")
+    return 0
+
+
+def store_main(argv: Sequence[str]) -> int:
+    args = build_parser().parse_args(list(argv))
+    handlers = {"ingest": cmd_ingest, "query": cmd_query, "runs": cmd_runs}
+    try:
+        return handlers[args.command](args)
+    except LipstickError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def main(argv: Sequence[str]) -> int:
+    """Dispatch: store subcommands here, experiment names (or nothing)
+    to the benchmark runner, preserving ``python -m repro fig5a``."""
+    argv = list(argv)
+    if argv and argv[0] in STORE_COMMANDS:
+        return store_main(argv)
+    from .benchmark.runner import main as runner_main
+    return runner_main(argv)

@@ -80,6 +80,27 @@ class UnknownNodeError(ProvenanceGraphError):
         super().__init__(f"unknown provenance graph node {node_id!r}")
 
 
+class DuplicateEdgeWarning(UserWarning):
+    """The graph holds parallel duplicate edges (same source → target).
+
+    Duplicates double-count in ``edge_count`` and inflate
+    ``ReachabilityIndex.memory_cells``; ``check_consistency`` emits
+    this warning when it finds them.
+    """
+
+
+class StoreError(LipstickError):
+    """A provenance store operation failed."""
+
+
+class UnknownRunError(StoreError):
+    """A store operation refers to a run id that is not registered."""
+
+    def __init__(self, run_id):
+        self.run_id = run_id
+        super().__init__(f"unknown provenance run {run_id!r}")
+
+
 class ZoomError(LipstickError):
     """A ZoomIn/ZoomOut request is invalid (e.g. unknown module)."""
 

@@ -10,9 +10,10 @@ Edges run in derivation direction (operand → result); see
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
-from ..errors import ProvenanceGraphError, UnknownNodeError
+from ..errors import DuplicateEdgeWarning, ProvenanceGraphError, UnknownNodeError
 from .nodes import DEFAULT_LABELS, Node, NodeKind
 
 
@@ -51,6 +52,17 @@ class ProvenanceGraph:
         self._next_node_id = 0
         self._next_invocation_id = 0
         self._edge_count = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Bumped on every structural change (node/edge add or remove) so
+        snapshot consumers — CSR snapshots, reachability indexes, store
+        caches — can tell whether a derived artifact is still valid.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Construction
@@ -67,19 +79,30 @@ class ProvenanceGraph:
                                    invocation, value)
         self._preds[node_id] = []
         self._succs[node_id] = []
+        self._version += 1
         return node_id
 
-    def add_edge(self, source: int, target: int) -> None:
-        """Add a derivation edge ``source → target``."""
+    def add_edge(self, source: int, target: int, dedupe: bool = False) -> bool:
+        """Add a derivation edge ``source → target``.
+
+        With ``dedupe=True`` a parallel duplicate of an existing edge
+        is silently skipped (returns ``False``); the default admits
+        duplicates, matching semiring multiplicity (t·t appears twice).
+        Returns whether an edge was actually added.
+        """
         if source not in self.nodes:
             raise UnknownNodeError(source)
         if target not in self.nodes:
             raise UnknownNodeError(target)
         if source == target:
             raise ProvenanceGraphError(f"self-loop on node {source}")
+        if dedupe and source in self._preds[target]:
+            return False
         self._preds[target].append(source)
         self._succs[source].append(target)
         self._edge_count += 1
+        self._version += 1
+        return True
 
     def new_invocation(self, module_name: str) -> Invocation:
         """Register a module invocation and create its m-node."""
@@ -114,6 +137,21 @@ class ProvenanceGraph:
         if node_id not in self.nodes:
             raise UnknownNodeError(node_id)
         return tuple(self._succs[node_id])
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """Whether at least one edge ``source → target`` exists."""
+        if source not in self.nodes:
+            raise UnknownNodeError(source)
+        if target not in self.nodes:
+            raise UnknownNodeError(target)
+        return source in self._preds[target]
+
+    def duplicate_edge_count(self) -> int:
+        """Number of parallel edges beyond the first per (source, target)."""
+        duplicates = 0
+        for predecessors in self._preds.values():
+            duplicates += len(predecessors) - len(set(predecessors))
+        return duplicates
 
     def in_degree(self, node_id: int) -> int:
         return len(self._preds[node_id])
@@ -162,6 +200,7 @@ class ProvenanceGraph:
         del self._preds[node_id]
         del self._succs[node_id]
         del self.nodes[node_id]
+        self._version += 1
 
     def remove_nodes(self, node_ids) -> None:
         """Batch removal: one adjacency rebuild for the whole set.
@@ -199,6 +238,7 @@ class ProvenanceGraph:
             self._preds[succ] = [pred for pred in self._preds[succ]
                                  if pred not in doomed]
         self._edge_count -= removed_edges
+        self._version += 1
 
     def copy(self) -> "ProvenanceGraph":
         """A deep copy (nodes are re-created; payload values shared)."""
@@ -206,6 +246,7 @@ class ProvenanceGraph:
         duplicate._next_node_id = self._next_node_id
         duplicate._next_invocation_id = self._next_invocation_id
         duplicate._edge_count = self._edge_count
+        duplicate._version = self._version
         for node_id, node in self.nodes.items():
             duplicate.nodes[node_id] = Node(node.node_id, node.kind, node.label,
                                             node.ntype, node.module,
@@ -277,8 +318,18 @@ class ProvenanceGraph:
     # ------------------------------------------------------------------
     # Validation (used by tests and after graph surgery)
     # ------------------------------------------------------------------
-    def check_consistency(self) -> None:
-        """Verify adjacency symmetry and edge-count bookkeeping."""
+    def check_consistency(self, warn_duplicates: bool = True) -> None:
+        """Verify adjacency symmetry and edge-count bookkeeping.
+
+        With ``warn_duplicates`` (the default) a
+        :class:`~repro.errors.DuplicateEdgeWarning` is emitted when
+        parallel duplicate edges exist.  Duplicates are *valid* —
+        semiring multiplicity t·t is two parallel edges — but they
+        double-count in ``edge_count`` and inflate
+        ``ReachabilityIndex.memory_cells``, so surprise duplicates
+        usually indicate builder bugs; pass ``False`` when they are
+        intentional.
+        """
         forward = 0
         for node_id, successors in self._succs.items():
             for succ in successors:
@@ -294,6 +345,14 @@ class ProvenanceGraph:
             raise ProvenanceGraphError(
                 f"edge bookkeeping mismatch: succs={forward} preds={backward} "
                 f"count={self._edge_count}")
+        duplicates = self.duplicate_edge_count() if warn_duplicates else 0
+        if duplicates:
+            warnings.warn(
+                f"provenance graph holds {duplicates} duplicate parallel "
+                f"edge(s); they double-count in edge_count and inflate "
+                f"reachability memory accounting (pass dedupe=True to "
+                f"add_edge to suppress them)",
+                DuplicateEdgeWarning, stacklevel=2)
 
     def __repr__(self) -> str:
         return (f"ProvenanceGraph(nodes={self.node_count}, "

@@ -7,10 +7,15 @@ interchange format: a streaming JSONL file with one record per node
 (including its operand edges) plus invocation records, so the Query
 Processor can rebuild the in-memory graph without re-running the
 workflow.
+
+Paths ending in ``.gz`` are read and written through gzip
+transparently, so large spools stay small on disk; the store layer
+(:mod:`repro.store`) reuses these helpers for JSONL import/export.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 from typing import Any, Dict, IO, Iterator, Union
@@ -43,14 +48,26 @@ def _decode_value(encoded):
     return encoded.get("repr")
 
 
+def _is_gzip_path(path: Union[str, os.PathLike]) -> bool:
+    return os.fspath(path).endswith(".gz")
+
+
+def _open_text(path: Union[str, os.PathLike], mode: str) -> IO[str]:
+    """Open a spool path for text I/O, transparently gzipped for ``.gz``."""
+    if _is_gzip_path(path):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
 def dump_graph(graph: ProvenanceGraph, destination: Union[str, os.PathLike, IO[str]]) -> int:
     """Write ``graph`` as JSONL; returns the number of records written.
 
-    ``destination`` may be a path or an open text file.
+    ``destination`` may be a path or an open text file; paths ending
+    in ``.gz`` are gzip-compressed.
     """
     if hasattr(destination, "write"):
         return _dump_to_stream(graph, destination)
-    with open(destination, "w", encoding="utf-8") as stream:
+    with _open_text(destination, "w") as stream:
         return _dump_to_stream(graph, stream)
 
 
@@ -96,10 +113,14 @@ def _dump_to_stream(graph: ProvenanceGraph, stream: IO[str]) -> int:
 
 
 def load_graph(source: Union[str, os.PathLike, IO[str]]) -> ProvenanceGraph:
-    """Rebuild a graph previously written by :func:`dump_graph`."""
+    """Rebuild a graph previously written by :func:`dump_graph`.
+
+    ``source`` may be a path (``.gz`` decompressed transparently) or
+    an open text file.
+    """
     if hasattr(source, "read"):
         return _load_from_lines(iter(source))
-    with open(source, "r", encoding="utf-8") as stream:
+    with _open_text(source, "r") as stream:
         return _load_from_lines(iter(stream))
 
 

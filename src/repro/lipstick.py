@@ -10,16 +10,23 @@ Lipstick consists of two sub-systems:
   and subgraph queries.  (Here: Python, same architecture.)
 
 :class:`Lipstick` wires workflow execution to the tracker;
-:class:`QueryProcessor` rebuilds a graph from the tracker's spool file
-(or adopts an in-memory graph) and exposes the Section 4 queries.
+:class:`QueryProcessor` rebuilds a graph from the tracker's spool file,
+a :class:`~repro.store.base.GraphStore` run, or adopts an in-memory
+graph, and exposes the Section 4 queries.  When a CSR snapshot is
+available and current, traversal-heavy queries (subgraph,
+reachability) run over flat arrays instead of dict adjacency — the
+read-optimized side of the paper's §5.1 memory/speed trade-off.
 """
 
 from __future__ import annotations
 
+import uuid
 from typing import Iterable, List, Optional, Sequence, Union
 
 from .graph.provgraph import ProvenanceGraph
 from .graph.serialize import load_graph
+from .store.base import GraphStore, RunInfo
+from .store.csr import CSRSnapshot
 from .graph.stats import GraphStats, graph_stats, output_dependency_profiles
 from .queries.deletion import DeletionResult, delete_base_tuples, propagate_deletion
 from .queries.dependency import depends_on, depends_on_tuple
@@ -48,14 +55,52 @@ class QueryProcessor:
     :class:`~repro.graph.provgraph.ProvenanceGraph` does.
     """
 
-    def __init__(self, graph: ProvenanceGraph):
+    def __init__(self, graph: ProvenanceGraph,
+                 csr: Optional[CSRSnapshot] = None,
+                 service=None, run_id: Optional[str] = None):
         self.graph = graph
         self._zoomer = Zoomer(graph)
+        self._csr = csr
+        self._service = service
+        self._run_id = run_id
 
     @classmethod
     def from_file(cls, path: str) -> "QueryProcessor":
         """Build the graph by reading the tracker's spool file."""
         return cls(load_graph(path))
+
+    @classmethod
+    def from_store(cls, store: GraphStore, run_id: str,
+                   csr: bool = True) -> "QueryProcessor":
+        """Build the graph by loading a stored run; with ``csr=True``
+        (default) traversal queries use a flat-array snapshot."""
+        processor = cls(store.load_graph(run_id))
+        if csr:
+            processor.enable_csr()
+        return processor
+
+    # ------------------------------------------------------------------
+    # CSR read path
+    # ------------------------------------------------------------------
+    def enable_csr(self) -> CSRSnapshot:
+        """Freeze the current graph into a CSR snapshot; traversal
+        queries use it until the graph mutates again."""
+        self._csr = CSRSnapshot(self.graph)
+        return self._csr
+
+    def _current_csr(self) -> Optional[CSRSnapshot]:
+        """The active snapshot, or None when stale/absent.
+
+        A service-managed processor re-fetches from the service's
+        version-keyed LRU, so the snapshot follows graph mutations
+        (e.g. zoom surgery) automatically.
+        """
+        if self._service is not None and self._run_id is not None:
+            csr = self._service.csr(self._run_id)
+            return csr if csr.matches(self.graph) else None
+        if self._csr is not None and self._csr.matches(self.graph):
+            return self._csr
+        return None
 
     # ------------------------------------------------------------------
     # Zoom (Section 4.1)
@@ -108,7 +153,28 @@ class QueryProcessor:
     # Subgraph queries (Section 5.1)
     # ------------------------------------------------------------------
     def subgraph(self, node_id: int) -> SubgraphResult:
+        csr = self._current_csr()
+        if csr is not None:
+            return csr.subgraph(node_id)
         return subgraph_query(self.graph, node_id)
+
+    def ancestors(self, node_id: int):
+        csr = self._current_csr()
+        if csr is not None:
+            return csr.ancestors(node_id)
+        return self.graph.ancestors(node_id)
+
+    def descendants(self, node_id: int):
+        csr = self._current_csr()
+        if csr is not None:
+            return csr.descendants(node_id)
+        return self.graph.descendants(node_id)
+
+    def reachable(self, source: int, target: int) -> bool:
+        csr = self._current_csr()
+        if csr is not None:
+            return csr.reachable(source, target)
+        return self.graph.reachable(source, target)
 
     def highest_fanout_nodes(self, count: int = 50) -> List[int]:
         return highest_fanout_nodes(self.graph, count)
@@ -149,9 +215,19 @@ class Lipstick:
     """
 
     def __init__(self, directory: Optional[str] = None,
-                 track_provenance: bool = True):
+                 track_provenance: bool = True,
+                 store: Optional[GraphStore] = None,
+                 run_id: Optional[str] = None):
         self.track_provenance = track_provenance
         self.tracker = ProvenanceTracker(directory) if track_provenance else None
+        #: optional GraphStore the tracker spools into (see :meth:`commit`)
+        self.store = store
+        if run_id is None:
+            # Unique per session: two Lipsticks committing into the
+            # same store must not silently interleave their graphs
+            # under one shared default run id.
+            run_id = f"run-{uuid.uuid4().hex[:12]}"
+        self.run_id = run_id
 
     @property
     def graph(self) -> Optional[ProvenanceGraph]:
@@ -180,12 +256,27 @@ class Lipstick:
             raise RuntimeError("provenance tracking is disabled")
         return self.tracker.flush(path)
 
-    def query_processor(self, path: Optional[str] = None) -> QueryProcessor:
+    def commit(self, run_id: Optional[str] = None) -> RunInfo:
+        """Spool the live graph into the attached store (incremental
+        append — only what changed since the last commit is written)."""
+        if self.tracker is None:
+            raise RuntimeError("provenance tracking is disabled")
+        if self.store is None:
+            raise RuntimeError("no GraphStore attached to this Lipstick")
+        return self.store.append_graph(run_id or self.run_id,
+                                       self.tracker.graph)
+
+    def query_processor(self, path: Optional[str] = None,
+                        run_id: Optional[str] = None) -> QueryProcessor:
         """A Query Processor over the spooled file (round-tripping via
-        disk like the paper's architecture) or, when ``path`` is None,
-        over the live in-memory graph."""
+        disk like the paper's architecture), over a stored run when
+        ``run_id`` is given, or over the live in-memory graph."""
         if path is not None:
             return QueryProcessor.from_file(path)
+        if run_id is not None:
+            if self.store is None:
+                raise RuntimeError("no GraphStore attached to this Lipstick")
+            return QueryProcessor.from_store(self.store, run_id)
         if self.tracker is None:
             raise RuntimeError("provenance tracking is disabled")
         return QueryProcessor(self.tracker.graph)

@@ -1,0 +1,39 @@
+"""Persistent provenance storage (paper Section 5.1, generalized).
+
+The paper splits Lipstick into a Provenance Tracker that spools to
+the file-system and a Query Processor that rebuilds the graph in
+memory.  This package makes that hand-off pluggable and multi-run:
+
+* :class:`GraphStore` — the backend interface (:mod:`.base`);
+* :class:`MemoryStore` — the paper's in-memory baseline (:mod:`.memory`);
+* :class:`SQLiteStore` — durable, incremental, lazy (:mod:`.sqlite`);
+* :class:`CSRSnapshot` — flat-array read path for traversal-heavy
+  queries (:mod:`.csr`);
+* :class:`RunCatalog` / :class:`ProvenanceService` — many runs in one
+  store, served with layered LRU caches (:mod:`.catalog`).
+"""
+
+from .base import GraphStore, RunInfo
+from .catalog import LRUCache, ProvenanceService, RunCatalog
+from .csr import CSRSnapshot
+from .memory import MemoryStore
+from .sqlite import SQLiteStore
+
+__all__ = [
+    "CSRSnapshot",
+    "GraphStore",
+    "LRUCache",
+    "MemoryStore",
+    "ProvenanceService",
+    "RunCatalog",
+    "RunInfo",
+    "SQLiteStore",
+]
+
+
+def open_store(path=None) -> GraphStore:
+    """Open the right backend for ``path``: ``None`` → memory,
+    anything else → SQLite file (created on first use)."""
+    if path is None:
+        return MemoryStore()
+    return SQLiteStore(path)

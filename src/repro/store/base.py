@@ -1,0 +1,133 @@
+"""The ``GraphStore`` backend interface and run metadata.
+
+The paper's architecture (Section 5.1) separates the Provenance
+Tracker — "output is written to the file-system" — from the Query
+Processor, which "runs in memory" and "starts by reading
+provenance-annotated tuples from disk and building the provenance
+graph".  A :class:`GraphStore` generalizes that file-system hand-off:
+it is the persistence seam between the two sub-systems, keyed by
+*run id* so one store can hold many workflow runs.
+
+Backends implement four groups of operations:
+
+* **write**: :meth:`GraphStore.put_graph` (full snapshot) and
+  :meth:`GraphStore.append_graph` (incremental — persist only what
+  changed since the last write, the tracker's spooling mode);
+* **read**: :meth:`GraphStore.load_graph`, which rebuilds a
+  :class:`~repro.graph.provgraph.ProvenanceGraph` exactly as the
+  Query Processor would from a spool file;
+* **catalog**: :meth:`GraphStore.list_runs` / :meth:`GraphStore.run_info`
+  over :class:`RunInfo` metadata rows;
+* **interchange**: :meth:`GraphStore.import_jsonl` /
+  :meth:`GraphStore.export_jsonl`, bridging to the tracker's JSONL
+  spool format (``.gz`` paths are handled transparently).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import List, Optional, Union
+
+from ..errors import UnknownRunError
+from ..graph.provgraph import ProvenanceGraph
+from ..graph.serialize import dump_graph, load_graph
+
+
+class RunInfo:
+    """Catalog metadata for one stored workflow run."""
+
+    __slots__ = ("run_id", "created_at", "updated_at", "source",
+                 "node_count", "edge_count", "invocation_count")
+
+    def __init__(self, run_id: str, created_at: float, updated_at: float,
+                 source: Optional[str], node_count: int, edge_count: int,
+                 invocation_count: int):
+        self.run_id = run_id
+        self.created_at = created_at
+        self.updated_at = updated_at
+        self.source = source
+        self.node_count = node_count
+        self.edge_count = edge_count
+        self.invocation_count = invocation_count
+
+    def __repr__(self) -> str:
+        return (f"RunInfo({self.run_id!r}, nodes={self.node_count}, "
+                f"edges={self.edge_count}, "
+                f"invocations={self.invocation_count})")
+
+
+class GraphStore(abc.ABC):
+    """Abstract persistence backend for provenance graphs."""
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def put_graph(self, run_id: str, graph: ProvenanceGraph,
+                  source: Optional[str] = None) -> RunInfo:
+        """Store ``graph`` under ``run_id``, replacing any prior state."""
+
+    def append_graph(self, run_id: str, graph: ProvenanceGraph,
+                     source: Optional[str] = None) -> RunInfo:
+        """Persist ``graph`` incrementally.
+
+        ``graph`` must be a superset of what was last written for
+        ``run_id`` (the tracker only ever grows its graph between
+        flushes).  The default implementation falls back to a full
+        :meth:`put_graph`; backends with a cheaper delta path
+        override it.
+        """
+        return self.put_graph(run_id, graph, source=source)
+
+    @abc.abstractmethod
+    def delete_run(self, run_id: str) -> None:
+        """Drop a run and all of its nodes/edges/invocations."""
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def load_graph(self, run_id: str) -> ProvenanceGraph:
+        """Rebuild the stored graph for ``run_id``."""
+
+    @abc.abstractmethod
+    def run_info(self, run_id: str) -> RunInfo:
+        """Catalog metadata for ``run_id`` (raises UnknownRunError)."""
+
+    @abc.abstractmethod
+    def list_runs(self) -> List[RunInfo]:
+        """All stored runs, oldest first."""
+
+    def has_run(self, run_id: str) -> bool:
+        try:
+            self.run_info(run_id)
+            return True
+        except UnknownRunError:
+            return False
+
+    # ------------------------------------------------------------------
+    # JSONL interchange (the tracker's spool format; .gz transparent)
+    # ------------------------------------------------------------------
+    def import_jsonl(self, run_id: str,
+                     path: Union[str, os.PathLike]) -> RunInfo:
+        """Load a tracker spool file and store it under ``run_id``."""
+        graph = load_graph(path)
+        return self.put_graph(run_id, graph, source=os.fspath(path))
+
+    def export_jsonl(self, run_id: str,
+                     path: Union[str, os.PathLike]) -> int:
+        """Write a stored run back out as a JSONL spool file."""
+        return dump_graph(self.load_graph(run_id), path)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (no-op by default)."""
+
+    def __enter__(self) -> "GraphStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

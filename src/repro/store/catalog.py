@@ -1,0 +1,252 @@
+"""Multi-run catalog and query service over a ``GraphStore``.
+
+The paper's Query Processor serves one graph per process (Section
+5.1: it "starts by reading provenance-annotated tuples from disk and
+building the provenance graph").  This module scales that design out:
+
+* :class:`RunCatalog` is the registration side — it names runs,
+  ingests tracker spool files (``.gz`` transparent), and adopts live
+  graphs into whichever backend it wraps;
+* :class:`ProvenanceService` is the serving side — it keeps an LRU
+  cache of rebuilt graphs, :class:`~repro.store.csr.CSRSnapshot`
+  instances, and
+  :class:`~repro.queries.reachability.ReachabilityIndex` instances so
+  repeated zoom / subgraph / deletion / what-if queries against the
+  same runs skip both the disk rebuild and the snapshot build.
+
+Caches are keyed by the graph's mutation ``version``: surgery on a
+served graph (in-place deletion, zoom) silently invalidates the
+derived artifacts instead of serving stale answers.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from typing import Callable, Hashable, List, Optional, TypeVar, Union
+
+from ..graph.provgraph import ProvenanceGraph
+from ..queries.reachability import ReachabilityIndex
+from ..queries.subgraph import SubgraphResult
+from .base import GraphStore, RunInfo
+from .csr import CSRSnapshot
+
+T = TypeVar("T")
+
+
+class LRUCache:
+    """A tiny ordered-dict LRU; ``capacity <= 0`` disables caching."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def get_or_build(self, key: Hashable, build: Callable[[], T]) -> T:
+        if self.capacity <= 0:
+            self.misses += 1
+            return build()
+        try:
+            value = self._entries[key]
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value  # type: ignore[return-value]
+        except KeyError:
+            self.misses += 1
+        value = build()
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return value
+
+    def evict(self, predicate: Callable[[Hashable], bool]) -> None:
+        for key in [key for key in self._entries if predicate(key)]:
+            del self._entries[key]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class RunCatalog:
+    """Names and registers workflow runs inside one ``GraphStore``."""
+
+    def __init__(self, store: GraphStore, run_prefix: str = "run"):
+        self.store = store
+        self.run_prefix = run_prefix
+
+    def new_run_id(self) -> str:
+        """A fresh, collision-free run id (``run-0001`` style)."""
+        taken = {info.run_id for info in self.store.list_runs()}
+        index = len(taken) + 1
+        while f"{self.run_prefix}-{index:04d}" in taken:
+            index += 1
+        return f"{self.run_prefix}-{index:04d}"
+
+    def register(self, graph: ProvenanceGraph,
+                 run_id: Optional[str] = None,
+                 source: Optional[str] = None) -> RunInfo:
+        """Store a full graph snapshot; auto-names the run if needed."""
+        if run_id is None:
+            run_id = self.new_run_id()
+        return self.store.put_graph(run_id, graph, source=source)
+
+    def append(self, run_id: str, graph: ProvenanceGraph,
+               source: Optional[str] = None) -> RunInfo:
+        """Incrementally persist a (grown) graph for an existing run."""
+        return self.store.append_graph(run_id, graph, source=source)
+
+    def ingest(self, path: Union[str, os.PathLike],
+               run_id: Optional[str] = None) -> RunInfo:
+        """Import a tracker JSONL spool file (``.gz`` transparent)."""
+        if run_id is None:
+            run_id = self.new_run_id()
+        return self.store.import_jsonl(run_id, path)
+
+    def export(self, run_id: str, path: Union[str, os.PathLike]) -> int:
+        return self.store.export_jsonl(run_id, path)
+
+    def runs(self) -> List[RunInfo]:
+        return self.store.list_runs()
+
+    def delete(self, run_id: str) -> None:
+        self.store.delete_run(run_id)
+
+    def __repr__(self) -> str:
+        return f"RunCatalog({self.store!r}, runs={len(self.runs())})"
+
+
+class ProvenanceService:
+    """Serves Section 4 queries for many stored runs, with caching.
+
+    One service instance fronts one store; per-run
+    :class:`~repro.lipstick.QueryProcessor` facades are built (and
+    cached) on demand, each accelerated by a cached CSR snapshot.
+    ``ReachabilityIndex`` instances — the §5.1 precomputed-closure
+    trade-off — are cached separately because they are much more
+    expensive to build and to hold.
+    """
+
+    def __init__(self, store: GraphStore, graph_cache_size: int = 8,
+                 csr_cache_size: int = 8, index_cache_size: int = 2):
+        self.store = store
+        self.catalog = RunCatalog(store)
+        self._graphs = LRUCache(graph_cache_size)
+        self._processors = LRUCache(graph_cache_size)
+        self._snapshots = LRUCache(csr_cache_size)
+        self._indexes = LRUCache(index_cache_size)
+        self._load_seconds: dict = {}
+
+    # ------------------------------------------------------------------
+    # Cached artifacts
+    # ------------------------------------------------------------------
+    def graph(self, run_id: str) -> ProvenanceGraph:
+        """The rebuilt graph for ``run_id`` (LRU-cached)."""
+        def build() -> ProvenanceGraph:
+            started = time.perf_counter()
+            graph = self.store.load_graph(run_id)
+            self._load_seconds[run_id] = time.perf_counter() - started
+            return graph
+        return self._graphs.get_or_build(run_id, build)
+
+    def load_seconds(self, run_id: str) -> Optional[float]:
+        """Seconds the last cold rebuild of ``run_id`` took, if any."""
+        return self._load_seconds.get(run_id)
+
+    def processor(self, run_id: str):
+        """A cached, CSR-accelerated QueryProcessor for ``run_id``.
+
+        The processor is stateful (zoom operations persist across
+        calls), mirroring an interactive Query Processor session.
+        """
+        from ..lipstick import QueryProcessor  # deferred: import cycle
+        graph = self.graph(run_id)
+
+        def build():
+            return QueryProcessor(graph, service=self, run_id=run_id)
+
+        processor = self._processors.get_or_build(run_id, build)
+        if processor.graph is not graph:
+            # The graph cache was evicted and reloaded behind this
+            # processor; a stale processor would serve (and mutate) a
+            # graph object nothing else sees.  Rebuild against the
+            # current one.
+            self._processors.evict(lambda key: key == run_id)
+            processor = self._processors.get_or_build(run_id, build)
+        return processor
+
+    def csr(self, run_id: str) -> CSRSnapshot:
+        """The flat-array snapshot for the run's current graph."""
+        graph = self.graph(run_id)
+        return self._snapshots.get_or_build(
+            (run_id, graph.version), lambda: CSRSnapshot(graph))
+
+    def reachability_index(self, run_id: str,
+                           index_ancestors: bool = True) -> ReachabilityIndex:
+        """The precomputed-closure index (§5.1 trade-off), cached."""
+        graph = self.graph(run_id)
+        return self._indexes.get_or_build(
+            (run_id, graph.version, index_ancestors),
+            lambda: ReachabilityIndex(graph, index_ancestors=index_ancestors))
+
+    def invalidate(self, run_id: Optional[str] = None) -> None:
+        """Drop cached artifacts (all runs when ``run_id`` is None) —
+        call after writing to the store behind the service."""
+        if run_id is None:
+            for cache in (self._graphs, self._processors, self._snapshots,
+                          self._indexes):
+                cache.evict(lambda key: True)
+            return
+        self._graphs.evict(lambda key: key == run_id)
+        self._processors.evict(lambda key: key == run_id)
+        for cache in (self._snapshots, self._indexes):
+            cache.evict(lambda key: key[0] == run_id)
+
+    # ------------------------------------------------------------------
+    # Per-run queries (Section 4, served from the store)
+    # ------------------------------------------------------------------
+    def subgraph(self, run_id: str, node_id: int) -> SubgraphResult:
+        """Subgraph query on the CSR read path."""
+        return self.csr(run_id).subgraph(node_id)
+
+    def ancestors(self, run_id: str, node_id: int):
+        return self.csr(run_id).ancestors(node_id)
+
+    def descendants(self, run_id: str, node_id: int):
+        return self.csr(run_id).descendants(node_id)
+
+    def reachable(self, run_id: str, source: int, target: int) -> bool:
+        return self.csr(run_id).reachable(source, target)
+
+    def zoom_out(self, run_id: str, module_names) -> List[str]:
+        return self.processor(run_id).zoom_out(module_names)
+
+    def zoom_in(self, run_id: str, module_names) -> List[str]:
+        return self.processor(run_id).zoom_in(module_names)
+
+    def delete(self, run_id: str, node_ids):
+        """Deletion propagation on a copy (the stored run is untouched)."""
+        return self.processor(run_id).delete(node_ids, in_place=False)
+
+    def what_if(self, run_id: str, node_ids=(), tuple_labels=()):
+        return self.processor(run_id).what_if(node_ids, tuple_labels)
+
+    def stats(self, run_id: str):
+        return self.processor(run_id).stats()
+
+    def runs(self) -> List[RunInfo]:
+        return self.store.list_runs()
+
+    def cache_stats(self) -> dict:
+        """Hit/miss counters for the layered caches (observability)."""
+        return {
+            "graphs": (self._graphs.hits, self._graphs.misses),
+            "processors": (self._processors.hits, self._processors.misses),
+            "csr": (self._snapshots.hits, self._snapshots.misses),
+            "reachability": (self._indexes.hits, self._indexes.misses),
+        }
+
+    def __repr__(self) -> str:
+        return (f"ProvenanceService({self.store!r}, "
+                f"cached_graphs={len(self._graphs)})")

@@ -1,0 +1,237 @@
+"""Read-optimized CSR (compressed sparse row) graph snapshot.
+
+Section 5.1 of the paper names the memory/speed trade-off this module
+exploits: "we store information about parents and children of each
+node, and compute ancestor and descendant information as appropriate
+at query time.  An alternative is to pre-compute the transitive
+closure ... [which] would result in higher memory overhead, but may
+speed up query processing."  A :class:`CSRSnapshot` sits between the
+two extremes: no transitive closure, but the dict-of-lists adjacency
+of :class:`~repro.graph.provgraph.ProvenanceGraph` is frozen into
+flat :mod:`array` offset/target buffers (forward and backward) — the
+array-backed associative adjacency of D4M-style engines.
+
+Two layers make the read path fast in pure Python:
+
+* the **flat buffers** (``array('q')`` offsets + targets) are the
+  canonical, compact form — 8 bytes per edge endpoint, cache-friendly,
+  and what :meth:`memory_bytes` accounts;
+* **per-node views** — one tuple per node, sliced out of the target
+  buffer once at build time — feed the traversal loops.  Slicing the
+  ``array`` at query time would re-box every integer on every visit;
+  the views materialize each node id exactly once, so traversals run
+  on C-level ``list.extend`` plus a ``bytearray`` visited mask instead
+  of hashing ids through dicts and sets.
+
+A snapshot is immutable and records the source graph's ``version``;
+consumers compare via :meth:`matches` to detect staleness after graph
+surgery.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..errors import UnknownNodeError
+from ..graph.provgraph import ProvenanceGraph
+from ..queries.subgraph import SubgraphResult
+
+_EMPTY: Tuple[int, ...] = ()
+
+
+class CSRSnapshot:
+    """Flat-array adjacency snapshot of a provenance graph."""
+
+    __slots__ = ("version", "node_count", "edge_count", "_mask_size",
+                 "_ids", "_id_set", "_pred_offsets", "_pred_targets",
+                 "_succ_offsets", "_succ_targets", "_pred_views",
+                 "_succ_views")
+
+    def __init__(self, graph: ProvenanceGraph):
+        ids = sorted(graph.nodes)
+        count = len(ids)
+        self.version = graph.version
+        self.node_count = count
+        self.edge_count = graph.edge_count
+        self._mask_size = (ids[-1] + 1) if ids else 0
+        # Tracker-built graphs have dense ids (0..n-1); graphs that
+        # survived surgery may be sparse, so keep the id vocabulary.
+        dense = count == self._mask_size
+        self._ids: Optional[array] = None if dense else array("q", ids)
+        self._id_set: Optional[frozenset] = None if dense else frozenset(ids)
+        (self._pred_offsets, self._pred_targets,
+         self._pred_views) = self._pack(ids, graph._preds)
+        (self._succ_offsets, self._succ_targets,
+         self._succ_views) = self._pack(ids, graph._succs)
+
+    def _pack(self, ids, adjacency):
+        offsets = array("q", [0])
+        targets = array("q")
+        views: List[Tuple[int, ...]] = [_EMPTY] * self._mask_size
+        for node_id in ids:
+            neighbors = adjacency[node_id]
+            targets.extend(neighbors)
+            offsets.append(len(targets))
+            if neighbors:
+                views[node_id] = tuple(neighbors)
+        return offsets, targets, views
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def has_node(self, node_id: int) -> bool:
+        if self._id_set is not None:
+            return node_id in self._id_set
+        return 0 <= node_id < self.node_count
+
+    def _check(self, node_id: int) -> None:
+        if not isinstance(node_id, int) or not self.has_node(node_id):
+            raise UnknownNodeError(node_id)
+
+    def node_ids(self) -> Iterable[int]:
+        if self._ids is None:
+            return range(self.node_count)
+        return iter(self._ids)
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+    def preds(self, node_id: int) -> Tuple[int, ...]:
+        """Operands of ``node_id`` (edges pointing into it)."""
+        self._check(node_id)
+        return self._pred_views[node_id]
+
+    def succs(self, node_id: int) -> Tuple[int, ...]:
+        """Nodes derived (partly) from ``node_id``."""
+        self._check(node_id)
+        return self._succ_views[node_id]
+
+    def in_degree(self, node_id: int) -> int:
+        return len(self.preds(node_id))
+
+    def out_degree(self, node_id: int) -> int:
+        return len(self.succs(node_id))
+
+    # ------------------------------------------------------------------
+    # Traversals (the query hot path)
+    # ------------------------------------------------------------------
+    def _reach(self, start: int, views: List[Tuple[int, ...]]) -> List[int]:
+        """Node ids reachable from ``start`` (exclusive), unordered."""
+        mask = bytearray(self._mask_size)
+        mask[start] = 1
+        reached: List[int] = []
+        stack = list(views[start])
+        while stack:
+            current = stack.pop()
+            if mask[current]:
+                continue
+            mask[current] = 1
+            reached.append(current)
+            stack.extend(views[current])
+        return reached
+
+    def _reach_set(self, start: int, views: List[Tuple[int, ...]]) -> Set[int]:
+        """Like :meth:`_reach` but accumulates a set directly —
+        cheaper when the caller wants a set anyway."""
+        seen: Set[int] = set()
+        stack = list(views[start])
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(views[current])
+        seen.discard(start)
+        return seen
+
+    def ancestors(self, node_id: int) -> Set[int]:
+        """All nodes reachable by following edges backwards."""
+        self._check(node_id)
+        return self._reach_set(node_id, self._pred_views)
+
+    def descendants(self, node_id: int) -> Set[int]:
+        """All nodes reachable by following edges forwards."""
+        self._check(node_id)
+        return self._reach_set(node_id, self._succ_views)
+
+    def reachable(self, source: int, target: int) -> bool:
+        """Whether a directed path ``source →* target`` exists
+        (early-exit DFS — stops as soon as the target is seen).
+
+        Mirrors ``ProvenanceGraph.reachable``'s contract exactly:
+        ``source == target`` is True without an existence check, an
+        unknown target is simply unreachable, an unknown source
+        raises.
+        """
+        if source == target:
+            return True
+        self._check(source)
+        if not self.has_node(target):
+            return False
+        views = self._succ_views
+        mask = bytearray(self._mask_size)
+        mask[source] = 1
+        stack = list(views[source])
+        while stack:
+            current = stack.pop()
+            if current == target:
+                return True
+            if mask[current]:
+                continue
+            mask[current] = 1
+            stack.extend(views[current])
+        return False
+
+    def subgraph(self, node_id: int) -> SubgraphResult:
+        """The Section 5.1 subgraph query (ancestors + descendants +
+        siblings of descendants) answered from the snapshot."""
+        self._check(node_id)
+        descendants = self._reach(node_id, self._succ_views)
+        ancestors = self._reach(node_id, self._pred_views)
+        # Mark membership once, then sweep descendant operands for
+        # siblings — no per-candidate set algebra.
+        member = bytearray(self._mask_size)
+        member[node_id] = 1
+        for index in descendants:
+            member[index] = 1
+        for index in ancestors:
+            member[index] = 1
+        pred_views = self._pred_views
+        siblings: List[int] = []
+        for index in descendants:
+            for operand in pred_views[index]:
+                if not member[operand]:
+                    member[operand] = 1
+                    siblings.append(operand)
+        return SubgraphResult(node_id, set(ancestors), set(descendants),
+                              set(siblings))
+
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Bytes held by the snapshot: the flat CSR buffers (8 B per
+        edge endpoint, each direction) plus the per-node traversal
+        views (tuple headers + pointers; the node-id ints themselves
+        are shared with the source graph)."""
+        buffers = [self._pred_offsets, self._pred_targets,
+                   self._succ_offsets, self._succ_targets]
+        if self._ids is not None:
+            buffers.append(self._ids)
+        total = sum(buffer.itemsize * len(buffer) for buffer in buffers)
+        for views in (self._pred_views, self._succ_views):
+            total += sys.getsizeof(views)
+            total += sum(sys.getsizeof(view) for view in views if view)
+        return total
+
+    def matches(self, graph: ProvenanceGraph) -> bool:
+        """Whether this snapshot is still current for ``graph``."""
+        return (self.version == graph.version
+                and self.node_count == graph.node_count
+                and self.edge_count == graph.edge_count)
+
+    def __repr__(self) -> str:
+        return (f"CSRSnapshot(nodes={self.node_count}, "
+                f"edges={self.edge_count}, bytes={self.memory_bytes()})")

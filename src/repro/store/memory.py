@@ -1,0 +1,76 @@
+"""In-memory ``GraphStore`` over live :class:`ProvenanceGraph` objects.
+
+This is the paper's baseline Query Processor configuration — the
+whole graph "runs in memory" (Section 5.1) — wrapped in the store
+interface so the catalog and service layers work identically over
+volatile and persistent backends.
+
+The adapter *adopts* graphs rather than copying them: ``put_graph``
+registers the object itself and ``load_graph`` hands it back, so a
+tracker can keep appending to a registered graph and queries observe
+the live state.  Pass ``copy_on_write=True`` for snapshot isolation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..errors import UnknownRunError
+from ..graph.provgraph import ProvenanceGraph
+from .base import GraphStore, RunInfo
+
+
+class MemoryStore(GraphStore):
+    """Dict-of-graphs backend; zero serialization cost, no durability."""
+
+    def __init__(self, copy_on_write: bool = False):
+        self.copy_on_write = copy_on_write
+        self._graphs: Dict[str, ProvenanceGraph] = {}
+        self._meta: Dict[str, RunInfo] = {}
+
+    def put_graph(self, run_id: str, graph: ProvenanceGraph,
+                  source: Optional[str] = None) -> RunInfo:
+        if self.copy_on_write:
+            graph = graph.copy()
+        now = time.time()
+        previous = self._meta.get(run_id)
+        created = previous.created_at if previous else now
+        if source is None and previous is not None:
+            source = previous.source
+        self._graphs[run_id] = graph
+        info = RunInfo(run_id, created, now, source, graph.node_count,
+                       graph.edge_count, len(graph.invocations))
+        self._meta[run_id] = info
+        return info
+
+    def load_graph(self, run_id: str) -> ProvenanceGraph:
+        try:
+            graph = self._graphs[run_id]
+        except KeyError:
+            raise UnknownRunError(run_id) from None
+        return graph.copy() if self.copy_on_write else graph
+
+    def run_info(self, run_id: str) -> RunInfo:
+        try:
+            info = self._meta[run_id]
+        except KeyError:
+            raise UnknownRunError(run_id) from None
+        # Adopted graphs mutate underneath us; refresh the counters.
+        graph = self._graphs[run_id]
+        info.node_count = graph.node_count
+        info.edge_count = graph.edge_count
+        info.invocation_count = len(graph.invocations)
+        return info
+
+    def list_runs(self) -> List[RunInfo]:
+        return [self.run_info(run_id) for run_id in self._meta]
+
+    def delete_run(self, run_id: str) -> None:
+        if run_id not in self._graphs:
+            raise UnknownRunError(run_id)
+        del self._graphs[run_id]
+        del self._meta[run_id]
+
+    def __repr__(self) -> str:
+        return f"MemoryStore(runs={len(self._graphs)})"

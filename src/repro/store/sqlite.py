@@ -1,0 +1,301 @@
+"""SQLite-persisted ``GraphStore``: provenance that survives the process.
+
+The paper's Provenance Tracker hands off to the Query Processor
+through the file-system (Section 5.1).  :class:`SQLiteStore` upgrades
+that hand-off from a write-once spool file to a real database: many
+runs per file, incremental append while a workflow sequence is still
+executing, and lazy per-run loads — the Query Processor only pays to
+rebuild the run it is asked about, when it is asked.
+
+Schema (all tables keyed by ``run_id``):
+
+* ``runs`` — catalog metadata plus id high-water marks;
+* ``nodes`` — one row per node, payload JSON-encoded like the JSONL
+  spool format;
+* ``edges`` — one row per edge *slot* ``(target, seq)`` where ``seq``
+  is the position in the target's operand (pred) list, preserving
+  operand order and parallel-edge multiplicity;
+* ``invocations`` — module invocation anchors (inputs/outputs/state
+  node-id lists, JSON-encoded).
+
+Incremental append exploits how the tracker grows a graph: node and
+invocation ids are monotonic and operand lists only ever extend, so
+an append writes nodes above the stored high-water mark, the tail of
+each operand list, and upserts the (few) invocation rows.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from typing import Dict, List, Optional, Union
+
+from ..errors import StoreError, UnknownRunError
+from ..graph.nodes import Node, NodeKind
+from ..graph.provgraph import Invocation, ProvenanceGraph
+from ..graph.serialize import _decode_value, _encode_value
+from .base import GraphStore, RunInfo
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id              TEXT PRIMARY KEY,
+    created_at          REAL NOT NULL,
+    updated_at          REAL NOT NULL,
+    source              TEXT,
+    node_count          INTEGER NOT NULL,
+    edge_count          INTEGER NOT NULL,
+    invocation_count    INTEGER NOT NULL,
+    next_node_id        INTEGER NOT NULL,
+    next_invocation_id  INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS nodes (
+    run_id     TEXT NOT NULL,
+    node_id    INTEGER NOT NULL,
+    kind       TEXT NOT NULL,
+    label      TEXT NOT NULL,
+    ntype      TEXT NOT NULL,
+    module     TEXT,
+    invocation INTEGER,
+    value      TEXT,
+    PRIMARY KEY (run_id, node_id)
+);
+CREATE TABLE IF NOT EXISTS edges (
+    run_id  TEXT NOT NULL,
+    target  INTEGER NOT NULL,
+    seq     INTEGER NOT NULL,
+    source  INTEGER NOT NULL,
+    PRIMARY KEY (run_id, target, seq)
+);
+CREATE TABLE IF NOT EXISTS invocations (
+    run_id        TEXT NOT NULL,
+    invocation_id INTEGER NOT NULL,
+    module        TEXT NOT NULL,
+    module_node   INTEGER NOT NULL,
+    inputs        TEXT NOT NULL,
+    outputs       TEXT NOT NULL,
+    state         TEXT NOT NULL,
+    PRIMARY KEY (run_id, invocation_id)
+);
+"""
+
+
+def _encode_payload(value) -> Optional[str]:
+    if value is None:
+        return None
+    return json.dumps(_encode_value(value))
+
+
+def _decode_payload(text: Optional[str]):
+    if text is None:
+        return None
+    return _decode_value(json.loads(text))
+
+
+class SQLiteStore(GraphStore):
+    """Durable multi-run provenance store backed by one SQLite file."""
+
+    def __init__(self, path: Union[str, os.PathLike] = ":memory:"):
+        self.path = os.fspath(path) if not isinstance(path, str) else path
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put_graph(self, run_id: str, graph: ProvenanceGraph,
+                  source: Optional[str] = None) -> RunInfo:
+        now = time.time()
+        cursor = self._conn.cursor()
+        try:
+            row = cursor.execute(
+                "SELECT created_at, source FROM runs WHERE run_id = ?",
+                (run_id,)).fetchone()
+            created = row[0] if row else now
+            if source is None and row is not None:
+                source = row[1]
+            self._clear_run(cursor, run_id)
+            self._insert_nodes(cursor, run_id, graph, graph.nodes.keys())
+            self._insert_edge_tails(cursor, run_id, graph, {})
+            self._upsert_invocations(cursor, run_id,
+                                     graph.invocations.values())
+            info = self._write_run_row(cursor, run_id, graph, created, now,
+                                       source)
+            self._conn.commit()
+            return info
+        except BaseException:
+            self._conn.rollback()
+            raise
+
+    def append_graph(self, run_id: str, graph: ProvenanceGraph,
+                     source: Optional[str] = None) -> RunInfo:
+        cursor = self._conn.cursor()
+        row = cursor.execute(
+            "SELECT created_at, source, next_node_id FROM runs "
+            "WHERE run_id = ?", (run_id,)).fetchone()
+        if row is None:
+            return self.put_graph(run_id, graph, source=source)
+        created, stored_source, stored_next_node = row
+        if graph._next_node_id < stored_next_node:
+            raise StoreError(
+                f"append to run {run_id!r} would shrink it: stored "
+                f"high-water node id {stored_next_node}, graph has "
+                f"{graph._next_node_id} (append expects a superset graph)")
+        now = time.time()
+        try:
+            new_node_ids = [node_id for node_id in graph.nodes
+                            if node_id >= stored_next_node]
+            self._insert_nodes(cursor, run_id, graph, new_node_ids)
+            stored_counts: Dict[int, int] = dict(cursor.execute(
+                "SELECT target, COUNT(*) FROM edges WHERE run_id = ? "
+                "GROUP BY target", (run_id,)).fetchall())
+            # Guard against appending an unrelated graph: every stored
+            # node/operand-list must still exist and must not have
+            # shrunk.  (Prefix contents are trusted — comparing them
+            # would defeat the incremental write.)
+            for target, have in stored_counts.items():
+                predecessors = graph._preds.get(target)
+                if predecessors is None or len(predecessors) < have:
+                    raise StoreError(
+                        f"append to run {run_id!r} is not a superset of "
+                        f"the stored graph: node {target} has "
+                        f"{0 if predecessors is None else len(predecessors)} "
+                        f"operand(s), store holds {have}")
+            self._insert_edge_tails(cursor, run_id, graph, stored_counts)
+            self._upsert_invocations(cursor, run_id,
+                                     graph.invocations.values())
+            info = self._write_run_row(cursor, run_id, graph, created, now,
+                                       source if source is not None
+                                       else stored_source)
+            self._conn.commit()
+            return info
+        except BaseException:
+            self._conn.rollback()
+            raise
+
+    def delete_run(self, run_id: str) -> None:
+        cursor = self._conn.cursor()
+        if not cursor.execute("SELECT 1 FROM runs WHERE run_id = ?",
+                              (run_id,)).fetchone():
+            raise UnknownRunError(run_id)
+        self._clear_run(cursor, run_id)
+        cursor.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+        self._conn.commit()
+
+    # -- write helpers -------------------------------------------------
+    def _clear_run(self, cursor: sqlite3.Cursor, run_id: str) -> None:
+        cursor.execute("DELETE FROM nodes WHERE run_id = ?", (run_id,))
+        cursor.execute("DELETE FROM edges WHERE run_id = ?", (run_id,))
+        cursor.execute("DELETE FROM invocations WHERE run_id = ?", (run_id,))
+
+    def _insert_nodes(self, cursor: sqlite3.Cursor, run_id: str,
+                      graph: ProvenanceGraph, node_ids) -> None:
+        cursor.executemany(
+            "INSERT INTO nodes VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            ((run_id, node.node_id, node.kind.value, node.label, node.ntype,
+              node.module, node.invocation, _encode_payload(node.value))
+             for node in (graph.nodes[node_id] for node_id in node_ids)))
+
+    def _insert_edge_tails(self, cursor: sqlite3.Cursor, run_id: str,
+                           graph: ProvenanceGraph,
+                           stored_counts: Dict[int, int]) -> None:
+        """Insert each node's operand-list tail beyond what is stored."""
+        def rows():
+            for target, predecessors in graph._preds.items():
+                have = stored_counts.get(target, 0)
+                for seq in range(have, len(predecessors)):
+                    yield run_id, target, seq, predecessors[seq]
+        cursor.executemany("INSERT INTO edges VALUES (?, ?, ?, ?)", rows())
+
+    def _upsert_invocations(self, cursor: sqlite3.Cursor, run_id: str,
+                            invocations) -> None:
+        cursor.executemany(
+            "INSERT OR REPLACE INTO invocations VALUES (?, ?, ?, ?, ?, ?, ?)",
+            ((run_id, invocation.invocation_id, invocation.module_name,
+              invocation.module_node, json.dumps(invocation.input_nodes),
+              json.dumps(invocation.output_nodes),
+              json.dumps(invocation.state_nodes))
+             for invocation in invocations))
+
+    def _write_run_row(self, cursor: sqlite3.Cursor, run_id: str,
+                       graph: ProvenanceGraph, created: float, updated: float,
+                       source: Optional[str]) -> RunInfo:
+        cursor.execute(
+            "INSERT OR REPLACE INTO runs VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (run_id, created, updated, source, graph.node_count,
+             graph.edge_count, len(graph.invocations),
+             graph._next_node_id, graph._next_invocation_id))
+        return RunInfo(run_id, created, updated, source, graph.node_count,
+                       graph.edge_count, len(graph.invocations))
+
+    # ------------------------------------------------------------------
+    # Read path (lazy: nothing is loaded until a run is asked for)
+    # ------------------------------------------------------------------
+    def load_graph(self, run_id: str) -> ProvenanceGraph:
+        cursor = self._conn.cursor()
+        row = cursor.execute(
+            "SELECT next_node_id, next_invocation_id FROM runs "
+            "WHERE run_id = ?", (run_id,)).fetchone()
+        if row is None:
+            raise UnknownRunError(run_id)
+        graph = ProvenanceGraph()
+        for (node_id, kind, label, ntype, module, invocation,
+             payload) in cursor.execute(
+                 "SELECT node_id, kind, label, ntype, module, invocation, "
+                 "value FROM nodes WHERE run_id = ? ORDER BY node_id",
+                 (run_id,)):
+            graph.nodes[node_id] = Node(node_id, NodeKind(kind), label, ntype,
+                                        module, invocation,
+                                        _decode_payload(payload))
+            graph._preds[node_id] = []
+            graph._succs[node_id] = []
+        edge_count = 0
+        preds = graph._preds
+        succs = graph._succs
+        for target, source in cursor.execute(
+                "SELECT target, source FROM edges WHERE run_id = ? "
+                "ORDER BY target, seq", (run_id,)):
+            preds[target].append(source)
+            succs[source].append(target)
+            edge_count += 1
+        graph._edge_count = edge_count
+        for (invocation_id, module, module_node, inputs, outputs,
+             state) in cursor.execute(
+                 "SELECT invocation_id, module, module_node, inputs, "
+                 "outputs, state FROM invocations WHERE run_id = ? "
+                 "ORDER BY invocation_id", (run_id,)):
+            invocation = Invocation(invocation_id, module, module_node)
+            invocation.input_nodes = json.loads(inputs)
+            invocation.output_nodes = json.loads(outputs)
+            invocation.state_nodes = json.loads(state)
+            graph.invocations[invocation_id] = invocation
+        graph._next_node_id, graph._next_invocation_id = row
+        return graph
+
+    def run_info(self, run_id: str) -> RunInfo:
+        row = self._conn.execute(
+            "SELECT run_id, created_at, updated_at, source, node_count, "
+            "edge_count, invocation_count FROM runs WHERE run_id = ?",
+            (run_id,)).fetchone()
+        if row is None:
+            raise UnknownRunError(run_id)
+        return RunInfo(*row)
+
+    def list_runs(self) -> List[RunInfo]:
+        rows = self._conn.execute(
+            "SELECT run_id, created_at, updated_at, source, node_count, "
+            "edge_count, invocation_count FROM runs "
+            "ORDER BY created_at, run_id").fetchall()
+        return [RunInfo(*row) for row in rows]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __repr__(self) -> str:
+        return f"SQLiteStore({self.path!r})"

@@ -113,6 +113,84 @@ class TestProvenanceGraph:
         assert len(graph.nodes_of_kind(NodeKind.TUPLE)) == 1
 
 
+class TestDuplicateEdges:
+    """Regression: parallel duplicate edges double-counted silently."""
+
+    def _two_nodes(self):
+        graph = ProvenanceGraph()
+        a = graph.add_node(NodeKind.TUPLE, "t0")
+        b = graph.add_node(NodeKind.PLUS)
+        return graph, a, b
+
+    def test_add_edge_admits_duplicates_by_default(self):
+        graph, a, b = self._two_nodes()
+        assert graph.add_edge(a, b) is True
+        assert graph.add_edge(a, b) is True
+        assert graph.edge_count == 2
+        assert graph.preds(b) == (a, a)
+        assert graph.duplicate_edge_count() == 1
+
+    def test_add_edge_dedupe_skips_duplicates(self):
+        graph, a, b = self._two_nodes()
+        assert graph.add_edge(a, b, dedupe=True) is True
+        assert graph.add_edge(a, b, dedupe=True) is False
+        assert graph.edge_count == 1
+        assert graph.preds(b) == (a,)
+        assert graph.duplicate_edge_count() == 0
+
+    def test_has_edge(self):
+        graph, a, b = self._two_nodes()
+        assert not graph.has_edge(a, b)
+        graph.add_edge(a, b)
+        assert graph.has_edge(a, b)
+        assert not graph.has_edge(b, a)
+        with pytest.raises(UnknownNodeError):
+            graph.has_edge(a, 99)
+
+    def test_check_consistency_warns_on_duplicates(self):
+        from repro.errors import DuplicateEdgeWarning
+
+        graph, a, b = self._two_nodes()
+        graph.add_edge(a, b)
+        graph.add_edge(a, b)
+        with pytest.warns(DuplicateEdgeWarning):
+            graph.check_consistency()
+
+    def test_check_consistency_silent_without_duplicates(self):
+        import warnings
+
+        graph, a, b = self._two_nodes()
+        graph.add_edge(a, b)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            graph.check_consistency()
+
+    def test_check_consistency_can_allow_intentional_duplicates(self):
+        import warnings
+
+        graph, a, b = self._two_nodes()
+        graph.add_edge(a, b)
+        graph.add_edge(a, b)  # semiring multiplicity t·t: valid
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            graph.check_consistency(warn_duplicates=False)
+
+    def test_version_counter_tracks_mutations(self):
+        graph = ProvenanceGraph()
+        initial = graph.version
+        a = graph.add_node(NodeKind.TUPLE, "t0")
+        b = graph.add_node(NodeKind.PLUS)
+        assert graph.version > initial
+        after_nodes = graph.version
+        graph.add_edge(a, b)
+        assert graph.version > after_nodes
+        after_edge = graph.version
+        graph.add_edge(a, b, dedupe=True)  # skipped: no mutation
+        assert graph.version == after_edge
+        graph.remove_node(b)
+        assert graph.version > after_edge
+
+
 class TestGraphBuilder:
     def test_invocation_lifecycle(self):
         builder = GraphBuilder()
@@ -215,6 +293,24 @@ class TestSerialization:
         builder.module_output_node(join)
         builder.end_invocation()
         return builder.graph
+
+    def test_gzip_round_trip(self, tmp_path):
+        import gzip
+
+        graph = self._sample_graph()
+        plain = tmp_path / "spool.jsonl"
+        compressed = tmp_path / "spool.jsonl.gz"
+        dump_graph(graph, plain)
+        dump_graph(graph, compressed)
+        # The .gz file really is gzip on disk...
+        with gzip.open(compressed, "rt", encoding="utf-8") as stream:
+            assert stream.readline() == plain.open().readline()
+        # ...and loads back transparently to the same graph.
+        rebuilt = load_graph(compressed)
+        assert rebuilt.node_count == graph.node_count
+        assert rebuilt.edge_count == graph.edge_count
+        for node_id in graph.node_ids():
+            assert rebuilt.preds(node_id) == graph.preds(node_id)
 
     def test_round_trip(self):
         graph = self._sample_graph()

@@ -1,0 +1,140 @@
+"""Property-style tests: randomized WorkflowGen graphs, seeded.
+
+Two invariants over arbitrary provenance graphs:
+
+* **round-trip fidelity** — a graph spooled through any combination of
+  JSONL (plain or gzip) and store backends comes back identical;
+* **index agreement** — ``ReachabilityIndex`` (with and without the
+  ancestor side, exercising the traversal fallback), the CSR
+  snapshot, and the dict adjacency all answer reachability questions
+  identically.
+
+Graphs come from real WorkflowGen executions (different seeds change
+the bid randomness and therefore graph shape) plus a synthetic seeded
+DAG generator that produces shapes the workloads never make (high
+fan-in, orphan nodes, duplicate parallel edges).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.benchmark.workflowgen import run_dealerships
+from repro.graph import NodeKind, ProvenanceGraph, dump_graph, load_graph
+from repro.queries import ReachabilityIndex
+from repro.queries.subgraph import highest_fanout_nodes
+from repro.store import CSRSnapshot, MemoryStore, SQLiteStore
+
+from test_store import assert_graphs_equal
+
+SEEDS = (0, 7, 23)
+
+
+def synthetic_dag(seed: int, nodes: int = 120) -> ProvenanceGraph:
+    """A random DAG (edges only point forward in id order)."""
+    rng = random.Random(seed)
+    graph = ProvenanceGraph()
+    kinds = list(NodeKind)
+    for index in range(nodes):
+        kind = rng.choice(kinds)
+        graph.add_node(kind, f"n{index}",
+                       value=rng.choice((None, index, ("t", index), "s")))
+    for target in range(1, nodes):
+        for _ in range(rng.randint(0, 3)):
+            source = rng.randrange(target)
+            graph.add_edge(source, target)
+            if rng.random() < 0.1:
+                graph.add_edge(source, target)  # duplicate parallel edge
+    return graph
+
+
+@pytest.fixture(scope="module")
+def workflow_graphs():
+    return {seed: run_dealerships(num_cars=20, num_exec=2, seed=seed,
+                                  track=True, force_decline=True).graph
+            for seed in SEEDS}
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_jsonl_store_jsonl_round_trip(seed, workflow_graphs, tmp_path):
+    graph = workflow_graphs[seed]
+    spool = tmp_path / f"run-{seed}.jsonl.gz"
+    dump_graph(graph, spool)
+    with SQLiteStore(tmp_path / f"run-{seed}.db") as store:
+        store.import_jsonl("r", spool)
+        back = tmp_path / f"back-{seed}.jsonl"
+        store.export_jsonl("r", back)
+    assert_graphs_equal(load_graph(back), graph)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_synthetic_round_trip_all_backends(seed, tmp_path):
+    graph = synthetic_dag(seed)
+    memory = MemoryStore(copy_on_write=True)
+    memory.put_graph("r", graph)
+    assert_graphs_equal(memory.load_graph("r"), graph)
+    with SQLiteStore(tmp_path / "s.db") as store:
+        store.put_graph("r", graph)
+        assert_graphs_equal(store.load_graph("r"), graph)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sqlite_preserves_id_counters(seed, tmp_path):
+    graph = synthetic_dag(seed, nodes=30)
+    with SQLiteStore(tmp_path / "s.db") as store:
+        store.put_graph("r", graph)
+        loaded = store.load_graph("r")
+    fresh = loaded.add_node(NodeKind.VALUE)
+    assert fresh == graph._next_node_id  # no id reuse after reload
+
+
+# ----------------------------------------------------------------------
+# Index agreement (incl. the index_ancestors=False fallback path)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_reachability_fallback_agrees(seed, workflow_graphs):
+    graph = workflow_graphs[seed]
+    full = ReachabilityIndex(graph, index_ancestors=True)
+    lean = ReachabilityIndex(graph, index_ancestors=False)
+    assert lean._ancestors is None  # really on the fallback path
+    probes = highest_fanout_nodes(graph, 10)
+    rng = random.Random(seed)
+    probes += [rng.randrange(graph.node_count) for _ in range(10)]
+    for node_id in probes:
+        assert lean.ancestors(node_id) == full.ancestors(node_id)
+        assert lean.ancestors(node_id) == frozenset(graph.ancestors(node_id))
+        assert lean.descendants(node_id) == full.descendants(node_id)
+    # The lean index halves the paper's memory-overhead figure.
+    assert lean.memory_cells() <= full.memory_cells()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_fallback_subgraph_agrees(seed, workflow_graphs):
+    graph = workflow_graphs[seed]
+    lean = ReachabilityIndex(graph, index_ancestors=False)
+    snapshot = CSRSnapshot(graph)
+    for node_id in highest_fanout_nodes(graph, 10):
+        indexed = lean.subgraph(node_id)
+        flat = snapshot.subgraph(node_id)
+        assert indexed.ancestors == flat.ancestors
+        assert indexed.descendants == flat.descendants
+        assert indexed.siblings == flat.siblings
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_csr_agrees_on_synthetic_dags(seed):
+    graph = synthetic_dag(seed)
+    snapshot = CSRSnapshot(graph)
+    rng = random.Random(seed + 1)
+    for _ in range(25):
+        node_id = rng.randrange(graph.node_count)
+        assert snapshot.ancestors(node_id) == graph.ancestors(node_id)
+        assert snapshot.descendants(node_id) == graph.descendants(node_id)
+        source = rng.randrange(graph.node_count)
+        assert snapshot.reachable(source, node_id) \
+            == graph.reachable(source, node_id)

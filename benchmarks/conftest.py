@@ -16,12 +16,29 @@ import pytest
 from repro.benchmark import run_arctic, run_dealerships
 from repro.graph import dump_graph
 
-#: Benchmark scale knobs (paper scale in parentheses).
-DEALER_NUM_CARS = 200        # paper: 20,000
-DEALER_NUM_EXEC = 10         # paper: up to 10,000
-ARCTIC_STATIONS = 8          # paper: 24
-ARCTIC_EXECUTIONS = 5        # paper: 100
-ARCTIC_HISTORY_YEARS = 2     # paper: 40 (1961-2000)
+def _scale(name: str, default: int) -> int:
+    """Benchmark scale knob: ``REPRO_BENCH_<NAME>`` env override so CI
+    can run a tiny-scale smoke pass without editing source."""
+    raw = os.environ.get(f"REPRO_BENCH_{name}")
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BENCH_{name} must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise ValueError(f"REPRO_BENCH_{name} must be >= 1, got {value}")
+    return value
+
+
+#: Benchmark scale knobs (paper scale in parentheses); each reads the
+#: matching ``REPRO_BENCH_*`` env var, e.g. REPRO_BENCH_DEALER_NUM_CARS.
+DEALER_NUM_CARS = _scale("DEALER_NUM_CARS", 200)        # paper: 20,000
+DEALER_NUM_EXEC = _scale("DEALER_NUM_EXEC", 10)         # paper: up to 10,000
+ARCTIC_STATIONS = _scale("ARCTIC_STATIONS", 8)          # paper: 24
+ARCTIC_EXECUTIONS = _scale("ARCTIC_EXECUTIONS", 5)      # paper: 100
+ARCTIC_HISTORY_YEARS = _scale("ARCTIC_HISTORY_YEARS", 2)  # paper: 40 (1961-2000)
 
 
 @pytest.fixture(scope="session")

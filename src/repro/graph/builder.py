@@ -13,7 +13,7 @@ graph deletion propagation and algebraic token deletion agree.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ProvenanceGraphError
 from ..provenance.expressions import (
@@ -77,6 +77,25 @@ class GraphBuilder:
         module, invocation = self._context()
         return self.graph.add_node(kind, label, ntype, module, invocation, value)
 
+    def _new_batch(self, kind: NodeKind,
+                   operand_lists: Sequence[Sequence[int]],
+                   labels: Optional[Sequence[str]] = None, ntype: str = "p",
+                   values: Optional[Sequence[Any]] = None) -> List[int]:
+        """Bulk operator-node emission: one column extend for the node
+        block, one flat append run for all operand edges.
+
+        Ids and per-node operand order are exactly what the equivalent
+        sequence of single-node calls would produce — batching is an
+        emission-cost optimization, not a structural change.
+        """
+        module, invocation = self._context()
+        node_ids = self.graph.add_nodes(kind, count=len(operand_lists),
+                                        labels=labels, ntype=ntype,
+                                        module=module, invocation=invocation,
+                                        values=values)
+        self.graph.add_operand_edges(node_ids, operand_lists)
+        return list(node_ids)
+
     # ------------------------------------------------------------------
     # Workflow-level nodes (Section 3.1)
     # ------------------------------------------------------------------
@@ -87,10 +106,31 @@ class GraphBuilder:
         return self.graph.add_node(NodeKind.WORKFLOW_INPUT, str(token), "p",
                                    value=value)
 
+    def workflow_input_nodes(self, namespace: str,
+                             values: Sequence[Any]) -> List[int]:
+        """Bulk :meth:`workflow_input_node`: tokens minted in order."""
+        fresh = self.tokens.fresh
+        labels = [str(fresh(namespace)) for _ in values]
+        return list(self.graph.add_nodes(NodeKind.WORKFLOW_INPUT,
+                                         labels=labels, ntype="p",
+                                         values=list(values)))
+
     def base_tuple_node(self, namespace: str, value: Any = None) -> int:
         """p-node for a base (state) tuple, labeled with a fresh token."""
         token = self.tokens.fresh(namespace)
         return self._new(NodeKind.TUPLE, str(token), "p", value=value)
+
+    def base_tuple_nodes(self, namespace: str,
+                         values: Sequence[Any]) -> List[int]:
+        """Bulk :meth:`base_tuple_node`: one node per value, tokens
+        minted in order."""
+        fresh = self.tokens.fresh
+        labels = [str(fresh(namespace)) for _ in values]
+        module, invocation = self._context()
+        return list(self.graph.add_nodes(NodeKind.TUPLE, labels=labels,
+                                         ntype="p", module=module,
+                                         invocation=invocation,
+                                         values=list(values)))
 
     def module_input_node(self, tuple_node: int, value: Any = None) -> int:
         """Module input node: · of the tuple p-node and the m-node."""
@@ -107,6 +147,24 @@ class GraphBuilder:
         return self._plumbing_node(NodeKind.STATE, tuple_node, value,
                                    register="state_nodes")
 
+    def module_input_nodes(self, tuple_nodes: Sequence[int],
+                           values: Optional[Sequence[Any]] = None) -> List[int]:
+        """Bulk :meth:`module_input_node` (one per tuple node)."""
+        return self._plumbing_nodes(NodeKind.INPUT, tuple_nodes, values,
+                                    register="input_nodes")
+
+    def module_output_nodes(self, tuple_nodes: Sequence[int],
+                            values: Optional[Sequence[Any]] = None) -> List[int]:
+        """Bulk :meth:`module_output_node` (one per tuple node)."""
+        return self._plumbing_nodes(NodeKind.OUTPUT, tuple_nodes, values,
+                                    register="output_nodes")
+
+    def module_state_nodes(self, tuple_nodes: Sequence[int],
+                           values: Optional[Sequence[Any]] = None) -> List[int]:
+        """Bulk :meth:`module_state_node` (one per tuple node)."""
+        return self._plumbing_nodes(NodeKind.STATE, tuple_nodes, values,
+                                    register="state_nodes")
+
     def _plumbing_node(self, kind: NodeKind, tuple_node: int, value: Any,
                        register: str) -> int:
         invocation = self._invocation
@@ -119,6 +177,28 @@ class GraphBuilder:
         getattr(invocation, register).append(node)
         return node
 
+    def _plumbing_nodes(self, kind: NodeKind, tuple_nodes: Sequence[int],
+                        values: Optional[Sequence[Any]],
+                        register: str) -> List[int]:
+        invocation = self._invocation
+        if invocation is None:
+            raise ProvenanceGraphError(
+                f"{kind.value} nodes require an open module invocation")
+        if not tuple_nodes:
+            return []
+        node_ids = self.graph.add_nodes(kind, count=len(tuple_nodes),
+                                        ntype="p",
+                                        module=invocation.module_name,
+                                        invocation=invocation.invocation_id,
+                                        values=values)
+        module_node = invocation.module_node
+        self.graph.add_operand_edges(
+            node_ids, [(tuple_node, module_node)
+                       for tuple_node in tuple_nodes])
+        registered = getattr(invocation, register)
+        registered.extend(node_ids)
+        return list(node_ids)
+
     # ------------------------------------------------------------------
     # Operator nodes (Section 3.2)
     # ------------------------------------------------------------------
@@ -129,12 +209,22 @@ class GraphBuilder:
             self.graph.add_edge(operand, node)
         return node
 
+    def plus_nodes(self, operand_lists: Sequence[Sequence[int]],
+                   values: Optional[Sequence[Any]] = None) -> List[int]:
+        """Bulk :meth:`plus_node` — one ``+`` node per operand list."""
+        return self._new_batch(NodeKind.PLUS, operand_lists, values=values)
+
     def times_node(self, operands: Sequence[int], value: Any = None) -> int:
         """JOIN-style joint derivation."""
         node = self._new(NodeKind.TIMES, value=value)
         for operand in operands:
             self.graph.add_edge(operand, node)
         return node
+
+    def times_nodes(self, operand_lists: Sequence[Sequence[int]],
+                    values: Optional[Sequence[Any]] = None) -> List[int]:
+        """Bulk :meth:`times_node` — one ``·`` node per operand list."""
+        return self._new_batch(NodeKind.TIMES, operand_lists, values=values)
 
     def delta_node(self, operands: Sequence[int], value: Any = None) -> int:
         """GROUP/COGROUP/DISTINCT duplicate elimination.
@@ -147,6 +237,11 @@ class GraphBuilder:
             self.graph.add_edge(operand, node)
         return node
 
+    def delta_nodes(self, operand_lists: Sequence[Sequence[int]],
+                    values: Optional[Sequence[Any]] = None) -> List[int]:
+        """Bulk :meth:`delta_node` — one ``δ`` node per operand list."""
+        return self._new_batch(NodeKind.DELTA, operand_lists, values=values)
+
     def value_node(self, value: Any) -> int:
         """v-node for a constant / aggregated-attribute value."""
         return self._new(NodeKind.VALUE, str(value), "v", value=value)
@@ -157,6 +252,16 @@ class GraphBuilder:
         self.graph.add_edge(value_node, node)
         self.graph.add_edge(tuple_node, node)
         return node
+
+    def tensor_nodes(self,
+                     pairs: Sequence[Tuple[int, int]]) -> List[int]:
+        """Bulk :meth:`tensor_node` over (tuple_node, value_node)
+        pairs; operand order per node matches the single-node call
+        (value first, then tuple)."""
+        return self._new_batch(
+            NodeKind.TENSOR,
+            [(value_node, tuple_node) for tuple_node, value_node in pairs],
+            ntype="v")
 
     def agg_node(self, op: str, tensor_nodes: Sequence[int],
                  value: Any = None) -> int:

@@ -76,9 +76,21 @@ DEFAULT_LABELS = {
 #: Kinds that are v-nodes (square on the paper's legend).
 VALUE_KINDS = frozenset({NodeKind.TENSOR, NodeKind.AGG, NodeKind.VALUE})
 
+#: Stable int coding of :class:`NodeKind` for the columnar arena
+#: (:mod:`repro.graph.provgraph`) and the flat-array query kernels
+#: (:mod:`repro.queries.kernels`).  Codes index ``KIND_BY_CODE``.
+KIND_BY_CODE = tuple(NodeKind)
+KIND_CODE = {kind: code for code, kind in enumerate(KIND_BY_CODE)}
+
 
 class Node:
     """One provenance graph node.
+
+    Detached nodes (constructed by hand, as here) store attributes in
+    plain slots; the columnar graph's lazily-materialized facades
+    subclass this and shadow every attribute slot with properties that
+    read and write the arena columns directly.  Either way the public
+    surface is the same seven attributes.
 
     Attributes
     ----------
@@ -102,7 +114,8 @@ class Node:
         Query Processor can render data alongside provenance.
     """
 
-    __slots__ = ("node_id", "kind", "label", "ntype", "module", "invocation", "value")
+    __slots__ = ("node_id", "kind", "label", "ntype", "module", "invocation",
+                 "value")
 
     def __init__(self, node_id: int, kind: NodeKind, label: str,
                  ntype: str = "p", module: Optional[str] = None,

@@ -21,7 +21,7 @@ import os
 from typing import Any, Dict, IO, Iterator, Union
 
 from ..errors import SerializationError
-from .nodes import Node, NodeKind
+from .nodes import NodeKind
 from .provgraph import Invocation, ProvenanceGraph
 
 FORMAT_VERSION = 1
@@ -127,24 +127,42 @@ def load_graph(source: Union[str, os.PathLike, IO[str]]) -> ProvenanceGraph:
 def _load_from_lines(lines: Iterator[str]) -> ProvenanceGraph:
     graph = ProvenanceGraph()
     header: Dict[str, Any] = {}
-    pending_edges = []
+    node_rows = []
+    pending_sources: list = []
+    pending_targets: list = []
     max_node_id = -1
     max_invocation_id = -1
+    loads = json.loads
     for line_number, raw in enumerate(lines, start=1):
         raw = raw.strip()
         if not raw:
             continue
         try:
-            record = json.loads(raw)
+            record = loads(raw)
         except json.JSONDecodeError as error:
             raise SerializationError(
                 f"line {line_number}: invalid JSON ({error})") from error
         record_type = record.get("record")
-        if record_type == "header":
-            if record.get("version") != FORMAT_VERSION:
+        if record_type == "node":
+            try:
+                kind = NodeKind(record["kind"])
+            except ValueError as error:
                 raise SerializationError(
-                    f"unsupported format version {record.get('version')!r}")
-            header = record
+                    f"line {line_number}: unknown node kind "
+                    f"{record['kind']!r}") from error
+            node_id = record["id"]
+            value = record.get("value")
+            node_rows.append((node_id, kind, record["label"],
+                              record["ntype"], record.get("module"),
+                              record.get("invocation"),
+                              _decode_value(value) if value is not None
+                              else None))
+            preds = record.get("preds")
+            if preds:
+                pending_sources.extend(preds)
+                pending_targets.extend([node_id] * len(preds))
+            if node_id > max_node_id:
+                max_node_id = node_id
         elif record_type == "invocation":
             invocation = Invocation(record["id"], record["module"],
                                     record["module_node"])
@@ -153,30 +171,19 @@ def _load_from_lines(lines: Iterator[str]) -> ProvenanceGraph:
             invocation.state_nodes = list(record.get("state", []))
             graph.invocations[invocation.invocation_id] = invocation
             max_invocation_id = max(max_invocation_id, invocation.invocation_id)
-        elif record_type == "node":
-            try:
-                kind = NodeKind(record["kind"])
-            except ValueError as error:
+        elif record_type == "header":
+            if record.get("version") != FORMAT_VERSION:
                 raise SerializationError(
-                    f"line {line_number}: unknown node kind "
-                    f"{record['kind']!r}") from error
-            node = Node(record["id"], kind, record["label"], record["ntype"],
-                        record.get("module"), record.get("invocation"),
-                        _decode_value(record.get("value")))
-            graph.nodes[node.node_id] = node
-            graph._preds[node.node_id] = []
-            graph._succs[node.node_id] = []
-            for pred in record.get("preds", []):
-                pending_edges.append((pred, node.node_id))
-            max_node_id = max(max_node_id, node.node_id)
+                    f"unsupported format version {record.get('version')!r}")
+            header = record
         else:
             raise SerializationError(
                 f"line {line_number}: unknown record type {record_type!r}")
     if not header:
         raise SerializationError("missing header record")
-    for source_id, target_id in pending_edges:
-        graph.add_edge(source_id, target_id)
-    graph._next_node_id = max_node_id + 1
+    graph._restore_rows(node_rows)
+    graph.add_edge_lists(pending_sources, pending_targets)
+    graph._next_node_id = max(graph._next_node_id, max_node_id + 1)
     graph._next_invocation_id = max_invocation_id + 1
     expected_nodes = header.get("nodes")
     if expected_nodes is not None and expected_nodes != graph.node_count:

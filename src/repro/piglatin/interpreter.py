@@ -93,6 +93,11 @@ class Interpreter:
         self.track = track_provenance and builder is not None
         self.compact_filter = compact_filter
         self._value_nodes: Dict[Any, int] = {}
+        # Evaluators are schema-bound and statement-scoped; cache them
+        # per schema object so repeated statements over the same
+        # relation reuse one instance (keyed by identity, with the
+        # schema kept referenced so ids cannot be recycled).
+        self._evaluators: Dict[int, Tuple[Schema, ExpressionEvaluator]] = {}
 
     # ------------------------------------------------------------------
     # Entry point
@@ -129,20 +134,27 @@ class Interpreter:
         """
         if not self.track:
             return relation
-        if all(row.prov is not None for row in relation.rows):
+        bare = [row for row in relation.rows if row.prov is None]
+        if not bare:
             return relation
-        for row in relation.rows:
-            if row.prov is None:
-                row.prov = self.builder.base_tuple_node(namespace,
-                                                        value=row.values)
+        nodes = self.builder.base_tuple_nodes(
+            namespace, [row.values for row in bare])
+        for row, node in zip(bare, nodes):
+            row.prov = node
         return relation
 
     def _scalar_evaluator(self, schema: Schema) -> ExpressionEvaluator:
+        cached = self._evaluators.get(id(schema))
+        if cached is not None and cached[0] is schema:
+            return cached[1]
+
         def resolver(name: str) -> Optional[Callable[..., Any]]:
             if self.udfs.is_registered(name):
                 return self.udfs.udf(name).function
             return None
-        return ExpressionEvaluator(schema, resolver)
+        evaluator = ExpressionEvaluator(schema, resolver)
+        self._evaluators[id(schema)] = (schema, evaluator)
+        return evaluator
 
     # ------------------------------------------------------------------
     # Statement dispatch
@@ -224,11 +236,9 @@ class Interpreter:
         survivors = [row for row in relation.rows
                      if evaluator.truth(statement.condition, row)]
         if self.track and not self.compact_filter:
-            wrapped = []
-            for row in survivors:
-                node = self.builder.plus_node([row.prov])
-                wrapped.append(Row(row.values, node))
-            survivors = wrapped
+            nodes = self.builder.plus_nodes([(row.prov,) for row in survivors])
+            survivors = [Row(row.values, node)
+                         for row, node in zip(survivors, nodes)]
         else:
             survivors = [Row(row.values, row.prov) for row in survivors]
         return Relation(relation.schema, survivors)
@@ -266,14 +276,17 @@ class Interpreter:
         key_field = self._group_key_field(statement.keys, relation.schema)
         bag_field = Field(statement.input_alias, FieldType.BAG, relation.schema)
         out_schema = Schema([key_field, bag_field])
+        groups = self._group_rows(relation, statement.keys)
+        provs: List[Optional[int]] = [None] * len(groups)
+        if self.track:
+            provs = self.builder.delta_nodes(
+                [_unique([m.prov for m in members])
+                 for _key, members in groups],
+                values=[key_value for key_value, _members in groups])
         out_rows: List[Row] = []
-        for key_value, members in self._group_rows(relation, statement.keys):
+        for (key_value, members), prov in zip(groups, provs):
             bag = Bag(Relation(relation.schema,
                                [Row(m.values, m.prov) for m in members]))
-            prov = None
-            if self.track:
-                prov = self.builder.delta_node(
-                    _unique([m.prov for m in members]), value=key_value)
             out_rows.append(Row((key_value, bag), prov))
         return Relation(out_schema, out_rows)
 
@@ -294,7 +307,9 @@ class Interpreter:
                 partition[signature] = (key_value, members)
                 all_signatures.setdefault(signature, key_value)
             grouped.append(partition)
-        out_rows: List[Row] = []
+        pending_values: List[Tuple[Any, ...]] = []
+        pending_keys: List[Any] = []
+        pending_operands: List[List[int]] = []
         for signature in sorted(all_signatures, key=repr):
             key_value = all_signatures[signature]
             values: List[Any] = [key_value]
@@ -304,11 +319,15 @@ class Interpreter:
                 values.append(Bag(Relation(relation.schema,
                                            [Row(m.values, m.prov) for m in members])))
                 member_provs.extend(m.prov for m in members)
-            prov = None
-            if self.track:
-                prov = self.builder.delta_node(_unique(member_provs),
-                                               value=key_value)
-            out_rows.append(Row(tuple(values), prov))
+            pending_values.append(tuple(values))
+            pending_keys.append(key_value)
+            pending_operands.append(_unique(member_provs))
+        provs: List[Optional[int]] = [None] * len(pending_values)
+        if self.track:
+            provs = self.builder.delta_nodes(pending_operands,
+                                             values=pending_keys)
+        out_rows = [Row(values, prov)
+                    for values, prov in zip(pending_values, provs)]
         return Relation(out_schema, out_rows)
 
     # ------------------------------------------------------------------
@@ -336,18 +355,21 @@ class Interpreter:
         shared = set(partitions[0])
         for partition in partitions[1:]:
             shared &= set(partition)
-        out_rows: List[Row] = []
+        pending_values: List[Tuple[Any, ...]] = []
+        pending_operands: List[List[int]] = []
         for signature in sorted(shared, key=repr):
             for combo in itertools.product(*(partition[signature]
                                              for partition in partitions)):
                 values: List[Any] = []
                 for row in combo:
                     values.extend(row.values)
-                prov = None
-                if self.track:
-                    prov = self.builder.times_node(
-                        _unique([row.prov for row in combo]))
-                out_rows.append(Row(tuple(values), prov))
+                pending_values.append(tuple(values))
+                pending_operands.append(_unique([row.prov for row in combo]))
+        provs: List[Optional[int]] = [None] * len(pending_values)
+        if self.track:
+            provs = self.builder.times_nodes(pending_operands)
+        out_rows = [Row(values, prov)
+                    for values, prov in zip(pending_values, provs)]
         return Relation(out_schema, out_rows)
 
     # ------------------------------------------------------------------
@@ -359,17 +381,20 @@ class Interpreter:
         for alias, relation in inputs:
             fields.extend(relation.schema.prefixed(alias).fields)
         out_schema = Schema(fields)
-        out_rows: List[Row] = []
+        pending_values: List[Tuple[Any, ...]] = []
+        pending_operands: List[List[int]] = []
         for combo in itertools.product(*(relation.rows
                                          for _alias, relation in inputs)):
             values: List[Any] = []
             for row in combo:
                 values.extend(row.values)
-            prov = None
-            if self.track:
-                prov = self.builder.times_node(
-                    _unique([row.prov for row in combo]))
-            out_rows.append(Row(tuple(values), prov))
+            pending_values.append(tuple(values))
+            pending_operands.append(_unique([row.prov for row in combo]))
+        provs: List[Optional[int]] = [None] * len(pending_values)
+        if self.track:
+            provs = self.builder.times_nodes(pending_operands)
+        out_rows = [Row(values, prov)
+                    for values, prov in zip(pending_values, provs)]
         return Relation(out_schema, out_rows)
 
     # ------------------------------------------------------------------
@@ -390,15 +415,16 @@ class Interpreter:
         buckets: Dict[Any, List[Row]] = {}
         for row in relation.rows:
             buckets.setdefault(row.signature(), []).append(row)
-        out_rows: List[Row] = []
-        for signature in sorted(buckets, key=repr):
-            duplicates = buckets[signature]
-            prov = None
-            if self.track:
-                prov = self.builder.delta_node(
-                    _unique([d.prov for d in duplicates]))
-            out_rows.append(Row(duplicates[0].values, prov))
-        return Relation(relation.schema, out_rows)
+        ordered = [buckets[signature]
+                   for signature in sorted(buckets, key=repr)]
+        provs: List[Optional[int]] = [None] * len(ordered)
+        if self.track:
+            provs = self.builder.delta_nodes(
+                [_unique([d.prov for d in duplicates])
+                 for duplicates in ordered])
+        return Relation(relation.schema,
+                        [Row(duplicates[0].values, prov)
+                         for duplicates, prov in zip(ordered, provs)])
 
     def _exec_order(self, statement: ast.OrderBy, relation: Relation) -> Relation:
         rows = list(relation.rows)
@@ -452,16 +478,26 @@ class Interpreter:
             outputs.append((tuple(values), row.prov))
         out_rows: List[Row] = []
         if self.track:
-            shared_nodes: Dict[Any, int] = {}
-            contributors: Dict[Any, List[int]] = {}
-            for values, prov in outputs:
-                contributors.setdefault(value_signature(values), []).append(prov)
-            for values, _prov in outputs:
-                signature = value_signature(values)
-                if signature not in shared_nodes:
-                    shared_nodes[signature] = self.builder.plus_node(
-                        _unique(contributors[signature]))
-                out_rows.append(Row(values, shared_nodes[signature]))
+            # One signature pass over the outputs (signatures are
+            # cached per row, not recomputed for the emission sweep),
+            # then a single bulk ``+``-node emission in first-seen
+            # signature order — ids match the per-row emission exactly.
+            signatures = [value_signature(values) for values, _prov in outputs]
+            contributors: Dict[Any, List[Optional[int]]] = {}
+            order: List[Any] = []
+            for signature, (_values, prov) in zip(signatures, outputs):
+                bucket = contributors.get(signature)
+                if bucket is None:
+                    contributors[signature] = [prov]
+                    order.append(signature)
+                else:
+                    bucket.append(prov)
+            nodes = self.builder.plus_nodes(
+                [_unique(contributors[signature]) for signature in order])
+            shared_nodes = dict(zip(order, nodes))
+            out_rows = [Row(values, shared_nodes[signature])
+                        for (values, _prov), signature in zip(outputs,
+                                                              signatures)]
         else:
             out_rows = [Row(values, None) for values, _prov in outputs]
         return Relation(out_schema, out_rows)
@@ -676,10 +712,22 @@ class Interpreter:
             values = [inner.values[column] for inner in inner_rows]
         aggregate = compute_aggregate(op, values)
         if self.track:
-            tensors = []
-            for inner, value in zip(inner_rows, values):
-                value_node = self._shared_value_node(value)
-                tensors.append(self.builder.tensor_node(inner.prov, value_node))
+            known = self._value_nodes
+            if all(value_signature(value) in known for value in values):
+                # Every shared value node already exists, so a single
+                # bulk ⊗ emission assigns exactly the ids the per-row
+                # path would.
+                pairs = [(inner.prov, known[value_signature(value)])
+                         for inner, value in zip(inner_rows, values)]
+                tensors = self.builder.tensor_nodes(pairs)
+            else:
+                # New value nodes are minted interleaved with their
+                # first tensor, matching the seed's id assignment.
+                tensors = []
+                for inner, value in zip(inner_rows, values):
+                    value_node = self._shared_value_node(value)
+                    tensors.append(self.builder.tensor_node(inner.prov,
+                                                            value_node))
             agg_node = self.builder.agg_node(op.capitalize(), tensors,
                                              value=aggregate)
             contributions.append(agg_node)

@@ -22,12 +22,12 @@ test-suite checks the two agree on survivor sets.
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, Iterable, Set, Tuple
+from typing import Iterable, Set, Tuple
 
 from ..errors import UnknownNodeError
 from ..graph.nodes import MULTIPLICATIVE_KINDS, NodeKind
 from ..graph.provgraph import ProvenanceGraph
+from .kernels import deletion_reach
 
 
 class DeletionResult:
@@ -93,41 +93,16 @@ def deletion_set(graph: ProvenanceGraph, node_ids: Iterable[int],
     for seed in seeds:
         if not graph.has_node(seed):
             raise UnknownNodeError(seed)
-    # Hot path: direct adjacency access (no defensive tuple copies).
-    successors_of = graph._succs
-    predecessors_of = graph._preds
-    nodes = graph.nodes
     joint_kinds = set(MULTIPLICATIVE_KINDS)
     if blackbox_multiplicative:
         joint_kinds.add(NodeKind.BLACKBOX)
-    removed: Set[int] = set()
-    removed_add = removed.add
-    remaining_in: Dict[int, int] = {}
-    remaining_get = remaining_in.get
-    queue = deque(dict.fromkeys(seeds))
-    removed.update(queue)
-    queue_append = queue.append
-    while queue:
-        current = queue.popleft()
-        for successor in successors_of[current]:
-            if successor in removed:
-                continue
-            # Joint (·/⊗) successors die on the first deleted edge —
-            # no counter bookkeeping needed (rule 2 short-circuit).
-            if nodes[successor].kind in joint_kinds:
-                removed_add(successor)
-                queue_append(successor)
-                continue
-            remaining = remaining_get(successor)
-            if remaining is None:
-                remaining = len(predecessors_of[successor])
-            remaining -= 1
-            if remaining == 0:
-                removed_add(successor)
-                queue_append(successor)
-            else:
-                remaining_in[successor] = remaining
-    return removed
+    # Hot path: the flat-array kernel over the graph's CSR views, with
+    # joint (·/⊗) rows flagged by a C-speed translate of the kind
+    # column (rule 2 short-circuit: they die on the first deleted edge).
+    adjacency = graph.csr()
+    joint_flags = graph.kind_flags(joint_kinds)
+    return deletion_reach(adjacency.succ_views, adjacency.pred_views,
+                          seeds, joint_flags)
 
 
 def delete_base_tuples(graph: ProvenanceGraph, labels: Iterable[str],

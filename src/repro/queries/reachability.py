@@ -8,93 +8,304 @@ information.  Both these options would result in higher memory
 overhead, but may speed up query processing."
 
 :class:`ReachabilityIndex` is that alternative: it materializes each
-node's descendant set (and, symmetrically, ancestor sets on demand) in
-one reverse-topological pass, after which subgraph and dependency
-queries answer from set unions instead of traversals.  The index is a
-snapshot — it does not track graph mutations; rebuild after surgery.
+node's descendant closure (and, symmetrically, ancestor closures on
+demand) in one reverse-topological pass, after which subgraph and
+dependency queries answer from precomputed rows instead of traversals.
+The index is a snapshot — it does not track graph mutations; rebuild
+after surgery.
+
+Three storage/precomputation tricks make the closure affordable *and*
+queries traversal-free:
+
+* **bitset rows** — each concrete closure is one Python big-int
+  bitmask (bit *i* ⇔ node *i* reachable), so the per-node union in the
+  topological pass is a single ``|`` instead of hashing every member
+  through a frozenset;
+* **chain aliasing** — a node with exactly one distinct successor
+  stores just that successor id instead of a copied row (its closure
+  is ``{succ} ∪ closure(succ)`` by construction, resolved lazily at
+  query time).  Without this, a k-node chain stores Θ(k²) cells; with
+  it, Θ(k);
+* **sibling-source rows** — alongside the descendant closure, the same
+  pass accumulates ``SD[n]``, the union of *direct-operand* masks over
+  n's descendants, so a subgraph query's sibling set is one bitwise
+  ``SD & ~(desc | anc | self)`` with no adjacency sweep at all.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Set
+from typing import Dict, FrozenSet, List, Optional
 
 from ..errors import UnknownNodeError
 from ..graph.provgraph import ProvenanceGraph
+from .kernels import mask_to_ids, popcount, warm_tables
 from .subgraph import SubgraphResult
 
 
+class MaskSubgraphResult(SubgraphResult):
+    """A subgraph answer backed by closure bitmasks.
+
+    Duck-compatible with :class:`~repro.queries.subgraph.SubgraphResult`:
+    the ``ancestors`` / ``descendants`` / ``siblings`` sets materialize
+    lazily (and cache) on first access, while ``size``, membership
+    tests, and ``node_ids`` answer from the masks directly — the index
+    hands out a *view* of its precomputed rows, not a copy.
+    """
+
+    __slots__ = ("_anc_mask", "_desc_mask", "_sib_mask",
+                 "_anc_set", "_desc_set", "_sib_set")
+
+    def __init__(self, root: int, anc_mask: int, desc_mask: int,
+                 sib_mask: int):
+        self.root = root
+        self._anc_mask = anc_mask
+        self._desc_mask = desc_mask
+        self._sib_mask = sib_mask
+        self._anc_set = None
+        self._desc_set = None
+        self._sib_set = None
+
+    @property
+    def ancestors(self):
+        if self._anc_set is None:
+            self._anc_set = set(mask_to_ids(self._anc_mask))
+        return self._anc_set
+
+    @property
+    def descendants(self):
+        if self._desc_set is None:
+            self._desc_set = set(mask_to_ids(self._desc_mask))
+        return self._desc_set
+
+    @property
+    def siblings(self):
+        if self._sib_set is None:
+            self._sib_set = set(mask_to_ids(self._sib_mask))
+        return self._sib_set
+
+    @property
+    def node_ids(self):
+        return set(mask_to_ids(self._union_mask()))
+
+    @property
+    def size(self) -> int:
+        return popcount(self._union_mask())
+
+    def _union_mask(self) -> int:
+        return (self._anc_mask | self._desc_mask | self._sib_mask
+                | (1 << self.root))
+
+    def __contains__(self, node_id: int) -> bool:
+        return (isinstance(node_id, int) and node_id >= 0
+                and bool(self._union_mask() >> node_id & 1))
+
+
 class ReachabilityIndex:
-    """Materialized descendant/ancestor sets for every node."""
+    """Materialized descendant/ancestor closures for every node."""
 
     def __init__(self, graph: ProvenanceGraph,
                  index_ancestors: bool = True):
         self.graph = graph
+        warm_tables()  # one-time kernel-table cost belongs to construction
         order = graph.topological_order()
-        self._descendants: Dict[int, FrozenSet[int]] = {}
-        for node_id in reversed(order):
-            reached: Set[int] = set()
-            for successor in graph.succs(node_id):
-                reached.add(successor)
-                reached |= self._descendants[successor]
-            self._descendants[node_id] = frozenset(reached)
-        self._ancestors: Optional[Dict[int, FrozenSet[int]]] = None
+        adjacency = graph.csr()
+        self._node_count = len(order)
+        # Direct-operand masks feed the sibling-source accumulation and
+        # the lazy resolution of aliased rows.
+        self._operand_masks: Dict[int, int] = {}
+        for node_id in order:
+            operand_mask = 0
+            for operand in adjacency.pred_views[node_id]:
+                operand_mask |= 1 << operand
+            self._operand_masks[node_id] = operand_mask
+        (self._desc_masks, self._desc_alias,
+         self._sib_masks) = self._build_descendants(order,
+                                                    adjacency.succ_views)
+        self._anc_masks: Optional[Dict[int, int]] = None
+        self._anc_alias: Optional[Dict[int, int]] = None
         if index_ancestors:
-            ancestors: Dict[int, FrozenSet[int]] = {}
-            for node_id in order:
-                reached = set()
-                for predecessor in graph.preds(node_id):
-                    reached.add(predecessor)
-                    reached |= ancestors[predecessor]
-                ancestors[node_id] = frozenset(reached)
-            self._ancestors = ancestors
+            self._anc_masks, self._anc_alias = self._build_ancestors(
+                order, adjacency.pred_views)
+        self._desc_sets: Dict[int, FrozenSet[int]] = {}
+        self._anc_sets: Dict[int, FrozenSet[int]] = {}
+        #: Back-compat marker: None iff ancestors were not indexed
+        #: (historically the ancestor frozenset dict).
+        self._ancestors = self._anc_masks
+
+    def _build_descendants(self, order, succ_views):
+        """Reverse-topological pass: descendant closures plus
+        sibling-source rows, with chain aliasing for both."""
+        masks: Dict[int, int] = {}
+        alias: Dict[int, int] = {}
+        sib_masks: Dict[int, int] = {}
+        operand_masks = self._operand_masks
+        for node_id in reversed(order):
+            successors = succ_views[node_id]
+            if not successors:
+                masks[node_id] = 0
+                sib_masks[node_id] = 0
+                continue
+            distinct = set(successors)
+            if len(distinct) == 1:
+                alias[node_id] = successors[0]
+                continue
+            mask = 0
+            sib = 0
+            for successor in distinct:
+                mask |= (1 << successor) | _resolve(masks, alias, successor)
+                sib |= operand_masks[successor] | _resolve_sib(
+                    sib_masks, alias, operand_masks, successor)
+            masks[node_id] = mask
+            sib_masks[node_id] = sib
+        return masks, alias, sib_masks
+
+    def _build_ancestors(self, order, pred_views):
+        """Forward-topological pass: ancestor closures."""
+        masks: Dict[int, int] = {}
+        alias: Dict[int, int] = {}
+        for node_id in order:
+            predecessors = pred_views[node_id]
+            if not predecessors:
+                masks[node_id] = 0
+                continue
+            distinct = set(predecessors)
+            if len(distinct) == 1:
+                alias[node_id] = predecessors[0]
+                continue
+            mask = 0
+            for predecessor in distinct:
+                mask |= (1 << predecessor) | _resolve(masks, alias,
+                                                      predecessor)
+            masks[node_id] = mask
+        return masks, alias
 
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
+    def _desc_mask(self, node_id: int) -> int:
+        if node_id not in self._desc_masks and node_id not in self._desc_alias:
+            raise UnknownNodeError(node_id)
+        return _resolve(self._desc_masks, self._desc_alias, node_id)
+
+    def _anc_mask(self, node_id: int) -> int:
+        if node_id not in self._anc_masks and node_id not in self._anc_alias:
+            raise UnknownNodeError(node_id)
+        return _resolve(self._anc_masks, self._anc_alias, node_id)
+
+    def _sib_mask(self, node_id: int) -> int:
+        return _resolve_sib(self._sib_masks, self._desc_alias,
+                            self._operand_masks, node_id)
+
     def descendants(self, node_id: int) -> FrozenSet[int]:
-        try:
-            return self._descendants[node_id]
-        except KeyError:
-            raise UnknownNodeError(node_id) from None
+        cached = self._desc_sets.get(node_id)
+        if cached is None:
+            cached = frozenset(mask_to_ids(self._desc_mask(node_id)))
+            self._desc_sets[node_id] = cached
+        return cached
 
     def ancestors(self, node_id: int) -> FrozenSet[int]:
-        if self._ancestors is None:
+        if self._anc_masks is None:
             # Fallback: ancestors were not indexed; traverse.
             return frozenset(self.graph.ancestors(node_id))
-        try:
-            return self._ancestors[node_id]
-        except KeyError:
-            raise UnknownNodeError(node_id) from None
+        cached = self._anc_sets.get(node_id)
+        if cached is None:
+            cached = frozenset(mask_to_ids(self._anc_mask(node_id)))
+            self._anc_sets[node_id] = cached
+        return cached
 
     def reachable(self, source: int, target: int) -> bool:
         if source == target:
             return True
-        return target in self.descendants(source)
+        if not isinstance(target, int) or target < 0:
+            return False  # unknown targets are simply unreachable
+        return bool(self._desc_mask(source) >> target & 1)
 
     # ------------------------------------------------------------------
     # Indexed queries
     # ------------------------------------------------------------------
     def subgraph(self, node_id: int) -> SubgraphResult:
-        """The §5.1 subgraph query answered from the index."""
-        ancestors = set(self.ancestors(node_id))
-        descendants = set(self.descendants(node_id))
-        siblings: Set[int] = set()
-        for descendant in descendants:
-            siblings.update(self.graph.preds(descendant))
-        siblings -= descendants | ancestors | {node_id}
-        return SubgraphResult(node_id, ancestors, descendants, siblings)
+        """The §5.1 subgraph query answered *entirely* from the index:
+        three precomputed rows and one bitwise subtraction — no
+        adjacency is touched at query time.
+
+        Returns a :class:`MaskSubgraphResult` view: membership tests
+        and ``size`` answer from the bitmasks directly; the node-set
+        attributes materialize (and cache) on first access.
+        """
+        desc_mask = self._desc_mask(node_id)
+        if self._anc_masks is not None:
+            anc_mask = self._anc_mask(node_id)
+        else:
+            anc_mask = 0
+            for ancestor in self.graph.ancestors(node_id):
+                anc_mask |= 1 << ancestor
+        sibling_mask = self._sib_mask(node_id) & ~(
+            desc_mask | anc_mask | (1 << node_id))
+        return MaskSubgraphResult(node_id, anc_mask, desc_mask, sibling_mask)
 
     # ------------------------------------------------------------------
     # Cost accounting (for the ablation benchmark)
     # ------------------------------------------------------------------
     def memory_cells(self) -> int:
         """Total stored node references — the memory-overhead side of
-        the paper's trade-off."""
-        cells = sum(len(reached) for reached in self._descendants.values())
-        if self._ancestors is not None:
-            cells += sum(len(reached) for reached in self._ancestors.values())
+        the paper's trade-off.  Concrete bitset rows count one cell
+        per member (descendant, ancestor, sibling-source, and
+        direct-operand rows); aliased rows store a single successor
+        reference."""
+        cells = sum(popcount(mask) for mask in self._desc_masks.values())
+        cells += sum(popcount(mask) for mask in self._sib_masks.values())
+        cells += sum(popcount(mask) for mask in self._operand_masks.values())
+        cells += 2 * len(self._desc_alias)
+        if self._anc_masks is not None:
+            cells += sum(popcount(mask) for mask in self._anc_masks.values())
+            cells += len(self._anc_alias)
         return cells
 
     def __repr__(self) -> str:
-        return (f"ReachabilityIndex(nodes={len(self._descendants)}, "
+        return (f"ReachabilityIndex(nodes={self._node_count}, "
                 f"cells={self.memory_cells()})")
+
+
+def _resolve(masks: Dict[int, int], alias: Dict[int, int], node_id: int) -> int:
+    """Closure bitmask of ``node_id``, walking the alias chain.
+
+    closure(n) for alias chain n → s₁ → … → s_k (concrete) is
+    masks[s_k] | bit(s₁) | … | bit(s_k).
+    """
+    mask = masks.get(node_id)
+    if mask is not None:
+        return mask
+    chain: List[int] = []
+    current = node_id
+    while True:
+        successor = alias.get(current)
+        if successor is None:
+            break
+        chain.append(successor)
+        current = successor
+    mask = masks[current]
+    for successor in chain:
+        mask |= 1 << successor
+    return mask
+
+
+def _resolve_sib(sib_masks: Dict[int, int], alias: Dict[int, int],
+                 operand_masks: Dict[int, int], node_id: int) -> int:
+    """Sibling-source mask of ``node_id`` along the alias chain:
+    SD(n) for chain n → s₁ → … → s_k is
+    SD[s_k] | operands(s₁) | … | operands(s_k)."""
+    mask = sib_masks.get(node_id)
+    if mask is not None:
+        return mask
+    chain: List[int] = []
+    current = node_id
+    while True:
+        successor = alias.get(current)
+        if successor is None:
+            break
+        chain.append(successor)
+        current = successor
+    mask = sib_masks[current]
+    for successor in chain:
+        mask |= operand_masks[successor]
+    return mask

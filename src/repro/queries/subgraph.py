@@ -10,7 +10,9 @@ from __future__ import annotations
 
 from typing import Set
 
+from ..errors import UnknownNodeError
 from ..graph.provgraph import ProvenanceGraph
+from .kernels import subgraph_sets
 
 
 class SubgraphResult:
@@ -45,14 +47,16 @@ class SubgraphResult:
 
 
 def subgraph_query(graph: ProvenanceGraph, node_id: int) -> SubgraphResult:
-    """Ancestors + descendants + siblings-of-descendants of a node."""
-    ancestors = graph.ancestors(node_id)
-    descendants = graph.descendants(node_id)
-    siblings: Set[int] = set()
-    for descendant in descendants:
-        for sibling in graph.preds(descendant):
-            siblings.add(sibling)
-    siblings -= descendants | ancestors | {node_id}
+    """Ancestors + descendants + siblings-of-descendants of a node.
+
+    Runs on the flat-array kernels: two mask sweeps plus one sibling
+    scan over descendant operands — no per-candidate set algebra.
+    """
+    if not graph.has_node(node_id):
+        raise UnknownNodeError(node_id)
+    adjacency = graph.csr()
+    ancestors, descendants, siblings = subgraph_sets(
+        adjacency.pred_views, adjacency.succ_views, node_id, adjacency.size)
     return SubgraphResult(node_id, ancestors, descendants, siblings)
 
 
@@ -61,17 +65,17 @@ def extract_subgraph(graph: ProvenanceGraph,
     """Materialize a subgraph query result as a standalone graph
     (edges restricted to the selected node set)."""
     selected = result.node_ids
+    ordered = sorted(selected)
     extracted = ProvenanceGraph()
-    for node_id in sorted(selected):
-        node = graph.node(node_id)
-        extracted.nodes[node_id] = node
-        extracted._preds[node_id] = []
-        extracted._succs[node_id] = []
-    for node_id in sorted(selected):
-        for pred in graph.preds(node_id):
-            if pred in selected:
-                extracted.add_edge(pred, node_id)
-    extracted._next_node_id = graph._next_node_id
+    for node_id in ordered:
+        extracted.nodes[node_id] = graph.node(node_id)
+    extracted.add_edges((pred, node_id)
+                        for node_id in ordered
+                        for pred in graph.preds(node_id)
+                        if pred in selected)
+    # Preserve the source graph's id high-water mark (pads dead arena
+    # rows so the columns stay sized to _next_node_id).
+    extracted._pad_rows(graph._next_node_id)
     for invocation_id, invocation in graph.invocations.items():
         if invocation.module_node in selected:
             extracted.invocations[invocation_id] = invocation

@@ -23,32 +23,29 @@ from typing import Dict, Iterable, List, Set, Tuple
 from ..errors import ZoomError
 from ..graph.nodes import Node, NodeKind
 from ..graph.provgraph import ProvenanceGraph
+from .kernels import multi_source_reach
 
 
 def intermediate_nodes(graph: ProvenanceGraph,
                        module_names: Iterable[str]) -> Set[int]:
     """All nodes that Definition 4.1 classifies as intermediate
-    computations of invocations of the given modules."""
+    computations of invocations of the given modules.
+
+    A multi-source flat-array sweep with an OUTPUT-kind barrier:
+    paths stop at (and exclude) output nodes, and the input/state
+    start nodes are themselves never intermediate.
+    """
     targets = set(module_names)
     start: Set[int] = set()
     for invocation in graph.invocations.values():
         if invocation.module_name in targets:
             start.update(invocation.input_nodes)
             start.update(invocation.state_nodes)
-    intermediates: Set[int] = set()
-    frontier = [successor for node in start if graph.has_node(node)
-                for successor in graph.succs(node)]
-    while frontier:
-        current = frontier.pop()
-        if current in intermediates:
-            continue
-        node = graph.node(current)
-        if node.kind is NodeKind.OUTPUT:
-            continue  # paths stop at (and exclude) output nodes
-        intermediates.add(current)
-        frontier.extend(graph.succs(current))
-    # Start nodes themselves are input/state nodes, never intermediate.
-    return intermediates - start
+    adjacency = graph.csr()
+    barrier = graph.kind_flags((NodeKind.OUTPUT,))
+    live_starts = [node for node in start if graph.has_node(node)]
+    return set(multi_source_reach(adjacency.succ_views, live_starts,
+                                  adjacency.size, barrier))
 
 
 class ZoomFragment:
@@ -140,9 +137,8 @@ class Zoomer:
             for succ in graph.succs(node_id):
                 recorded_edges.add((node_id, succ))
         fragment.edges = sorted(recorded_edges)
-        for node_id in to_remove:
-            if graph.has_node(node_id):
-                graph.remove_node(node_id)
+        graph.remove_nodes([node_id for node_id in to_remove
+                            if graph.has_node(node_id)])
         # Step 5: one zoom meta-node per invocation.
         for invocation in invocations:
             zoom_node = graph.add_node(NodeKind.ZOOM, module_name, "p",
@@ -174,16 +170,14 @@ class Zoomer:
 
     def _zoom_in_single(self, fragment: ZoomFragment) -> None:
         graph = self.graph
-        for zoom_node in fragment.zoom_nodes.values():
-            if graph.has_node(zoom_node):
-                graph.remove_node(zoom_node)
+        graph.remove_nodes([zoom_node
+                            for zoom_node in fragment.zoom_nodes.values()
+                            if graph.has_node(zoom_node)])
         for node_id, node in fragment.nodes.items():
             graph.nodes[node_id] = node
-            graph._preds[node_id] = []
-            graph._succs[node_id] = []
-        for source, target in fragment.edges:
-            if graph.has_node(source) and graph.has_node(target):
-                graph.add_edge(source, target)
+        graph.add_edges((source, target)
+                        for source, target in fragment.edges
+                        if graph.has_node(source) and graph.has_node(target))
 
     # ------------------------------------------------------------------
     # Coarse view

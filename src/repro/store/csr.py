@@ -36,6 +36,7 @@ from typing import Iterable, List, Optional, Set, Tuple
 
 from ..errors import UnknownNodeError
 from ..graph.provgraph import ProvenanceGraph
+from ..queries.kernels import subgraph_sets
 from ..queries.subgraph import SubgraphResult
 
 _EMPTY: Tuple[int, ...] = ()
@@ -47,10 +48,10 @@ class CSRSnapshot:
     __slots__ = ("version", "node_count", "edge_count", "_mask_size",
                  "_ids", "_id_set", "_pred_offsets", "_pred_targets",
                  "_succ_offsets", "_succ_targets", "_pred_views",
-                 "_succ_views")
+                 "_succ_views", "_subgraph_cache")
 
     def __init__(self, graph: ProvenanceGraph):
-        ids = sorted(graph.nodes)
+        ids = list(graph.node_ids())
         count = len(ids)
         self.version = graph.version
         self.node_count = count
@@ -61,21 +62,28 @@ class CSRSnapshot:
         dense = count == self._mask_size
         self._ids: Optional[array] = None if dense else array("q", ids)
         self._id_set: Optional[frozenset] = None if dense else frozenset(ids)
+        # Freeze the graph's incrementally-maintained adjacency: the
+        # per-node view tuples are immutable and shared, so packing is
+        # one list copy plus the flat-buffer build — no re-hashing of
+        # neighbor lists.
+        adjacency = graph.csr()
         (self._pred_offsets, self._pred_targets,
-         self._pred_views) = self._pack(ids, graph._preds)
+         self._pred_views) = self._pack(ids, adjacency.pred_views)
         (self._succ_offsets, self._succ_targets,
-         self._succ_views) = self._pack(ids, graph._succs)
+         self._succ_views) = self._pack(ids, adjacency.succ_views)
+        # The snapshot is immutable, so query answers are memoizable.
+        self._subgraph_cache: dict = {}
 
-    def _pack(self, ids, adjacency):
+    def _pack(self, ids, live_views):
         offsets = array("q", [0])
         targets = array("q")
         views: List[Tuple[int, ...]] = [_EMPTY] * self._mask_size
         for node_id in ids:
-            neighbors = adjacency[node_id]
+            neighbors = live_views[node_id]
             targets.extend(neighbors)
             offsets.append(len(targets))
             if neighbors:
-                views[node_id] = tuple(neighbors)
+                views[node_id] = neighbors
         return offsets, targets, views
 
     # ------------------------------------------------------------------
@@ -186,27 +194,21 @@ class CSRSnapshot:
 
     def subgraph(self, node_id: int) -> SubgraphResult:
         """The Section 5.1 subgraph query (ancestors + descendants +
-        siblings of descendants) answered from the snapshot."""
+        siblings of descendants) answered from the snapshot.
+
+        Answers are memoized per node — the snapshot is frozen, so a
+        repeated query returns the cached result; callers must treat
+        the result's node sets as read-only.
+        """
+        cached = self._subgraph_cache.get(node_id)
+        if cached is not None:
+            return cached
         self._check(node_id)
-        descendants = self._reach(node_id, self._succ_views)
-        ancestors = self._reach(node_id, self._pred_views)
-        # Mark membership once, then sweep descendant operands for
-        # siblings — no per-candidate set algebra.
-        member = bytearray(self._mask_size)
-        member[node_id] = 1
-        for index in descendants:
-            member[index] = 1
-        for index in ancestors:
-            member[index] = 1
-        pred_views = self._pred_views
-        siblings: List[int] = []
-        for index in descendants:
-            for operand in pred_views[index]:
-                if not member[operand]:
-                    member[operand] = 1
-                    siblings.append(operand)
-        return SubgraphResult(node_id, set(ancestors), set(descendants),
-                              set(siblings))
+        ancestors, descendants, siblings = subgraph_sets(
+            self._pred_views, self._succ_views, node_id, self._mask_size)
+        result = SubgraphResult(node_id, ancestors, descendants, siblings)
+        self._subgraph_cache[node_id] = result
+        return result
 
     # ------------------------------------------------------------------
     # Cost accounting

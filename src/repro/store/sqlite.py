@@ -33,7 +33,7 @@ import time
 from typing import Dict, List, Optional, Union
 
 from ..errors import StoreError, UnknownRunError
-from ..graph.nodes import Node, NodeKind
+from ..graph.nodes import NodeKind
 from ..graph.provgraph import Invocation, ProvenanceGraph
 from ..graph.serialize import _decode_value, _encode_value
 from .base import GraphStore, RunInfo
@@ -157,7 +157,8 @@ class SQLiteStore(GraphStore):
             # shrunk.  (Prefix contents are trusted — comparing them
             # would defeat the incremental write.)
             for target, have in stored_counts.items():
-                predecessors = graph._preds.get(target)
+                predecessors = (graph.preds(target)
+                                if graph.has_node(target) else None)
                 if predecessors is None or len(predecessors) < have:
                     raise StoreError(
                         f"append to run {run_id!r} is not a superset of "
@@ -203,8 +204,11 @@ class SQLiteStore(GraphStore):
                            graph: ProvenanceGraph,
                            stored_counts: Dict[int, int]) -> None:
         """Insert each node's operand-list tail beyond what is stored."""
+        pred_views = graph.csr().pred_views
+
         def rows():
-            for target, predecessors in graph._preds.items():
+            for target in graph.node_ids():
+                predecessors = pred_views[target]
                 have = stored_counts.get(target, 0)
                 for seq in range(have, len(predecessors)):
                     yield run_id, target, seq, predecessors[seq]
@@ -247,21 +251,13 @@ class SQLiteStore(GraphStore):
                  "SELECT node_id, kind, label, ntype, module, invocation, "
                  "value FROM nodes WHERE run_id = ? ORDER BY node_id",
                  (run_id,)):
-            graph.nodes[node_id] = Node(node_id, NodeKind(kind), label, ntype,
-                                        module, invocation,
-                                        _decode_payload(payload))
-            graph._preds[node_id] = []
-            graph._succs[node_id] = []
-        edge_count = 0
-        preds = graph._preds
-        succs = graph._succs
-        for target, source in cursor.execute(
+            graph._restore_node(node_id, NodeKind(kind), label, ntype,
+                                module, invocation, _decode_payload(payload))
+        graph.add_edges(
+            (source, target)
+            for target, source in cursor.execute(
                 "SELECT target, source FROM edges WHERE run_id = ? "
-                "ORDER BY target, seq", (run_id,)):
-            preds[target].append(source)
-            succs[source].append(target)
-            edge_count += 1
-        graph._edge_count = edge_count
+                "ORDER BY target, seq", (run_id,)))
         for (invocation_id, module, module_node, inputs, outputs,
              state) in cursor.execute(
                  "SELECT invocation_id, module, module_node, inputs, "
@@ -272,7 +268,11 @@ class SQLiteStore(GraphStore):
             invocation.output_nodes = json.loads(outputs)
             invocation.state_nodes = json.loads(state)
             graph.invocations[invocation_id] = invocation
-        graph._next_node_id, graph._next_invocation_id = row
+        # Restore the stored id high-water mark; _pad_rows keeps the
+        # arena columns sized to it (trailing removed nodes leave the
+        # stored counter above the highest surviving row).
+        graph._pad_rows(row[0])
+        graph._next_invocation_id = row[1]
         return graph
 
     def run_info(self, run_id: str) -> RunInfo:

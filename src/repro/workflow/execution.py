@@ -177,14 +177,14 @@ class WorkflowExecutor:
         for relation_name, schema in module.output_schemas.items():
             data = provided.get(relation_name, [])
             relation = _as_relation(data, schema)
-            rows = []
-            for row in relation.rows:
-                prov = None
-                if self.track:
-                    prov = self.builder.workflow_input_node(
-                        namespace=f"{module.name}.{relation_name}",
-                        value=row.values)
-                rows.append(Row(row.values, prov))
+            if self.track:
+                provs = self.builder.workflow_input_nodes(
+                    f"{module.name}.{relation_name}",
+                    [row.values for row in relation.rows])
+            else:
+                provs = [None] * len(relation.rows)
+            rows = [Row(row.values, prov)
+                    for row, prov in zip(relation.rows, provs)]
             outputs[relation_name] = Relation(schema, rows)
         return outputs
 
@@ -263,13 +263,14 @@ class WorkflowExecutor:
                 raise WorkflowExecutionError(
                     f"module {module.name!r} is missing input relation "
                     f"{relation_name!r}")
-            rows = []
-            for row in relation.rows:
-                prov = row.prov
-                if self.track:
-                    prov = self.builder.module_input_node(row.prov,
-                                                          value=row.values)
-                rows.append(Row(row.values, prov))
+            if self.track:
+                provs = self.builder.module_input_nodes(
+                    [row.prov for row in relation.rows],
+                    values=[row.values for row in relation.rows])
+            else:
+                provs = [row.prov for row in relation.rows]
+            rows = [Row(row.values, prov)
+                    for row, prov in zip(relation.rows, provs)]
             wrapped[relation_name] = Relation(relation.schema, rows)
         return wrapped
 
@@ -282,28 +283,41 @@ class WorkflowExecutor:
             if relation is None:
                 relation = Relation.empty(schema)
                 persistent[relation_name] = relation
-            rows = []
-            for row in relation.rows:
-                if self.track and row.prov is None:
-                    # First sighting of a base state tuple: give it its
-                    # identifier p-node (persists across invocations).
-                    row.prov = self.builder.base_tuple_node(
-                        f"{module.name}.{relation_name}", value=row.values)
-                prov = row.prov
-                if self.track:
-                    prov = self.builder.module_state_node(row.prov,
-                                                          value=row.values)
-                rows.append(Row(row.values, prov))
+            if self.track:
+                if any(row.prov is None for row in relation.rows):
+                    # First sighting of base state tuples: mint their
+                    # identifier p-nodes (persist across invocations)
+                    # interleaved per row, exactly as the seed emitted
+                    # them — keeps node-id assignment (and JSONL dumps)
+                    # stable across versions.
+                    provs = []
+                    for row in relation.rows:
+                        if row.prov is None:
+                            row.prov = self.builder.base_tuple_node(
+                                f"{module.name}.{relation_name}",
+                                value=row.values)
+                        provs.append(self.builder.module_state_node(
+                            row.prov, value=row.values))
+                else:
+                    provs = self.builder.module_state_nodes(
+                        [row.prov for row in relation.rows],
+                        values=[row.values for row in relation.rows])
+            else:
+                provs = [row.prov for row in relation.rows]
+            rows = [Row(row.values, prov)
+                    for row, prov in zip(relation.rows, provs)]
             wrapped[relation_name] = Relation(relation.schema, rows)
         return wrapped
 
     def _wrap_outputs(self, relation: Relation) -> Relation:
         if not self.track:
             return relation
-        rows = [Row(row.values,
-                    self.builder.module_output_node(row.prov, value=row.values))
-                for row in relation.rows]
-        return Relation(relation.schema, rows)
+        provs = self.builder.module_output_nodes(
+            [row.prov for row in relation.rows],
+            values=[row.values for row in relation.rows])
+        return Relation(relation.schema,
+                        [Row(row.values, prov)
+                         for row, prov in zip(relation.rows, provs)])
 
 
 # ----------------------------------------------------------------------

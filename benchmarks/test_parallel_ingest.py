@@ -1,0 +1,79 @@
+"""Parallel ingest bench: ``ingest --workers N`` vs serial, verified.
+
+Measures the issue's acceptance scenario — ≥8 generated dealership
+runs ingested serially and through the process-pool pipeline into a
+sharded store — and always cross-checks that both modes store
+*byte-identical* graphs under identical run ids.
+
+The ≥2x speedup assertion is hardware-gated: a process pool cannot
+beat serial execution on a single core, so the assertion applies only
+when the machine exposes enough CPUs (or when
+``REPRO_BENCH_REQUIRE_SPEEDUP=1`` forces it, as the CI bench job
+does on multi-core runners).  The timing numbers are always printed
+so the harness records them either way.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import time
+
+from repro.graph.serialize import dump_graph
+from repro.store import ProvenanceService, ShardedStore, dealership_specs
+
+RUNS = int(os.environ.get("REPRO_BENCH_INGEST_RUNS", "8"))
+WORKERS = int(os.environ.get("REPRO_BENCH_INGEST_WORKERS", "4"))
+NUM_CARS = int(os.environ.get("REPRO_BENCH_INGEST_CARS", "60"))
+NUM_EXEC = int(os.environ.get("REPRO_BENCH_INGEST_EXEC", "3"))
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _ingest(workers: int):
+    """Ingest RUNS dealership runs; returns (seconds, {run_id: dump})."""
+    store = ShardedStore.in_memory(WORKERS)
+    service = ProvenanceService(store)
+    specs = dealership_specs(RUNS, num_cars=NUM_CARS, num_exec=NUM_EXEC)
+    started = time.perf_counter()
+    infos = service.ingest_many(specs, workers=workers)
+    elapsed = time.perf_counter() - started
+    dumps = {}
+    for info in infos:
+        stream = io.StringIO()
+        dump_graph(store.load_graph(info.run_id), stream)
+        dumps[info.run_id] = stream.getvalue()
+    return elapsed, dumps
+
+
+def test_parallel_ingest_matches_serial_and_scales():
+    serial_seconds, serial_dumps = _ingest(workers=1)
+    parallel_seconds, parallel_dumps = _ingest(workers=WORKERS)
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    print(f"\nparallel-ingest: runs={RUNS} workers={WORKERS} "
+          f"serial={serial_seconds:.3f}s parallel={parallel_seconds:.3f}s "
+          f"speedup={speedup:.2f}x cpus={_available_cpus()}")
+
+    # Correctness is unconditional: same names, byte-identical graphs.
+    assert serial_dumps.keys() == parallel_dumps.keys()
+    assert len(serial_dumps) == RUNS
+    for run_id, dump in serial_dumps.items():
+        assert parallel_dumps[run_id] == dump, \
+            f"parallel ingest diverged from serial for {run_id}"
+
+    # The speedup target needs real cores to mean anything; on a
+    # starved runner the correctness half above still counts.  Under
+    # pytest-xdist sibling workers compete for the same cores, so the
+    # cpu-count heuristic lies there — only the explicit env opt-in
+    # (the dedicated CI step, which runs this file alone) enforces.
+    require = os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP") == "1"
+    under_xdist = "PYTEST_XDIST_WORKER" in os.environ
+    if require or (_available_cpus() >= WORKERS and not under_xdist):
+        assert speedup >= 2.0, \
+            (f"expected >=2x parallel ingest speedup with {WORKERS} "
+             f"workers on {_available_cpus()} CPUs, got {speedup:.2f}x")

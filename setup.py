@@ -1,2 +1,16 @@
 from setuptools import setup
-setup()
+
+setup(
+    extras_require={
+        # What CI installs; the library itself is stdlib-only (numpy
+        # is an optional accelerator picked up when present).
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "pytest-cov",
+            "pytest-xdist",
+            "hypothesis",
+            "numpy",
+        ],
+    },
+)

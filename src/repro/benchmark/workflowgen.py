@@ -92,13 +92,19 @@ def run_dealerships(num_cars: int = 400, num_exec: int = 10, seed: int = 0,
 def run_arctic(topology: str = "parallel", num_stations: int = 4,
                fan_out: int = 2, selectivity: str = "month",
                num_exec: int = 10, history_years: int = 2,
-               track: bool = True) -> TimedRun:
-    """Execute an Arctic stations run, timing each execution."""
+               start_year: int = 1961, track: bool = True) -> TimedRun:
+    """Execute an Arctic stations run, timing each execution.
+
+    ``start_year`` shifts the observation window — multi-run ingest
+    varies it per run so the stored graphs differ (the seeded
+    observation generator is a function of station and year).
+    """
     workflow, modules = build_arctic_workflow(topology, num_stations, fan_out)
     builder = GraphBuilder() if track else None
     executor = WorkflowExecutor(workflow, modules, builder)
     run = ArcticRun(workflow, modules, selectivity=selectivity,
-                    num_exec=num_exec, history_years=history_years)
+                    num_exec=num_exec, history_years=history_years,
+                    start_year=start_year)
     state = run.initial_state(executor)
     seconds: List[float] = []
     for execution_index in range(num_exec):

@@ -2,37 +2,51 @@
 
 Subcommands (anything else falls through to the benchmark runner):
 
-* ``python -m repro ingest`` — execute a WorkflowGen workload (or
-  import a tracker spool file) and persist the provenance graph into
-  a SQLite store;
+* ``python -m repro ingest`` — execute WorkflowGen workloads (or
+  import a tracker spool file) and persist the provenance graphs into
+  a SQLite store; ``--runs N --workers M`` executes N runs in an
+  M-process pool and commits them concurrently, and ``--shards K``
+  partitions runs across K shard databases so commits don't queue
+  behind one writer;
 * ``python -m repro query`` — answer zoom / subgraph / reachability /
   ProQL queries from a stored run *without re-executing the
   workflow* — the paper's Tracker / Query Processor split (§5.1)
   across two processes;
 * ``python -m repro runs`` — list the runs cataloged in a store.
 
+All three accept ``--json`` for machine-readable output.
+
 Example session::
 
-    python -m repro ingest --db prov.db --run demo --workload dealerships
+    python -m repro ingest --db prov.db --runs 8 --workers 4 --shards 4
     python -m repro runs --db prov.db
-    python -m repro query --db prov.db --run demo --subgraph 42
+    python -m repro query --db prov.db --subgraph 42
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from .errors import LipstickError
-from .store import ProvenanceService, RunCatalog, SQLiteStore
+from .store import ProvenanceService, RunInfo, WorkloadSpec, open_store
+from .store.sharded import detect_shard_count
 
 STORE_COMMANDS = ("ingest", "query", "runs")
 
 
-def _add_db(parser: argparse.ArgumentParser) -> None:
+def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--db", default="provenance.db",
                         help="SQLite store path (default: provenance.db)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="partition runs across N shard databases "
+                             "(<db>.shard-NN files; default: autodetect, "
+                             "else unsharded)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,11 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     ingest = subparsers.add_parser(
-        "ingest", help="execute a workload or import a spool file, "
-                       "then persist the provenance graph")
-    _add_db(ingest)
+        "ingest", help="execute workloads or import a spool file, "
+                       "then persist the provenance graphs")
+    _add_common(ingest)
     ingest.add_argument("--run", default=None,
-                        help="run id (default: auto run-NNNN)")
+                        help="run id (default: auto run-NNNN; with "
+                             "--runs N>1 used as a prefix)")
     source = ingest.add_mutually_exclusive_group()
     source.add_argument("--spool", default=None,
                         help="tracker JSONL spool file to import "
@@ -55,6 +70,15 @@ def build_parser() -> argparse.ArgumentParser:
                         default="dealerships",
                         help="WorkflowGen workload to execute "
                              "(default: dealerships)")
+    ingest.add_argument("--runs", type=int, default=1,
+                        help="number of generated runs to ingest "
+                             "(default: 1)")
+    ingest.add_argument("--workers", type=int, default=1,
+                        help="process-pool size for parallel ingest "
+                             "(default: 1 = serial)")
+    ingest.add_argument("--seed", type=int, default=0,
+                        help="base RNG seed; run i uses seed+i "
+                             "(default: 0)")
     ingest.add_argument("--cars", type=int, default=100,
                         help="dealerships: number of cars")
     ingest.add_argument("--executions", type=int, default=5,
@@ -65,12 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("parallel", "serial", "dense"),
                         help="arctic: workflow topology")
     ingest.add_argument("--export", default=None,
-                        help="also export the run as a JSONL spool "
-                             "(.gz transparent)")
+                        help="also export the (first) run as a JSONL "
+                             "spool (.gz transparent)")
 
     query = subparsers.add_parser(
         "query", help="answer provenance queries from a stored run")
-    _add_db(query)
+    _add_common(query)
     query.add_argument("--run", default=None,
                        help="run id (default: most recent run)")
     query.add_argument("--backend", choices=("csr", "dict"), default="csr",
@@ -90,37 +114,86 @@ def build_parser() -> argparse.ArgumentParser:
                       help="graph statistics for the run")
 
     runs = subparsers.add_parser("runs", help="list runs in the store")
-    _add_db(runs)
+    _add_common(runs)
     return parser
 
 
-def _execute_workload(args) -> "object":
-    from .benchmark.workflowgen import run_arctic, run_dealerships
+def _open_store(args):
+    """The store behind ``--db``/``--shards`` (autodetects shard files
+    left by an earlier ``ingest --shards N``)."""
+    shards = args.shards
+    if shards is None:
+        shards = detect_shard_count(args.db) or 1
+    return open_store(args.db, shards=shards)
+
+
+def _info_dict(info: RunInfo) -> dict:
+    return {"run_id": info.run_id, "nodes": info.node_count,
+            "edges": info.edge_count,
+            "invocations": info.invocation_count,
+            "source": info.source}
+
+
+def _ingest_specs(args) -> List[WorkloadSpec]:
     if args.workload == "arctic":
-        outcome = run_arctic(args.topology, args.stations,
-                             num_exec=args.executions, track=True)
+        # Arctic's observation generator is seeded by (station, year);
+        # shifting the window per run makes the stored graphs differ.
+        base_params = [{"topology": args.topology,
+                        "num_stations": args.stations,
+                        "num_exec": args.executions,
+                        "start_year": 1961 + args.seed + index}
+                       for index in range(args.runs)]
     else:
-        outcome = run_dealerships(num_cars=args.cars,
-                                  num_exec=args.executions,
-                                  track=True, force_decline=True)
-    return outcome.graph
+        base_params = [{"num_cars": args.cars, "num_exec": args.executions,
+                        "seed": args.seed + index, "force_decline": True}
+                       for index in range(args.runs)]
+    run_ids: List[Optional[str]] = [None] * args.runs
+    if args.run is not None:
+        if args.runs == 1:
+            run_ids = [args.run]
+        else:
+            run_ids = [f"{args.run}-{index + 1:02d}"
+                       for index in range(args.runs)]
+    return [WorkloadSpec(args.workload, params, run_id=run_id)
+            for params, run_id in zip(base_params, run_ids)]
 
 
 def cmd_ingest(args) -> int:
-    with SQLiteStore(args.db) as store:
-        catalog = RunCatalog(store)
+    if args.runs < 1:
+        raise LipstickError("--runs must be at least 1")
+    if args.spool and (args.runs != 1 or args.workers != 1
+                       or args.seed != 0):
+        raise LipstickError(
+            "--spool imports exactly one run; it cannot be combined "
+            "with --runs, --workers, or --seed")
+    with _open_store(args) as store:
+        service = ProvenanceService(store)
+        catalog = service.catalog
+        started = time.perf_counter()
         if args.spool:
-            info = catalog.ingest(args.spool, run_id=args.run)
+            infos = [catalog.ingest(args.spool, run_id=args.run)]
         else:
-            graph = _execute_workload(args)
-            info = catalog.register(graph, run_id=args.run,
-                                    source=f"workload:{args.workload}")
-        print(f"ingested {info.run_id}: {info.node_count} nodes, "
-              f"{info.edge_count} edges, "
-              f"{info.invocation_count} invocations -> {args.db}")
+            specs = _ingest_specs(args)
+            infos = service.ingest_many(specs, workers=args.workers)
+        elapsed = time.perf_counter() - started
+        exported = None
         if args.export:
-            records = catalog.export(info.run_id, args.export)
-            print(f"exported {records} records -> {args.export}")
+            records = catalog.export(infos[0].run_id, args.export)
+            exported = {"path": args.export, "records": records}
+        if args.json:
+            print(json.dumps({
+                "db": args.db, "workers": args.workers,
+                "seconds": round(elapsed, 6),
+                "runs": [_info_dict(info) for info in infos],
+                "export": exported}))
+        else:
+            for info in infos:
+                print(f"ingested {info.run_id}: {info.node_count} nodes, "
+                      f"{info.edge_count} edges, "
+                      f"{info.invocation_count} invocations -> {args.db}")
+            if exported:
+                print(f"exported {exported['records']} records -> "
+                      f"{exported['path']}")
     return 0
 
 
@@ -138,7 +211,7 @@ def _resolve_run(service: ProvenanceService, run_id: Optional[str]) -> str:
 
 
 def cmd_query(args) -> int:
-    with SQLiteStore(args.db) as store:
+    with _open_store(args) as store:
         service = ProvenanceService(store)
         run_id = _resolve_run(service, args.run)
         use_csr = args.backend == "csr"
@@ -148,33 +221,70 @@ def cmd_query(args) -> int:
             else:
                 from .queries.subgraph import subgraph_query
                 result = subgraph_query(service.graph(run_id), args.subgraph)
-            print(f"{run_id}: subgraph({args.subgraph}) -> "
-                  f"{result.size} nodes ({len(result.ancestors)} ancestors, "
-                  f"{len(result.descendants)} descendants, "
-                  f"{len(result.siblings)} siblings)")
+            if args.json:
+                print(json.dumps({
+                    "run_id": run_id, "query": "subgraph",
+                    "node": args.subgraph, "size": result.size,
+                    "ancestors": len(result.ancestors),
+                    "descendants": len(result.descendants),
+                    "siblings": len(result.siblings)}))
+            else:
+                print(f"{run_id}: subgraph({args.subgraph}) -> "
+                      f"{result.size} nodes "
+                      f"({len(result.ancestors)} ancestors, "
+                      f"{len(result.descendants)} descendants, "
+                      f"{len(result.siblings)} siblings)")
         elif args.reachable is not None:
             source, target = args.reachable
             if use_csr:
                 answer = service.reachable(run_id, source, target)
             else:
                 answer = service.graph(run_id).reachable(source, target)
-            print(f"{run_id}: reachable({source} -> {target}) = {answer}")
+            if args.json:
+                print(json.dumps({"run_id": run_id, "query": "reachable",
+                                  "source": source, "target": target,
+                                  "reachable": bool(answer)}))
+            else:
+                print(f"{run_id}: reachable({source} -> {target}) = {answer}")
         elif args.zoom_out is not None:
             zoomed = service.zoom_out(run_id, args.zoom_out)
             graph = service.graph(run_id)
-            print(f"{run_id}: zoomed out {zoomed}; graph now "
-                  f"{graph.node_count} nodes / {graph.edge_count} edges")
+            if args.json:
+                print(json.dumps({"run_id": run_id, "query": "zoom_out",
+                                  "zoomed": zoomed,
+                                  "nodes": graph.node_count,
+                                  "edges": graph.edge_count}))
+            else:
+                print(f"{run_id}: zoomed out {zoomed}; graph now "
+                      f"{graph.node_count} nodes / {graph.edge_count} edges")
         elif args.proql is not None:
             outcome = service.processor(run_id).query_text(args.proql)
-            print(f"{run_id}: {outcome}")
+            if args.json:
+                print(json.dumps({"run_id": run_id, "query": "proql",
+                                  "text": args.proql,
+                                  "result": repr(outcome)}))
+            else:
+                print(f"{run_id}: {outcome}")
         else:
-            print(f"{run_id}: {service.stats(run_id)}")
+            stats = service.stats(run_id)
+            if args.json:
+                print(json.dumps({"run_id": run_id, "query": "stats",
+                                  "nodes": stats.node_count,
+                                  "edges": stats.edge_count,
+                                  "invocations": stats.invocation_count,
+                                  "nodes_by_kind": stats.nodes_by_kind}))
+            else:
+                print(f"{run_id}: {stats}")
     return 0
 
 
 def cmd_runs(args) -> int:
-    with SQLiteStore(args.db) as store:
+    with _open_store(args) as store:
         runs = store.list_runs()
+        if args.json:
+            print(json.dumps({"db": args.db,
+                              "runs": [_info_dict(info) for info in runs]}))
+            return 0
         if not runs:
             print(f"{args.db}: no runs")
             return 0

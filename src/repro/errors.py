@@ -80,6 +80,16 @@ class UnknownNodeError(ProvenanceGraphError):
         super().__init__(f"unknown provenance graph node {node_id!r}")
 
 
+class FrozenGraphError(ProvenanceGraphError):
+    """A structural mutation was attempted on a frozen graph.
+
+    Frozen graphs are the concurrency seam: a
+    :meth:`~repro.graph.provgraph.ProvenanceGraph.snapshot` handed to
+    another thread is immutable, so readers can traverse it without
+    locking while the tracker keeps growing the live graph.
+    """
+
+
 class DuplicateEdgeWarning(UserWarning):
     """The graph holds parallel duplicate edges (same source → target).
 

@@ -35,7 +35,8 @@ from itertools import repeat as _repeat
 from typing import (Any, Dict, Iterable, Iterator, List, Optional, Sequence,
                     Set, Tuple)
 
-from ..errors import DuplicateEdgeWarning, ProvenanceGraphError, UnknownNodeError
+from ..errors import (DuplicateEdgeWarning, FrozenGraphError,
+                      ProvenanceGraphError, UnknownNodeError)
 from .nodes import DEFAULT_LABELS, KIND_BY_CODE, KIND_CODE, Node, NodeKind
 
 try:  # optional accelerator: vectorized bulk-edge validation
@@ -94,6 +95,7 @@ class _NodeFacade(Node):
 
     @kind.setter
     def kind(self, kind: NodeKind) -> None:
+        self._graph._check_mutable()
         self._graph._kind_codes[self.node_id] = KIND_CODE[kind]
 
     @property
@@ -104,6 +106,7 @@ class _NodeFacade(Node):
     @label.setter
     def label(self, label: str) -> None:
         graph = self._graph
+        graph._check_mutable()
         graph._label_ids[self.node_id] = graph._intern(
             graph._label_index, graph._label_table, label)
 
@@ -115,6 +118,7 @@ class _NodeFacade(Node):
     @ntype.setter
     def ntype(self, ntype: str) -> None:
         graph = self._graph
+        graph._check_mutable()
         graph._ntype_ids[self.node_id] = graph._intern(
             graph._ntype_index, graph._ntype_table, ntype)
 
@@ -126,6 +130,7 @@ class _NodeFacade(Node):
     @module.setter
     def module(self, module: Optional[str]) -> None:
         graph = self._graph
+        graph._check_mutable()
         graph._module_ids[self.node_id] = graph._intern(
             graph._module_index, graph._module_table, module)
 
@@ -136,6 +141,7 @@ class _NodeFacade(Node):
 
     @invocation.setter
     def invocation(self, invocation: Optional[int]) -> None:
+        self._graph._check_mutable()
         self._graph._invocation_ids[self.node_id] = (
             -1 if invocation is None else invocation)
 
@@ -145,6 +151,7 @@ class _NodeFacade(Node):
 
     @value.setter
     def value(self, value: Any) -> None:
+        self._graph._check_mutable()
         self._graph._values[self.node_id] = value
 
 
@@ -261,6 +268,7 @@ class ProvenanceGraph:
         self._next_node_id = 0
         self._next_invocation_id = 0
         self._version = 0
+        self._frozen = False
         self._node_map = _NodeMap(self)
 
     @property
@@ -277,6 +285,44 @@ class ProvenanceGraph:
     def nodes(self) -> _NodeMap:
         """Dict-like view of alive nodes (lazily-materialized facades)."""
         return self._node_map
+
+    # ------------------------------------------------------------------
+    # Freeze / snapshot (the concurrency seam)
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """Whether structural mutation is forbidden on this graph."""
+        return self._frozen
+
+    def freeze(self) -> "ProvenanceGraph":
+        """Permanently forbid structural mutation; returns ``self``.
+
+        A frozen graph can be shared across threads without locking:
+        every node/edge add or remove (and facade attribute write)
+        raises :class:`~repro.errors.FrozenGraphError`.  Freezing is
+        one-way; use :meth:`copy` (copies are born thawed) to mutate
+        again.
+
+        The adjacency views are materialized *before* the flag flips:
+        lazy first-read building is a multi-step mutation of shared
+        state, so leaving it to whichever reader thread arrives first
+        would race.  After freezing, every read path's ``_sync`` is a
+        no-op.
+        """
+        self._sync()
+        self._frozen = True
+        return self
+
+    def snapshot(self) -> "ProvenanceGraph":
+        """A frozen deep copy — the copy-on-read handle the service
+        layer hands to concurrent readers while ingest proceeds."""
+        return self.copy().freeze()
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise FrozenGraphError(
+                "graph is frozen (a shared read snapshot); structural "
+                "mutation is forbidden — work on graph.copy() instead")
 
     # ------------------------------------------------------------------
     # Interning / validation helpers
@@ -305,6 +351,7 @@ class ProvenanceGraph:
                  ntype: str = "p", module: Optional[str] = None,
                  invocation: Optional[int] = None, value: Any = None) -> int:
         """Create a node and return its id."""
+        self._check_mutable()
         if label is None:
             label = DEFAULT_LABELS.get(kind, kind.value)
         node_id = self._next_node_id
@@ -334,6 +381,7 @@ class ProvenanceGraph:
         ids are assigned exactly as ``count`` sequential
         :meth:`add_node` calls would assign them.
         """
+        self._check_mutable()
         if count is None:
             if labels is not None:
                 count = len(labels)
@@ -394,6 +442,7 @@ class ProvenanceGraph:
         Appends to the flat edge log only — adjacency views fold the
         new edge in lazily at the next read.
         """
+        self._check_mutable()
         self._require_node(source)
         self._require_node(target)
         if source == target:
@@ -434,6 +483,7 @@ class ProvenanceGraph:
         kept if any edge is invalid.  Returns the number of edges
         added.
         """
+        self._check_mutable()
         count = len(sources)
         if count != len(targets):
             raise ProvenanceGraphError(
@@ -530,6 +580,7 @@ class ProvenanceGraph:
 
     def new_invocation(self, module_name: str) -> Invocation:
         """Register a module invocation and create its m-node."""
+        self._check_mutable()
         invocation_id = self._next_invocation_id
         self._next_invocation_id += 1
         module_node = self.add_node(NodeKind.MODULE, module_name, "p",
@@ -548,6 +599,7 @@ class ProvenanceGraph:
         node ids stay stable across removal + restore.  Rows between
         the current high-water mark and ``node_id`` are padded dead.
         """
+        self._check_mutable()
         if not isinstance(node_id, int) or node_id < 0:
             raise ProvenanceGraphError(f"invalid node id {node_id!r}")
         size = self._next_node_id
@@ -582,6 +634,7 @@ class ProvenanceGraph:
         append loop over the columns; anything else falls back to the
         general per-row restore.
         """
+        self._check_mutable()
         if not rows:
             return
         start = self._next_node_id
@@ -824,6 +877,7 @@ class ProvenanceGraph:
         fragments can restore the id later); neighbor views are
         patched in place.
         """
+        self._check_mutable()
         self._require_node(node_id)
         self._sync()
         pred_views = self._pred_views
@@ -850,6 +904,7 @@ class ProvenanceGraph:
         each surviving neighbor's view once — deletion propagation and
         ZoomOut rely on this.
         """
+        self._check_mutable()
         doomed = set(node_ids)
         if not doomed:
             return  # no mutation, no version bump
@@ -890,7 +945,8 @@ class ProvenanceGraph:
         """A deep copy (columns are copied; payload values shared).
 
         Column copies are C-level slices — no per-node object work —
-        so copying is far cheaper than re-adding every node.
+        so copying is far cheaper than re-adding every node.  Copies
+        are always born thawed, even when the source is frozen.
         """
         duplicate = ProvenanceGraph()
         duplicate._kind_codes = self._kind_codes[:]

@@ -242,13 +242,34 @@ class Lipstick:
 
     def run_sequence(self, workflow: Workflow, modules: ModuleRegistry,
                      input_batches: Sequence[InputBundle],
-                     state: Optional[WorkflowState] = None
-                     ) -> List[ExecutionOutput]:
-        """Run a sequence of executions (Definition 2.3) with tracking."""
+                     state: Optional[WorkflowState] = None,
+                     commit_each: bool = False) -> List[ExecutionOutput]:
+        """Run a sequence of executions (Definition 2.3) with tracking.
+
+        With ``commit_each`` (requires an attached store) the live
+        graph is incrementally committed after every execution, so
+        concurrent readers of the store see provenance land while the
+        sequence is still running.
+        """
         executor = self.executor(workflow, modules)
         if state is None:
             state = executor.new_state()
-        return executor.execute_sequence(input_batches, state)
+        checkpoint = None
+        if commit_each:
+            if self.store is None:
+                raise RuntimeError("commit_each needs a GraphStore "
+                                   "attached to this Lipstick")
+            checkpoint = lambda _output: self.commit()
+        return executor.execute_sequence(input_batches, state,
+                                         checkpoint=checkpoint)
+
+    def snapshot(self) -> ProvenanceGraph:
+        """A frozen copy of the live graph — safe to share with reader
+        threads while execution continues (see
+        :meth:`ProvenanceGraph.freeze`)."""
+        if self.tracker is None:
+            raise RuntimeError("provenance tracking is disabled")
+        return self.tracker.snapshot()
 
     def flush(self, path: Optional[str] = None) -> str:
         """Spool the provenance graph to disk (tracker output)."""

@@ -9,14 +9,21 @@ memory.  This package makes that hand-off pluggable and multi-run:
 * :class:`SQLiteStore` — durable, incremental, lazy (:mod:`.sqlite`);
 * :class:`CSRSnapshot` — flat-array read path for traversal-heavy
   queries (:mod:`.csr`);
+* :class:`ShardedStore` — runs partitioned across N child stores by
+  run-id hash, for concurrent multi-writer ingest (:mod:`.sharded`);
 * :class:`RunCatalog` / :class:`ProvenanceService` — many runs in one
-  store, served with layered LRU caches (:mod:`.catalog`).
+  store, served with layered thread-safe LRU caches (:mod:`.catalog`);
+* :class:`WorkloadSpec` / :func:`ingest_many` — the parallel ingest
+  pipeline (process-pool execution, concurrent commit;
+  :mod:`.ingest`).
 """
 
 from .base import GraphStore, RunInfo
 from .catalog import LRUCache, ProvenanceService, RunCatalog
 from .csr import CSRSnapshot
+from .ingest import WorkloadSpec, dealership_specs, ingest_many
 from .memory import MemoryStore
+from .sharded import ShardedStore
 from .sqlite import SQLiteStore
 
 __all__ = [
@@ -27,13 +34,23 @@ __all__ = [
     "ProvenanceService",
     "RunCatalog",
     "RunInfo",
+    "ShardedStore",
     "SQLiteStore",
+    "WorkloadSpec",
+    "dealership_specs",
+    "ingest_many",
+    "open_store",
 ]
 
 
-def open_store(path=None) -> GraphStore:
+def open_store(path=None, shards: int = 1) -> GraphStore:
     """Open the right backend for ``path``: ``None`` → memory,
-    anything else → SQLite file (created on first use)."""
+    anything else → SQLite file (created on first use).  ``shards > 1``
+    partitions runs across that many backends (``<path>.shard-NN``
+    files, or N MemoryStores for ``path=None``)."""
+    if shards > 1:
+        from .sharded import open_sharded
+        return open_sharded(path, shards)
     if path is None:
         return MemoryStore()
     return SQLiteStore(path)

@@ -17,14 +17,26 @@ building the provenance graph").  This module scales that design out:
 Caches are keyed by the graph's mutation ``version``: surgery on a
 served graph (in-place deletion, zoom) silently invalidates the
 derived artifacts instead of serving stale answers.
+
+Thread model: every cache locks its lookup/insert (builds run
+*outside* the lock so unrelated keys never queue behind a slow cold
+build), and the service serializes everything touching one run's live
+graph through a per-run lock, so concurrent readers can hit the
+service while an ingest pipeline commits runs behind it.  Stateful
+per-run processors (zoom surgery persists) remain single-threaded by
+design — concurrent readers should take
+:meth:`ProvenanceService.snapshot` (a frozen graph copy) or go
+through the immutable CSR read path.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import OrderedDict
-from typing import Callable, Hashable, List, Optional, TypeVar, Union
+from typing import (Callable, Hashable, List, Optional, Sequence, TypeVar,
+                    Union)
 
 from ..graph.provgraph import ProvenanceGraph
 from ..queries.reachability import ReachabilityIndex
@@ -34,55 +46,95 @@ from .csr import CSRSnapshot
 
 T = TypeVar("T")
 
+_MISSING = object()
+
 
 class LRUCache:
-    """A tiny ordered-dict LRU; ``capacity <= 0`` disables caching."""
+    """A tiny ordered-dict LRU; ``capacity <= 0`` disables caching.
+
+    Thread-safe: lookup, insert, and eviction happen under one
+    reentrant lock, but ``build()`` runs *outside* it so an expensive
+    cold build (a multi-second reachability index, a cold SQLite
+    rebuild) never blocks hits — or other builds — for unrelated
+    keys.  Two threads missing the same key concurrently may both
+    build; the first insert wins and the loser's value is discarded
+    (the service layer's per-run locks already prevent that for
+    same-run artifacts).
+    """
 
     def __init__(self, capacity: int):
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
 
     def get_or_build(self, key: Hashable, build: Callable[[], T]) -> T:
-        if self.capacity <= 0:
-            self.misses += 1
-            return build()
-        try:
-            value = self._entries[key]
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return value  # type: ignore[return-value]
-        except KeyError:
-            self.misses += 1
+        with self._lock:
+            if self.capacity <= 0:
+                self.misses += 1
+            else:
+                try:
+                    value = self._entries[key]
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return value  # type: ignore[return-value]
+                except KeyError:
+                    self.misses += 1
         value = build()
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-        return value
+        if self.capacity <= 0:
+            return value
+        with self._lock:
+            existing = self._entries.get(key, _MISSING)
+            if existing is not _MISSING:
+                # Lost a concurrent build race; serve the first insert
+                # so every caller shares one artifact.
+                self._entries.move_to_end(key)
+                return existing  # type: ignore[return-value]
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            return value
 
     def evict(self, predicate: Callable[[Hashable], bool]) -> None:
-        for key in [key for key in self._entries if predicate(key)]:
-            del self._entries[key]
+        with self._lock:
+            for key in [key for key in self._entries if predicate(key)]:
+                del self._entries[key]
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 class RunCatalog:
-    """Names and registers workflow runs inside one ``GraphStore``."""
+    """Names and registers workflow runs inside one ``GraphStore``.
+
+    Run-id allocation is race-free within a process: handed-out ids
+    are *reserved* under a lock until they land in the store, so two
+    ingest workers asking for fresh ids never collide.
+    """
 
     def __init__(self, store: GraphStore, run_prefix: str = "run"):
         self.store = store
         self.run_prefix = run_prefix
+        self._naming_lock = threading.Lock()
+        self._reserved: set = set()
 
     def new_run_id(self) -> str:
-        """A fresh, collision-free run id (``run-0001`` style)."""
-        taken = {info.run_id for info in self.store.list_runs()}
-        index = len(taken) + 1
-        while f"{self.run_prefix}-{index:04d}" in taken:
-            index += 1
-        return f"{self.run_prefix}-{index:04d}"
+        """A fresh, collision-free run id (``run-0001`` style).
+
+        The id is reserved until something is stored under it, so
+        concurrent callers each get a distinct name.
+        """
+        with self._naming_lock:
+            taken = {info.run_id for info in self.store.list_runs()}
+            taken |= self._reserved
+            index = len(taken) + 1
+            while f"{self.run_prefix}-{index:04d}" in taken:
+                index += 1
+            run_id = f"{self.run_prefix}-{index:04d}"
+            self._reserved.add(run_id)
+            return run_id
 
     def register(self, graph: ProvenanceGraph,
                  run_id: Optional[str] = None,
@@ -136,7 +188,35 @@ class ProvenanceService:
         self._processors = LRUCache(graph_cache_size)
         self._snapshots = LRUCache(csr_cache_size)
         self._indexes = LRUCache(index_cache_size)
+        self._frozen = LRUCache(graph_cache_size)
         self._load_seconds: dict = {}
+        # Per-run locks serialize operations that touch a run's *live*
+        # cached graph (loads, derived-artifact builds, zoom surgery,
+        # copies), so a snapshot can never observe a half-mutated
+        # graph.  Queries against already-built immutable artifacts
+        # (CSR snapshots, frozen copies) run outside the lock.
+        self._run_locks: dict = {}
+        self._run_locks_guard = threading.Lock()
+        # Write generations, mixed into the graph/processor cache
+        # keys: a reader that loaded a run concurrently with an
+        # overwrite can only insert its stale graph under the *old*
+        # generation's key — future reads miss it and rebuild fresh
+        # instead of serving it forever.  ``invalidate(run)`` bumps
+        # that run's generation; ``invalidate()`` bumps the epoch.
+        self._generations: dict = {}
+        self._epoch = 0
+
+    def _run_lock(self, run_id: str) -> "threading.RLock":
+        with self._run_locks_guard:
+            lock = self._run_locks.get(run_id)
+            if lock is None:
+                lock = threading.RLock()
+                self._run_locks[run_id] = lock
+            return lock
+
+    def _generation(self, run_id: str) -> tuple:
+        with self._run_locks_guard:
+            return (self._epoch, self._generations.get(run_id, 0))
 
     # ------------------------------------------------------------------
     # Cached artifacts
@@ -148,7 +228,9 @@ class ProvenanceService:
             graph = self.store.load_graph(run_id)
             self._load_seconds[run_id] = time.perf_counter() - started
             return graph
-        return self._graphs.get_or_build(run_id, build)
+        with self._run_lock(run_id):
+            return self._graphs.get_or_build(
+                (run_id, self._generation(run_id)), build)
 
     def load_seconds(self, run_id: str) -> Optional[float]:
         """Seconds the last cold rebuild of ``run_id`` took, if any."""
@@ -161,47 +243,92 @@ class ProvenanceService:
         calls), mirroring an interactive Query Processor session.
         """
         from ..lipstick import QueryProcessor  # deferred: import cycle
-        graph = self.graph(run_id)
+        with self._run_lock(run_id):
+            graph = self.graph(run_id)
+            key = (run_id, self._generation(run_id))
 
-        def build():
-            return QueryProcessor(graph, service=self, run_id=run_id)
+            def build():
+                return QueryProcessor(graph, service=self, run_id=run_id)
 
-        processor = self._processors.get_or_build(run_id, build)
-        if processor.graph is not graph:
-            # The graph cache was evicted and reloaded behind this
-            # processor; a stale processor would serve (and mutate) a
-            # graph object nothing else sees.  Rebuild against the
-            # current one.
-            self._processors.evict(lambda key: key == run_id)
-            processor = self._processors.get_or_build(run_id, build)
-        return processor
+            processor = self._processors.get_or_build(key, build)
+            if processor.graph is not graph:
+                # The graph cache was evicted and reloaded behind this
+                # processor; a stale processor would serve (and mutate)
+                # a graph object nothing else sees.  Rebuild against
+                # the current one.
+                self._processors.evict(lambda k: k == key)
+                processor = self._processors.get_or_build(key, build)
+            return processor
 
     def csr(self, run_id: str) -> CSRSnapshot:
         """The flat-array snapshot for the run's current graph."""
-        graph = self.graph(run_id)
-        return self._snapshots.get_or_build(
-            (run_id, graph.version), lambda: CSRSnapshot(graph))
+        with self._run_lock(run_id):
+            graph = self.graph(run_id)
+            return self._snapshots.get_or_build(
+                (run_id, graph.version), lambda: CSRSnapshot(graph))
+
+    def snapshot(self, run_id: str) -> ProvenanceGraph:
+        """A frozen copy of the run's graph (copy-on-read).
+
+        The returned graph raises
+        :class:`~repro.errors.FrozenGraphError` on structural
+        mutation, so it can be handed to any number of reader threads
+        while ingest — or zoom surgery on the served graph — proceeds
+        (the copy itself is taken under the run's lock, so it never
+        observes a half-applied mutation).  Cached per graph version;
+        callers share one frozen copy.
+        """
+        with self._run_lock(run_id):
+            graph = self.graph(run_id)
+            return self._frozen.get_or_build(
+                (run_id, graph.version), graph.snapshot)
 
     def reachability_index(self, run_id: str,
                            index_ancestors: bool = True) -> ReachabilityIndex:
         """The precomputed-closure index (§5.1 trade-off), cached."""
-        graph = self.graph(run_id)
-        return self._indexes.get_or_build(
-            (run_id, graph.version, index_ancestors),
-            lambda: ReachabilityIndex(graph, index_ancestors=index_ancestors))
+        with self._run_lock(run_id):
+            graph = self.graph(run_id)
+            return self._indexes.get_or_build(
+                (run_id, graph.version, index_ancestors),
+                lambda: ReachabilityIndex(graph,
+                                          index_ancestors=index_ancestors))
 
     def invalidate(self, run_id: Optional[str] = None) -> None:
         """Drop cached artifacts (all runs when ``run_id`` is None) —
         call after writing to the store behind the service."""
         if run_id is None:
+            with self._run_locks_guard:
+                self._epoch += 1
             for cache in (self._graphs, self._processors, self._snapshots,
-                          self._indexes):
+                          self._indexes, self._frozen):
                 cache.evict(lambda key: True)
             return
-        self._graphs.evict(lambda key: key == run_id)
-        self._processors.evict(lambda key: key == run_id)
-        for cache in (self._snapshots, self._indexes):
+        with self._run_locks_guard:
+            self._generations[run_id] = self._generations.get(run_id, 0) + 1
+        self._graphs.evict(lambda key: key[0] == run_id)
+        self._processors.evict(lambda key: key[0] == run_id)
+        for cache in (self._snapshots, self._indexes, self._frozen):
             cache.evict(lambda key: key[0] == run_id)
+
+    # ------------------------------------------------------------------
+    # Parallel ingest (the write side of the concurrent service)
+    # ------------------------------------------------------------------
+    def ingest_many(self, specs: Sequence, workers: int = 1) -> List[RunInfo]:
+        """Execute many workload specs and commit each as a run.
+
+        ``workers > 1`` executes the workflows in a process pool and
+        commits the resulting spools concurrently (thread pool over
+        the store's shards); the committed graphs are byte-identical
+        to what serial ingest produces.  See
+        :func:`repro.store.ingest.ingest_many`.
+        """
+        from .ingest import ingest_many
+        infos = ingest_many(self.catalog, specs, workers=workers)
+        for info in infos:
+            # A spec may overwrite an existing run; cached artifacts
+            # for it are stale the moment the store is written.
+            self.invalidate(info.run_id)
+        return infos
 
     # ------------------------------------------------------------------
     # Per-run queries (Section 4, served from the store)
@@ -220,20 +347,25 @@ class ProvenanceService:
         return self.csr(run_id).reachable(source, target)
 
     def zoom_out(self, run_id: str, module_names) -> List[str]:
-        return self.processor(run_id).zoom_out(module_names)
+        with self._run_lock(run_id):  # zoom mutates the served graph
+            return self.processor(run_id).zoom_out(module_names)
 
     def zoom_in(self, run_id: str, module_names) -> List[str]:
-        return self.processor(run_id).zoom_in(module_names)
+        with self._run_lock(run_id):
+            return self.processor(run_id).zoom_in(module_names)
 
     def delete(self, run_id: str, node_ids):
         """Deletion propagation on a copy (the stored run is untouched)."""
-        return self.processor(run_id).delete(node_ids, in_place=False)
+        with self._run_lock(run_id):  # the copy must not race surgery
+            return self.processor(run_id).delete(node_ids, in_place=False)
 
     def what_if(self, run_id: str, node_ids=(), tuple_labels=()):
-        return self.processor(run_id).what_if(node_ids, tuple_labels)
+        with self._run_lock(run_id):
+            return self.processor(run_id).what_if(node_ids, tuple_labels)
 
     def stats(self, run_id: str):
-        return self.processor(run_id).stats()
+        with self._run_lock(run_id):
+            return self.processor(run_id).stats()
 
     def runs(self) -> List[RunInfo]:
         return self.store.list_runs()

@@ -13,6 +13,7 @@ the live state.  Pass ``copy_on_write=True`` for snapshot isolation.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List, Optional
 
@@ -22,10 +23,18 @@ from .base import GraphStore, RunInfo
 
 
 class MemoryStore(GraphStore):
-    """Dict-of-graphs backend; zero serialization cost, no durability."""
+    """Dict-of-graphs backend; zero serialization cost, no durability.
+
+    All catalog mutations take a per-store lock, so registration,
+    deletion, and listing are safe from concurrent threads.  Adopted
+    graphs themselves are only as thread-safe as their owners make
+    them — share :meth:`ProvenanceGraph.snapshot` copies across
+    threads, not live tracker graphs.
+    """
 
     def __init__(self, copy_on_write: bool = False):
         self.copy_on_write = copy_on_write
+        self._lock = threading.RLock()
         self._graphs: Dict[str, ProvenanceGraph] = {}
         self._meta: Dict[str, RunInfo] = {}
 
@@ -34,43 +43,57 @@ class MemoryStore(GraphStore):
         if self.copy_on_write:
             graph = graph.copy()
         now = time.time()
-        previous = self._meta.get(run_id)
-        created = previous.created_at if previous else now
-        if source is None and previous is not None:
-            source = previous.source
-        self._graphs[run_id] = graph
-        info = RunInfo(run_id, created, now, source, graph.node_count,
-                       graph.edge_count, len(graph.invocations))
-        self._meta[run_id] = info
-        return info
+        with self._lock:
+            previous = self._meta.get(run_id)
+            created = previous.created_at if previous else now
+            if source is None and previous is not None:
+                source = previous.source
+            self._graphs[run_id] = graph
+            info = RunInfo(run_id, created, now, source, graph.node_count,
+                           graph.edge_count, len(graph.invocations))
+            self._meta[run_id] = info
+            return info
 
     def load_graph(self, run_id: str) -> ProvenanceGraph:
-        try:
-            graph = self._graphs[run_id]
-        except KeyError:
-            raise UnknownRunError(run_id) from None
+        with self._lock:
+            try:
+                graph = self._graphs[run_id]
+            except KeyError:
+                raise UnknownRunError(run_id) from None
         return graph.copy() if self.copy_on_write else graph
 
     def run_info(self, run_id: str) -> RunInfo:
-        try:
-            info = self._meta[run_id]
-        except KeyError:
-            raise UnknownRunError(run_id) from None
-        # Adopted graphs mutate underneath us; refresh the counters.
-        graph = self._graphs[run_id]
-        info.node_count = graph.node_count
-        info.edge_count = graph.edge_count
-        info.invocation_count = len(graph.invocations)
-        return info
+        with self._lock:
+            try:
+                info = self._meta[run_id]
+            except KeyError:
+                raise UnknownRunError(run_id) from None
+            # Adopted graphs mutate underneath us, so counters are
+            # read fresh — into a *new* RunInfo, because previously
+            # returned ones may be held by other threads and must not
+            # change (or tear) under them.
+            graph = self._graphs[run_id]
+            return RunInfo(info.run_id, info.created_at, info.updated_at,
+                           info.source, graph.node_count, graph.edge_count,
+                           len(graph.invocations))
 
     def list_runs(self) -> List[RunInfo]:
-        return [self.run_info(run_id) for run_id in self._meta]
+        with self._lock:
+            run_ids = list(self._meta)
+        infos = []
+        for run_id in run_ids:
+            try:
+                infos.append(self.run_info(run_id))
+            except UnknownRunError:  # deleted between snapshot and read
+                pass
+        return infos
 
     def delete_run(self, run_id: str) -> None:
-        if run_id not in self._graphs:
-            raise UnknownRunError(run_id)
-        del self._graphs[run_id]
-        del self._meta[run_id]
+        with self._lock:
+            if run_id not in self._graphs:
+                raise UnknownRunError(run_id)
+            del self._graphs[run_id]
+            del self._meta[run_id]
 
     def __repr__(self) -> str:
         return f"MemoryStore(runs={len(self._graphs)})"

@@ -1,0 +1,175 @@
+"""Shard-partitioned ``GraphStore``: N backends behind one catalog.
+
+The paper's Tracker/Query-Processor split hands off through a single
+spool file; one SQLite file scales that to many runs, but every write
+still funnels through one database's write lock.  ``ShardedStore``
+partitions runs across N child stores by a stable hash of the run id,
+so concurrent ingest workers commit to *different* databases and only
+contend when two runs land on the same shard — the partitioned-ingest
+route distributed data-management surveys (PAPERS.md) recommend for
+multi-user throughput.
+
+Routing is deterministic (``crc32(run_id) % shards``), so any process
+that knows the shard layout finds a run without a directory lookup.
+The catalog view (``list_runs``) merges all shards ordered by
+creation time, which keeps ``RunCatalog.new_run_id`` naming stable
+regardless of where runs physically live.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import zlib
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..errors import StoreError
+from ..graph.provgraph import ProvenanceGraph
+from .base import GraphStore, RunInfo
+from .memory import MemoryStore
+from .sqlite import SQLiteStore
+
+#: File-name suffix pattern for SQLite shard files.  Two digits
+#: zero-padded, but wider counts print (and are detected) fine.
+_SHARD_SUFFIX = ".shard-{index:02d}"
+_SHARD_GLOB = ".shard-[0-9][0-9]*"
+_SHARD_RE = re.compile(r"\.shard-(\d{2,})$")
+
+
+def shard_of(run_id: str, shard_count: int) -> int:
+    """Stable shard index for ``run_id`` (crc32, process-independent)."""
+    return zlib.crc32(run_id.encode("utf-8")) % shard_count
+
+
+def shard_paths(path: Union[str, os.PathLike], shard_count: int) -> List[str]:
+    """The SQLite file paths a sharded store over ``path`` uses."""
+    base = os.fspath(path)
+    return [base + _SHARD_SUFFIX.format(index=index)
+            for index in range(shard_count)]
+
+
+def detect_shard_count(path: Union[str, os.PathLike]) -> Optional[int]:
+    """Infer the shard count from existing ``<path>.shard-NN`` files,
+    or ``None`` when no shard files exist."""
+    base = os.fspath(path)
+    indexes = []
+    for name in glob.glob(glob.escape(base) + _SHARD_GLOB):
+        match = _SHARD_RE.search(name)
+        if match:
+            indexes.append(int(match.group(1)))
+    return max(indexes) + 1 if indexes else None
+
+
+class ShardedStore(GraphStore):
+    """Partitions runs across child stores by run-id hash.
+
+    Each child store keeps its own thread-safety guarantees (SQLite
+    shards are WAL-mode with per-thread connections), so writes to
+    different shards proceed fully in parallel.
+    """
+
+    def __init__(self, shards: Sequence[GraphStore]):
+        if not shards:
+            raise StoreError("ShardedStore needs at least one shard")
+        self.shards = list(shards)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(cls, path: Union[str, os.PathLike],
+             shard_count: Optional[int] = None) -> "ShardedStore":
+        """SQLite shards ``<path>.shard-00 .. NN``.
+
+        With ``shard_count=None`` the count is inferred from the shard
+        files already on disk (default 4 for a fresh store).
+        """
+        if shard_count is None:
+            shard_count = detect_shard_count(path) or 4
+        existing = detect_shard_count(path)
+        if existing is not None and existing != shard_count:
+            raise StoreError(
+                f"store at {os.fspath(path)!r} has {existing} shard(s) on "
+                f"disk but {shard_count} were requested; resharding is not "
+                f"supported — open with shard_count={existing}")
+        return cls([SQLiteStore(shard_path)
+                    for shard_path in shard_paths(path, shard_count)])
+
+    @classmethod
+    def in_memory(cls, shard_count: int = 4,
+                  factory: Optional[Callable[[], GraphStore]] = None
+                  ) -> "ShardedStore":
+        """``shard_count`` MemoryStore shards (or ``factory()`` ones)."""
+        make = factory if factory is not None else MemoryStore
+        return cls([make() for _ in range(shard_count)])
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def shard_for(self, run_id: str) -> GraphStore:
+        """The child store that owns ``run_id``."""
+        return self.shards[shard_of(run_id, len(self.shards))]
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def put_graph(self, run_id: str, graph: ProvenanceGraph,
+                  source: Optional[str] = None) -> RunInfo:
+        return self.shard_for(run_id).put_graph(run_id, graph, source=source)
+
+    def append_graph(self, run_id: str, graph: ProvenanceGraph,
+                     source: Optional[str] = None) -> RunInfo:
+        return self.shard_for(run_id).append_graph(run_id, graph,
+                                                   source=source)
+
+    def delete_run(self, run_id: str) -> None:
+        self.shard_for(run_id).delete_run(run_id)
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def load_graph(self, run_id: str) -> ProvenanceGraph:
+        return self.shard_for(run_id).load_graph(run_id)
+
+    def run_info(self, run_id: str) -> RunInfo:
+        return self.shard_for(run_id).run_info(run_id)
+
+    def has_run(self, run_id: str) -> bool:
+        return self.shard_for(run_id).has_run(run_id)
+
+    def list_runs(self) -> List[RunInfo]:
+        """The merged catalog: every shard's runs, oldest first."""
+        merged: List[RunInfo] = []
+        for shard in self.shards:
+            merged.extend(shard.list_runs())
+        merged.sort(key=lambda info: (info.created_at, info.run_id))
+        return merged
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        errors = []
+        for shard in self.shards:
+            try:
+                shard.close()
+            except Exception as error:  # pragma: no cover - reap best-effort
+                errors.append(error)
+        if errors:
+            raise errors[0]
+
+    def __repr__(self) -> str:
+        return f"ShardedStore(shards={len(self.shards)})"
+
+
+def open_sharded(path: Optional[Union[str, os.PathLike]] = None,
+                 shard_count: Optional[int] = None) -> ShardedStore:
+    """``None`` path → in-memory shards; else SQLite shard files."""
+    if path is None:
+        return ShardedStore.in_memory(shard_count or 4)
+    return ShardedStore.open(path, shard_count)

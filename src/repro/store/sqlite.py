@@ -22,13 +22,24 @@ Incremental append exploits how the tracker grows a graph: node and
 invocation ids are monotonic and operand lists only ever extend, so
 an append writes nodes above the stored high-water mark, the tail of
 each operand list, and upserts the (few) invocation rows.
+
+Thread model: file-backed stores open in WAL journal mode and keep
+**one connection per thread** (``threading.local``), so readers never
+block behind a writer and every thread sees committed data.  Writes
+are serialized through a process-wide lock per store — SQLite allows
+a single writer anyway, and taking the lock in Python avoids
+``database is locked`` churn under concurrent commits.  ``:memory:``
+stores cannot share data across connections, so they fall back to one
+shared connection guarded by the same lock.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import sqlite3
+import threading
 import time
 from typing import Dict, List, Optional, Union
 
@@ -93,21 +104,95 @@ def _decode_payload(text: Optional[str]):
     return _decode_value(json.loads(text))
 
 
+#: No-op context for readers on per-thread connections.
+_NULL_LOCK = contextlib.nullcontext()
+
+
 class SQLiteStore(GraphStore):
-    """Durable multi-run provenance store backed by one SQLite file."""
+    """Durable multi-run provenance store backed by one SQLite file.
+
+    Safe for concurrent use from many threads: file-backed stores run
+    in WAL mode with one connection per thread; writes serialize
+    through a per-store lock.
+    """
 
     def __init__(self, path: Union[str, os.PathLike] = ":memory:"):
         self.path = os.fspath(path) if not isinstance(path, str) else path
-        self._conn = sqlite3.connect(self.path)
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.executescript(_SCHEMA)
-        self._conn.commit()
+        self._write_lock = threading.RLock()
+        self._local = threading.local()
+        # (owning thread, connection) pairs; owners that have exited
+        # (e.g. a wound-down commit pool) are reaped on the next
+        # connect so file handles don't accumulate until close().
+        self._thread_conns: List[tuple] = []
+        self._conns_lock = threading.Lock()
+        self._closed = False
+        # ``:memory:`` databases are private to their connection, so a
+        # per-thread pool would give every thread an empty store; share
+        # one connection and serialize *all* access through the lock.
+        self._shared_conn: Optional[sqlite3.Connection] = None
+        if self.path == ":memory:":
+            self._shared_conn = self._connect()
+        else:
+            self._conn  # eagerly create the file + schema
+
+    def _connect(self) -> sqlite3.Connection:
+        # check_same_thread=False so close() can reap connections that
+        # other threads opened; each non-shared connection is still
+        # only ever *used* by its owning thread.
+        conn = sqlite3.connect(self.path, check_same_thread=False)
+        conn.execute("PRAGMA synchronous=NORMAL")
+        if self._shared_conn is None and self.path != ":memory:":
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA busy_timeout=10000")
+        conn.executescript(_SCHEMA)
+        conn.commit()
+        return conn
+
+    def _reap_dead_owners_locked(self) -> None:
+        survivors = []
+        for thread, conn in self._thread_conns:
+            if thread.is_alive():
+                survivors.append((thread, conn))
+            else:
+                try:
+                    conn.close()
+                except sqlite3.Error:  # pragma: no cover - best effort
+                    pass
+        self._thread_conns = survivors
+
+    @property
+    def _conn(self) -> sqlite3.Connection:
+        """This thread's connection (the shared one for ``:memory:``)."""
+        if self._closed:
+            # Lazily reconnecting would silently resurrect the store —
+            # for ':memory:' as a brand-new empty database.
+            raise StoreError(f"store {self.path!r} is closed")
+        if self._shared_conn is not None:
+            return self._shared_conn
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = self._connect()
+            self._local.conn = conn
+            with self._conns_lock:
+                self._reap_dead_owners_locked()
+                self._thread_conns.append((threading.current_thread(), conn))
+        return conn
+
+    def _read_lock(self):
+        """Readers only need the lock when the connection is shared
+        (WAL-mode per-thread connections read without blocking)."""
+        return self._write_lock if self._shared_conn is not None else _NULL_LOCK
 
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
     def put_graph(self, run_id: str, graph: ProvenanceGraph,
                   source: Optional[str] = None) -> RunInfo:
+        with self._write_lock:
+            return self._put_graph_locked(run_id, graph, source)
+
+    def _put_graph_locked(self, run_id: str, graph: ProvenanceGraph,
+                          source: Optional[str]) -> RunInfo:
         now = time.time()
         cursor = self._conn.cursor()
         try:
@@ -132,12 +217,17 @@ class SQLiteStore(GraphStore):
 
     def append_graph(self, run_id: str, graph: ProvenanceGraph,
                      source: Optional[str] = None) -> RunInfo:
+        with self._write_lock:
+            return self._append_graph_locked(run_id, graph, source)
+
+    def _append_graph_locked(self, run_id: str, graph: ProvenanceGraph,
+                             source: Optional[str]) -> RunInfo:
         cursor = self._conn.cursor()
         row = cursor.execute(
             "SELECT created_at, source, next_node_id FROM runs "
             "WHERE run_id = ?", (run_id,)).fetchone()
         if row is None:
-            return self.put_graph(run_id, graph, source=source)
+            return self._put_graph_locked(run_id, graph, source)
         created, stored_source, stored_next_node = row
         if graph._next_node_id < stored_next_node:
             raise StoreError(
@@ -178,13 +268,14 @@ class SQLiteStore(GraphStore):
             raise
 
     def delete_run(self, run_id: str) -> None:
-        cursor = self._conn.cursor()
-        if not cursor.execute("SELECT 1 FROM runs WHERE run_id = ?",
-                              (run_id,)).fetchone():
-            raise UnknownRunError(run_id)
-        self._clear_run(cursor, run_id)
-        cursor.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
-        self._conn.commit()
+        with self._write_lock:
+            cursor = self._conn.cursor()
+            if not cursor.execute("SELECT 1 FROM runs WHERE run_id = ?",
+                                  (run_id,)).fetchone():
+                raise UnknownRunError(run_id)
+            self._clear_run(cursor, run_id)
+            cursor.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
+            self._conn.commit()
 
     # -- write helpers -------------------------------------------------
     def _clear_run(self, cursor: sqlite3.Cursor, run_id: str) -> None:
@@ -239,6 +330,10 @@ class SQLiteStore(GraphStore):
     # Read path (lazy: nothing is loaded until a run is asked for)
     # ------------------------------------------------------------------
     def load_graph(self, run_id: str) -> ProvenanceGraph:
+        with self._read_lock():
+            return self._load_graph_unlocked(run_id)
+
+    def _load_graph_unlocked(self, run_id: str) -> ProvenanceGraph:
         cursor = self._conn.cursor()
         row = cursor.execute(
             "SELECT next_node_id, next_invocation_id FROM runs "
@@ -276,26 +371,42 @@ class SQLiteStore(GraphStore):
         return graph
 
     def run_info(self, run_id: str) -> RunInfo:
-        row = self._conn.execute(
-            "SELECT run_id, created_at, updated_at, source, node_count, "
-            "edge_count, invocation_count FROM runs WHERE run_id = ?",
-            (run_id,)).fetchone()
+        with self._read_lock():
+            row = self._conn.execute(
+                "SELECT run_id, created_at, updated_at, source, node_count, "
+                "edge_count, invocation_count FROM runs WHERE run_id = ?",
+                (run_id,)).fetchone()
         if row is None:
             raise UnknownRunError(run_id)
         return RunInfo(*row)
 
     def list_runs(self) -> List[RunInfo]:
-        rows = self._conn.execute(
-            "SELECT run_id, created_at, updated_at, source, node_count, "
-            "edge_count, invocation_count FROM runs "
-            "ORDER BY created_at, run_id").fetchall()
+        with self._read_lock():
+            rows = self._conn.execute(
+                "SELECT run_id, created_at, updated_at, source, node_count, "
+                "edge_count, invocation_count FROM runs "
+                "ORDER BY created_at, run_id").fetchall()
         return [RunInfo(*row) for row in rows]
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        self._conn.close()
+        """Close every connection the store opened (any thread's).
+        Further use raises :class:`~repro.errors.StoreError`."""
+        self._closed = True
+        with self._conns_lock:
+            conns = [conn for _thread, conn in self._thread_conns]
+            self._thread_conns = []
+        if self._shared_conn is not None:
+            conns.append(self._shared_conn)
+        for conn in conns:
+            try:
+                conn.close()
+            except sqlite3.Error:  # pragma: no cover - best-effort reap
+                pass
+        self._shared_conn = None
+        self._local = threading.local()
 
     def __repr__(self) -> str:
         return f"SQLiteStore({self.path!r})"

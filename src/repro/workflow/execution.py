@@ -21,7 +21,8 @@ Workflow-input tuples get ``i``-type workflow input nodes (I₁, ...).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Union)
 
 from ..datamodel.relation import Relation, Row
 from ..datamodel.schema import Schema
@@ -140,11 +141,25 @@ class WorkflowExecutor:
         return WorkflowState(self.modules, self.workflow.module_names())
 
     def execute_sequence(self, input_batches: Sequence[InputBundle],
-                         state: Optional[WorkflowState] = None
+                         state: Optional[WorkflowState] = None,
+                         checkpoint: Optional[Callable[[ExecutionOutput],
+                                                       Any]] = None
                          ) -> List[ExecutionOutput]:
-        """Run executions E₀...Eₙ threading state through the run."""
+        """Run executions E₀...Eₙ threading state through the run.
+
+        ``checkpoint`` is invoked after each execution with its
+        :class:`ExecutionOutput` — the hook a concurrent ingest loop
+        uses to commit the tracker's graph incrementally (e.g.
+        ``lambda _out: tracker.commit(store, run_id)``) so readers see
+        partial provenance while the sequence is still running.
+        """
         state = state if state is not None else self.new_state()
-        return [self.execute(batch, state) for batch in input_batches]
+        outputs: List[ExecutionOutput] = []
+        for batch in input_batches:
+            outputs.append(self.execute(batch, state))
+            if checkpoint is not None:
+                checkpoint(outputs[-1])
+        return outputs
 
     # ------------------------------------------------------------------
     # Single execution (Definition 2.3)

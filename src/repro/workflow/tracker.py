@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import threading
 from typing import Optional
 
 from ..graph.builder import GraphBuilder
@@ -22,13 +23,21 @@ from ..graph.serialize import dump_graph
 
 
 class ProvenanceTracker:
-    """Accumulates provenance during execution and spools it to disk."""
+    """Accumulates provenance during execution and spools it to disk.
+
+    One tracker belongs to one executing workflow (the builder is not
+    re-entrant); :meth:`flush`, :meth:`commit`, and :meth:`snapshot`
+    may be called from other threads while execution pauses between
+    batches — the flush counter is lock-guarded and ``commit`` hands
+    the store a consistent graph.
+    """
 
     def __init__(self, directory: Optional[str] = None,
                  builder: Optional[GraphBuilder] = None):
         self._directory = directory
         self.builder = builder if builder is not None else GraphBuilder()
         self._flush_count = 0
+        self._flush_lock = threading.Lock()
 
     @property
     def graph(self) -> ProvenanceGraph:
@@ -42,13 +51,27 @@ class ProvenanceTracker:
 
     def flush(self, path: Optional[str] = None) -> str:
         """Write the current graph as JSONL; returns the file path."""
-        if path is None:
-            path = os.path.join(self.directory,
-                                f"provenance-{self._flush_count:04d}.jsonl")
+        with self._flush_lock:
+            if path is None:
+                path = os.path.join(
+                    self.directory,
+                    f"provenance-{self._flush_count:04d}.jsonl")
+            self._flush_count += 1
         os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
         dump_graph(self.graph, path)
-        self._flush_count += 1
         return path
+
+    def commit(self, store, run_id: str,
+               source: Optional[str] = None):
+        """Incrementally persist the live graph into a
+        :class:`~repro.store.base.GraphStore` (only growth since the
+        last commit is written).  Returns the store's ``RunInfo``."""
+        return store.append_graph(run_id, self.graph, source=source)
+
+    def snapshot(self) -> ProvenanceGraph:
+        """A frozen copy of the accumulated graph, safe to hand to
+        reader threads while execution continues."""
+        return self.graph.snapshot()
 
     def __repr__(self) -> str:
         return f"ProvenanceTracker({self.graph!r})"

@@ -1,0 +1,238 @@
+"""Concurrency stress tests: parallel ingest racing concurrent readers.
+
+The headline scenario from the issue: 16 runs ingested across 4
+worker threads into a SQLite-backed sharded store while a reader
+thread hammers the service with zoom / subgraph / reachability
+queries.  Afterwards nothing may be corrupted: the catalog holds
+exactly 16 stable runs, every stored graph passes
+``check_consistency``, and per-run JSONL dumps are byte-identical to
+a serial ingest of the same graphs.
+
+Thread workers (not processes) are used deliberately — they share the
+store object, so these tests exercise the WAL/per-thread-connection
+plumbing, the locked LRU caches, and the run-id reservation logic.
+The process-pool pipeline has its own coverage in
+``benchmarks/test_parallel_ingest.py``.
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+
+import pytest
+
+from repro.benchmark.workflowgen import run_dealerships
+from repro.errors import FrozenGraphError
+from repro.graph.serialize import dump_graph
+from repro.queries.zoom import Zoomer
+from repro.store import (MemoryStore, ProvenanceService, RunCatalog,
+                         ShardedStore, SQLiteStore)
+
+RUN_COUNT = 16
+WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def template_graphs():
+    """Four small, distinct tracked dealership graphs (seeds 0-3)."""
+    return [run_dealerships(num_cars=12, num_exec=2, seed=seed, track=True,
+                            force_decline=True).graph
+            for seed in range(4)]
+
+
+def _run_id(index: int) -> str:
+    return f"run-{index + 1:04d}"
+
+
+def _dump_bytes(store, run_id: str) -> str:
+    stream = io.StringIO()
+    dump_graph(store.load_graph(run_id), stream)
+    return stream.getvalue()
+
+
+def _serial_dumps(template_graphs):
+    store = MemoryStore()
+    for index in range(RUN_COUNT):
+        store.put_graph(_run_id(index), template_graphs[index % 4])
+    return {_run_id(index): _dump_bytes(store, _run_id(index))
+            for index in range(RUN_COUNT)}
+
+
+class TestIngestUnderConcurrentReads:
+    def test_sharded_ingest_with_reader_thread(self, tmp_path,
+                                               template_graphs):
+        store = ShardedStore.open(tmp_path / "stress.db", WORKERS)
+        service = ProvenanceService(store)
+        errors = []
+        done = threading.Event()
+
+        def writer(worker: int) -> None:
+            try:
+                for position in range(RUN_COUNT // WORKERS):
+                    index = worker * (RUN_COUNT // WORKERS) + position
+                    graph = template_graphs[index % 4].copy()
+                    store.put_graph(_run_id(index), graph,
+                                    source=f"worker:{worker}")
+            except BaseException as error:  # pragma: no cover - fail assert
+                errors.append(error)
+
+        def reader() -> None:
+            try:
+                while not done.is_set():
+                    runs = service.runs()
+                    for info in runs[:4]:
+                        # CSR read path (immutable snapshot) ...
+                        result = service.subgraph(info.run_id, 0)
+                        assert result.size >= 0
+                        assert service.reachable(info.run_id, 0, 0)
+                        # ... and zoom on a frozen copy-on-read graph.
+                        frozen = service.snapshot(info.run_id)
+                        zoomer = Zoomer(frozen.copy())
+                        zoomed = zoomer.zoom_out_all()
+                        assert zoomed
+            except BaseException as error:  # pragma: no cover - fail assert
+                errors.append(error)
+
+        reader_thread = threading.Thread(target=reader)
+        writer_threads = [threading.Thread(target=writer, args=(worker,))
+                          for worker in range(WORKERS)]
+        reader_thread.start()
+        for thread in writer_threads:
+            thread.start()
+        for thread in writer_threads:
+            thread.join(timeout=120)
+        done.set()
+        reader_thread.join(timeout=120)
+        assert not reader_thread.is_alive()
+        assert errors == []
+
+        # Catalog is complete and stable.
+        runs = store.list_runs()
+        assert len(runs) == RUN_COUNT
+        assert {info.run_id for info in runs} == \
+            {_run_id(index) for index in range(RUN_COUNT)}
+        # Merged catalog order is stable: oldest first.
+        created = [info.created_at for info in runs]
+        assert created == sorted(created)
+
+        # Catalog counters match the stored graphs, graphs are sane.
+        for info in runs:
+            graph = store.load_graph(info.run_id)
+            assert (graph.node_count, graph.edge_count) == \
+                (info.node_count, info.edge_count)
+            graph.check_consistency(warn_duplicates=False)
+
+        # Dumps are byte-identical to serial ingest of the same graphs.
+        expected = _serial_dumps(template_graphs)
+        for run_id, dump in expected.items():
+            assert _dump_bytes(store, run_id) == dump
+        store.close()
+
+    def test_concurrent_commits_to_one_sqlite_file(self, tmp_path,
+                                                   template_graphs):
+        """All workers hitting a single unsharded SQLite database must
+        serialize cleanly through the write lock (no 'database is
+        locked', no lost runs)."""
+        store = SQLiteStore(tmp_path / "single.db")
+        errors = []
+
+        def writer(worker: int) -> None:
+            try:
+                for position in range(4):
+                    index = worker * 4 + position
+                    store.put_graph(_run_id(index),
+                                    template_graphs[index % 4])
+            except BaseException as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(worker,))
+                   for worker in range(WORKERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert errors == []
+        assert len(store.list_runs()) == RUN_COUNT
+        store.close()
+
+
+class TestNamingAndSnapshots:
+    def test_run_id_reservation_is_race_free(self, template_graphs):
+        """Concurrent new_run_id callers never get the same name."""
+        catalog = RunCatalog(MemoryStore())
+        names = []
+        names_lock = threading.Lock()
+
+        def claim() -> None:
+            for _ in range(25):
+                run_id = catalog.new_run_id()
+                with names_lock:
+                    names.append(run_id)
+
+        threads = [threading.Thread(target=claim) for _ in range(WORKERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(names) == WORKERS * 25
+        assert len(set(names)) == len(names)
+
+    def test_snapshot_is_frozen_and_shared(self, template_graphs):
+        store = MemoryStore()
+        store.put_graph("demo", template_graphs[0])
+        service = ProvenanceService(store)
+        frozen = service.snapshot("demo")
+        assert frozen.frozen
+        with pytest.raises(FrozenGraphError):
+            frozen.remove_node(next(iter(frozen.node_ids())))
+        # Same version → same cached frozen copy; copies are thawed.
+        assert service.snapshot("demo") is frozen
+        thawed = frozen.copy()
+        assert not thawed.frozen
+        thawed.remove_node(next(iter(thawed.node_ids())))
+
+    def test_frozen_graph_blocks_all_structural_mutation(self,
+                                                         template_graphs):
+        from repro.graph.nodes import NodeKind
+        frozen = template_graphs[0].snapshot()
+        node_ids = list(frozen.node_ids())
+        with pytest.raises(FrozenGraphError):
+            frozen.add_node(NodeKind.TUPLE)
+        with pytest.raises(FrozenGraphError):
+            frozen.add_nodes(NodeKind.TUPLE, count=3)
+        with pytest.raises(FrozenGraphError):
+            frozen.add_edge(node_ids[0], node_ids[1])
+        with pytest.raises(FrozenGraphError):
+            frozen.add_edges([(node_ids[0], node_ids[1])])
+        with pytest.raises(FrozenGraphError):
+            frozen.remove_nodes(node_ids[:2])
+        with pytest.raises(FrozenGraphError):
+            frozen.new_invocation("M")
+        # Facade write-through setters are guarded too.
+        with pytest.raises(FrozenGraphError):
+            frozen.node(node_ids[0]).label = "sneaky"
+        with pytest.raises(FrozenGraphError):
+            frozen.node(node_ids[0]).value = 42
+        # Reads still work and agree with the source graph.
+        assert frozen.node_count == template_graphs[0].node_count
+        assert frozen.ancestors(node_ids[-1]) == \
+            template_graphs[0].ancestors(node_ids[-1])
+
+    def test_freeze_materializes_adjacency_views(self, template_graphs):
+        """Lazy view building is a multi-step mutation; freeze() must
+        do it eagerly so concurrent first reads cannot race."""
+        frozen = template_graphs[0].snapshot()
+        assert frozen._pred_views is not None
+        assert frozen._indexed_upto == len(frozen._edge_src)
+
+    def test_closed_sqlite_store_refuses_use(self, tmp_path,
+                                             template_graphs):
+        from repro.errors import StoreError
+        store = SQLiteStore(tmp_path / "closing.db")
+        store.put_graph("r1", template_graphs[0])
+        store.close()
+        with pytest.raises(StoreError, match="closed"):
+            store.list_runs()
+        with pytest.raises(StoreError, match="closed"):
+            store.put_graph("r2", template_graphs[1])

@@ -12,9 +12,17 @@ Subcommands (anything else falls through to the benchmark runner):
   ProQL queries from a stored run *without re-executing the
   workflow* — the paper's Tracker / Query Processor split (§5.1)
   across two processes;
-* ``python -m repro runs`` — list the runs cataloged in a store.
+* ``python -m repro runs`` — list the runs cataloged in a store,
+  including each run's persisted ingest cost;
+* ``python -m repro stats`` — telemetry report: probes the store with
+  an instrumented load + query, replays persisted ingest telemetry,
+  and prints the metrics table (``--prom`` for Prometheus text
+  exposition).
 
-All three accept ``--json`` for machine-readable output.
+All subcommands accept ``--json`` for machine-readable output and
+``--metrics`` / ``--trace PATH`` to enable in-process telemetry (the
+metrics table prints to stderr on exit; the trace file gets one JSON
+span event per line).
 
 Example session::
 
@@ -31,11 +39,12 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
+from . import obs
 from .errors import LipstickError
 from .store import ProvenanceService, RunInfo, WorkloadSpec, open_store
 from .store.sharded import detect_shard_count
 
-STORE_COMMANDS = ("ingest", "query", "runs")
+STORE_COMMANDS = ("ingest", "query", "runs", "stats")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -47,6 +56,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "else unsharded)")
     parser.add_argument("--json", action="store_true",
                         help="machine-readable JSON output")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect telemetry and print the metrics "
+                             "table to stderr on exit")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="collect telemetry and write span events "
+                             "to PATH as JSON lines")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -115,6 +130,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     runs = subparsers.add_parser("runs", help="list runs in the store")
     _add_common(runs)
+
+    stats = subparsers.add_parser(
+        "stats", help="telemetry report over the store (metrics table, "
+                      "shard placement, historical ingest cost)")
+    _add_common(stats)
+    stats.add_argument("--prom", action="store_true",
+                       help="Prometheus text exposition instead of the "
+                            "human table")
+    stats.add_argument("--probe-runs", type=int, default=1,
+                       help="instrument a load + subgraph query against "
+                            "the N most recent runs (default: 1; 0 "
+                            "skips probing)")
     return parser
 
 
@@ -131,7 +158,8 @@ def _info_dict(info: RunInfo) -> dict:
     return {"run_id": info.run_id, "nodes": info.node_count,
             "edges": info.edge_count,
             "invocations": info.invocation_count,
-            "source": info.source}
+            "source": info.source,
+            "ingest": (info.meta or {}).get("ingest")}
 
 
 def _ingest_specs(args) -> List[WorkloadSpec]:
@@ -278,33 +306,115 @@ def cmd_query(args) -> int:
     return 0
 
 
+def _shard_stats(store) -> Optional[list]:
+    stats = getattr(store, "shard_stats", None)
+    return stats() if callable(stats) else None
+
+
+def _ingest_cost(info: RunInfo) -> str:
+    """Human summary of a run's persisted ingest telemetry."""
+    meta = (info.meta or {}).get("ingest")
+    if not meta:
+        return "-"
+    return (f"{meta['wall_seconds']:.2f}s"
+            f"/{meta['workers']}w")
+
+
 def cmd_runs(args) -> int:
     with _open_store(args) as store:
+        service = ProvenanceService(store)
         runs = store.list_runs()
         if args.json:
             print(json.dumps({"db": args.db,
-                              "runs": [_info_dict(info) for info in runs]}))
+                              "runs": [_info_dict(info) for info in runs],
+                              "shards": _shard_stats(store),
+                              "storage_bytes": store.storage_bytes(),
+                              "cache_info": service.cache_info()}))
             return 0
         if not runs:
             print(f"{args.db}: no runs")
             return 0
         print(f"{'run id':<16} {'nodes':>8} {'edges':>8} "
-              f"{'invocations':>12}  source")
+              f"{'invocations':>12} {'ingest':>10}  source")
         for info in runs:
             print(f"{info.run_id:<16} {info.node_count:>8} "
-                  f"{info.edge_count:>8} {info.invocation_count:>12}  "
-                  f"{info.source or '-'}")
+                  f"{info.edge_count:>8} {info.invocation_count:>12} "
+                  f"{_ingest_cost(info):>10}  {info.source or '-'}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Telemetry report: probe the store with instrumented operations,
+    replay persisted ingest telemetry into the registry, and export.
+
+    The probe (a cold graph load + a subgraph query per recent run)
+    exercises the store, cache, and kernel namespaces; the persisted
+    per-run ingest summaries populate the ingest namespace — so one
+    command reports live-process metrics over all four subsystems.
+    """
+    from .store.ingest import _record_run_metrics
+    telemetry = obs.enable(trace_path=args.trace)
+    with _open_store(args) as store:
+        service = ProvenanceService(store)
+        runs = store.list_runs()
+        for info in runs:
+            meta = (info.meta or {}).get("ingest")
+            if meta:
+                _record_run_metrics(meta)
+        if args.probe_runs > 0:
+            for info in runs[-args.probe_runs:]:
+                graph = service.graph(info.run_id)
+                service.graph(info.run_id)  # cache.graphs hit
+                try:
+                    node_id = next(iter(graph.node_ids()))
+                except StopIteration:
+                    continue
+                service.subgraph(info.run_id, node_id)
+                service.descendants(info.run_id, node_id)
+        shard_stats = _shard_stats(store)
+        storage = store.storage_bytes()
+        if storage is not None:
+            obs.gauge("store.storage_bytes", storage)
+        if args.json:
+            print(json.dumps({"db": args.db,
+                              "runs": [_info_dict(info) for info in runs],
+                              "shards": shard_stats,
+                              "storage_bytes": storage,
+                              "cache_info": service.cache_info(),
+                              "metrics": telemetry.registry.snapshot()}))
+            return 0
+        if args.prom:
+            sys.stdout.write(obs.to_prometheus(telemetry.registry))
+            return 0
+        print(obs.render_table(telemetry.registry,
+                               title=f"metrics ({args.db})"))
+        print(f"\nruns: {len(runs)}  storage: "
+              f"{storage if storage is not None else 'in-memory'} bytes")
+        if shard_stats:
+            for entry in shard_stats:
+                print(f"  shard {entry['shard']:>2}: {entry['runs']} runs, "
+                      f"{entry['nodes']} nodes, {entry['edges']} edges, "
+                      f"{entry['bytes'] if entry['bytes'] is not None else '-'}"
+                      f" bytes")
     return 0
 
 
 def store_main(argv: Sequence[str]) -> int:
     args = build_parser().parse_args(list(argv))
-    handlers = {"ingest": cmd_ingest, "query": cmd_query, "runs": cmd_runs}
+    telemetry = None
+    if args.metrics or args.trace:
+        telemetry = obs.enable(trace_path=args.trace)
+    handlers = {"ingest": cmd_ingest, "query": cmd_query,
+                "runs": cmd_runs, "stats": cmd_stats}
     try:
-        return handlers[args.command](args)
+        code = handlers[args.command](args)
     except LipstickError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if telemetry is not None and args.command != "stats":
+        # stderr so --json stdout stays machine-parseable.
+        print(obs.render_table(telemetry.registry), file=sys.stderr)
+    return code
 
 
 def main(argv: Sequence[str]) -> int:

@@ -103,6 +103,26 @@ class StoreError(LipstickError):
     """A provenance store operation failed."""
 
 
+class StoreIOError(StoreError):
+    """A store interchange operation failed at the I/O layer.
+
+    Wraps the raw ``OSError`` from spool import/export so callers see
+    *which run* and *which path* failed instead of a bare errno, while
+    ``__cause__`` preserves the original exception chain.
+    """
+
+    def __init__(self, operation: str, path, run_id=None, cause=None):
+        self.operation = operation
+        self.path = path
+        self.run_id = run_id
+        detail = f"store {operation} failed for path {str(path)!r}"
+        if run_id is not None:
+            detail += f" (run {run_id!r})"
+        if cause is not None:
+            detail += f": {cause}"
+        super().__init__(detail)
+
+
 class UnknownRunError(StoreError):
     """A store operation refers to a run id that is not registered."""
 

@@ -27,6 +27,7 @@ from ..provenance.expressions import (
     sum_of,
     tensor,
 )
+from .. import obs as _obs
 from ..provenance.tokens import Token, TokenFactory
 from .nodes import NodeKind
 from .provgraph import Invocation, ProvenanceGraph
@@ -46,6 +47,39 @@ class GraphBuilder:
         self.graph = graph if graph is not None else ProvenanceGraph()
         self.tokens = tokens if tokens is not None else TokenFactory()
         self._invocation: Optional[Invocation] = None
+        # (telemetry, counters...) resolved lazily so emission pays one
+        # identity check per batch instead of a registry lookup.
+        self._obs_instruments = None
+        self._obs_batch_seq = 0
+
+    #: Every Nth batch lands in the ``interp.emit.batch_size``
+    #: histogram.  Emission fires thousands of times per run, and a
+    #: full observe (bisect + lock) on each would alone eat the layer's
+    #: 5% overhead budget; the counters stay exact, the size
+    #: distribution is sampled.
+    _OBS_SAMPLE_EVERY = 16
+
+    def _emit_observed(self, node_count: int) -> None:
+        """Record one emission batch of ``node_count`` nodes (no-op
+        when telemetry is off)."""
+        active = _obs.get()
+        if active is None:
+            return
+        cached = self._obs_instruments
+        if cached is None or cached[0] is not active:
+            registry = active.registry
+            cached = (active,
+                      registry.counter("interp.emit.nodes_total"),
+                      registry.counter("interp.emit.batches_total"),
+                      registry.histogram("interp.emit.batch_size",
+                                         buckets=_obs.SIZE_BUCKETS))
+            self._obs_instruments = cached
+            self._obs_batch_seq = 0
+        cached[1].inc(node_count)
+        cached[2].inc()
+        self._obs_batch_seq += 1
+        if self._obs_batch_seq % self._OBS_SAMPLE_EVERY == 1:
+            cached[3].observe(node_count)
 
     # ------------------------------------------------------------------
     # Invocation context
@@ -94,6 +128,7 @@ class GraphBuilder:
                                         module=module, invocation=invocation,
                                         values=values)
         self.graph.add_operand_edges(node_ids, operand_lists)
+        self._emit_observed(len(node_ids))
         return list(node_ids)
 
     # ------------------------------------------------------------------
@@ -111,9 +146,11 @@ class GraphBuilder:
         """Bulk :meth:`workflow_input_node`: tokens minted in order."""
         fresh = self.tokens.fresh
         labels = [str(fresh(namespace)) for _ in values]
-        return list(self.graph.add_nodes(NodeKind.WORKFLOW_INPUT,
-                                         labels=labels, ntype="p",
-                                         values=list(values)))
+        node_ids = list(self.graph.add_nodes(NodeKind.WORKFLOW_INPUT,
+                                             labels=labels, ntype="p",
+                                             values=list(values)))
+        self._emit_observed(len(node_ids))
+        return node_ids
 
     def base_tuple_node(self, namespace: str, value: Any = None) -> int:
         """p-node for a base (state) tuple, labeled with a fresh token."""
@@ -127,10 +164,12 @@ class GraphBuilder:
         fresh = self.tokens.fresh
         labels = [str(fresh(namespace)) for _ in values]
         module, invocation = self._context()
-        return list(self.graph.add_nodes(NodeKind.TUPLE, labels=labels,
-                                         ntype="p", module=module,
-                                         invocation=invocation,
-                                         values=list(values)))
+        node_ids = list(self.graph.add_nodes(NodeKind.TUPLE, labels=labels,
+                                             ntype="p", module=module,
+                                             invocation=invocation,
+                                             values=list(values)))
+        self._emit_observed(len(node_ids))
+        return node_ids
 
     def module_input_node(self, tuple_node: int, value: Any = None) -> int:
         """Module input node: · of the tuple p-node and the m-node."""
@@ -197,6 +236,7 @@ class GraphBuilder:
                        for tuple_node in tuple_nodes])
         registered = getattr(invocation, register)
         registered.extend(node_ids)
+        self._emit_observed(len(node_ids))
         return list(node_ids)
 
     # ------------------------------------------------------------------

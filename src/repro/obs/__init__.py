@@ -1,0 +1,192 @@
+"""Provenance telemetry: metrics registry, tracing spans, exporters.
+
+The paper's pitch is that provenance makes opaque workflows
+explainable; this package makes the *system itself* explainable.  It
+is deliberately zero-dependency (no client libraries) and zero-cost
+when disabled: every helper below reads one module global, and the
+disabled path allocates nothing (``span()`` returns a shared null
+singleton, ``count``/``observe``/``gauge`` return immediately).
+
+Enabling
+--------
+* environment: ``REPRO_OBS=1`` (optionally ``REPRO_OBS_TRACE=path``
+  for a JSONL span-event log) — picked up at import time;
+* CLI: ``python -m repro <cmd> --metrics`` / ``--trace events.jsonl``;
+* code: ``telemetry = obs.enable(trace_path=...)``.
+
+Instrumented code never checks *how* telemetry was enabled; it calls
+the module-level helpers and they route to the active
+:class:`Telemetry` (or do nothing).
+
+Metric naming convention
+------------------------
+Names are lowercase dotted paths, ``<namespace>.<operation>.<what>``:
+
+* the leading segment is the subsystem namespace — ``store`` (graph
+  persistence), ``cache`` (service LRU tiers), ``kernel`` (flat-array
+  traversals), ``interp`` (tracker emission), ``ingest`` (the
+  parallel pipeline), ``service`` (run serving);
+* counters end in ``_total`` (``store.commit_total``), duration
+  histograms end in ``_seconds`` or ``.seconds`` (span-derived), byte
+  gauges end in ``_bytes``;
+* span names are metric-shaped (``store.load_run``) because finishing
+  a span observes ``<name>.seconds`` automatically;
+* per-instance dimensions (shard file, worker pid) are **labels**,
+  never name segments: ``store.write_seconds{store="prov.db.shard-01"}``.
+
+The catalog of names actually emitted lives in the README's
+"Observability" section; ``python -m repro stats`` prints whatever the
+current process has recorded.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Optional, Union
+
+from .export import (parse_prometheus_names, read_events, render_table,
+                     summarize_events, to_prometheus)
+from .metrics import (DEFAULT_BUCKETS, SIZE_BUCKETS, Counter, Gauge,
+                      Histogram, MetricsRegistry)
+from .trace import EventLog, Span, TraceContext, Tracer
+
+__all__ = [
+    "Counter", "DEFAULT_BUCKETS", "EventLog", "Gauge", "Histogram",
+    "MetricsRegistry", "SIZE_BUCKETS", "Span", "Telemetry", "TraceContext",
+    "Tracer", "count", "disable", "enable", "enabled", "gauge", "get",
+    "observe", "parse_prometheus_names", "read_events", "render_table",
+    "span", "summarize_events", "to_prometheus", "trace_context",
+]
+
+
+class Telemetry:
+    """One live telemetry context: a registry + tracer + event log."""
+
+    def __init__(self, trace_path: Optional[Union[str, os.PathLike]] = None,
+                 event_capacity: int = 10000):
+        self.registry = MetricsRegistry()
+        self.events = EventLog(capacity=event_capacity, path=trace_path)
+        self.tracer = Tracer(self.registry, self.events)
+
+    def close(self) -> None:
+        self.events.close()
+
+    def __repr__(self) -> str:
+        return (f"Telemetry(metrics={len(self.registry)}, "
+                f"events={len(self.events)})")
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def context(self):
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_lock = threading.Lock()
+_active: Optional[Telemetry] = None
+
+
+def enable(trace_path: Optional[Union[str, os.PathLike]] = None,
+           event_capacity: int = 10000, reset: bool = False) -> Telemetry:
+    """Turn telemetry on (idempotent).  ``reset=True`` discards any
+    active context and starts a fresh one — tests and benchmark
+    harnesses use it for isolation."""
+    global _active
+    with _lock:
+        if _active is not None and not reset:
+            return _active
+        if _active is not None:
+            _active.close()
+        _active = Telemetry(trace_path=trace_path,
+                            event_capacity=event_capacity)
+        return _active
+
+
+def disable() -> None:
+    """Turn telemetry off; in-flight operations finish against the old
+    context harmlessly."""
+    global _active
+    with _lock:
+        active, _active = _active, None
+    if active is not None:
+        active.close()
+
+
+def enabled() -> bool:
+    return _active is not None
+
+
+def get() -> Optional[Telemetry]:
+    """The active context, or None when disabled."""
+    return _active
+
+
+# ----------------------------------------------------------------------
+# Recording helpers — the only API instrumented code should need.
+# Each reads the module global exactly once, so a concurrent disable()
+# never half-applies.
+# ----------------------------------------------------------------------
+def count(name: str, amount: int = 1, **labels) -> None:
+    active = _active
+    if active is not None:
+        active.registry.counter(name, **labels).inc(amount)
+
+
+def gauge(name: str, value: float, **labels) -> None:
+    active = _active
+    if active is not None:
+        active.registry.gauge(name, **labels).set(value)
+
+
+def observe(name: str, value: float, buckets=None, **labels) -> None:
+    active = _active
+    if active is not None:
+        active.registry.histogram(name, buckets=buckets,
+                                  **labels).observe(value)
+
+
+def span(name: str, parent=None, **tags):
+    """A context manager timing scope; the shared null singleton when
+    telemetry is off (no allocation on the disabled path)."""
+    active = _active
+    if active is None:
+        return _NULL_SPAN
+    return active.tracer.span(name, parent=parent, **tags)
+
+
+def trace_context() -> Optional[TraceContext]:
+    """Picklable carrier of the current span, for pool seams."""
+    active = _active
+    if active is None:
+        return None
+    return active.tracer.context()
+
+
+def record_span(name: str, seconds: float, parent=None, **tags) -> None:
+    """Emit a span measured elsewhere (e.g. a process-pool worker)."""
+    active = _active
+    if active is not None:
+        active.tracer.record(name, seconds, parent=parent, **tags)
+
+
+def clock() -> float:
+    """Alias for ``time.perf_counter`` so call sites need one import."""
+    return time.perf_counter()
+
+
+# Environment opt-in: REPRO_OBS=1 enables collection for the process;
+# REPRO_OBS_TRACE=path additionally mirrors span events to a file.
+if os.environ.get("REPRO_OBS", "").strip().lower() in ("1", "true", "yes", "on"):
+    enable(trace_path=os.environ.get("REPRO_OBS_TRACE") or None)

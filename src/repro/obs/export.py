@@ -1,0 +1,162 @@
+"""Exporters: Prometheus text exposition, human table, event-log IO.
+
+Three consumers, three renderings of one :class:`MetricsRegistry`:
+
+* :func:`to_prometheus` — the de-facto scrape format (``# TYPE``
+  headers, ``_total``/``_bucket``/``_sum``/``_count`` series, labels
+  in ``{k="v"}``), for wiring a ``/metrics`` endpoint or diffing runs;
+* :func:`render_table` — an aligned terminal table for
+  ``python -m repro stats`` and ``--metrics`` summaries;
+* :func:`read_events` / :func:`parse_prometheus_names` — the read
+  halves the smoke tests round-trip through.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+from typing import List, Optional, Set, Union
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+_NAME_CLEAN = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """Dotted metric name → legal Prometheus metric name."""
+    return _NAME_CLEAN.sub("_", name)
+
+
+def _label_text(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{prometheus_name(key)}="{value}"'
+                     for key, value in labels)
+    return "{" + inner + "}"
+
+
+def _merge_labels(labels, extra_key: str, extra_value: str) -> str:
+    merged = list(labels) + [(extra_key, extra_value)]
+    return _label_text(merged)
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_headers: Set[str] = set()
+    for metric in registry.metrics():
+        name = prometheus_name(metric.name)
+        if isinstance(metric, Counter):
+            series = name if name.endswith("_total") else f"{name}_total"
+            if series not in seen_headers:
+                seen_headers.add(series)
+                lines.append(f"# TYPE {series} counter")
+            lines.append(f"{series}{_label_text(metric.labels)} "
+                         f"{_format_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            if name not in seen_headers:
+                seen_headers.add(name)
+                lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{_label_text(metric.labels)} "
+                         f"{_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            if name not in seen_headers:
+                seen_headers.add(name)
+                lines.append(f"# TYPE {name} histogram")
+            snap = metric.snapshot()
+            for bound, cumulative in snap["buckets"]:
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_merge_labels(metric.labels, 'le', _format_value(bound))}"
+                    f" {cumulative}")
+            lines.append(f"{name}_bucket"
+                         f"{_merge_labels(metric.labels, 'le', '+Inf')}"
+                         f" {snap['count']}")
+            lines.append(f"{name}_sum{_label_text(metric.labels)} "
+                         f"{_format_value(snap['sum'])}")
+            lines.append(f"{name}_count{_label_text(metric.labels)} "
+                         f"{snap['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus_names(text: str) -> Set[str]:
+    """Distinct base series names in an exposition blob (``_bucket`` /
+    ``_sum`` / ``_count`` suffixes folded into their histogram)."""
+    names: Set[str] = set()
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series = line.split("{", 1)[0].split(" ", 1)[0]
+        for suffix in ("_bucket", "_sum", "_count"):
+            if series.endswith(suffix):
+                series = series[:-len(suffix)]
+                break
+        names.add(series)
+    return names
+
+
+def render_table(registry: MetricsRegistry,
+                 title: str = "metrics") -> str:
+    """Aligned human-readable table of every instrument."""
+    rows: List[tuple] = []
+    for metric in registry.metrics():
+        label_text = ",".join(f"{k}={v}" for k, v in metric.labels)
+        name = metric.name + (f"{{{label_text}}}" if label_text else "")
+        if isinstance(metric, Histogram):
+            snap = metric.snapshot()
+            if snap["count"]:
+                detail = (f"count={snap['count']} "
+                          f"mean={snap['mean']:.6f} "
+                          f"min={snap['min']:.6f} max={snap['max']:.6f}")
+            else:
+                detail = "count=0"
+            rows.append((name, "histogram", detail))
+        elif isinstance(metric, Gauge):
+            rows.append((name, "gauge", _format_value(metric.value)))
+        else:
+            rows.append((name, "counter", _format_value(metric.value)))
+    if not rows:
+        return f"{title}: (no metrics recorded)"
+    name_width = max(len(row[0]) for row in rows)
+    kind_width = max(len(row[1]) for row in rows)
+    lines = [f"{title} ({len(rows)} instruments)"]
+    for name, kind, detail in rows:
+        lines.append(f"  {name:<{name_width}}  {kind:<{kind_width}}  {detail}")
+    return "\n".join(lines)
+
+
+def read_events(path: Union[str, os.PathLike]) -> List[dict]:
+    """Parse a JSONL span-event log back into dicts (strict: a corrupt
+    line raises, which is exactly what the smoke test wants to catch)."""
+    events: List[dict] = []
+    with open(os.fspath(path), "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def summarize_events(events: List[dict]) -> dict:
+    """Roll-up used by ``repro stats --json``: span counts and total
+    seconds per span name."""
+    summary: dict = {}
+    for event in events:
+        entry = summary.setdefault(event["name"],
+                                   {"count": 0, "seconds": 0.0})
+        entry["count"] += 1
+        entry["seconds"] += event.get("seconds") or 0.0
+    return summary

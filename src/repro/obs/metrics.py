@@ -1,0 +1,249 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms.
+
+Everything here is plain Python over :mod:`threading` locks — no
+client libraries, no background threads.  A :class:`MetricsRegistry`
+is a named family table: asking for ``registry.counter("x")`` twice
+returns the *same* counter, and label sets
+(``registry.counter("x", shard="3")``) key distinct children of one
+family, mirroring the Prometheus data model closely enough that
+:func:`repro.obs.export.to_prometheus` can render the whole registry
+as standard text exposition.
+
+Lock discipline: the registry lock only guards family lookup/create;
+each instrument carries its own lock for updates, so two threads
+bumping different counters never contend, and two threads bumping the
+*same* counter serialize on one tiny critical section (the parallel
+increment test in ``tests/test_obs.py`` hammers exactly this).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds, in seconds — spans four
+#: decades because provenance ops range from microsecond cache hits to
+#: multi-second cold SQLite rebuilds.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: Bucket bounds for size-ish histograms (batch sizes, node counts).
+SIZE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelItems:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self):
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A value that goes up and down (sizes, temperatures, bytes)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "_lock", "_value")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-count exposition.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]`` (exact,
+    not cumulative — :meth:`snapshot` cumulates for Prometheus
+    semantics); everything above the last bound lands in the implicit
+    ``+Inf`` overflow slot.  Also tracks count/sum/min/max so the
+    human table can print a mean without scraping buckets.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "_lock", "_bucket_counts",
+                 "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str, labels: LabelItems = (),
+                 buckets: Optional[Sequence[float]] = None):
+        self.name = name
+        self.labels = labels
+        bounds = tuple(sorted(buckets if buckets is not None
+                              else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._bucket_counts = [0] * (len(bounds) + 1)  # +1: +Inf overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._bucket_counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counts = list(self._bucket_counts)
+            count, total = self._count, self._sum
+            low = self._min if count else None
+            high = self._max if count else None
+        cumulative: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, counts):
+            running += bucket
+            cumulative.append((bound, running))
+        return {"type": self.kind, "count": count, "sum": total,
+                "min": low, "max": high,
+                "mean": (total / count) if count else None,
+                "buckets": cumulative, "inf": count}
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create table of metric families.
+
+    A *family* is one metric name; labeled calls create distinct
+    children under the family.  Creating the same name with a
+    different instrument type raises — a name means one thing.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: "Dict[Tuple[str, LabelItems], object]" = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, str],
+                       **kwargs):
+        key = (name, _label_key(labels))
+        with self._lock:
+            kind = self._kinds.get(name)
+            if kind is not None and kind != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {kind}, "
+                    f"cannot re-register as {cls.kind}")
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, key[1], **kwargs)
+                self._metrics[key] = metric
+                self._kinds[name] = cls.kind
+            return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, buckets=buckets)
+
+    # ------------------------------------------------------------------
+    # Introspection (exporters read through these)
+    # ------------------------------------------------------------------
+    def metrics(self) -> List[object]:
+        """Every instrument, sorted by (name, labels)."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return [metric for _key, metric in items]
+
+    def names(self) -> List[str]:
+        """Distinct family names, sorted."""
+        with self._lock:
+            return sorted(self._kinds)
+
+    def namespaces(self) -> List[str]:
+        """Distinct leading dotted segments of the family names."""
+        return sorted({name.split(".", 1)[0] for name in self.names()})
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Plain-data dump: ``"name{k=v}" -> snapshot dict``."""
+        out: Dict[str, dict] = {}
+        for metric in self.metrics():
+            label_text = ",".join(f"{k}={v}" for k, v in metric.labels)
+            key = f"{metric.name}{{{label_text}}}" if label_text else metric.name
+            out[key] = metric.snapshot()
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(families={len(self._kinds)}, children={len(self)})"

@@ -1,0 +1,205 @@
+"""Span-based tracer with cross-thread / cross-process propagation.
+
+A :class:`Span` is a timed scope (``with tracer.span("store.load_run",
+run_id=...)``); finishing a span does two things:
+
+* appends a structured event to the :class:`EventLog` (bounded ring
+  buffer, optionally mirrored to a JSONL file), and
+* observes the elapsed time into the registry histogram
+  ``<span name>.seconds`` — so every traced operation automatically
+  has a latency distribution without a second instrumentation call.
+
+Parenting uses a :mod:`contextvars` variable, so nested ``with``
+blocks link up automatically *within* one thread.  Python does not
+carry context into ``ThreadPoolExecutor`` workers or into process
+pools, so the two concurrency seams established in the ingest
+pipeline propagate explicitly:
+
+* **thread pool** — capture :meth:`Tracer.context` before submitting
+  and pass it as ``span(..., parent=ctx)`` in the worker;
+* **process pool** — workers measure durations with plain
+  ``perf_counter`` and return them; the parent calls
+  :meth:`Tracer.record` to emit a span *on the worker's behalf*,
+  parented into the live trace.  (Shipping a live tracer across a
+  pickle boundary buys nothing — the child's events would still need
+  to come back.)
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from typing import Dict, List, Optional, Union
+
+_ids = itertools.count(1)
+
+#: The innermost open span of the *current thread/context*.
+_current_span: "ContextVar[Optional[Span]]" = ContextVar(
+    "repro_obs_span", default=None)
+
+
+class TraceContext:
+    """Picklable (trace_id, span_id) pair for crossing pool seams."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: str, span_id: int):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __getstate__(self):
+        return (self.trace_id, self.span_id)
+
+    def __setstate__(self, state):
+        self.trace_id, self.span_id = state
+
+    def __repr__(self) -> str:
+        return f"TraceContext({self.trace_id!r}, {self.span_id})"
+
+
+class Span:
+    """One timed scope.  Use as a context manager via ``tracer.span``."""
+
+    __slots__ = ("tracer", "name", "tags", "trace_id", "span_id",
+                 "parent_id", "started_wall", "_started", "seconds",
+                 "status", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str,
+                 parent_id: Optional[int], tags: Dict):
+        self.tracer = tracer
+        self.name = name
+        self.tags = tags
+        self.trace_id = trace_id
+        self.span_id = next(_ids)
+        self.parent_id = parent_id
+        self.started_wall: Optional[float] = None
+        self._started: Optional[float] = None
+        self.seconds: Optional[float] = None
+        self.status = "ok"
+        self._token = None
+
+    def context(self) -> TraceContext:
+        """This span as a picklable parent for another thread/process."""
+        return TraceContext(self.trace_id, self.span_id)
+
+    def __enter__(self) -> "Span":
+        self.started_wall = time.time()
+        self._started = time.perf_counter()
+        self._token = _current_span.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.seconds = time.perf_counter() - self._started
+        if self._token is not None:
+            _current_span.reset(self._token)
+            self._token = None
+        if exc_type is not None:
+            self.status = "error"
+            self.tags = dict(self.tags, error=exc_type.__name__)
+        self.tracer._finish(self)
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, trace={self.trace_id}, "
+                f"id={self.span_id}, parent={self.parent_id})")
+
+
+class EventLog:
+    """Bounded in-memory ring of span events, optionally mirrored to a
+    JSONL file (one event object per line, append-only)."""
+
+    def __init__(self, capacity: int = 10000,
+                 path: Optional[Union[str, os.PathLike]] = None):
+        self._lock = threading.Lock()
+        self._events: deque = deque(maxlen=capacity)
+        self.path = os.fspath(path) if path is not None else None
+        self._stream = None
+        if self.path is not None:
+            self._stream = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+            if self._stream is not None:
+                json.dump(event, self._stream, default=str)
+                self._stream.write("\n")
+                self._stream.flush()
+
+    def events(self) -> List[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._stream is not None:
+                self._stream.close()
+                self._stream = None
+
+
+class Tracer:
+    """Mints spans, links them to the current context, finishes them
+    into the event log + the ``<name>.seconds`` registry histogram."""
+
+    def __init__(self, registry, event_log: EventLog):
+        self.registry = registry
+        self.event_log = event_log
+        self._trace_seq = itertools.count(1)
+
+    def _new_trace_id(self) -> str:
+        return f"{os.getpid():x}-{next(self._trace_seq):06x}"
+
+    def _resolve_parent(self, parent) -> "tuple[str, Optional[int]]":
+        if parent is not None:
+            return parent.trace_id, parent.span_id
+        current = _current_span.get()
+        if current is not None:
+            return current.trace_id, current.span_id
+        return self._new_trace_id(), None
+
+    def span(self, name: str,
+             parent: Optional[Union[Span, TraceContext]] = None,
+             **tags) -> Span:
+        """An un-entered span; ``with tracer.span(...)`` starts it."""
+        trace_id, parent_id = self._resolve_parent(parent)
+        return Span(self, name, trace_id, parent_id, tags)
+
+    def current(self) -> Optional[Span]:
+        return _current_span.get()
+
+    def context(self) -> Optional[TraceContext]:
+        """The current span as a picklable carrier (None outside any)."""
+        current = _current_span.get()
+        return current.context() if current is not None else None
+
+    def record(self, name: str, seconds: float,
+               parent: Optional[Union[Span, TraceContext]] = None,
+               started_wall: Optional[float] = None, **tags) -> None:
+        """Emit a completed span measured elsewhere (a process-pool
+        worker, a remote service) into this tracer's trace tree."""
+        trace_id, parent_id = self._resolve_parent(parent)
+        span = Span(self, name, trace_id, parent_id, tags)
+        span.started_wall = (started_wall if started_wall is not None
+                             else time.time() - seconds)
+        span.seconds = seconds
+        self._finish(span)
+
+    def _finish(self, span: Span) -> None:
+        self.event_log.emit({
+            "ts": span.started_wall,
+            "name": span.name,
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "seconds": span.seconds,
+            "status": span.status,
+            "tags": span.tags,
+        })
+        self.registry.histogram(f"{span.name}.seconds").observe(span.seconds)

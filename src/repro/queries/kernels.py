@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import struct as _struct
 from collections import deque
+from time import perf_counter as _perf
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .. import obs as _obs
 
 try:  # optional accelerator: C-speed bit materialization
     import numpy as _np
@@ -38,6 +41,16 @@ Views = Sequence[Tuple[int, ...]]
 # ----------------------------------------------------------------------
 def reach(views: Views, start: int, size: int) -> List[int]:
     """Node ids reachable from ``start`` (exclusive), unordered."""
+    if _obs.enabled():
+        started = _perf()
+        reached = _reach(views, start, size)
+        _obs.observe("kernel.reach.run_seconds", _perf() - started)
+        _obs.count("kernel.reach.visited_total", len(reached))
+        return reached
+    return _reach(views, start, size)
+
+
+def _reach(views: Views, start: int, size: int) -> List[int]:
     mask = bytearray(size)
     mask[start] = 1
     reached: List[int] = []
@@ -62,6 +75,16 @@ def reach_set(views: Views, start: int, size: int) -> Set[int]:
 
 def reachable(succ_views: Views, source: int, target: int, size: int) -> bool:
     """Early-exit DFS: does a path ``source →* target`` exist?"""
+    if _obs.enabled():
+        started = _perf()
+        answer = _reachable(succ_views, source, target, size)
+        _obs.observe("kernel.reachable.run_seconds", _perf() - started)
+        return answer
+    return _reachable(succ_views, source, target, size)
+
+
+def _reachable(succ_views: Views, source: int, target: int,
+               size: int) -> bool:
     mask = bytearray(size)
     mask[source] = 1
     stack = list(succ_views[source])
@@ -84,6 +107,17 @@ def multi_source_reach(views: Views, starts: Iterable[int], size: int,
     expanded — the Definition 4.1 "no output node on the path" rule
     when ``barrier`` flags OUTPUT-kind rows.
     """
+    if _obs.enabled():
+        started = _perf()
+        reached = _multi_source_reach(views, starts, size, barrier)
+        _obs.observe("kernel.multi_reach.run_seconds", _perf() - started)
+        _obs.count("kernel.multi_reach.visited_total", len(reached))
+        return reached
+    return _multi_source_reach(views, starts, size, barrier)
+
+
+def _multi_source_reach(views: Views, starts: Iterable[int], size: int,
+                        barrier: Optional[bytes] = None) -> List[int]:
     mask = bytearray(size)
     stack: List[int] = []
     extend = stack.extend
@@ -122,6 +156,17 @@ def topo_order(pred_views: Views, succ_views: Views,
                node_ids: Iterable[int], size: int) -> List[int]:
     """Kahn's algorithm over flat views; caller compares ``len(order)``
     against the live node count to detect cycles."""
+    if _obs.enabled():
+        started = _perf()
+        order = _topo_order(pred_views, succ_views, node_ids, size)
+        _obs.observe("kernel.topo.run_seconds", _perf() - started)
+        _obs.count("kernel.topo.visited_total", len(order))
+        return order
+    return _topo_order(pred_views, succ_views, node_ids, size)
+
+
+def _topo_order(pred_views: Views, succ_views: Views,
+                node_ids: Iterable[int], size: int) -> List[int]:
     in_degrees = [0] * size
     frontier: List[int] = []
     for node_id in node_ids:
@@ -156,6 +201,17 @@ def subgraph_sets(pred_views: Views, succ_views: Views, node_id: int,
     algebra over descendant operand views — no per-candidate Python
     loop.
     """
+    if _obs.enabled():
+        started = _perf()
+        sets = _subgraph_sets(pred_views, succ_views, node_id, size)
+        _obs.observe("kernel.subgraph.run_seconds", _perf() - started)
+        _obs.count("kernel.subgraph.visited_total", sum(map(len, sets)))
+        return sets
+    return _subgraph_sets(pred_views, succ_views, node_id, size)
+
+
+def _subgraph_sets(pred_views: Views, succ_views: Views, node_id: int,
+                   size: int) -> Tuple[Set[int], Set[int], Set[int]]:
     member = bytearray(size)
     member[node_id] = 1
     descendants: List[int] = []
@@ -203,6 +259,17 @@ def deletion_reach(succ_views: Views, pred_views: Views,
     ``joint_flags`` marks ·/⊗-labeled rows (rule 2): they die on the
     first deleted incoming edge, no counter bookkeeping needed.
     """
+    if _obs.enabled():
+        started = _perf()
+        removed = _deletion_reach(succ_views, pred_views, seeds, joint_flags)
+        _obs.observe("kernel.deletion.run_seconds", _perf() - started)
+        _obs.count("kernel.deletion.removed_total", len(removed))
+        return removed
+    return _deletion_reach(succ_views, pred_views, seeds, joint_flags)
+
+
+def _deletion_reach(succ_views: Views, pred_views: Views,
+                    seeds: Sequence[int], joint_flags: bytes) -> Set[int]:
     removed: Set[int] = set()
     removed_add = removed.add
     remaining_in: Dict[int, int] = {}

@@ -29,20 +29,26 @@ import abc
 import os
 from typing import List, Optional, Union
 
-from ..errors import UnknownRunError
+from ..errors import StoreError, UnknownRunError
 from ..graph.provgraph import ProvenanceGraph
 from ..graph.serialize import dump_graph, load_graph
 
 
 class RunInfo:
-    """Catalog metadata for one stored workflow run."""
+    """Catalog metadata for one stored workflow run.
+
+    ``meta`` is an optional free-form JSON-able dict persisted
+    alongside the run — the ingest pipeline records its telemetry
+    summary there (wall time, worker count, node/edge throughput) so
+    historical ingest cost survives the process that measured it.
+    """
 
     __slots__ = ("run_id", "created_at", "updated_at", "source",
-                 "node_count", "edge_count", "invocation_count")
+                 "node_count", "edge_count", "invocation_count", "meta")
 
     def __init__(self, run_id: str, created_at: float, updated_at: float,
                  source: Optional[str], node_count: int, edge_count: int,
-                 invocation_count: int):
+                 invocation_count: int, meta: Optional[dict] = None):
         self.run_id = run_id
         self.created_at = created_at
         self.updated_at = updated_at
@@ -50,6 +56,7 @@ class RunInfo:
         self.node_count = node_count
         self.edge_count = edge_count
         self.invocation_count = invocation_count
+        self.meta = meta
 
     def __repr__(self) -> str:
         return (f"RunInfo({self.run_id!r}, nodes={self.node_count}, "
@@ -105,6 +112,22 @@ class GraphStore(abc.ABC):
             return True
         except UnknownRunError:
             return False
+
+    # ------------------------------------------------------------------
+    # Run metadata & storage accounting
+    # ------------------------------------------------------------------
+    def set_run_meta(self, run_id: str, meta: dict) -> None:
+        """Attach a JSON-able metadata dict to a stored run.
+
+        Backends that persist catalogs override this; the default
+        refuses so callers can't silently lose metadata.
+        """
+        raise StoreError(
+            f"{type(self).__name__} does not support run metadata")
+
+    def storage_bytes(self) -> Optional[int]:
+        """On-disk footprint of the backend, or None when volatile."""
+        return None
 
     # ------------------------------------------------------------------
     # JSONL interchange (the tracker's spool format; .gz transparent)

@@ -38,6 +38,8 @@ from collections import OrderedDict
 from typing import (Callable, Hashable, List, Optional, Sequence, TypeVar,
                     Union)
 
+from .. import obs as _obs
+from ..errors import StoreIOError
 from ..graph.provgraph import ProvenanceGraph
 from ..queries.reachability import ReachabilityIndex
 from ..queries.subgraph import SubgraphResult
@@ -62,12 +64,25 @@ class LRUCache:
     same-run artifacts).
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, name: Optional[str] = None):
         self.capacity = capacity
+        self.name = name
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._lock = threading.RLock()
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        # Metric names are precomputed so the hot path pays one dict
+        # lookup per cache access when telemetry is on, zero when off.
+        prefix = f"cache.{name}" if name else None
+        self._hits_metric = f"{prefix}.hits_total" if prefix else None
+        self._misses_metric = f"{prefix}.misses_total" if prefix else None
+        self._evictions_metric = (f"{prefix}.evictions_total"
+                                  if prefix else None)
+
+    def _record(self, metric: Optional[str], amount: int = 1) -> None:
+        if metric is not None and _obs.enabled():
+            _obs.count(metric, amount)
 
     def get_or_build(self, key: Hashable, build: Callable[[], T]) -> T:
         with self._lock:
@@ -78,9 +93,11 @@ class LRUCache:
                     value = self._entries[key]
                     self._entries.move_to_end(key)
                     self.hits += 1
+                    self._record(self._hits_metric)
                     return value  # type: ignore[return-value]
                 except KeyError:
                     self.misses += 1
+        self._record(self._misses_metric)
         value = build()
         if self.capacity <= 0:
             return value
@@ -92,14 +109,30 @@ class LRUCache:
                 self._entries.move_to_end(key)
                 return existing  # type: ignore[return-value]
             self._entries[key] = value
+            evicted = 0
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                evicted += 1
+            if evicted:
+                self.evictions += evicted
+                self._record(self._evictions_metric, evicted)
             return value
 
     def evict(self, predicate: Callable[[Hashable], bool]) -> None:
         with self._lock:
-            for key in [key for key in self._entries if predicate(key)]:
+            stale = [key for key in self._entries if predicate(key)]
+            for key in stale:
                 del self._entries[key]
+            if stale:
+                self.evictions += len(stale)
+                self._record(self._evictions_metric, len(stale))
+
+    def info(self) -> dict:
+        """Counters + occupancy snapshot (functools-style cache_info)."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions,
+                    "size": len(self._entries), "capacity": self.capacity}
 
     def __len__(self) -> int:
         with self._lock:
@@ -151,13 +184,25 @@ class RunCatalog:
 
     def ingest(self, path: Union[str, os.PathLike],
                run_id: Optional[str] = None) -> RunInfo:
-        """Import a tracker JSONL spool file (``.gz`` transparent)."""
+        """Import a tracker JSONL spool file (``.gz`` transparent).
+
+        Raises :class:`~repro.errors.StoreIOError` (carrying the run
+        id and path) when the spool file cannot be read.
+        """
         if run_id is None:
             run_id = self.new_run_id()
-        return self.store.import_jsonl(run_id, path)
+        try:
+            return self.store.import_jsonl(run_id, path)
+        except OSError as error:
+            raise StoreIOError("ingest", path, run_id=run_id,
+                               cause=error) from error
 
     def export(self, run_id: str, path: Union[str, os.PathLike]) -> int:
-        return self.store.export_jsonl(run_id, path)
+        try:
+            return self.store.export_jsonl(run_id, path)
+        except OSError as error:
+            raise StoreIOError("export", path, run_id=run_id,
+                               cause=error) from error
 
     def runs(self) -> List[RunInfo]:
         return self.store.list_runs()
@@ -184,11 +229,11 @@ class ProvenanceService:
                  csr_cache_size: int = 8, index_cache_size: int = 2):
         self.store = store
         self.catalog = RunCatalog(store)
-        self._graphs = LRUCache(graph_cache_size)
-        self._processors = LRUCache(graph_cache_size)
-        self._snapshots = LRUCache(csr_cache_size)
-        self._indexes = LRUCache(index_cache_size)
-        self._frozen = LRUCache(graph_cache_size)
+        self._graphs = LRUCache(graph_cache_size, name="graphs")
+        self._processors = LRUCache(graph_cache_size, name="processors")
+        self._snapshots = LRUCache(csr_cache_size, name="csr")
+        self._indexes = LRUCache(index_cache_size, name="reachability")
+        self._frozen = LRUCache(graph_cache_size, name="frozen")
         self._load_seconds: dict = {}
         # Per-run locks serialize operations that touch a run's *live*
         # cached graph (loads, derived-artifact builds, zoom surgery,
@@ -224,9 +269,10 @@ class ProvenanceService:
     def graph(self, run_id: str) -> ProvenanceGraph:
         """The rebuilt graph for ``run_id`` (LRU-cached)."""
         def build() -> ProvenanceGraph:
-            started = time.perf_counter()
-            graph = self.store.load_graph(run_id)
-            self._load_seconds[run_id] = time.perf_counter() - started
+            with _obs.span("store.load_run", run_id=run_id):
+                started = time.perf_counter()
+                graph = self.store.load_graph(run_id)
+                self._load_seconds[run_id] = time.perf_counter() - started
             return graph
         with self._run_lock(run_id):
             return self._graphs.get_or_build(
@@ -377,6 +423,18 @@ class ProvenanceService:
             "processors": (self._processors.hits, self._processors.misses),
             "csr": (self._snapshots.hits, self._snapshots.misses),
             "reachability": (self._indexes.hits, self._indexes.misses),
+        }
+
+    def cache_info(self) -> dict:
+        """Full per-cache counters: hits, misses, evictions, size,
+        capacity — keyed by cache name (the ``cache.<name>.*`` metric
+        namespace uses the same keys)."""
+        return {
+            "graphs": self._graphs.info(),
+            "processors": self._processors.info(),
+            "csr": self._snapshots.info(),
+            "reachability": self._indexes.info(),
+            "frozen": self._frozen.info(),
         }
 
     def __repr__(self) -> str:

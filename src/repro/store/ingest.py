@@ -23,10 +23,13 @@ from __future__ import annotations
 
 import os
 import tempfile
+import time
 from concurrent.futures import (ProcessPoolExecutor, ThreadPoolExecutor,
                                 as_completed)
+from time import perf_counter as _perf
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs as _obs
 from ..errors import StoreError
 from ..graph.provgraph import ProvenanceGraph
 from ..graph.serialize import dump_graph, load_graph as load_spool
@@ -115,18 +118,65 @@ def execute_spec(spec: WorkloadSpec) -> ProvenanceGraph:
 
 
 def _spool_spec(spec: WorkloadSpec, directory: str,
-                index: int) -> Tuple[str, str, int]:
+                index: int) -> Tuple[str, str, int, Dict]:
     """Worker-process entry point: execute and spool one spec.
 
-    Returns ``(run_id, spool_path, record_count)``; the parent commits
-    the spool and deletes it.  The spool is named by spec *index*, not
-    run id — run ids are user-supplied and may contain path
-    separators.
+    Returns ``(run_id, spool_path, record_count, timings)``; the
+    parent commits the spool and deletes it.  The spool is named by
+    spec *index*, not run id — run ids are user-supplied and may
+    contain path separators.
+
+    ``timings`` measures the worker's stages with its own clock (a
+    ``perf_counter`` is meaningless across processes) plus a wall
+    timestamp for when the spool landed, which the parent compares
+    against its own wall clock to derive commit-queue wait.  Workers
+    never touch the telemetry registry — the parent emits spans and
+    metrics on their behalf, so the pipeline needs no cross-process
+    telemetry plumbing.
     """
+    started = _perf()
     graph = execute_spec(spec)
+    executed = _perf()
     path = os.path.join(directory, f"spool-{index:04d}.jsonl")
     records = dump_graph(graph, path)
-    return spec.run_id, path, records
+    timings = {
+        "pid": os.getpid(),
+        "execute_seconds": executed - started,
+        "spool_seconds": _perf() - executed,
+        "spooled_at": time.time(),
+        "nodes": graph.node_count,
+        "edges": graph.edge_count,
+    }
+    return spec.run_id, path, records, timings
+
+
+def _persist_ingest_meta(store, run_id: str, meta: Dict) -> None:
+    """Attach the per-run ingest summary to the catalog row.
+
+    Best-effort: backends without metadata support (custom stores)
+    raise :class:`StoreError`, which must not fail the ingest itself.
+    """
+    try:
+        store.set_run_meta(run_id, {"ingest": meta})
+    except StoreError:
+        pass
+
+
+def _record_run_metrics(meta: Dict) -> None:
+    """Mirror one run's ingest summary into the metrics registry."""
+    if not _obs.enabled():
+        return
+    worker = str(meta.get("worker_pid", os.getpid()))
+    _obs.count("ingest.runs_total", worker=worker)
+    _obs.count("ingest.nodes_total", meta["nodes"])
+    _obs.count("ingest.edges_total", meta["edges"])
+    _obs.observe("ingest.execute_seconds", meta["execute_seconds"])
+    _obs.observe("ingest.commit_seconds", meta["commit_seconds"])
+    if "spool_seconds" in meta:
+        _obs.observe("ingest.spool_seconds", meta["spool_seconds"])
+    if "queue_wait_seconds" in meta:
+        _obs.observe("ingest.queue_wait_seconds",
+                     meta["queue_wait_seconds"])
 
 
 def _assign_run_ids(catalog: RunCatalog,
@@ -152,23 +202,69 @@ def ingest_many(catalog: RunCatalog, specs: Sequence[WorkloadSpec],
     if len({spec.run_id for spec in specs}) != len(specs):
         raise StoreError("ingest_many specs contain duplicate run ids")
     if workers <= 1 or len(specs) <= 1:
-        return [catalog.register(execute_spec(spec), run_id=spec.run_id,
-                                 source=spec.source)
-                for spec in specs]
+        results: List[RunInfo] = []
+        with _obs.span("ingest.batch", workers=1, specs=len(specs)):
+            for spec in specs:
+                started = _perf()
+                graph = execute_spec(spec)
+                executed = _perf()
+                info = catalog.register(graph, run_id=spec.run_id,
+                                        source=spec.source)
+                committed = _perf()
+                meta = {"workers": 1, "worker_pid": os.getpid(),
+                        "execute_seconds": executed - started,
+                        "commit_seconds": committed - executed,
+                        "wall_seconds": committed - started,
+                        "nodes": info.node_count, "edges": info.edge_count}
+                _persist_ingest_meta(catalog.store, spec.run_id, meta)
+                _record_run_metrics(meta)
+                info.meta = {"ingest": meta}
+                results.append(info)
+        return results
     store = catalog.store
     sources = {spec.run_id: spec.source for spec in specs}
     infos: Dict[str, RunInfo] = {}
-    with tempfile.TemporaryDirectory(prefix="repro-ingest-") as directory:
+    with _obs.span("ingest.batch", workers=workers, specs=len(specs)), \
+            tempfile.TemporaryDirectory(prefix="repro-ingest-") as directory:
+        # Commits run on pool threads, which never inherit the ambient
+        # contextvar — the batch context is captured here, once, and
+        # handed to every worker-measured span explicitly.
+        root_context = _obs.trace_context()
 
-        def commit(result: Tuple[str, str, int]) -> Tuple[str, RunInfo]:
-            run_id, path, _records = result
+        def commit(result: Tuple[str, str, int, Dict]) -> Tuple[str, RunInfo]:
+            run_id, path, _records, timings = result
+            queue_wait = max(0.0, time.time() - timings["spooled_at"])
+            started = _perf()
             try:
                 graph = load_spool(path)
-                return run_id, store.put_graph(run_id, graph,
-                                               source=sources[run_id])
+                info = store.put_graph(run_id, graph,
+                                       source=sources[run_id])
             finally:
                 if os.path.exists(path):
                     os.remove(path)
+            commit_seconds = _perf() - started
+            meta = {"workers": workers, "worker_pid": timings["pid"],
+                    "execute_seconds": timings["execute_seconds"],
+                    "spool_seconds": timings["spool_seconds"],
+                    "queue_wait_seconds": queue_wait,
+                    "commit_seconds": commit_seconds,
+                    "wall_seconds": (timings["execute_seconds"]
+                                     + timings["spool_seconds"]
+                                     + queue_wait + commit_seconds),
+                    "nodes": info.node_count, "edges": info.edge_count}
+            _persist_ingest_meta(store, run_id, meta)
+            _record_run_metrics(meta)
+            info.meta = {"ingest": meta}
+            if _obs.enabled():
+                worker = str(timings["pid"])
+                _obs.record_span("ingest.execute",
+                                 timings["execute_seconds"],
+                                 parent=root_context, run_id=run_id,
+                                 worker=worker)
+                _obs.record_span("ingest.commit", commit_seconds,
+                                 parent=root_context, run_id=run_id,
+                                 worker=worker)
+            return run_id, info
 
         with ProcessPoolExecutor(max_workers=workers) as executors, \
                 ThreadPoolExecutor(max_workers=workers) as committers:

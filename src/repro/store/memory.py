@@ -37,6 +37,7 @@ class MemoryStore(GraphStore):
         self._lock = threading.RLock()
         self._graphs: Dict[str, ProvenanceGraph] = {}
         self._meta: Dict[str, RunInfo] = {}
+        self._run_meta: Dict[str, dict] = {}
 
     def put_graph(self, run_id: str, graph: ProvenanceGraph,
                   source: Optional[str] = None) -> RunInfo:
@@ -75,7 +76,8 @@ class MemoryStore(GraphStore):
             graph = self._graphs[run_id]
             return RunInfo(info.run_id, info.created_at, info.updated_at,
                            info.source, graph.node_count, graph.edge_count,
-                           len(graph.invocations))
+                           len(graph.invocations),
+                           meta=self._run_meta.get(run_id))
 
     def list_runs(self) -> List[RunInfo]:
         with self._lock:
@@ -88,12 +90,19 @@ class MemoryStore(GraphStore):
                 pass
         return infos
 
+    def set_run_meta(self, run_id: str, meta: dict) -> None:
+        with self._lock:
+            if run_id not in self._graphs:
+                raise UnknownRunError(run_id)
+            self._run_meta[run_id] = dict(meta)
+
     def delete_run(self, run_id: str) -> None:
         with self._lock:
             if run_id not in self._graphs:
                 raise UnknownRunError(run_id)
             del self._graphs[run_id]
             del self._meta[run_id]
+            self._run_meta.pop(run_id, None)
 
     def __repr__(self) -> str:
         return f"MemoryStore(runs={len(self._graphs)})"

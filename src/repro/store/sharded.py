@@ -130,6 +130,9 @@ class ShardedStore(GraphStore):
     def delete_run(self, run_id: str) -> None:
         self.shard_for(run_id).delete_run(run_id)
 
+    def set_run_meta(self, run_id: str, meta: dict) -> None:
+        self.shard_for(run_id).set_run_meta(run_id, meta)
+
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
@@ -149,6 +152,31 @@ class ShardedStore(GraphStore):
             merged.extend(shard.list_runs())
         merged.sort(key=lambda info: (info.created_at, info.run_id))
         return merged
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def shard_stats(self) -> List[dict]:
+        """Per-shard placement census: runs, node/edge totals, and
+        on-disk bytes for each child store (``bytes`` is None for
+        volatile backends)."""
+        stats = []
+        for index, shard in enumerate(self.shards):
+            runs = shard.list_runs()
+            stats.append({
+                "shard": index,
+                "path": getattr(shard, "path", None),
+                "runs": len(runs),
+                "nodes": sum(info.node_count for info in runs),
+                "edges": sum(info.edge_count for info in runs),
+                "bytes": shard.storage_bytes(),
+            })
+        return stats
+
+    def storage_bytes(self) -> Optional[int]:
+        sizes = [shard.storage_bytes() for shard in self.shards]
+        known = [size for size in sizes if size is not None]
+        return sum(known) if known else None
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -43,6 +43,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Union
 
+from .. import obs as _obs
 from ..errors import StoreError, UnknownRunError
 from ..graph.nodes import NodeKind
 from ..graph.provgraph import Invocation, ProvenanceGraph
@@ -59,7 +60,8 @@ CREATE TABLE IF NOT EXISTS runs (
     edge_count          INTEGER NOT NULL,
     invocation_count    INTEGER NOT NULL,
     next_node_id        INTEGER NOT NULL,
-    next_invocation_id  INTEGER NOT NULL
+    next_invocation_id  INTEGER NOT NULL,
+    meta                TEXT
 );
 CREATE TABLE IF NOT EXISTS nodes (
     run_id     TEXT NOT NULL,
@@ -118,6 +120,14 @@ class SQLiteStore(GraphStore):
 
     def __init__(self, path: Union[str, os.PathLike] = ":memory:"):
         self.path = os.fspath(path) if not isinstance(path, str) else path
+        # Telemetry: every timing/counter this store emits carries a
+        # ``store`` label, so shard files show up as distinct series.
+        self._obs_labels = {"store": (os.path.basename(self.path)
+                                      if self.path != ":memory:"
+                                      else ":memory:")}
+        self._wal_path = (self.path + "-wal"
+                          if self.path != ":memory:" else None)
+        self._last_wal_bytes = 0
         self._write_lock = threading.RLock()
         self._local = threading.local()
         # (owning thread, connection) pairs; owners that have exited
@@ -145,6 +155,12 @@ class SQLiteStore(GraphStore):
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA busy_timeout=10000")
         conn.executescript(_SCHEMA)
+        # Stores created before the telemetry PR lack the runs.meta
+        # column; widen them in place (CREATE IF NOT EXISTS above
+        # skipped the table, so the ALTER is the upgrade path).
+        columns = {row[1] for row in conn.execute("PRAGMA table_info(runs)")}
+        if "meta" not in columns:
+            conn.execute("ALTER TABLE runs ADD COLUMN meta TEXT")
         conn.commit()
         return conn
 
@@ -183,13 +199,59 @@ class SQLiteStore(GraphStore):
         (WAL-mode per-thread connections read without blocking)."""
         return self._write_lock if self._shared_conn is not None else _NULL_LOCK
 
+    # -- telemetry helpers ---------------------------------------------
+    def _commit(self) -> None:
+        """Commit this thread's connection, recording commit latency,
+        commit counts, and WAL growth/auto-checkpoints when telemetry
+        is on (a WAL file that *shrank* since the last commit means
+        SQLite ran an auto-checkpoint in between)."""
+        conn = self._conn
+        if not _obs.enabled():
+            conn.commit()
+            return
+        labels = self._obs_labels
+        started = time.perf_counter()
+        conn.commit()
+        _obs.observe("store.commit_seconds", time.perf_counter() - started,
+                     **labels)
+        _obs.count("store.commit_total", **labels)
+        if self._wal_path is not None:
+            try:
+                wal_bytes = os.path.getsize(self._wal_path)
+            except OSError:
+                wal_bytes = 0
+            _obs.gauge("store.wal_bytes", wal_bytes, **labels)
+            if wal_bytes < self._last_wal_bytes:
+                _obs.count("store.wal_autocheckpoint_total", **labels)
+            self._last_wal_bytes = wal_bytes
+
+    def _timed_write(self, write):
+        """Run ``write()`` under the write lock; when telemetry is on,
+        record lock wait, write duration, and rows written."""
+        if not _obs.enabled():
+            with self._write_lock:
+                return write()
+        labels = self._obs_labels
+        wait_started = time.perf_counter()
+        with self._write_lock:
+            started = time.perf_counter()
+            _obs.observe("store.write_lock_wait_seconds",
+                         started - wait_started, **labels)
+            before = self._conn.total_changes
+            info = write()
+            _obs.observe("store.write_seconds",
+                         time.perf_counter() - started, **labels)
+            _obs.count("store.rows_written_total",
+                       self._conn.total_changes - before, **labels)
+            return info
+
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
     def put_graph(self, run_id: str, graph: ProvenanceGraph,
                   source: Optional[str] = None) -> RunInfo:
-        with self._write_lock:
-            return self._put_graph_locked(run_id, graph, source)
+        return self._timed_write(
+            lambda: self._put_graph_locked(run_id, graph, source))
 
     def _put_graph_locked(self, run_id: str, graph: ProvenanceGraph,
                           source: Optional[str]) -> RunInfo:
@@ -197,19 +259,20 @@ class SQLiteStore(GraphStore):
         cursor = self._conn.cursor()
         try:
             row = cursor.execute(
-                "SELECT created_at, source FROM runs WHERE run_id = ?",
+                "SELECT created_at, source, meta FROM runs WHERE run_id = ?",
                 (run_id,)).fetchone()
             created = row[0] if row else now
             if source is None and row is not None:
                 source = row[1]
+            meta = row[2] if row else None
             self._clear_run(cursor, run_id)
             self._insert_nodes(cursor, run_id, graph, graph.nodes.keys())
             self._insert_edge_tails(cursor, run_id, graph, {})
             self._upsert_invocations(cursor, run_id,
                                      graph.invocations.values())
             info = self._write_run_row(cursor, run_id, graph, created, now,
-                                       source)
-            self._conn.commit()
+                                       source, meta)
+            self._commit()
             return info
         except BaseException:
             self._conn.rollback()
@@ -217,18 +280,18 @@ class SQLiteStore(GraphStore):
 
     def append_graph(self, run_id: str, graph: ProvenanceGraph,
                      source: Optional[str] = None) -> RunInfo:
-        with self._write_lock:
-            return self._append_graph_locked(run_id, graph, source)
+        return self._timed_write(
+            lambda: self._append_graph_locked(run_id, graph, source))
 
     def _append_graph_locked(self, run_id: str, graph: ProvenanceGraph,
                              source: Optional[str]) -> RunInfo:
         cursor = self._conn.cursor()
         row = cursor.execute(
-            "SELECT created_at, source, next_node_id FROM runs "
+            "SELECT created_at, source, next_node_id, meta FROM runs "
             "WHERE run_id = ?", (run_id,)).fetchone()
         if row is None:
             return self._put_graph_locked(run_id, graph, source)
-        created, stored_source, stored_next_node = row
+        created, stored_source, stored_next_node, stored_meta = row
         if graph._next_node_id < stored_next_node:
             raise StoreError(
                 f"append to run {run_id!r} would shrink it: stored "
@@ -260,8 +323,8 @@ class SQLiteStore(GraphStore):
                                      graph.invocations.values())
             info = self._write_run_row(cursor, run_id, graph, created, now,
                                        source if source is not None
-                                       else stored_source)
-            self._conn.commit()
+                                       else stored_source, stored_meta)
+            self._commit()
             return info
         except BaseException:
             self._conn.rollback()
@@ -275,7 +338,7 @@ class SQLiteStore(GraphStore):
                 raise UnknownRunError(run_id)
             self._clear_run(cursor, run_id)
             cursor.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
-            self._conn.commit()
+            self._commit()
 
     # -- write helpers -------------------------------------------------
     def _clear_run(self, cursor: sqlite3.Cursor, run_id: str) -> None:
@@ -317,21 +380,35 @@ class SQLiteStore(GraphStore):
 
     def _write_run_row(self, cursor: sqlite3.Cursor, run_id: str,
                        graph: ProvenanceGraph, created: float, updated: float,
-                       source: Optional[str]) -> RunInfo:
+                       source: Optional[str],
+                       meta: Optional[str] = None) -> RunInfo:
         cursor.execute(
-            "INSERT OR REPLACE INTO runs VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            "INSERT OR REPLACE INTO runs (run_id, created_at, updated_at, "
+            "source, node_count, edge_count, invocation_count, "
+            "next_node_id, next_invocation_id, meta) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (run_id, created, updated, source, graph.node_count,
              graph.edge_count, len(graph.invocations),
-             graph._next_node_id, graph._next_invocation_id))
+             graph._next_node_id, graph._next_invocation_id, meta))
         return RunInfo(run_id, created, updated, source, graph.node_count,
-                       graph.edge_count, len(graph.invocations))
+                       graph.edge_count, len(graph.invocations),
+                       meta=json.loads(meta) if meta else None)
 
     # ------------------------------------------------------------------
     # Read path (lazy: nothing is loaded until a run is asked for)
     # ------------------------------------------------------------------
     def load_graph(self, run_id: str) -> ProvenanceGraph:
+        if not _obs.enabled():
+            with self._read_lock():
+                return self._load_graph_unlocked(run_id)
+        started = time.perf_counter()
         with self._read_lock():
-            return self._load_graph_unlocked(run_id)
+            graph = self._load_graph_unlocked(run_id)
+        _obs.observe("store.read_seconds", time.perf_counter() - started,
+                     **self._obs_labels)
+        _obs.count("store.rows_read_total",
+                   graph.node_count + graph.edge_count, **self._obs_labels)
+        return graph
 
     def _load_graph_unlocked(self, run_id: str) -> ProvenanceGraph:
         cursor = self._conn.cursor()
@@ -370,23 +447,52 @@ class SQLiteStore(GraphStore):
         graph._next_invocation_id = row[1]
         return graph
 
+    @staticmethod
+    def _info_row(row) -> RunInfo:
+        meta = json.loads(row[7]) if row[7] else None
+        return RunInfo(*row[:7], meta=meta)
+
     def run_info(self, run_id: str) -> RunInfo:
         with self._read_lock():
             row = self._conn.execute(
                 "SELECT run_id, created_at, updated_at, source, node_count, "
-                "edge_count, invocation_count FROM runs WHERE run_id = ?",
-                (run_id,)).fetchone()
+                "edge_count, invocation_count, meta FROM runs "
+                "WHERE run_id = ?", (run_id,)).fetchone()
         if row is None:
             raise UnknownRunError(run_id)
-        return RunInfo(*row)
+        return self._info_row(row)
 
     def list_runs(self) -> List[RunInfo]:
         with self._read_lock():
             rows = self._conn.execute(
                 "SELECT run_id, created_at, updated_at, source, node_count, "
-                "edge_count, invocation_count FROM runs "
+                "edge_count, invocation_count, meta FROM runs "
                 "ORDER BY created_at, run_id").fetchall()
-        return [RunInfo(*row) for row in rows]
+        return [self._info_row(row) for row in rows]
+
+    def set_run_meta(self, run_id: str, meta: dict) -> None:
+        encoded = json.dumps(meta)
+        with self._write_lock:
+            cursor = self._conn.cursor()
+            updated = cursor.execute(
+                "UPDATE runs SET meta = ? WHERE run_id = ?",
+                (encoded, run_id)).rowcount
+            if not updated:
+                self._conn.rollback()
+                raise UnknownRunError(run_id)
+            self._commit()
+
+    def storage_bytes(self) -> Optional[int]:
+        """Bytes on disk: the database file plus WAL/SHM sidecars."""
+        if self.path == ":memory:":
+            return None
+        total = 0
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                total += os.path.getsize(self.path + suffix)
+            except OSError:
+                pass
+        return total
 
     # ------------------------------------------------------------------
     # Lifecycle

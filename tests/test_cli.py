@@ -46,8 +46,10 @@ class TestIngestGolden:
         assert payload["seconds"] > 0 and payload["export"] is None
         (info,) = payload["runs"]
         assert set(info) == {"run_id", "nodes", "edges", "invocations",
-                             "source"}
+                             "source", "ingest"}
         assert info["run_id"] == "demo"
+        assert info["ingest"]["workers"] == 1
+        assert info["ingest"]["wall_seconds"] > 0
         assert info["source"] == "workload:dealerships"
         assert info["nodes"] > 0 and info["edges"] > 0
 
@@ -177,7 +179,12 @@ class TestQueryGolden:
 class TestRunsGolden:
     def test_empty_store_json(self, db, capsys):
         payload = run_json(capsys, "runs", "--db", db)
-        assert payload == {"db": db, "runs": []}
+        assert payload["db"] == db and payload["runs"] == []
+        assert set(payload) == {"db", "runs", "shards", "storage_bytes",
+                                "cache_info"}
+        assert payload["shards"] is None  # unsharded store
+        assert set(payload["cache_info"]) == {"graphs", "processors", "csr",
+                                              "reachability", "frozen"}
 
     def test_empty_store_text(self, db, capsys):
         code, out, _err = run_cli(capsys, "runs", "--db", db)

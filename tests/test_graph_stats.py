@@ -1,0 +1,104 @@
+"""Dedicated coverage for ``repro.graph.stats``.
+
+``tests/test_graph.py`` touches the happy paths; this module covers
+the rest: per-output profile sweeps, zero-denominator fractions,
+label-based distinctness of re-annotated base tuples, and the string
+renderings the CLI prints.
+"""
+
+from __future__ import annotations
+
+from repro.graph import GraphBuilder, NodeKind, ProvenanceGraph
+from repro.graph.stats import (DependencyProfile, dependency_profile,
+                               graph_stats, output_dependency_profiles)
+
+
+def build_two_invocation_graph():
+    """Two invocations sharing state; returns (builder, outputs)."""
+    builder = GraphBuilder()
+    w = builder.workflow_input_node()
+    outputs = []
+    for index in range(2):
+        builder.begin_invocation(f"M{index}")
+        module_input = builder.module_input_node(w)
+        state = builder.base_tuple_node("Cars")
+        state_node = builder.module_state_node(state)
+        join = builder.times_node([module_input, state_node])
+        outputs.append(builder.module_output_node(join))
+        builder.end_invocation()
+    return builder, outputs
+
+
+class TestGraphStats:
+    def test_empty_graph(self):
+        stats = graph_stats(ProvenanceGraph())
+        assert stats.node_count == 0
+        assert stats.edge_count == 0
+        assert stats.invocation_count == 0
+        assert stats.nodes_by_kind == {}
+        assert "nodes=0" in str(stats)
+
+    def test_counts_every_kind(self):
+        builder, _outputs = build_two_invocation_graph()
+        stats = graph_stats(builder.graph)
+        assert stats.invocation_count == 2
+        assert stats.nodes_by_kind["workflow_input"] == 1
+        assert stats.nodes_by_kind["tuple"] == 2
+        assert sum(stats.nodes_by_kind.values()) == stats.node_count
+        assert stats.node_count == builder.graph.node_count
+
+
+class TestDependencyProfile:
+    def test_zero_totals_give_zero_fractions(self):
+        profile = DependencyProfile(output_node=1, fine_grained_state=0,
+                                    total_state=0, fine_grained_inputs=0,
+                                    total_inputs=0)
+        assert profile.state_fraction == 0.0
+        assert profile.input_fraction == 0.0
+        assert "0/0 state tuples" in str(profile)
+
+    def test_distinctness_is_by_label_not_node(self):
+        # The same state tuple annotated in two invocations mints two
+        # token nodes with one label; the profile counts tuples.
+        builder = GraphBuilder()
+        builder.begin_invocation("M")
+        first = builder.base_tuple_node("Cars")
+        builder.end_invocation()
+        label = builder.graph.node(first).label
+        builder.begin_invocation("M")
+        second = builder.graph.add_node(NodeKind.TUPLE, label)
+        join = builder.times_node([first, second])
+        output = builder.module_output_node(join)
+        builder.end_invocation()
+        profile = dependency_profile(builder.graph, output)
+        assert profile.fine_grained_state == 1
+        assert profile.total_state == 1
+        assert profile.state_fraction == 1.0
+
+    def test_partial_dependency_fraction(self):
+        builder, outputs = build_two_invocation_graph()
+        profile = dependency_profile(builder.graph, outputs[0])
+        # Each output depends on its own invocation's state tuple only.
+        assert profile.fine_grained_state == 1
+        assert profile.total_state == 2
+        assert profile.state_fraction == 0.5
+        assert profile.fine_grained_inputs == 1
+        assert profile.total_inputs == 1
+        assert profile.input_fraction == 1.0
+
+
+class TestOutputDependencyProfiles:
+    def test_one_profile_per_output_node(self):
+        builder, outputs = build_two_invocation_graph()
+        profiles = output_dependency_profiles(builder.graph)
+        assert [profile.output_node for profile in profiles] == outputs
+        assert all(profile.state_fraction == 0.5 for profile in profiles)
+
+    def test_skips_deleted_output_nodes(self):
+        builder, outputs = build_two_invocation_graph()
+        builder.graph.remove_node(outputs[0])
+        profiles = output_dependency_profiles(builder.graph)
+        assert [profile.output_node for profile in profiles] == [outputs[1]]
+
+    def test_empty_graph_yields_no_profiles(self):
+        assert output_dependency_profiles(ProvenanceGraph()) == []

@@ -1,0 +1,310 @@
+"""Unit and concurrency tests for the telemetry layer.
+
+Covers the metrics registry (family identity, kind conflicts, label
+children, histogram bucket boundaries), parallel counter hammering,
+span nesting within a thread and across threads via explicit
+``TraceContext`` hand-off, the exporters, the disabled fast path, and
+the named LRU cache counters.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import StoreIOError, UnknownRunError
+from repro.obs import (Counter, Gauge, Histogram, MetricsRegistry,
+                       parse_prometheus_names, read_events, render_table,
+                       to_prometheus)
+from repro.store.catalog import LRUCache, RunCatalog
+from repro.store.memory import MemoryStore
+
+
+@pytest.fixture(autouse=True)
+def _isolated_telemetry():
+    """Every test starts disabled and leaves no global context behind."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+class TestRegistry:
+    def test_counter_family_identity(self):
+        registry = MetricsRegistry()
+        a = registry.counter("store.commit_total")
+        b = registry.counter("store.commit_total")
+        assert a is b
+        a.inc()
+        a.inc(4)
+        assert b.value == 5
+
+    def test_labels_key_distinct_children(self):
+        registry = MetricsRegistry()
+        a = registry.counter("store.write_total", store="shard-00")
+        b = registry.counter("store.write_total", store="shard-01")
+        assert a is not b
+        a.inc()
+        assert (a.value, b.value) == (1, 0)
+        # Label order does not matter.
+        c = registry.gauge("g", x="1", y="2")
+        d = registry.gauge("g", y="2", x="1")
+        assert c is d
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_names_and_namespaces(self):
+        registry = MetricsRegistry()
+        registry.counter("store.commit_total")
+        registry.counter("store.commit_total", store="a")
+        registry.histogram("kernel.reach.run_seconds")
+        registry.gauge("ingest.queue_depth")
+        assert registry.names() == ["ingest.queue_depth",
+                                    "kernel.reach.run_seconds",
+                                    "store.commit_total"]
+        assert registry.namespaces() == ["ingest", "kernel", "store"]
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10.0)
+        gauge.inc(2.5)
+        gauge.dec(0.5)
+        assert gauge.value == 12.0
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_inclusive(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        # A value equal to a bound lands in that bound's bucket
+        # (Prometheus ``le`` semantics).
+        for value in (0.5, 1.0, 1.5, 2.0, 4.0, 99.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["buckets"] == [(1.0, 2), (2.0, 4), (4.0, 5)]
+        assert snap["inf"] == 6  # +Inf is cumulative over everything
+        assert snap["count"] == 6
+        assert snap["min"] == 0.5 and snap["max"] == 99.0
+        assert snap["sum"] == pytest.approx(108.0)
+        assert snap["mean"] == pytest.approx(18.0)
+
+    def test_empty_snapshot(self):
+        snap = Histogram("h", buckets=(1.0,)).snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["mean"] is None
+
+    def test_rejects_empty_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestConcurrency:
+    def test_parallel_counter_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+        threads_n, per_thread = 8, 5000
+
+        def hammer():
+            counter = registry.counter("hammered_total")
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("hammered_total").value == \
+            threads_n * per_thread
+
+    def test_parallel_histogram_observations(self):
+        hist = Histogram("h", buckets=(0.5,))
+        threads = [threading.Thread(
+            target=lambda: [hist.observe(0.1) for _ in range(2000)])
+            for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert hist.count == 8000
+        assert hist.sum == pytest.approx(800.0)
+
+
+class TestSpans:
+    def test_nesting_links_parent_ids(self):
+        telemetry = obs.enable(reset=True)
+        with obs.span("outer") as outer:
+            with obs.span("inner"):
+                pass
+        events = {event["name"]: event for event in telemetry.events.events()}
+        assert events["inner"]["parent_id"] == events["outer"]["span_id"]
+        assert events["outer"]["parent_id"] is None
+        assert events["inner"]["seconds"] >= 0.0
+        assert outer.context().trace_id == events["inner"]["trace_id"]
+
+    def test_span_nesting_across_threads_via_explicit_context(self):
+        telemetry = obs.enable(reset=True)
+        with obs.span("root") as root:
+            context = root.context()
+
+            def worker():
+                # Pool threads never inherit the contextvar; the
+                # explicit TraceContext carries the link instead.
+                with obs.span("child", parent=context):
+                    pass
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        events = {event["name"]: event for event in telemetry.events.events()}
+        assert events["child"]["parent_id"] == events["root"]["span_id"]
+        assert events["child"]["trace_id"] == events["root"]["trace_id"]
+
+    def test_finished_span_observes_duration_histogram(self):
+        telemetry = obs.enable(reset=True)
+        with obs.span("store.load_run"):
+            pass
+        hist = telemetry.registry.histogram("store.load_run.seconds")
+        assert hist.count == 1
+
+    def test_error_status_recorded(self):
+        telemetry = obs.enable(reset=True)
+        with pytest.raises(RuntimeError):
+            with obs.span("doomed"):
+                raise RuntimeError("boom")
+        (event,) = telemetry.events.events()
+        assert event["status"] == "error"
+
+    def test_event_log_file_sink_parses(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        obs.enable(trace_path=path, reset=True)
+        with obs.span("a", run_id="run-1"):
+            with obs.span("b"):
+                pass
+        obs.disable()  # closes the sink
+        events = read_events(path)
+        assert [event["name"] for event in events] == ["b", "a"]
+        assert events[1]["tags"] == {"run_id": "run-1"}
+        # Every line is standalone JSON.
+        with open(path) as handle:
+            for line in handle:
+                json.loads(line)
+
+
+class TestDisabledFastPath:
+    def test_helpers_are_noops_when_disabled(self):
+        assert not obs.enabled()
+        obs.count("nope_total")
+        obs.gauge("nope", 1.0)
+        obs.observe("nope_seconds", 0.1)
+        assert obs.get() is None
+        assert obs.trace_context() is None
+
+    def test_span_returns_shared_null_singleton(self):
+        first = obs.span("a")
+        second = obs.span("b", tag="x")
+        assert first is second  # no allocation on the disabled path
+        with first as span:
+            assert span.context() is None
+
+    def test_enable_is_idempotent_and_reset_is_fresh(self):
+        first = obs.enable()
+        assert obs.enable() is first
+        first.registry.counter("c").inc()
+        second = obs.enable(reset=True)
+        assert second is not first
+        assert second.registry.names() == []
+
+
+class TestExporters:
+    def test_prometheus_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("store.commit_total", store="a").inc(3)
+        registry.gauge("store.wal_bytes").set(42)
+        registry.histogram("kernel.reach.run_seconds").observe(0.002)
+        text = to_prometheus(registry)
+        assert 'store_commit_total{store="a"} 3' in text
+        assert "# TYPE kernel_reach_run_seconds histogram" in text
+        assert 'kernel_reach_run_seconds_bucket{le="+Inf"} 1' in text
+        names = parse_prometheus_names(text)
+        assert names == {"store_commit_total", "store_wal_bytes",
+                         "kernel_reach_run_seconds"}
+
+    def test_render_table_lists_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc()
+        registry.histogram("b_seconds").observe(0.5)
+        table = render_table(registry, title="t")
+        assert "a_total" in table and "b_seconds" in table
+        assert "count=1" in table
+        assert render_table(MetricsRegistry()).endswith("(no metrics recorded)")
+
+
+class TestNamedLRUCache:
+    def test_info_counts_hits_misses_evictions(self):
+        cache = LRUCache(2, name="demo")
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("b", lambda: 2)
+        cache.get_or_build("c", lambda: 3)  # evicts "a"
+        info = cache.info()
+        assert info == {"hits": 1, "misses": 3, "evictions": 1,
+                        "size": 2, "capacity": 2}
+
+    def test_explicit_evict_counts(self):
+        cache = LRUCache(4, name="demo")
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("b", lambda: 2)
+        cache.evict(lambda key: True)
+        assert cache.info()["evictions"] == 2
+
+    def test_metrics_mirrored_when_enabled(self):
+        telemetry = obs.enable(reset=True)
+        cache = LRUCache(1, name="demo")
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("a", lambda: 1)
+        cache.get_or_build("b", lambda: 2)  # miss + eviction of "a"
+        registry = telemetry.registry
+        assert registry.counter("cache.demo.hits_total").value == 1
+        assert registry.counter("cache.demo.misses_total").value == 2
+        assert registry.counter("cache.demo.evictions_total").value == 1
+
+    def test_unnamed_cache_emits_nothing(self):
+        telemetry = obs.enable(reset=True)
+        cache = LRUCache(2)
+        cache.get_or_build("a", lambda: 1)
+        assert telemetry.registry.names() == []
+
+
+class TestStoreIOError:
+    def test_ingest_wraps_missing_spool(self, tmp_path):
+        catalog = RunCatalog(MemoryStore())
+        missing = tmp_path / "nope.jsonl"
+        with pytest.raises(StoreIOError) as excinfo:
+            catalog.ingest(missing, run_id="r1")
+        error = excinfo.value
+        assert error.operation == "ingest"
+        assert error.run_id == "r1"
+        assert error.path == missing
+        assert isinstance(error.__cause__, OSError)
+        assert "r1" in str(error) and "nope.jsonl" in str(error)
+
+    def test_export_wraps_unwritable_path(self, tmp_path):
+        from repro.store.ingest import WorkloadSpec, ingest_many
+        catalog = RunCatalog(MemoryStore())
+        ingest_many(catalog, [WorkloadSpec(
+            "dealerships", {"num_cars": 10, "num_exec": 1, "seed": 0})])
+        target = tmp_path / "no-such-dir" / "out.jsonl"
+        with pytest.raises(StoreIOError) as excinfo:
+            catalog.export("run-0001", target)
+        assert excinfo.value.operation == "export"
+        assert excinfo.value.run_id == "run-0001"
+
+    def test_unknown_run_is_not_masked(self, tmp_path):
+        catalog = RunCatalog(MemoryStore())
+        with pytest.raises(UnknownRunError):
+            catalog.export("ghost", tmp_path / "out.jsonl")

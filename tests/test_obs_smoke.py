@@ -1,0 +1,149 @@
+"""End-to-end observability smoke: instrumented ingest + query.
+
+This is the suite the CI smoke job runs: it enables telemetry, drives
+a sharded SQLite store through parallel ingest and the full query
+surface, and then asserts the PR's acceptance contract — the JSON
+event log parses, the Prometheus exposition round-trips at least 15
+distinct metric names, and the names span the store, cache, kernel,
+and ingest namespaces.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.obs import parse_prometheus_names, read_events, to_prometheus
+from repro.store import ProvenanceService
+from repro.store.ingest import dealership_specs, ingest_many
+from repro.store.sharded import ShardedStore
+
+REQUIRED_NAMESPACES = {"store", "cache", "kernel", "ingest"}
+
+
+@pytest.fixture(autouse=True)
+def _isolated_telemetry():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def drive(store, trace_path, workers=1, runs=3):
+    """Instrumented ingest + query workload against ``store``."""
+    telemetry = obs.enable(trace_path=trace_path, reset=True)
+    service = ProvenanceService(store)
+    infos = ingest_many(service.catalog,
+                        dealership_specs(runs, num_cars=12, num_exec=1),
+                        workers=workers)
+    for info in infos:
+        graph = service.graph(info.run_id)
+        service.graph(info.run_id)  # cache hit
+        node_id = next(iter(graph.node_ids()))
+        service.subgraph(info.run_id, node_id)
+        service.descendants(info.run_id, node_id)
+    return telemetry, infos
+
+
+class TestInstrumentedPipeline:
+    def test_metric_catalog_meets_acceptance_contract(self, tmp_path):
+        trace_path = tmp_path / "events.jsonl"
+        store = ShardedStore.open(tmp_path / "prov.db", shard_count=2)
+        telemetry, _infos = drive(store, trace_path)
+        store.close()
+
+        names = telemetry.registry.names()
+        assert len(names) >= 15, names
+        namespaces = set(telemetry.registry.namespaces())
+        assert REQUIRED_NAMESPACES <= namespaces, namespaces
+        # Serial ingest executes in-process, so the tracker's batched
+        # emission path shows up too.
+        assert "interp" in namespaces
+
+        # Prometheus round-trip preserves every family.
+        exposition = to_prometheus(telemetry.registry)
+        parsed = parse_prometheus_names(exposition)
+        assert len(parsed) >= 15, parsed
+
+        obs.disable()  # flush + close the trace sink
+        events = read_events(trace_path)
+        assert events, "trace file is empty"
+        assert {event["name"] for event in events} >= \
+            {"ingest.batch", "store.load_run"}
+        for event in events:
+            assert {"ts", "name", "trace_id", "span_id", "parent_id",
+                    "seconds", "status", "tags"} <= set(event)
+
+    def test_parallel_ingest_records_telemetry_and_meta(self, tmp_path):
+        trace_path = tmp_path / "events.jsonl"
+        store = ShardedStore.open(tmp_path / "prov.db", shard_count=2)
+        telemetry, infos = drive(store, trace_path, workers=2)
+
+        registry = telemetry.registry
+        total = sum(child.value for child in registry.metrics()
+                    if child.name == "ingest.runs_total")
+        assert total == len(infos)
+        assert registry.histogram("ingest.queue_wait_seconds").count == \
+            len(infos)
+
+        # Worker-measured spans are parented into the batch span.
+        obs.disable()
+        events = read_events(trace_path)
+        by_name = {}
+        for event in events:
+            by_name.setdefault(event["name"], []).append(event)
+        (batch,) = by_name["ingest.batch"]
+        for event in by_name["ingest.execute"] + by_name["ingest.commit"]:
+            assert event["parent_id"] == batch["span_id"]
+            assert event["trace_id"] == batch["trace_id"]
+
+        # Per-run ingest telemetry is persisted in the catalog.
+        for info in store.list_runs():
+            meta = info.meta["ingest"]
+            assert meta["workers"] == 2
+            assert meta["nodes"] == info.node_count
+            assert meta["wall_seconds"] >= meta["execute_seconds"]
+            assert meta["queue_wait_seconds"] >= 0.0
+        store.close()
+
+    def test_disabled_pipeline_records_nothing_but_still_persists_meta(
+            self, tmp_path):
+        store = ShardedStore.open(tmp_path / "prov.db", shard_count=2)
+        service = ProvenanceService(store)
+        infos = ingest_many(service.catalog,
+                            dealership_specs(2, num_cars=12, num_exec=1))
+        assert not obs.enabled()
+        # Historical ingest cost survives even without telemetry.
+        for info in store.list_runs():
+            assert info.meta["ingest"]["workers"] == 1
+        assert len(infos) == 2
+        store.close()
+
+
+class TestStatsCommand:
+    def test_stats_reports_all_namespaces(self, tmp_path, capsys):
+        db = os.fspath(tmp_path / "cli.db")
+        assert cli_main(["ingest", "--db", db, "--runs", "2",
+                         "--cars", "12", "--executions", "1"]) == 0
+        capsys.readouterr()
+        assert cli_main(["stats", "--db", db, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = set(payload["metrics"])
+        namespaces = {name.split(".", 1)[0] for name in names}
+        assert REQUIRED_NAMESPACES <= namespaces, namespaces
+        assert len(names) >= 15
+        assert payload["runs"][0]["ingest"]["workers"] == 1
+        obs.disable()
+
+    def test_stats_prometheus_exposition(self, tmp_path, capsys):
+        db = os.fspath(tmp_path / "cli.db")
+        assert cli_main(["ingest", "--db", db, "--cars", "12",
+                         "--executions", "1"]) == 0
+        capsys.readouterr()
+        assert cli_main(["stats", "--db", db, "--prom"]) == 0
+        exposition = capsys.readouterr().out
+        assert len(parse_prometheus_names(exposition)) >= 10
+        assert "# TYPE" in exposition

@@ -17,7 +17,10 @@ Subcommands (anything else falls through to the benchmark runner):
 * ``python -m repro stats`` — telemetry report: probes the store with
   an instrumented load + query, replays persisted ingest telemetry,
   and prints the metrics table (``--prom`` for Prometheus text
-  exposition).
+  exposition);
+* ``python -m repro doctor`` — health scan: shard availability and
+  integrity, partial (crashed) ingests, spool-checksum verification;
+  ``--repair`` rolls back partials and quarantines bad runs.
 
 All subcommands accept ``--json`` for machine-readable output and
 ``--metrics`` / ``--trace PATH`` to enable in-process telemetry (the
@@ -44,7 +47,7 @@ from .errors import LipstickError
 from .store import ProvenanceService, RunInfo, WorkloadSpec, open_store
 from .store.sharded import detect_shard_count
 
-STORE_COMMANDS = ("ingest", "query", "runs", "stats")
+STORE_COMMANDS = ("ingest", "query", "runs", "stats", "doctor")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -106,6 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--export", default=None,
                         help="also export the (first) run as a JSONL "
                              "spool (.gz transparent)")
+    ingest.add_argument("--retries", type=int, default=None,
+                        help="per-run retry budget before a failing run "
+                             "is quarantined (default: REPRO_RETRY_INGEST "
+                             "or 1)")
+    ingest.add_argument("--no-quarantine", action="store_true",
+                        help="fail the whole batch on the first "
+                             "exhausted run instead of quarantining it")
 
     query = subparsers.add_parser(
         "query", help="answer provenance queries from a stored run")
@@ -142,6 +152,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="instrument a load + subgraph query against "
                             "the N most recent runs (default: 1; 0 "
                             "skips probing)")
+
+    doctor = subparsers.add_parser(
+        "doctor", help="scan the store for partial, corrupted, or "
+                       "quarantined runs; --repair rolls back partials")
+    _add_common(doctor)
+    doctor.add_argument("--repair", action="store_true",
+                        help="roll back partial ingests and quarantine "
+                             "checksum-failed runs")
+    doctor.add_argument("--no-checksums", action="store_true",
+                        help="skip re-serialization checksum verification "
+                             "(faster on large stores)")
+    doctor.add_argument("--quick", action="store_true",
+                        help="PRAGMA quick_check instead of the full "
+                             "integrity_check")
     return parser
 
 
@@ -155,11 +179,15 @@ def _open_store(args):
 
 
 def _info_dict(info: RunInfo) -> dict:
-    return {"run_id": info.run_id, "nodes": info.node_count,
-            "edges": info.edge_count,
-            "invocations": info.invocation_count,
-            "source": info.source,
-            "ingest": (info.meta or {}).get("ingest")}
+    payload = {"run_id": info.run_id, "nodes": info.node_count,
+               "edges": info.edge_count,
+               "invocations": info.invocation_count,
+               "source": info.source,
+               "ingest": (info.meta or {}).get("ingest")}
+    quarantined = (info.meta or {}).get("quarantined")
+    if quarantined:  # only when present, to keep the stable key set
+        payload["quarantined"] = quarantined
+    return payload
 
 
 def _ingest_specs(args) -> List[WorkloadSpec]:
@@ -202,8 +230,12 @@ def cmd_ingest(args) -> int:
             infos = [catalog.ingest(args.spool, run_id=args.run)]
         else:
             specs = _ingest_specs(args)
-            infos = service.ingest_many(specs, workers=args.workers)
+            infos = service.ingest_many(specs, workers=args.workers,
+                                        retries=args.retries,
+                                        quarantine=not args.no_quarantine)
         elapsed = time.perf_counter() - started
+        quarantined = [info for info in infos
+                       if (info.meta or {}).get("quarantined")]
         exported = None
         if args.export:
             records = catalog.export(infos[0].run_id, args.export)
@@ -216,12 +248,21 @@ def cmd_ingest(args) -> int:
                 "export": exported}))
         else:
             for info in infos:
+                quarantine = (info.meta or {}).get("quarantined")
+                if quarantine:
+                    print(f"quarantined {info.run_id}: "
+                          f"{quarantine.get('error')} "
+                          f"(after {quarantine.get('attempts')} attempts)")
+                    continue
                 print(f"ingested {info.run_id}: {info.node_count} nodes, "
                       f"{info.edge_count} edges, "
                       f"{info.invocation_count} invocations -> {args.db}")
             if exported:
                 print(f"exported {exported['records']} records -> "
                       f"{exported['path']}")
+        if quarantined:
+            print(f"warning: {len(quarantined)} run(s) quarantined; "
+                  f"see `repro doctor --db {args.db}`", file=sys.stderr)
     return 0
 
 
@@ -324,12 +365,20 @@ def cmd_runs(args) -> int:
     with _open_store(args) as store:
         service = ProvenanceService(store)
         runs = store.list_runs()
+        failures = list(getattr(runs, "failures", []))
+        for failure in failures:
+            print(f"warning: shard {failure['shard']} unreachable "
+                  f"({failure['error']}); listing is incomplete",
+                  file=sys.stderr)
         if args.json:
-            print(json.dumps({"db": args.db,
-                              "runs": [_info_dict(info) for info in runs],
-                              "shards": _shard_stats(store),
-                              "storage_bytes": store.storage_bytes(),
-                              "cache_info": service.cache_info()}))
+            payload = {"db": args.db,
+                       "runs": [_info_dict(info) for info in runs],
+                       "shards": _shard_stats(store),
+                       "storage_bytes": store.storage_bytes(),
+                       "cache_info": service.cache_info()}
+            if failures:  # only when degraded, to keep the key set stable
+                payload["degraded"] = failures
+            print(json.dumps(payload))
             return 0
         if not runs:
             print(f"{args.db}: no runs")
@@ -399,13 +448,75 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_doctor(args) -> int:
+    """Health scan (and optional repair) of a provenance store.
+
+    Exit code 0 when the store is healthy (or was fully repaired),
+    1 when problems remain — so scripts and CI can gate on it.
+    """
+    from .store.doctor import diagnose, repair
+    try:
+        store = _open_store(args)
+    except LipstickError as error:
+        if args.json:
+            print(json.dumps({"db": args.db, "healthy": False,
+                              "problems": 1, "error": str(error)}))
+        else:
+            print(f"{args.db}: cannot open store: {error}")
+        return 1
+    verify = not args.no_checksums
+    with store:
+        report = diagnose(store, verify_checksums=verify, quick=args.quick)
+        if args.repair and not report.healthy:
+            repaired = repair(store, report,
+                              verify_checksums=verify).repaired
+            # Re-scan so the verdict (and exit code) reflects the
+            # post-repair state, not the problems we just fixed.
+            report = diagnose(store, verify_checksums=verify,
+                              quick=args.quick)
+            report.repaired = repaired
+        if args.json:
+            print(json.dumps({"db": args.db, **report.to_dict()}))
+            return 0 if report.healthy else 1
+        status = ("healthy" if report.healthy
+                  else f"{report.problems} problem(s)")
+        print(f"{args.db}: {status}")
+        for entry in report.shards or []:
+            if not entry["available"]:
+                print(f"  shard {entry['shard']} unavailable: "
+                      f"{entry['path']}")
+            elif entry["integrity"]:
+                print(f"  shard {entry['shard']} corrupted: "
+                      f"{'; '.join(entry['integrity'][:3])}")
+        for partial in report.partial_runs:
+            print(f"  partial ingest {partial['run_id']}: "
+                  f"{partial['state']}")
+        for failure in report.checksum_failures:
+            print(f"  checksum mismatch {failure['run_id']}: stored "
+                  f"graph differs from its ingest spool")
+        for entry in report.unverifiable:
+            print(f"  unverifiable {entry['run_id']}: {entry['error']}")
+        for entry in report.degraded:
+            print(f"  degraded scan: {entry['error']}")
+        for info in report.quarantined:
+            print(f"  quarantined {info['run_id']}: {info['error']} "
+                  f"(informational)")
+        for action in report.repaired:
+            print(f"  repaired {action['run_id']}: {action['action']}")
+        if not report.healthy and not args.repair:
+            print("run with --repair to roll back partial ingests and "
+                  "quarantine checksum failures")
+    return 0 if report.healthy else 1
+
+
 def store_main(argv: Sequence[str]) -> int:
     args = build_parser().parse_args(list(argv))
     telemetry = None
     if args.metrics or args.trace:
         telemetry = obs.enable(trace_path=args.trace)
     handlers = {"ingest": cmd_ingest, "query": cmd_query,
-                "runs": cmd_runs, "stats": cmd_stats}
+                "runs": cmd_runs, "stats": cmd_stats,
+                "doctor": cmd_doctor}
     try:
         code = handlers[args.command](args)
     except LipstickError as error:

@@ -131,6 +131,37 @@ class UnknownRunError(StoreError):
         super().__init__(f"unknown provenance run {run_id!r}")
 
 
+class ShardUnavailableError(StoreError):
+    """A shard of a :class:`~repro.store.sharded.ShardedStore` cannot
+    serve reads — its file is missing, corrupted, or unopenable.
+
+    Point lookups (``load_graph``, ``run_info``) raise this so callers
+    can distinguish "the run's shard is down" from "the run does not
+    exist"; catalog scans (``list_runs``) degrade instead, returning a
+    :class:`~repro.store.sharded.DegradedResult` that records the
+    failure.
+    """
+
+    def __init__(self, path, shard=None, cause=None):
+        self.path = path
+        self.shard = shard
+        self.cause = cause
+        where = f"shard {shard} " if shard is not None else "shard "
+        detail = f"{where}at {str(path)!r} is unavailable"
+        if cause is not None:
+            detail += f": {cause}"
+        super().__init__(detail)
+
+
+class FaultInjectedError(LipstickError):
+    """An injected fault fired (kind ``error``).
+
+    Raised only by the :mod:`repro.faults` framework; production code
+    never constructs it, so seeing one outside a fault-injection test
+    means injection was left enabled.
+    """
+
+
 class ZoomError(LipstickError):
     """A ZoomIn/ZoomOut request is invalid (e.g. unknown module)."""
 

@@ -1,0 +1,148 @@
+"""Pluggable, deterministic fault injection for the store/ingest paths.
+
+Production code calls :func:`fire` at named seams (one module-global
+read when no plan is active — the disabled path costs almost nothing,
+mirroring :mod:`repro.obs`).  Tests and the fault-smoke CI job
+activate a :class:`FaultPlan` to make the failure modes the
+fault-tolerance layer defends against — ``database is locked`` storms,
+I/O errors, killed pool workers, slow fsyncs — happen *on demand and
+reproducibly*:
+
+* code: ``faults.configure("store.commit:locked:n=2", seed=7)`` or the
+  :func:`injecting` context manager (restores the previous plan);
+* environment: ``REPRO_FAULTS="<plan>"`` (+ ``REPRO_FAULTS_SEED=N``),
+  parsed at import time so CLI subprocesses and spawned pool workers
+  pick the plan up without plumbing.
+
+Fault kinds
+-----------
+* ``locked`` / ``busy`` — raise ``sqlite3.OperationalError`` shaped
+  like SQLite lock contention (exercises the retry/backoff policy);
+* ``io``    — raise ``OSError(EIO)`` (exercises ``StoreIOError``
+  wrapping and quarantine);
+* ``error`` — raise :class:`~repro.errors.FaultInjectedError` (a
+  generic poisoned-task failure);
+* ``kill``  — ``SIGKILL`` the current process (crash-recovery tests:
+  a worker or a mid-commit store simply vanishes);
+* ``latency`` — sleep ``secs`` then continue (slow disk / checkpoint
+  stall; the only non-raising kind, composable before a raising one).
+
+Every injection increments the ``faults.injected_total`` telemetry
+counter (labels: seam, kind) when :mod:`repro.obs` is enabled.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import errno
+import os
+import signal
+import sqlite3
+import time
+from typing import Dict, Optional, Sequence, Union
+
+from .. import obs as _obs
+from ..errors import FaultInjectedError
+from .plan import (FaultError, FaultPlan, FaultSpec, KINDS, SEAMS,
+                   parse_plan, parse_spec)
+from .retry import RetryPolicy, is_transient_sqlite_error, retry_call
+
+__all__ = [
+    "FaultError", "FaultInjectedError", "FaultPlan", "FaultSpec", "KINDS",
+    "RetryPolicy", "SEAMS", "active", "clear", "configure",
+    "configure_from_env", "enabled", "fire", "injected", "injecting",
+    "is_transient_sqlite_error", "parse_plan", "parse_spec", "retry_call",
+]
+
+_plan: Optional[FaultPlan] = None
+
+
+def configure(plan: Union[str, FaultPlan, Sequence[FaultSpec], None],
+              seed: int = 0) -> Optional[FaultPlan]:
+    """Install a fault plan process-wide; ``None`` clears it."""
+    global _plan
+    if plan is None:
+        _plan = None
+    elif isinstance(plan, FaultPlan):
+        _plan = plan
+    else:
+        _plan = FaultPlan(plan, seed=seed)
+    return _plan
+
+
+def clear() -> None:
+    """Remove the active plan (injection off)."""
+    configure(None)
+
+
+def active() -> Optional[FaultPlan]:
+    return _plan
+
+
+def enabled() -> bool:
+    return _plan is not None
+
+
+def injected() -> int:
+    """Total faults injected by the active plan (0 when none)."""
+    plan = _plan
+    return plan.injected() if plan is not None else 0
+
+
+@contextlib.contextmanager
+def injecting(plan: Union[str, FaultPlan, Sequence[FaultSpec]],
+              seed: int = 0):
+    """Scoped injection for tests; restores the previous plan."""
+    previous = _plan
+    installed = configure(plan, seed=seed)
+    try:
+        yield installed
+    finally:
+        configure(previous)
+
+
+def fire(seam: str, **tags) -> None:
+    """Evaluate the active plan at ``seam``; inject matching faults.
+
+    Called from production seams with descriptive tags (``run_id``,
+    ``op``, ``store``, ``path``) that plans filter on.  No-op (one
+    global read) when no plan is active.
+    """
+    plan = _plan
+    if plan is None:
+        return
+    for spec in plan.select(seam, tags):
+        _obs.count("faults.injected_total", seam=seam, kind=spec.kind)
+        if spec.kind == "latency":
+            time.sleep(spec.seconds)
+            continue
+        if spec.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        detail = f"injected at {seam}" + (
+            f" (run {tags['run_id']!r})" if tags.get("run_id") else "")
+        if spec.kind == "locked":
+            raise sqlite3.OperationalError(f"database is locked [{detail}]")
+        if spec.kind == "busy":
+            raise sqlite3.OperationalError(f"database is busy [{detail}]")
+        if spec.kind == "io":
+            raise OSError(errno.EIO, f"I/O fault {detail}")
+        raise FaultInjectedError(detail)
+
+
+def configure_from_env(environ=None) -> Optional[FaultPlan]:
+    """Install the plan named by ``REPRO_FAULTS`` (if any).
+
+    Parsed at import so fault plans cross process boundaries for free:
+    CLI subprocesses and *spawned* pool workers re-read the env, while
+    *forked* workers inherit the parent's plan object (note: ``n=``
+    budgets are then per-process copies).
+    """
+    env = os.environ if environ is None else environ
+    text = env.get("REPRO_FAULTS", "").strip()
+    if not text:
+        return None
+    seed = int(env.get("REPRO_FAULTS_SEED", "0") or 0)
+    return configure(text, seed=seed)
+
+
+configure_from_env()

@@ -1,0 +1,184 @@
+"""Deterministic fault plans: *what* to inject, *where*, and *when*.
+
+A plan is a list of :class:`FaultSpec` entries, each naming a seam
+(an instrumented point in the store/ingest paths), a fault kind, and
+optional triggers.  Plans are reproducible by construction: count
+triggers (``n=2`` — fire on the first two matching passes) are exact,
+and probabilistic triggers draw from one seeded ``random.Random`` per
+plan, so the same plan + seed injects the same faults in the same
+order on every run.
+
+Config grammar (one entry; comma-join for several)::
+
+    <seam>:<kind>[:<field>]*
+
+where each ``field`` is ``key=value``:
+
+* ``p=0.25``    — fire with probability 0.25 per matching pass;
+* ``n=2``       — fire at most twice (per process);
+* ``secs=0.05`` — sleep duration for ``latency`` faults;
+* anything else — a tag filter: the seam's tag named ``key`` must
+  contain ``value`` as a substring (e.g. ``run_id=run-0002``,
+  ``op=put_graph``).
+
+A bare number field is shorthand for ``p=``.  Example::
+
+    REPRO_FAULTS="store.commit:locked:n=2,spool.read:io:run_id=run-0003"
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..errors import LipstickError
+
+#: Instrumented injection points.  Adding a seam means adding a
+#: ``faults.fire(...)`` call at the matching place in production code.
+SEAMS = (
+    "store.commit",          # SQLiteStore._commit, before the real COMMIT
+    "store.wal_checkpoint",  # SQLiteStore.checkpoint()
+    "spool.read",            # spool-file load (ingest commit, import_jsonl)
+    "spool.write",           # spool-file dump (pool workers, export_jsonl)
+    "pool.worker",           # ingest worker-process entry point
+    "catalog.meta",          # run-metadata writes (set_run_meta)
+)
+
+#: Supported fault kinds (see ``FaultPlan.fire`` for semantics).
+KINDS = ("locked", "busy", "io", "error", "kill", "latency")
+
+
+class FaultError(LipstickError):
+    """A fault plan itself is malformed (bad seam/kind/field)."""
+
+
+class FaultSpec:
+    """One injection rule: seam + kind + triggers + tag filters."""
+
+    __slots__ = ("seam", "kind", "probability", "count", "seconds",
+                 "filters", "fired")
+
+    def __init__(self, seam: str, kind: str, probability: float = 1.0,
+                 count: Optional[int] = None, seconds: float = 0.05,
+                 filters: Optional[Dict[str, str]] = None):
+        if seam not in SEAMS:
+            raise FaultError(
+                f"unknown fault seam {seam!r}; seams: {', '.join(SEAMS)}")
+        if kind not in KINDS:
+            raise FaultError(
+                f"unknown fault kind {kind!r}; kinds: {', '.join(KINDS)}")
+        if not 0.0 <= probability <= 1.0:
+            raise FaultError(
+                f"fault probability must be in [0, 1], got {probability}")
+        self.seam = seam
+        self.kind = kind
+        self.probability = probability
+        self.count = count
+        self.seconds = seconds
+        self.filters = dict(filters or {})
+        self.fired = 0  # runtime state, owned by the plan's lock
+
+    def matches(self, tags: Dict[str, str]) -> bool:
+        """Do the seam call's tags satisfy every filter (substring)?"""
+        for key, want in self.filters.items():
+            if want not in str(tags.get(key, "")):
+                return False
+        return True
+
+    def exhausted(self) -> bool:
+        return self.count is not None and self.fired >= self.count
+
+    def __repr__(self) -> str:
+        extra = "".join(
+            [f", p={self.probability}" if self.probability < 1.0 else "",
+             f", n={self.count}" if self.count is not None else "",
+             f", filters={self.filters}" if self.filters else ""])
+        return f"FaultSpec({self.seam}:{self.kind}{extra})"
+
+
+def parse_spec(text: str) -> FaultSpec:
+    """Parse one ``seam:kind[:field]*`` entry (grammar above)."""
+    parts = [part.strip() for part in text.strip().split(":")]
+    if len(parts) < 2 or not parts[0] or not parts[1]:
+        raise FaultError(
+            f"fault spec {text!r} must be '<seam>:<kind>[:<field>]*'")
+    seam, kind = parts[0], parts[1]
+    probability, count, seconds = 1.0, None, 0.05
+    filters: Dict[str, str] = {}
+    for field in parts[2:]:
+        if "=" not in field:
+            try:
+                probability = float(field)
+            except ValueError:
+                raise FaultError(
+                    f"fault spec field {field!r} in {text!r} is neither "
+                    f"key=value nor a bare probability") from None
+            continue
+        key, _, value = field.partition("=")
+        key = key.strip()
+        value = value.strip()
+        try:
+            if key == "p":
+                probability = float(value)
+            elif key == "n":
+                count = int(value)
+            elif key == "secs":
+                seconds = float(value)
+            else:
+                filters[key] = value
+        except ValueError:
+            raise FaultError(
+                f"fault spec field {field!r} in {text!r} has a "
+                f"non-numeric value") from None
+    return FaultSpec(seam, kind, probability=probability, count=count,
+                     seconds=seconds, filters=filters)
+
+
+def parse_plan(text: str) -> List[FaultSpec]:
+    """Parse a comma-separated plan string into specs (may be empty)."""
+    return [parse_spec(entry)
+            for entry in text.split(",") if entry.strip()]
+
+
+class FaultPlan:
+    """Runtime state for a set of specs: seeded RNG + fire counters.
+
+    Thread-safe: trigger evaluation (counts, RNG draws) happens under
+    one lock so concurrent seam passes never double-spend an ``n=``
+    budget.  Each process gets its own plan (workers re-parse the env
+    on import, or inherit a forked copy), so counts are per-process.
+    """
+
+    def __init__(self, specs: Union[str, Sequence[FaultSpec]],
+                 seed: int = 0):
+        if isinstance(specs, str):
+            specs = parse_plan(specs)
+        self.specs = list(specs)
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._lock = threading.Lock()
+
+    def select(self, seam: str, tags: Dict[str, str]) -> List[FaultSpec]:
+        """The specs that fire for this seam pass, counters advanced."""
+        chosen: List[FaultSpec] = []
+        with self._lock:
+            for spec in self.specs:
+                if spec.seam != seam or spec.exhausted():
+                    continue
+                if not spec.matches(tags):
+                    continue
+                if spec.probability < 1.0 and \
+                        self.rng.random() >= spec.probability:
+                    continue
+                spec.fired += 1
+                chosen.append(spec)
+        return chosen
+
+    def injected(self) -> int:
+        """Total injections so far (all specs, this process)."""
+        with self._lock:
+            return sum(spec.fired for spec in self.specs)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({self.specs!r}, seed={self.seed})"

@@ -1,0 +1,139 @@
+"""Retry with jittered exponential backoff for transient store faults.
+
+SQLite under concurrent writers fails *transiently*: ``database is
+locked`` / ``database is busy`` mean "try again shortly", not "your
+data is gone".  :func:`retry_call` turns those into bounded retries
+with jittered exponential backoff and a per-operation deadline, and
+reports every decision through telemetry:
+
+* ``store.retries_total``  — a transient failure was retried;
+* ``store.gave_up_total``  — retries/deadline exhausted, error
+  propagated to the caller.
+
+Defaults come from the environment so operators can tune without code
+changes (see :meth:`RetryPolicy.from_env` for the ``REPRO_RETRY_*``
+knobs).  Jitter draws from a per-policy ``random.Random`` — seed it
+(``REPRO_RETRY_SEED``) for reproducible backoff schedules in tests.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sqlite3
+import time
+from typing import Callable, Optional, TypeVar
+
+from .. import obs as _obs
+
+T = TypeVar("T")
+
+#: SQLite error-message fragments that mark a retryable failure.
+_TRANSIENT_MARKERS = ("database is locked", "database is busy",
+                      "database table is locked", "disk i/o error")
+
+
+def is_transient_sqlite_error(error: BaseException) -> bool:
+    """Is this a retry-worthy SQLite contention error?"""
+    if not isinstance(error, sqlite3.OperationalError):
+        return False
+    message = str(error).lower()
+    return any(marker in message for marker in _TRANSIENT_MARKERS)
+
+
+def _env_float(env, name: str, default: float) -> float:
+    value = env.get(name, "").strip()
+    return float(value) if value else default
+
+
+def _env_int(env, name: str, default: int) -> int:
+    value = env.get(name, "").strip()
+    return int(value) if value else default
+
+
+class RetryPolicy:
+    """How many times to retry, and how long to wait in between.
+
+    ``attempts`` is the *total* number of tries (so ``attempts=4``
+    allows three retries); ``deadline_seconds`` bounds one logical
+    operation end to end, whichever trips first.  Sleep before retry
+    ``k`` (1-based) is ``base * multiplier**(k-1)``, capped at
+    ``max_sleep_seconds``, scaled by a jitter factor in [0.5, 1.5).
+    """
+
+    __slots__ = ("attempts", "base_seconds", "multiplier",
+                 "max_sleep_seconds", "deadline_seconds", "rng")
+
+    def __init__(self, attempts: int = 4, base_seconds: float = 0.05,
+                 multiplier: float = 2.0, max_sleep_seconds: float = 1.0,
+                 deadline_seconds: float = 30.0,
+                 seed: Optional[int] = None):
+        if attempts < 1:
+            raise ValueError("RetryPolicy needs at least one attempt")
+        self.attempts = attempts
+        self.base_seconds = base_seconds
+        self.multiplier = multiplier
+        self.max_sleep_seconds = max_sleep_seconds
+        self.deadline_seconds = deadline_seconds
+        self.rng = random.Random(seed)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "RetryPolicy":
+        """Policy from ``REPRO_RETRY_*`` (defaults where unset):
+
+        * ``REPRO_RETRY_ATTEMPTS``          (4)
+        * ``REPRO_RETRY_BASE_SECONDS``      (0.05)
+        * ``REPRO_RETRY_MULTIPLIER``        (2.0)
+        * ``REPRO_RETRY_MAX_SLEEP_SECONDS`` (1.0)
+        * ``REPRO_RETRY_DEADLINE_SECONDS``  (30.0)
+        * ``REPRO_RETRY_SEED``              (unseeded)
+        """
+        env = os.environ if environ is None else environ
+        seed_text = env.get("REPRO_RETRY_SEED", "").strip()
+        return cls(
+            attempts=_env_int(env, "REPRO_RETRY_ATTEMPTS", 4),
+            base_seconds=_env_float(env, "REPRO_RETRY_BASE_SECONDS", 0.05),
+            multiplier=_env_float(env, "REPRO_RETRY_MULTIPLIER", 2.0),
+            max_sleep_seconds=_env_float(
+                env, "REPRO_RETRY_MAX_SLEEP_SECONDS", 1.0),
+            deadline_seconds=_env_float(
+                env, "REPRO_RETRY_DEADLINE_SECONDS", 30.0),
+            seed=int(seed_text) if seed_text else None)
+
+    def sleep_for(self, retry_number: int) -> float:
+        """Jittered backoff before 1-based retry ``retry_number``."""
+        raw = self.base_seconds * (self.multiplier ** (retry_number - 1))
+        jitter = 0.5 + self.rng.random()
+        return min(raw, self.max_sleep_seconds) * jitter
+
+    def __repr__(self) -> str:
+        return (f"RetryPolicy(attempts={self.attempts}, "
+                f"base={self.base_seconds}, x{self.multiplier}, "
+                f"deadline={self.deadline_seconds}s)")
+
+
+def retry_call(func: Callable[[], T], policy: RetryPolicy, *,
+               operation: str = "op",
+               classify: Callable[[BaseException], bool]
+               = is_transient_sqlite_error,
+               sleep: Callable[[float], None] = time.sleep,
+               labels: Optional[dict] = None) -> T:
+    """Run ``func`` under ``policy``; retry failures ``classify`` deems
+    transient.  Non-transient errors propagate immediately; exhausted
+    retries re-raise the last transient error."""
+    labels = labels or {}
+    failures = 0
+    deadline = time.monotonic() + policy.deadline_seconds
+    while True:
+        try:
+            return func()
+        except Exception as error:
+            if not classify(error):
+                raise
+            failures += 1
+            if failures >= policy.attempts or time.monotonic() >= deadline:
+                _obs.count("store.gave_up_total", operation=operation,
+                           **labels)
+                raise
+            _obs.count("store.retries_total", operation=operation, **labels)
+            sleep(policy.sleep_for(failures))

@@ -21,13 +21,16 @@ memory.  This package makes that hand-off pluggable and multi-run:
 from .base import GraphStore, RunInfo
 from .catalog import LRUCache, ProvenanceService, RunCatalog
 from .csr import CSRSnapshot
+from .doctor import DoctorReport, diagnose, repair
 from .ingest import WorkloadSpec, dealership_specs, ingest_many
 from .memory import MemoryStore
-from .sharded import ShardedStore
+from .sharded import DegradedResult, ShardedStore
 from .sqlite import SQLiteStore
 
 __all__ = [
     "CSRSnapshot",
+    "DegradedResult",
+    "DoctorReport",
     "GraphStore",
     "LRUCache",
     "MemoryStore",
@@ -38,8 +41,10 @@ __all__ = [
     "SQLiteStore",
     "WorkloadSpec",
     "dealership_specs",
+    "diagnose",
     "ingest_many",
     "open_store",
+    "repair",
 ]
 
 
@@ -47,10 +52,29 @@ def open_store(path=None, shards: int = 1) -> GraphStore:
     """Open the right backend for ``path``: ``None`` → memory,
     anything else → SQLite file (created on first use).  ``shards > 1``
     partitions runs across that many backends (``<path>.shard-NN``
-    files, or N MemoryStores for ``path=None``)."""
+    files, or N MemoryStores for ``path=None``).
+
+    Shard files already on disk are authoritative for the layout:
+    asking for a conflicting count raises (a mismatched count would
+    silently route runs to the wrong shard), and ``shards=1`` over an
+    existing sharded store opens the sharded layout rather than a
+    fresh, empty unsharded database at the base path.
+    """
+    if path is not None:
+        from ..errors import StoreError
+        from .sharded import detect_shard_count, open_sharded
+        existing = detect_shard_count(path)
+        if existing is not None:
+            if shards > 1 and shards != existing:
+                raise StoreError(
+                    f"store at {path!r} has {existing} shard(s) on disk "
+                    f"but {shards} were requested; resharding is not "
+                    f"supported — open with shards={existing}")
+            return open_sharded(path, existing)
+        if shards > 1:
+            return open_sharded(path, shards)
+        return SQLiteStore(path)
     if shards > 1:
         from .sharded import open_sharded
-        return open_sharded(path, shards)
-    if path is None:
-        return MemoryStore()
-    return SQLiteStore(path)
+        return open_sharded(None, shards)
+    return MemoryStore()

@@ -29,6 +29,7 @@ import abc
 import os
 from typing import List, Optional, Union
 
+from .. import faults as _faults
 from ..errors import StoreError, UnknownRunError
 from ..graph.provgraph import ProvenanceGraph
 from ..graph.serialize import dump_graph, load_graph
@@ -130,17 +131,37 @@ class GraphStore(abc.ABC):
         return None
 
     # ------------------------------------------------------------------
+    # Crash-safe ingest sentinels & health (no-ops for volatile or
+    # inherently-atomic backends; durable backends override)
+    # ------------------------------------------------------------------
+    def mark_pending(self, run_id: str) -> None:
+        """Journal that an ingest for ``run_id`` is in flight."""
+
+    def clear_pending(self, run_id: str) -> None:
+        """Drop an ingest sentinel without committing data."""
+
+    def pending_runs(self) -> List[str]:
+        """Run ids whose ingest sentinel was never cleared."""
+        return []
+
+    def integrity_check(self, quick: bool = False) -> List[str]:
+        """Backend corruption scan; ``[]`` means healthy."""
+        return []
+
+    # ------------------------------------------------------------------
     # JSONL interchange (the tracker's spool format; .gz transparent)
     # ------------------------------------------------------------------
     def import_jsonl(self, run_id: str,
                      path: Union[str, os.PathLike]) -> RunInfo:
         """Load a tracker spool file and store it under ``run_id``."""
+        _faults.fire("spool.read", path=os.fspath(path), run_id=run_id)
         graph = load_graph(path)
         return self.put_graph(run_id, graph, source=os.fspath(path))
 
     def export_jsonl(self, run_id: str,
                      path: Union[str, os.PathLike]) -> int:
         """Write a stored run back out as a JSONL spool file."""
+        _faults.fire("spool.write", path=os.fspath(path), run_id=run_id)
         return dump_graph(self.load_graph(run_id), path)
 
     # ------------------------------------------------------------------

@@ -359,17 +359,21 @@ class ProvenanceService:
     # ------------------------------------------------------------------
     # Parallel ingest (the write side of the concurrent service)
     # ------------------------------------------------------------------
-    def ingest_many(self, specs: Sequence, workers: int = 1) -> List[RunInfo]:
+    def ingest_many(self, specs: Sequence, workers: int = 1,
+                    retries: Optional[int] = None,
+                    quarantine: bool = True) -> List[RunInfo]:
         """Execute many workload specs and commit each as a run.
 
         ``workers > 1`` executes the workflows in a process pool and
         commits the resulting spools concurrently (thread pool over
         the store's shards); the committed graphs are byte-identical
-        to what serial ingest produces.  See
+        to what serial ingest produces.  ``retries``/``quarantine``
+        control the per-spec fault-tolerance policy.  See
         :func:`repro.store.ingest.ingest_many`.
         """
         from .ingest import ingest_many
-        infos = ingest_many(self.catalog, specs, workers=workers)
+        infos = ingest_many(self.catalog, specs, workers=workers,
+                            retries=retries, quarantine=quarantine)
         for info in infos:
             # A spec may overwrite an existing run; cached artifacts
             # for it are stale the moment the store is written.

@@ -21,16 +21,20 @@ assert exactly this).
 
 from __future__ import annotations
 
+import hashlib
 import os
+import sqlite3
 import tempfile
 import time
-from concurrent.futures import (ProcessPoolExecutor, ThreadPoolExecutor,
-                                as_completed)
+from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                ThreadPoolExecutor, wait)
+from concurrent.futures.process import BrokenProcessPool
 from time import perf_counter as _perf
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import faults as _faults
 from .. import obs as _obs
-from ..errors import StoreError
+from ..errors import StoreError, StoreIOError
 from ..graph.provgraph import ProvenanceGraph
 from ..graph.serialize import dump_graph, load_graph as load_spool
 from .base import RunInfo
@@ -134,11 +138,16 @@ def _spool_spec(spec: WorkloadSpec, directory: str,
     metrics on their behalf, so the pipeline needs no cross-process
     telemetry plumbing.
     """
+    _faults.fire("pool.worker", run_id=spec.run_id or "",
+                 workload=spec.workload)
     started = _perf()
     graph = execute_spec(spec)
     executed = _perf()
     path = os.path.join(directory, f"spool-{index:04d}.jsonl")
+    _faults.fire("spool.write", run_id=spec.run_id or "", path=path)
     records = dump_graph(graph, path)
+    with open(path, "rb") as stream:
+        digest = hashlib.sha256(stream.read()).hexdigest()
     timings = {
         "pid": os.getpid(),
         "execute_seconds": executed - started,
@@ -146,6 +155,7 @@ def _spool_spec(spec: WorkloadSpec, directory: str,
         "spooled_at": time.time(),
         "nodes": graph.node_count,
         "edges": graph.edge_count,
+        "spool_sha256": digest,
     }
     return spec.run_id, path, records, timings
 
@@ -154,11 +164,12 @@ def _persist_ingest_meta(store, run_id: str, meta: Dict) -> None:
     """Attach the per-run ingest summary to the catalog row.
 
     Best-effort: backends without metadata support (custom stores)
-    raise :class:`StoreError`, which must not fail the ingest itself.
+    raise :class:`StoreError`, and injected ``catalog.meta`` faults
+    surface as ``OSError`` — neither may fail the ingest itself.
     """
     try:
         store.set_run_meta(run_id, {"ingest": meta})
-    except StoreError:
+    except (StoreError, OSError):
         pass
 
 
@@ -187,8 +198,90 @@ def _assign_run_ids(catalog: RunCatalog,
             spec.run_id = catalog.new_run_id()
 
 
+def _env_retries(default: int = 1) -> int:
+    value = os.environ.get("REPRO_RETRY_INGEST", "").strip()
+    return int(value) if value else default
+
+
+class _PoolBroken(Exception):
+    """Internal: the process pool died (a worker was killed)."""
+
+
+def _quarantine_run(store, spec: WorkloadSpec, error: BaseException,
+                    attempts: int) -> RunInfo:
+    """Record a failed spec as a quarantined placeholder run.
+
+    The run id stays in the catalog — with an *empty* graph and a
+    ``quarantined`` meta entry naming the error — so the failure is
+    visible in ``repro runs`` / ``repro doctor`` instead of the whole
+    batch failing.  Quarantining also clears the run's ingest
+    sentinel (the placeholder commit is a real commit).
+    """
+    _obs.count("ingest.quarantined_total")
+    quarantined = {"error": str(error), "type": type(error).__name__,
+                   "attempts": attempts, "workload": spec.workload,
+                   "params": spec.params}
+    meta = {"quarantined": quarantined}
+    try:
+        info = store.put_graph(spec.run_id, ProvenanceGraph(),
+                               source=f"quarantined:{spec.workload}")
+        store.set_run_meta(spec.run_id, meta)
+    except (StoreError, sqlite3.Error, OSError):
+        # Even the placeholder cannot land (e.g. its shard is down);
+        # report the quarantine in the returned info only.
+        info = RunInfo(spec.run_id, time.time(), time.time(),
+                       f"quarantined:{spec.workload}", 0, 0, 0)
+    info.meta = meta
+    return info
+
+
+def _finish_serial_spec(catalog: RunCatalog, spec: WorkloadSpec,
+                        retries: int, quarantine: bool,
+                        prior_failures: int = 0) -> RunInfo:
+    """Execute + commit one spec in-process, with retry/quarantine.
+
+    ``prior_failures`` carries attempts already burned elsewhere (a
+    crashed pool worker) so the retry budget is global per spec.
+    """
+    store = catalog.store
+    failures = prior_failures
+    while True:
+        started = _perf()
+        try:
+            store.mark_pending(spec.run_id)
+            graph = execute_spec(spec)
+            executed = _perf()
+            info = catalog.register(graph, run_id=spec.run_id,
+                                    source=spec.source)
+        except Exception as error:
+            failures += 1
+            if failures <= retries:
+                _obs.count("ingest.retries_total")
+                continue
+            if quarantine:
+                return _quarantine_run(store, spec, error, failures)
+            raise
+        committed = _perf()
+        meta = {"workers": 1, "worker_pid": os.getpid(),
+                "execute_seconds": executed - started,
+                "commit_seconds": committed - executed,
+                "wall_seconds": committed - started,
+                "nodes": info.node_count, "edges": info.edge_count,
+                "spool_sha256": _graph_checksum(graph)}
+        _persist_ingest_meta(store, spec.run_id, meta)
+        _record_run_metrics(meta)
+        info.meta = {"ingest": meta}
+        return info
+
+
+def _graph_checksum(graph: ProvenanceGraph) -> str:
+    from .doctor import graph_checksum  # deferred: tiny import cycle
+    return graph_checksum(graph)
+
+
 def ingest_many(catalog: RunCatalog, specs: Sequence[WorkloadSpec],
-                workers: int = 1) -> List[RunInfo]:
+                workers: int = 1, retries: Optional[int] = None,
+                quarantine: bool = True) -> List[RunInfo]:
     """Execute and ingest every spec; returns RunInfos in spec order.
 
     ``workers <= 1`` executes in-process, committing each graph as it
@@ -196,34 +289,30 @@ def ingest_many(catalog: RunCatalog, specs: Sequence[WorkloadSpec],
     out to a process pool; finished spools are committed from a thread
     pool as they arrive, so a slow workflow does not block commits of
     faster ones.
+
+    Fault tolerance: each run is journaled with an ingest sentinel
+    (cleared atomically with its commit) so crashes leave detectable —
+    not silent — partials; a failing spec is retried up to ``retries``
+    times (default ``REPRO_RETRY_INGEST`` or 1) and then, with
+    ``quarantine=True``, recorded as a quarantined placeholder run
+    instead of failing the batch; a killed worker process breaks only
+    the pool, not the batch — unfinished specs fall back to in-process
+    execution.  ``quarantine=False`` restores fail-fast semantics
+    (the first exhausted spec raises).
     """
     specs = list(specs)
     _assign_run_ids(catalog, specs)
     if len({spec.run_id for spec in specs}) != len(specs):
         raise StoreError("ingest_many specs contain duplicate run ids")
+    retries = _env_retries() if retries is None else retries
     if workers <= 1 or len(specs) <= 1:
-        results: List[RunInfo] = []
         with _obs.span("ingest.batch", workers=1, specs=len(specs)):
-            for spec in specs:
-                started = _perf()
-                graph = execute_spec(spec)
-                executed = _perf()
-                info = catalog.register(graph, run_id=spec.run_id,
-                                        source=spec.source)
-                committed = _perf()
-                meta = {"workers": 1, "worker_pid": os.getpid(),
-                        "execute_seconds": executed - started,
-                        "commit_seconds": committed - executed,
-                        "wall_seconds": committed - started,
-                        "nodes": info.node_count, "edges": info.edge_count}
-                _persist_ingest_meta(catalog.store, spec.run_id, meta)
-                _record_run_metrics(meta)
-                info.meta = {"ingest": meta}
-                results.append(info)
-        return results
+            return [_finish_serial_spec(catalog, spec, retries, quarantine)
+                    for spec in specs]
     store = catalog.store
     sources = {spec.run_id: spec.source for spec in specs}
     infos: Dict[str, RunInfo] = {}
+    failures_by_run: Dict[str, int] = {}
     with _obs.span("ingest.batch", workers=workers, specs=len(specs)), \
             tempfile.TemporaryDirectory(prefix="repro-ingest-") as directory:
         # Commits run on pool threads, which never inherit the ambient
@@ -236,7 +325,13 @@ def ingest_many(catalog: RunCatalog, specs: Sequence[WorkloadSpec],
             queue_wait = max(0.0, time.time() - timings["spooled_at"])
             started = _perf()
             try:
-                graph = load_spool(path)
+                _faults.fire("spool.read", run_id=run_id, path=path)
+                try:
+                    graph = load_spool(path)
+                except OSError as error:
+                    raise StoreIOError("ingest", path, run_id=run_id,
+                                       cause=error) from error
+                store.mark_pending(run_id)
                 info = store.put_graph(run_id, graph,
                                        source=sources[run_id])
             finally:
@@ -251,7 +346,8 @@ def ingest_many(catalog: RunCatalog, specs: Sequence[WorkloadSpec],
                     "wall_seconds": (timings["execute_seconds"]
                                      + timings["spool_seconds"]
                                      + queue_wait + commit_seconds),
-                    "nodes": info.node_count, "edges": info.edge_count}
+                    "nodes": info.node_count, "edges": info.edge_count,
+                    "spool_sha256": timings["spool_sha256"]}
             _persist_ingest_meta(store, run_id, meta)
             _record_run_metrics(meta)
             info.meta = {"ingest": meta}
@@ -266,19 +362,75 @@ def ingest_many(catalog: RunCatalog, specs: Sequence[WorkloadSpec],
                                  worker=worker)
             return run_id, info
 
-        with ProcessPoolExecutor(max_workers=workers) as executors, \
-                ThreadPoolExecutor(max_workers=workers) as committers:
-            spool_futures = [
-                executors.submit(_spool_spec, spec, directory, index)
-                for index, spec in enumerate(specs)]
-            # Submit each commit the moment its spool lands (completion
-            # order, not submission order), so commits overlap with
-            # still-running executions and a slow early run never
-            # blocks commits of faster later ones.
-            commit_futures = [
-                committers.submit(commit, future.result())
-                for future in as_completed(spool_futures)]
-            for commit_future in commit_futures:
-                run_id, info = commit_future.result()
-                infos[run_id] = info
+        specs_by_run = {spec.run_id: spec for spec in specs}
+        fallback: List[WorkloadSpec] = []
+        commit_futures = []
+        with ThreadPoolExecutor(max_workers=workers) as committers:
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as executors:
+                    outstanding = {
+                        executors.submit(_spool_spec, spec, directory,
+                                         index): spec
+                        for index, spec in enumerate(specs)}
+                    # Submit each commit the moment its spool lands
+                    # (completion order, not submission order), so
+                    # commits overlap with still-running executions and
+                    # a slow early run never blocks faster later ones.
+                    while outstanding:
+                        done, _running = wait(list(outstanding),
+                                              return_when=FIRST_COMPLETED)
+                        for future in done:
+                            spec = outstanding.pop(future)
+                            try:
+                                result = future.result()
+                            except BrokenProcessPool:
+                                # The pool is dead for everyone; count
+                                # the crash against the spec that
+                                # surfaced it and hand every unfinished
+                                # spec to the in-process fallback.
+                                failures = failures_by_run.get(
+                                    spec.run_id, 0) + 1
+                                failures_by_run[spec.run_id] = failures
+                                fallback.append(spec)
+                                fallback.extend(outstanding.values())
+                                outstanding.clear()
+                                raise _PoolBroken from None
+                            except Exception as error:
+                                failures = failures_by_run.get(
+                                    spec.run_id, 0) + 1
+                                failures_by_run[spec.run_id] = failures
+                                if failures <= retries:
+                                    _obs.count("ingest.retries_total")
+                                    outstanding[executors.submit(
+                                        _spool_spec, spec, directory,
+                                        len(specs) + failures)] = spec
+                                elif quarantine:
+                                    infos[spec.run_id] = _quarantine_run(
+                                        store, spec, error, failures)
+                                else:
+                                    raise
+                            else:
+                                commit_futures.append(
+                                    (spec, committers.submit(commit,
+                                                             result)))
+            except _PoolBroken:
+                _obs.count("ingest.pool_breaks_total")
+            for spec, commit_future in commit_futures:
+                try:
+                    _run_id, info = commit_future.result()
+                except Exception as error:
+                    if not quarantine:
+                        raise
+                    infos[spec.run_id] = _quarantine_run(
+                        store, spec, error,
+                        failures_by_run.get(spec.run_id, 0) + 1)
+                else:
+                    infos[spec.run_id] = info
+        # Specs stranded by a broken pool re-run in-process: the crash
+        # already spent one attempt, the serial path spends the rest.
+        for spec in fallback:
+            infos[spec.run_id] = _finish_serial_spec(
+                catalog, spec, retries, quarantine,
+                prior_failures=failures_by_run.get(spec.run_id, 0))
+        del specs_by_run
     return [infos[spec.run_id] for spec in specs]

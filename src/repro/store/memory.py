@@ -38,6 +38,7 @@ class MemoryStore(GraphStore):
         self._graphs: Dict[str, ProvenanceGraph] = {}
         self._meta: Dict[str, RunInfo] = {}
         self._run_meta: Dict[str, dict] = {}
+        self._pending: Dict[str, float] = {}
 
     def put_graph(self, run_id: str, graph: ProvenanceGraph,
                   source: Optional[str] = None) -> RunInfo:
@@ -50,6 +51,7 @@ class MemoryStore(GraphStore):
             if source is None and previous is not None:
                 source = previous.source
             self._graphs[run_id] = graph
+            self._pending.pop(run_id, None)
             info = RunInfo(run_id, created, now, source, graph.node_count,
                            graph.edge_count, len(graph.invocations))
             self._meta[run_id] = info
@@ -103,6 +105,23 @@ class MemoryStore(GraphStore):
             del self._graphs[run_id]
             del self._meta[run_id]
             self._run_meta.pop(run_id, None)
+            self._pending.pop(run_id, None)
+
+    # Sentinels mirror SQLiteStore semantics (put/delete clear them)
+    # so the ingest pipeline and doctor behave identically over
+    # volatile backends.
+    def mark_pending(self, run_id: str) -> None:
+        with self._lock:
+            self._pending[run_id] = time.time()
+
+    def clear_pending(self, run_id: str) -> None:
+        with self._lock:
+            self._pending.pop(run_id, None)
+
+    def pending_runs(self) -> List[str]:
+        with self._lock:
+            return sorted(self._pending,
+                          key=lambda run_id: (self._pending[run_id], run_id))
 
     def __repr__(self) -> str:
         return f"MemoryStore(runs={len(self._graphs)})"

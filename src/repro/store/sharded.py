@@ -21,10 +21,12 @@ from __future__ import annotations
 import glob
 import os
 import re
+import sqlite3
 import zlib
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Set, Union
 
-from ..errors import StoreError
+from .. import obs as _obs
+from ..errors import ShardUnavailableError, StoreError, UnknownRunError
 from ..graph.provgraph import ProvenanceGraph
 from .base import GraphStore, RunInfo
 from .memory import MemoryStore
@@ -49,16 +51,93 @@ def shard_paths(path: Union[str, os.PathLike], shard_count: int) -> List[str]:
             for index in range(shard_count)]
 
 
-def detect_shard_count(path: Union[str, os.PathLike]) -> Optional[int]:
-    """Infer the shard count from existing ``<path>.shard-NN`` files,
-    or ``None`` when no shard files exist."""
+def _found_shard_indexes(path: Union[str, os.PathLike]) -> Set[int]:
+    """Indexes of the ``<path>.shard-NN`` files present on disk."""
     base = os.fspath(path)
-    indexes = []
+    indexes = set()
     for name in glob.glob(glob.escape(base) + _SHARD_GLOB):
         match = _SHARD_RE.search(name)
         if match:
-            indexes.append(int(match.group(1)))
+            indexes.add(int(match.group(1)))
+    return indexes
+
+
+def detect_shard_count(path: Union[str, os.PathLike]) -> Optional[int]:
+    """Infer the shard count from existing ``<path>.shard-NN`` files,
+    or ``None`` when no shard files exist."""
+    indexes = _found_shard_indexes(path)
     return max(indexes) + 1 if indexes else None
+
+
+class DegradedResult(list):
+    """A catalog answer computed with some shards unavailable.
+
+    A plain ``list`` (existing callers keep working) that additionally
+    records which shards could not be read, so callers that care —
+    ``repro runs``, the doctor — can surface the gap instead of
+    presenting a partial catalog as the whole truth.
+    """
+
+    def __init__(self, items=(), failures=()):
+        super().__init__(items)
+        #: ``[{"shard": int, "path": str, "error": str}, ...]``
+        self.failures: List[dict] = list(failures)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.failures)
+
+
+class UnavailableShard(GraphStore):
+    """Placeholder for a shard whose file is missing or corrupted.
+
+    Keeps the shard layout (and run routing) intact while every
+    operation raises a typed
+    :class:`~repro.errors.ShardUnavailableError`, which the parent
+    :class:`ShardedStore` converts into degraded catalog reads.
+    """
+
+    def __init__(self, path: str, error, index: Optional[int] = None):
+        self.path = path
+        self.error = error
+        self.index = index
+
+    def _raise(self):
+        raise ShardUnavailableError(self.path, shard=self.index,
+                                    cause=self.error)
+
+    def put_graph(self, run_id, graph, source=None):
+        self._raise()
+
+    def append_graph(self, run_id, graph, source=None):
+        self._raise()
+
+    def delete_run(self, run_id):
+        self._raise()
+
+    def load_graph(self, run_id):
+        self._raise()
+
+    def run_info(self, run_id):
+        self._raise()
+
+    def list_runs(self):
+        self._raise()
+
+    def set_run_meta(self, run_id, meta):
+        self._raise()
+
+    def integrity_check(self, quick: bool = False) -> List[str]:
+        return [f"unavailable: {self.error}"]
+
+    def pending_runs(self) -> List[str]:
+        return []
+
+    def storage_bytes(self) -> Optional[int]:
+        return None
+
+    def __repr__(self) -> str:
+        return f"UnavailableShard({self.path!r}, error={self.error!r})"
 
 
 class ShardedStore(GraphStore):
@@ -83,18 +162,35 @@ class ShardedStore(GraphStore):
         """SQLite shards ``<path>.shard-00 .. NN``.
 
         With ``shard_count=None`` the count is inferred from the shard
-        files already on disk (default 4 for a fresh store).
+        files already on disk (default 4 for a fresh store).  An
+        explicit ``shard_count`` that disagrees with the on-disk
+        layout raises — opening with the wrong count would silently
+        route runs to the wrong shard.  In an established store, a
+        missing or unopenable shard file becomes an
+        :class:`UnavailableShard` (degraded reads) rather than being
+        silently recreated empty.
         """
+        found = _found_shard_indexes(path)
+        existing = max(found) + 1 if found else None
         if shard_count is None:
-            shard_count = detect_shard_count(path) or 4
-        existing = detect_shard_count(path)
-        if existing is not None and existing != shard_count:
+            shard_count = existing or 4
+        elif existing is not None and existing != shard_count:
             raise StoreError(
                 f"store at {os.fspath(path)!r} has {existing} shard(s) on "
                 f"disk but {shard_count} were requested; resharding is not "
                 f"supported — open with shard_count={existing}")
-        return cls([SQLiteStore(shard_path)
-                    for shard_path in shard_paths(path, shard_count)])
+        shards: List[GraphStore] = []
+        for index, shard_path in enumerate(shard_paths(path, shard_count)):
+            if found and index not in found:
+                shards.append(UnavailableShard(
+                    shard_path, error="shard file is missing", index=index))
+                continue
+            try:
+                shards.append(SQLiteStore(shard_path))
+            except StoreError as error:
+                shards.append(UnavailableShard(shard_path, error=error,
+                                               index=index))
+        return cls(shards)
 
     @classmethod
     def in_memory(cls, shard_count: int = 4,
@@ -115,63 +211,159 @@ class ShardedStore(GraphStore):
         """The child store that owns ``run_id``."""
         return self.shards[shard_of(run_id, len(self.shards))]
 
+    def _routed(self, run_id: str, method: str, *args, **kwargs):
+        """Call a child-store method, typing shard-level failures.
+
+        Mid-session corruption (a shard file truncated while open)
+        surfaces as raw ``sqlite3.DatabaseError`` from deep inside the
+        child; wrap it so point lookups fail with a
+        :class:`~repro.errors.ShardUnavailableError` that names the
+        shard, instead of a bare driver exception.
+        """
+        index = shard_of(run_id, len(self.shards))
+        shard = self.shards[index]
+        try:
+            return getattr(shard, method)(*args, **kwargs)
+        except (ShardUnavailableError, UnknownRunError):
+            raise
+        except sqlite3.DatabaseError as error:
+            raise ShardUnavailableError(getattr(shard, "path", None),
+                                        shard=index, cause=error) from error
+
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
     def put_graph(self, run_id: str, graph: ProvenanceGraph,
                   source: Optional[str] = None) -> RunInfo:
-        return self.shard_for(run_id).put_graph(run_id, graph, source=source)
+        return self._routed(run_id, "put_graph", run_id, graph,
+                            source=source)
 
     def append_graph(self, run_id: str, graph: ProvenanceGraph,
                      source: Optional[str] = None) -> RunInfo:
-        return self.shard_for(run_id).append_graph(run_id, graph,
-                                                   source=source)
+        return self._routed(run_id, "append_graph", run_id, graph,
+                            source=source)
 
     def delete_run(self, run_id: str) -> None:
-        self.shard_for(run_id).delete_run(run_id)
+        self._routed(run_id, "delete_run", run_id)
 
     def set_run_meta(self, run_id: str, meta: dict) -> None:
-        self.shard_for(run_id).set_run_meta(run_id, meta)
+        self._routed(run_id, "set_run_meta", run_id, meta)
+
+    def mark_pending(self, run_id: str) -> None:
+        self._routed(run_id, "mark_pending", run_id)
+
+    def clear_pending(self, run_id: str) -> None:
+        self._routed(run_id, "clear_pending", run_id)
 
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
     def load_graph(self, run_id: str) -> ProvenanceGraph:
-        return self.shard_for(run_id).load_graph(run_id)
+        return self._routed(run_id, "load_graph", run_id)
 
     def run_info(self, run_id: str) -> RunInfo:
-        return self.shard_for(run_id).run_info(run_id)
+        return self._routed(run_id, "run_info", run_id)
 
     def has_run(self, run_id: str) -> bool:
-        return self.shard_for(run_id).has_run(run_id)
+        return self._routed(run_id, "has_run", run_id)
 
-    def list_runs(self) -> List[RunInfo]:
-        """The merged catalog: every shard's runs, oldest first."""
-        merged: List[RunInfo] = []
-        for shard in self.shards:
-            merged.extend(shard.list_runs())
+    def _degraded_scan(self, collect):
+        """Run ``collect(shard)`` over every shard, recording failures
+        instead of raising (degraded-mode catalog reads)."""
+        items: List = []
+        failures: List[dict] = []
+        for index, shard in enumerate(self.shards):
+            path = getattr(shard, "path", None)
+            try:
+                items.append(collect(shard))
+            except (ShardUnavailableError, sqlite3.DatabaseError,
+                    StoreError, OSError) as error:
+                _obs.count("store.degraded_reads_total", shard=str(index))
+                failures.append({"shard": index, "path": path,
+                                 "error": str(error)})
+        return items, failures
+
+    def list_runs(self) -> "DegradedResult":
+        """The merged catalog: every shard's runs, oldest first.
+
+        Unreachable shards are skipped, not fatal — the result is a
+        :class:`DegradedResult` (a list) whose ``failures`` name them.
+        """
+        per_shard, failures = self._degraded_scan(
+            lambda shard: shard.list_runs())
+        merged = DegradedResult(
+            (info for runs in per_shard for info in runs),
+            failures=failures)
         merged.sort(key=lambda info: (info.created_at, info.run_id))
         return merged
 
+    def pending_runs(self) -> List[str]:
+        """Ingest sentinels across all reachable shards."""
+        per_shard, _failures = self._degraded_scan(
+            lambda shard: shard.pending_runs())
+        return sorted(run_id for runs in per_shard for run_id in runs)
+
     # ------------------------------------------------------------------
-    # Observability
+    # Observability & health
     # ------------------------------------------------------------------
-    def shard_stats(self) -> List[dict]:
+    def shard_stats(self) -> "DegradedResult":
         """Per-shard placement census: runs, node/edge totals, and
         on-disk bytes for each child store (``bytes`` is None for
-        volatile backends)."""
-        stats = []
+        volatile backends).  Unreachable shards report an ``error``
+        entry instead of counts."""
+        stats = DegradedResult()
         for index, shard in enumerate(self.shards):
-            runs = shard.list_runs()
-            stats.append({
+            path = getattr(shard, "path", None)
+            entry = {"shard": index, "path": path, "runs": 0,
+                     "nodes": 0, "edges": 0,
+                     "bytes": shard.storage_bytes()}
+            try:
+                runs = shard.list_runs()
+            except (ShardUnavailableError, sqlite3.DatabaseError,
+                    StoreError, OSError) as error:
+                entry["error"] = str(error)
+                stats.failures.append({"shard": index, "path": path,
+                                       "error": str(error)})
+            else:
+                entry.update(
+                    runs=len(runs),
+                    nodes=sum(info.node_count for info in runs),
+                    edges=sum(info.edge_count for info in runs))
+            stats.append(entry)
+        return stats
+
+    def shard_health(self, quick: bool = False) -> List[dict]:
+        """Availability + integrity verdict per shard (doctor input)."""
+        health = []
+        for index, shard in enumerate(self.shards):
+            problems = shard.integrity_check(quick=quick)
+            health.append({
                 "shard": index,
                 "path": getattr(shard, "path", None),
-                "runs": len(runs),
-                "nodes": sum(info.node_count for info in runs),
-                "edges": sum(info.edge_count for info in runs),
-                "bytes": shard.storage_bytes(),
+                "available": not isinstance(shard, UnavailableShard),
+                "integrity": problems,
             })
-        return stats
+        return health
+
+    def integrity_check(self, quick: bool = False) -> List[str]:
+        problems = []
+        for entry in self.shard_health(quick=quick):
+            problems.extend(f"shard {entry['shard']}: {problem}"
+                            for problem in entry["integrity"])
+        return problems
+
+    def checkpoint(self, mode: str = "TRUNCATE") -> None:
+        """WAL-checkpoint every reachable SQLite shard.
+
+        A corrupted shard failing its checkpoint is not fatal here —
+        it will be reported by :meth:`shard_health`."""
+        for shard in self.shards:
+            checkpoint = getattr(shard, "checkpoint", None)
+            if callable(checkpoint):
+                try:
+                    checkpoint(mode)
+                except (sqlite3.DatabaseError, StoreError, OSError):
+                    pass
 
     def storage_bytes(self) -> Optional[int]:
         sizes = [shard.storage_bytes() for shard in self.shards]

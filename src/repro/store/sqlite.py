@@ -43,8 +43,10 @@ import threading
 import time
 from typing import Dict, List, Optional, Union
 
+from .. import faults as _faults
 from .. import obs as _obs
 from ..errors import StoreError, UnknownRunError
+from ..faults.retry import RetryPolicy, retry_call
 from ..graph.nodes import NodeKind
 from ..graph.provgraph import Invocation, ProvenanceGraph
 from ..graph.serialize import _decode_value, _encode_value
@@ -91,6 +93,10 @@ CREATE TABLE IF NOT EXISTS invocations (
     state         TEXT NOT NULL,
     PRIMARY KEY (run_id, invocation_id)
 );
+CREATE TABLE IF NOT EXISTS pending_ingests (
+    run_id     TEXT PRIMARY KEY,
+    started_at REAL NOT NULL
+);
 """
 
 
@@ -118,8 +124,14 @@ class SQLiteStore(GraphStore):
     through a per-store lock.
     """
 
-    def __init__(self, path: Union[str, os.PathLike] = ":memory:"):
+    def __init__(self, path: Union[str, os.PathLike] = ":memory:",
+                 retry_policy: Optional[RetryPolicy] = None):
         self.path = os.fspath(path) if not isinstance(path, str) else path
+        # Transient write failures (``database is locked``/busy) are
+        # retried with jittered exponential backoff; knobs come from
+        # the REPRO_RETRY_* environment unless a policy is passed.
+        self.retry_policy = (retry_policy if retry_policy is not None
+                             else RetryPolicy.from_env())
         # Telemetry: every timing/counter this store emits carries a
         # ``store`` label, so shard files show up as distinct series.
         self._obs_labels = {"store": (os.path.basename(self.path)
@@ -150,18 +162,27 @@ class SQLiteStore(GraphStore):
         # other threads opened; each non-shared connection is still
         # only ever *used* by its owning thread.
         conn = sqlite3.connect(self.path, check_same_thread=False)
-        conn.execute("PRAGMA synchronous=NORMAL")
-        if self._shared_conn is None and self.path != ":memory:":
-            conn.execute("PRAGMA journal_mode=WAL")
-            conn.execute("PRAGMA busy_timeout=10000")
-        conn.executescript(_SCHEMA)
-        # Stores created before the telemetry PR lack the runs.meta
-        # column; widen them in place (CREATE IF NOT EXISTS above
-        # skipped the table, so the ALTER is the upgrade path).
-        columns = {row[1] for row in conn.execute("PRAGMA table_info(runs)")}
-        if "meta" not in columns:
-            conn.execute("ALTER TABLE runs ADD COLUMN meta TEXT")
-        conn.commit()
+        try:
+            conn.execute("PRAGMA synchronous=NORMAL")
+            if self._shared_conn is None and self.path != ":memory:":
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute("PRAGMA busy_timeout=10000")
+            conn.executescript(_SCHEMA)
+            # Stores created before the telemetry PR lack the runs.meta
+            # column; widen them in place (CREATE IF NOT EXISTS above
+            # skipped the table, so the ALTER is the upgrade path).
+            columns = {row[1]
+                       for row in conn.execute("PRAGMA table_info(runs)")}
+            if "meta" not in columns:
+                conn.execute("ALTER TABLE runs ADD COLUMN meta TEXT")
+            conn.commit()
+        except sqlite3.DatabaseError as error:
+            # A corrupted/garbage file fails right here; surface it as
+            # a typed store error so shard layers can degrade instead
+            # of leaking a raw sqlite3 exception.
+            conn.close()
+            raise StoreError(
+                f"cannot open store at {self.path!r}: {error}") from error
         return conn
 
     def _reap_dead_owners_locked(self) -> None:
@@ -172,8 +193,11 @@ class SQLiteStore(GraphStore):
             else:
                 try:
                     conn.close()
-                except sqlite3.Error:  # pragma: no cover - best effort
-                    pass
+                except sqlite3.Error:
+                    # A close() that fails leaks the file handle; make
+                    # that visible instead of silently swallowing it.
+                    _obs.count("store.reap_errors_total",
+                               **self._obs_labels)
         self._thread_conns = survivors
 
     @property
@@ -200,12 +224,14 @@ class SQLiteStore(GraphStore):
         return self._write_lock if self._shared_conn is not None else _NULL_LOCK
 
     # -- telemetry helpers ---------------------------------------------
-    def _commit(self) -> None:
+    def _commit(self, op: str = "", run_id: str = "") -> None:
         """Commit this thread's connection, recording commit latency,
         commit counts, and WAL growth/auto-checkpoints when telemetry
         is on (a WAL file that *shrank* since the last commit means
         SQLite ran an auto-checkpoint in between)."""
         conn = self._conn
+        _faults.fire("store.commit", store=self._obs_labels["store"],
+                     op=op, run_id=run_id)
         if not _obs.enabled():
             conn.commit()
             return
@@ -245,13 +271,23 @@ class SQLiteStore(GraphStore):
                        self._conn.total_changes - before, **labels)
             return info
 
+    def _retrying(self, operation: str, func):
+        """Run a write operation under the store's retry policy.
+
+        Each attempt acquires (and on failure releases) the write
+        lock, and every write helper rolls back before re-raising, so
+        a retried attempt always starts from a clean transaction.
+        """
+        return retry_call(func, self.retry_policy, operation=operation,
+                          labels=self._obs_labels)
+
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
     def put_graph(self, run_id: str, graph: ProvenanceGraph,
                   source: Optional[str] = None) -> RunInfo:
-        return self._timed_write(
-            lambda: self._put_graph_locked(run_id, graph, source))
+        return self._retrying("put_graph", lambda: self._timed_write(
+            lambda: self._put_graph_locked(run_id, graph, source)))
 
     def _put_graph_locked(self, run_id: str, graph: ProvenanceGraph,
                           source: Optional[str]) -> RunInfo:
@@ -272,7 +308,11 @@ class SQLiteStore(GraphStore):
                                      graph.invocations.values())
             info = self._write_run_row(cursor, run_id, graph, created, now,
                                        source, meta)
-            self._commit()
+            # Clearing the ingest sentinel rides the same transaction:
+            # the run flips from "pending" to "complete" atomically.
+            cursor.execute("DELETE FROM pending_ingests WHERE run_id = ?",
+                           (run_id,))
+            self._commit(op="put_graph", run_id=run_id)
             return info
         except BaseException:
             self._conn.rollback()
@@ -280,8 +320,8 @@ class SQLiteStore(GraphStore):
 
     def append_graph(self, run_id: str, graph: ProvenanceGraph,
                      source: Optional[str] = None) -> RunInfo:
-        return self._timed_write(
-            lambda: self._append_graph_locked(run_id, graph, source))
+        return self._retrying("append_graph", lambda: self._timed_write(
+            lambda: self._append_graph_locked(run_id, graph, source)))
 
     def _append_graph_locked(self, run_id: str, graph: ProvenanceGraph,
                              source: Optional[str]) -> RunInfo:
@@ -324,21 +364,35 @@ class SQLiteStore(GraphStore):
             info = self._write_run_row(cursor, run_id, graph, created, now,
                                        source if source is not None
                                        else stored_source, stored_meta)
-            self._commit()
+            cursor.execute("DELETE FROM pending_ingests WHERE run_id = ?",
+                           (run_id,))
+            self._commit(op="append_graph", run_id=run_id)
             return info
         except BaseException:
             self._conn.rollback()
             raise
 
     def delete_run(self, run_id: str) -> None:
+        self._retrying("delete_run",
+                       lambda: self._delete_run_once(run_id))
+
+    def _delete_run_once(self, run_id: str) -> None:
         with self._write_lock:
             cursor = self._conn.cursor()
             if not cursor.execute("SELECT 1 FROM runs WHERE run_id = ?",
                                   (run_id,)).fetchone():
                 raise UnknownRunError(run_id)
-            self._clear_run(cursor, run_id)
-            cursor.execute("DELETE FROM runs WHERE run_id = ?", (run_id,))
-            self._commit()
+            try:
+                self._clear_run(cursor, run_id)
+                cursor.execute("DELETE FROM runs WHERE run_id = ?",
+                               (run_id,))
+                cursor.execute(
+                    "DELETE FROM pending_ingests WHERE run_id = ?",
+                    (run_id,))
+                self._commit(op="delete_run", run_id=run_id)
+            except BaseException:
+                self._conn.rollback()
+                raise
 
     # -- write helpers -------------------------------------------------
     def _clear_run(self, cursor: sqlite3.Cursor, run_id: str) -> None:
@@ -472,15 +526,102 @@ class SQLiteStore(GraphStore):
 
     def set_run_meta(self, run_id: str, meta: dict) -> None:
         encoded = json.dumps(meta)
+        self._retrying("set_run_meta",
+                       lambda: self._set_run_meta_once(run_id, encoded))
+
+    def _set_run_meta_once(self, run_id: str, encoded: str) -> None:
         with self._write_lock:
+            _faults.fire("catalog.meta", store=self._obs_labels["store"],
+                         run_id=run_id)
             cursor = self._conn.cursor()
-            updated = cursor.execute(
-                "UPDATE runs SET meta = ? WHERE run_id = ?",
-                (encoded, run_id)).rowcount
-            if not updated:
+            try:
+                updated = cursor.execute(
+                    "UPDATE runs SET meta = ? WHERE run_id = ?",
+                    (encoded, run_id)).rowcount
+                if not updated:
+                    self._conn.rollback()
+                    raise UnknownRunError(run_id)
+                self._commit(op="set_run_meta", run_id=run_id)
+            except UnknownRunError:
+                raise
+            except BaseException:
                 self._conn.rollback()
-                raise UnknownRunError(run_id)
-            self._commit()
+                raise
+
+    # ------------------------------------------------------------------
+    # Crash-safe ingest sentinels
+    # ------------------------------------------------------------------
+    def mark_pending(self, run_id: str) -> None:
+        """Journal that an ingest for ``run_id`` is in flight.
+
+        The sentinel is committed *before* the run's data transaction
+        and deleted *inside* it, so a process killed at any point
+        leaves either a complete run (sentinel gone) or a detectable
+        partial (sentinel present) — never a silent half-run.  ``repro
+        doctor`` scans and rolls these back.
+        """
+        def once() -> None:
+            with self._write_lock:
+                try:
+                    self._conn.execute(
+                        "INSERT OR REPLACE INTO pending_ingests "
+                        "VALUES (?, ?)", (run_id, time.time()))
+                    self._commit(op="mark_pending", run_id=run_id)
+                except BaseException:
+                    self._conn.rollback()
+                    raise
+        self._retrying("mark_pending", once)
+
+    def clear_pending(self, run_id: str) -> None:
+        """Drop a sentinel without committing data (repair path)."""
+        def once() -> None:
+            with self._write_lock:
+                try:
+                    self._conn.execute(
+                        "DELETE FROM pending_ingests WHERE run_id = ?",
+                        (run_id,))
+                    self._commit(op="clear_pending", run_id=run_id)
+                except BaseException:
+                    self._conn.rollback()
+                    raise
+        self._retrying("clear_pending", once)
+
+    def pending_runs(self) -> List[str]:
+        """Run ids with a live ingest sentinel (suspected partials)."""
+        with self._read_lock():
+            rows = self._conn.execute(
+                "SELECT run_id FROM pending_ingests "
+                "ORDER BY started_at, run_id").fetchall()
+        return [row[0] for row in rows]
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def integrity_check(self, quick: bool = False) -> List[str]:
+        """SQLite's own corruption scan; ``[]`` means healthy.
+
+        Returns the ``PRAGMA integrity_check`` problem rows (or the
+        open/scan error itself) so ``repro doctor`` can report *what*
+        is wrong with a shard, not just that something is.
+        """
+        pragma = "quick_check" if quick else "integrity_check"
+        try:
+            with self._read_lock():
+                rows = self._conn.execute(f"PRAGMA {pragma}").fetchall()
+        except (StoreError, sqlite3.Error) as error:
+            return [str(error)]
+        problems = [row[0] for row in rows if row[0] != "ok"]
+        return problems
+
+    def checkpoint(self, mode: str = "TRUNCATE") -> None:
+        """Force a WAL checkpoint (doctor runs one before scanning so
+        the main database file reflects every committed write)."""
+        if self.path == ":memory:":
+            return
+        _faults.fire("store.wal_checkpoint",
+                     store=self._obs_labels["store"])
+        with self._write_lock:
+            self._conn.execute(f"PRAGMA wal_checkpoint({mode})")
 
     def storage_bytes(self) -> Optional[int]:
         """Bytes on disk: the database file plus WAL/SHM sidecars."""
@@ -509,8 +650,8 @@ class SQLiteStore(GraphStore):
         for conn in conns:
             try:
                 conn.close()
-            except sqlite3.Error:  # pragma: no cover - best-effort reap
-                pass
+            except sqlite3.Error:
+                _obs.count("store.reap_errors_total", **self._obs_labels)
         self._shared_conn = None
         self._local = threading.local()
 

@@ -1,0 +1,512 @@
+"""Integration tests for the fault-tolerance layer.
+
+The scenarios the robustness work defends against, made to happen on
+demand via :mod:`repro.faults`:
+
+* SQLite lock storms -> retried with backoff, counters prove it;
+* a poisoned/crashed ingest worker -> that run quarantined, the batch
+  completes (or, with ``quarantine=False``, fail-fast);
+* a killed worker process -> broken pool -> serial in-process fallback;
+* SIGKILL mid-commit -> the ingest sentinel marks the partial run,
+  ``repro doctor --repair`` rolls it back, and a re-ingest produces a
+  byte-identical graph;
+* a corrupted or missing shard -> degraded catalog reads and typed
+  ``ShardUnavailableError`` point lookups instead of crashes;
+* checksum drift -> detected by the doctor, quarantined on repair.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro import faults, obs
+from repro.cli import main as cli_main
+from repro.errors import (FaultInjectedError, ShardUnavailableError,
+                          StoreError, StoreIOError)
+from repro.faults.retry import RetryPolicy
+from repro.graph.serialize import dump_graph
+from repro.store import (DegradedResult, RunCatalog, SQLiteStore,
+                         WorkloadSpec, diagnose, ingest_many, open_store,
+                         repair)
+from repro.store.sharded import shard_of
+
+TINY = {"num_cars": 8, "num_exec": 2, "force_decline": True}
+FAST_RETRY = dict(attempts=4, base_seconds=0.001, max_sleep_seconds=0.002)
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    """No ambient fault plan or telemetry before/after each test."""
+    faults.clear()
+    obs.disable()
+    yield
+    faults.clear()
+    obs.disable()
+
+
+def fresh_registry():
+    return obs.enable(reset=True).registry
+
+
+def counter_total(registry, name):
+    return sum(snap["value"]
+               for key, snap in registry.snapshot().items()
+               if key.split("{")[0] == name)
+
+
+def tiny_specs(count, prefix="run-t"):
+    return [WorkloadSpec("dealerships", dict(TINY, seed=index),
+                         run_id=f"{prefix}-{index + 1}")
+            for index in range(count)]
+
+
+def fast_store(path):
+    return SQLiteStore(os.fspath(path),
+                       retry_policy=RetryPolicy(seed=0, **FAST_RETRY))
+
+
+def graph_bytes(store, run_id):
+    buffer = io.StringIO()
+    dump_graph(store.load_graph(run_id), buffer)
+    return buffer.getvalue()
+
+
+def run_cli(capsys, *argv):
+    code = cli_main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestRetryBackoff:
+    def test_lock_contention_is_retried_and_ingest_succeeds(self, tmp_path):
+        registry = fresh_registry()
+        store = fast_store(tmp_path / "r.db")
+        with store, faults.injecting("store.commit:locked:n=2"):
+            infos = ingest_many(RunCatalog(store), tiny_specs(1))
+            assert infos[0].node_count > 0
+            assert store.has_run("run-t-1")
+        assert counter_total(registry, "faults.injected_total") == 2
+        assert counter_total(registry, "store.retries_total") >= 2
+        assert counter_total(registry, "store.gave_up_total") == 0
+
+    def test_exhausted_retries_give_up_with_counter(self, tmp_path):
+        from repro.graph.provgraph import ProvenanceGraph
+        registry = fresh_registry()
+        store = fast_store(tmp_path / "g.db")
+        with store, faults.injecting("store.commit:locked"):  # unbounded
+            with pytest.raises(sqlite3.OperationalError):
+                store.put_graph("run-x", ProvenanceGraph())
+        assert counter_total(registry, "store.gave_up_total") >= 1
+        assert counter_total(registry, "store.retries_total") >= 1
+
+    def test_store_retry_policy_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RETRY_ATTEMPTS", "9")
+        with SQLiteStore(os.fspath(tmp_path / "e.db")) as store:
+            assert store.retry_policy.attempts == 9
+
+
+class TestQuarantine:
+    def test_serial_failure_quarantined_after_retries(self, tmp_path):
+        registry = fresh_registry()
+        store = fast_store(tmp_path / "q.db")
+        specs = tiny_specs(3, prefix="run-q")
+        # The fault budget outlasts retries=1 (two attempts), so
+        # run-q-2's ingest exhausts and the run is quarantined; the
+        # quarantine commit itself fires nothing (budget n=2 spent).
+        plan = "store.commit:error:run_id=run-q-2:n=2"
+        with store, faults.injecting(plan):
+            infos = ingest_many(RunCatalog(store), specs, retries=1)
+            assert [info.run_id for info in infos] == \
+                ["run-q-1", "run-q-2", "run-q-3"]
+            bad = store.run_info("run-q-2")
+            assert bad.meta["quarantined"]["type"] == "FaultInjectedError"
+            assert bad.meta["quarantined"]["attempts"] == 2
+            assert bad.node_count == 0
+            assert bad.source == "quarantined:dealerships"
+            assert store.run_info("run-q-1").node_count > 0
+            assert store.run_info("run-q-3").node_count > 0
+            assert store.pending_runs() == []  # quarantine is a commit
+        assert counter_total(registry, "ingest.quarantined_total") == 1
+        assert counter_total(registry, "ingest.retries_total") == 1
+
+    def test_parallel_worker_failure_quarantined(self, tmp_path):
+        registry = fresh_registry()
+        store = fast_store(tmp_path / "p.db")
+        specs = tiny_specs(3, prefix="run-p")
+        with store, faults.injecting("pool.worker:error:run_id=run-p-2"):
+            infos = ingest_many(RunCatalog(store), specs, workers=2,
+                                retries=0)
+            assert [info.run_id for info in infos] == \
+                ["run-p-1", "run-p-2", "run-p-3"]
+            assert store.run_info("run-p-2").meta["quarantined"]
+            assert store.run_info("run-p-1").node_count > 0
+            assert store.run_info("run-p-3").node_count > 0
+        assert counter_total(registry, "ingest.quarantined_total") == 1
+
+    def test_parallel_transient_failure_retried_to_success(self, tmp_path):
+        registry = fresh_registry()
+        store = fast_store(tmp_path / "rt.db")
+        specs = tiny_specs(3, prefix="run-r")
+        # n=1 per forked worker process; with 2 workers, at most two
+        # attempts hit an unspent budget, so retries=2 always wins.
+        plan = "pool.worker:error:run_id=run-r-2:n=1"
+        with store, faults.injecting(plan):
+            infos = ingest_many(RunCatalog(store), specs, workers=2,
+                                retries=2)
+            for info in infos:
+                assert (info.meta or {}).get("quarantined") is None
+                assert info.node_count > 0
+        assert counter_total(registry, "ingest.retries_total") >= 1
+        assert counter_total(registry, "ingest.quarantined_total") == 0
+
+    def test_quarantine_false_fails_fast(self, tmp_path):
+        store = fast_store(tmp_path / "ff.db")
+        with store, faults.injecting("pool.worker:error:run_id=run-f-2"):
+            with pytest.raises(FaultInjectedError):
+                ingest_many(RunCatalog(store), tiny_specs(3, "run-f"),
+                            workers=2, retries=0, quarantine=False)
+
+    def test_killed_worker_breaks_pool_but_not_batch(self, tmp_path):
+        registry = fresh_registry()
+        store = fast_store(tmp_path / "k.db")
+        specs = tiny_specs(4, prefix="run-k")
+        # The kill fires once, in one worker process; the parent's own
+        # plan copy never fires because the serial fallback path does
+        # not pass the pool.worker seam.
+        plan = "pool.worker:kill:run_id=run-k-2:n=1"
+        with store, faults.injecting(plan):
+            infos = ingest_many(RunCatalog(store), specs, workers=2,
+                                retries=1)
+            assert [info.run_id for info in infos] == \
+                [f"run-k-{i}" for i in (1, 2, 3, 4)]
+            for spec in specs:
+                assert store.run_info(spec.run_id).node_count > 0
+            assert store.pending_runs() == []
+        assert counter_total(registry, "ingest.pool_breaks_total") == 1
+
+    def test_parallel_matches_serial_bytes_despite_faults(self, tmp_path):
+        clean = fast_store(tmp_path / "clean.db")
+        faulty = fast_store(tmp_path / "faulty.db")
+        plan = "pool.worker:error:run_id=run-s-3:n=1"
+        with clean, faulty, faults.injecting(plan):
+            ingest_many(RunCatalog(clean), tiny_specs(3, "run-s"))
+            ingest_many(RunCatalog(faulty), tiny_specs(3, "run-s"),
+                        workers=2, retries=2)
+            for index in (1, 2, 3):
+                run_id = f"run-s-{index}"
+                assert graph_bytes(clean, run_id) == \
+                    graph_bytes(faulty, run_id)
+
+
+class TestCrashRecovery:
+    def test_sentinel_marks_fresh_partial(self, tmp_path):
+        with fast_store(tmp_path / "s.db") as store:
+            store.mark_pending("run-dead")
+            assert store.pending_runs() == ["run-dead"]
+            report = diagnose(store)
+            assert report.partial_runs == [
+                {"run_id": "run-dead", "state": "no data committed"}]
+            assert not report.healthy
+            report = repair(store, report)
+            assert store.pending_runs() == []
+            assert diagnose(store).healthy
+            assert report.repaired[0]["action"] == \
+                "rolled back partial ingest"
+
+    def test_crashed_overwrite_keeps_previous_version(self, tmp_path):
+        store = fast_store(tmp_path / "o.db")
+        with store:
+            ingest_many(RunCatalog(store), tiny_specs(1, "run-o"))
+            before = graph_bytes(store, "run-o-1")
+            store.mark_pending("run-o-1")  # overwrite started, then died
+            report = diagnose(store)
+            assert report.partial_runs == [
+                {"run_id": "run-o-1", "state": "previous version intact"}]
+            repair(store, report)
+            # Repair never deletes committed data.
+            assert graph_bytes(store, "run-o-1") == before
+            assert diagnose(store).healthy
+
+    def test_commit_clears_sentinel_atomically(self, tmp_path):
+        with fast_store(tmp_path / "a.db") as store:
+            store.mark_pending("run-a-1")
+            ingest_many(RunCatalog(store), tiny_specs(1, "run-a"))
+            assert store.pending_runs() == []
+
+    def test_sigkill_mid_commit_then_doctor_repair(self, tmp_path):
+        """The headline acceptance scenario, end to end in real
+        processes: a SIGKILL during the data commit leaves a
+        detectable partial, ``doctor --repair`` rolls it back, and
+        re-ingesting produces bytes identical to a never-crashed
+        store."""
+        db = os.fspath(tmp_path / "crash.db")
+        clean_db = os.fspath(tmp_path / "clean.db")
+        env = dict(os.environ, PYTHONPATH=REPO_SRC)
+        ingest = [sys.executable, "-m", "repro", "ingest", "--db", db,
+                  "--run", "run-b", "--cars", "8", "--executions", "2"]
+
+        killed = subprocess.run(
+            ingest, env=dict(
+                env, REPRO_FAULTS="store.commit:kill:op=put_graph"),
+            capture_output=True, timeout=120)
+        assert killed.returncode in (-signal.SIGKILL, 128 + signal.SIGKILL)
+
+        with open_store(db) as store:
+            assert store.pending_runs() == ["run-b"]
+            assert not store.has_run("run-b")
+
+        doctor = [sys.executable, "-m", "repro", "doctor", "--db", db]
+        scan = subprocess.run(doctor, env=env, capture_output=True,
+                              text=True, timeout=120)
+        assert scan.returncode == 1
+        assert "partial ingest run-b" in scan.stdout
+
+        fixed = subprocess.run(doctor + ["--repair"], env=env,
+                               capture_output=True, text=True, timeout=120)
+        assert fixed.returncode == 0, fixed.stdout + fixed.stderr
+        assert "rolled back partial ingest" in fixed.stdout
+
+        for target in (db, clean_db):
+            done = subprocess.run(
+                ingest[:5] + [target] + ingest[6:], env=env,
+                capture_output=True, timeout=120)
+            assert done.returncode == 0, done.stderr
+        with open_store(db) as recovered, open_store(clean_db) as clean:
+            assert recovered.pending_runs() == []
+            assert graph_bytes(recovered, "run-b") == \
+                graph_bytes(clean, "run-b")
+
+
+def _corrupt(path):
+    with open(path, "r+b") as handle:
+        handle.write(b"this is not a sqlite database " * 8)
+
+
+class TestDegradedReads:
+    @pytest.fixture
+    def sharded_db(self, tmp_path):
+        """A 2-shard store with one run per shard; returns (path,
+        {shard_index: run_id})."""
+        db = os.fspath(tmp_path / "sh.db")
+        by_shard = {}
+        candidates = tiny_specs(8, prefix="run-d")
+        chosen = []
+        for spec in candidates:
+            index = shard_of(spec.run_id, 2)
+            if index not in by_shard:
+                by_shard[index] = spec.run_id
+                chosen.append(spec)
+            if len(by_shard) == 2:
+                break
+        with open_store(db, shards=2) as store:
+            ingest_many(RunCatalog(store), chosen)
+        return db, by_shard
+
+    def test_corrupted_shard_degrades_catalog_reads(self, sharded_db):
+        db, by_shard = sharded_db
+        registry = fresh_registry()
+        _corrupt(f"{db}.shard-01")
+        with open_store(db) as store:
+            runs = store.list_runs()
+            assert isinstance(runs, DegradedResult) and runs.degraded
+            assert runs.failures[0]["shard"] == 1
+            assert [info.run_id for info in runs] == [by_shard[0]]
+            # Point lookups fail typed, naming the shard...
+            with pytest.raises(ShardUnavailableError) as excinfo:
+                store.load_graph(by_shard[1])
+            assert "shard 1" in str(excinfo.value)
+            # ...while the healthy shard still serves.
+            assert store.load_graph(by_shard[0]).node_count > 0
+            stats = store.shard_stats()
+            assert stats.degraded and "error" in stats[1]
+        assert counter_total(registry, "store.degraded_reads_total") >= 1
+
+    def test_missing_shard_file_not_recreated_empty(self, tmp_path):
+        # Three shards so removing the *middle* one leaves the layout
+        # detectable (losing the highest shard is indistinguishable
+        # from a genuinely smaller store).
+        db = os.fspath(tmp_path / "m3.db")
+        by_shard = {}
+        chosen = []
+        for spec in tiny_specs(16, prefix="run-m"):
+            index = shard_of(spec.run_id, 3)
+            if index not in by_shard:
+                by_shard[index] = spec.run_id
+                chosen.append(spec)
+            if len(by_shard) == 3:
+                break
+        assert len(by_shard) == 3
+        with open_store(db, shards=3) as store:
+            ingest_many(RunCatalog(store), chosen)
+        os.remove(f"{db}.shard-01")
+        with open_store(db) as store:
+            runs = store.list_runs()
+            assert runs.degraded and runs.failures[0]["shard"] == 1
+            assert sorted(info.run_id for info in runs) == \
+                sorted([by_shard[0], by_shard[2]])
+            with pytest.raises(ShardUnavailableError):
+                store.run_info(by_shard[1])
+        # The missing file must not have been recreated as an empty db.
+        assert not os.path.exists(f"{db}.shard-01")
+
+    def test_doctor_reports_bad_shard(self, sharded_db):
+        db, _by_shard = sharded_db
+        _corrupt(f"{db}.shard-00")
+        with open_store(db) as store:
+            report = diagnose(store)
+            assert not report.healthy
+            assert report.unhealthy_shards[0]["shard"] == 0
+
+    def test_runs_cli_warns_but_exits_zero(self, sharded_db, capsys):
+        db, by_shard = sharded_db
+        _corrupt(f"{db}.shard-01")
+        code, out, err = run_cli(capsys, "runs", "--db", db)
+        assert code == 0
+        assert by_shard[0] in out
+        assert "shard 1 unreachable" in err
+        code, out, _err = run_cli(capsys, "runs", "--db", db, "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["degraded"][0]["shard"] == 1
+
+    def test_runs_json_has_no_degraded_key_when_healthy(self, sharded_db,
+                                                        capsys):
+        db, _by_shard = sharded_db
+        code, out, _err = run_cli(capsys, "runs", "--db", db, "--json")
+        assert code == 0
+        assert "degraded" not in json.loads(out)
+
+
+class TestDoctor:
+    def test_checksum_drift_detected_and_quarantined(self, tmp_path,
+                                                     capsys):
+        db = os.fspath(tmp_path / "c.db")
+        with open_store(db) as store:
+            ingest_many(RunCatalog(store), tiny_specs(2, "run-c"))
+            # Forge the recorded spool hash: the stored graph no
+            # longer matches what ingest claims was committed.
+            meta = dict(store.run_info("run-c-1").meta)
+            meta["ingest"] = dict(meta["ingest"], spool_sha256="0" * 64)
+            store.set_run_meta("run-c-1", meta)
+        code, out, _err = run_cli(capsys, "doctor", "--db", db)
+        assert code == 1 and "checksum mismatch run-c-1" in out
+        code, out, _err = run_cli(capsys, "doctor", "--db", db, "--repair")
+        assert code == 0
+        assert "quarantined (bad checksum)" in out
+        with open_store(db) as store:
+            # Quarantined, but kept for forensics.
+            assert store.run_info("run-c-1").meta["quarantined"]
+            assert store.load_graph("run-c-1").node_count > 0
+            assert store.run_info("run-c-2").meta.get(
+                "quarantined") is None
+
+    def test_doctor_json_shape(self, tmp_path, capsys):
+        db = os.fspath(tmp_path / "j.db")
+        with open_store(db) as store:
+            ingest_many(RunCatalog(store), tiny_specs(1, "run-j"))
+        code, out, _err = run_cli(capsys, "doctor", "--db", db, "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["healthy"] is True and payload["problems"] == 0
+        assert {"db", "healthy", "problems", "shards", "partial_runs",
+                "quarantined", "checksum_failures", "unverifiable",
+                "degraded", "repaired"} <= set(payload)
+
+    def test_doctor_no_checksums_skips_verification(self, tmp_path,
+                                                    capsys):
+        db = os.fspath(tmp_path / "n.db")
+        with open_store(db) as store:
+            ingest_many(RunCatalog(store), tiny_specs(1, "run-n"))
+            meta = dict(store.run_info("run-n-1").meta)
+            meta["ingest"] = dict(meta["ingest"], spool_sha256="f" * 64)
+            store.set_run_meta("run-n-1", meta)
+        code, _out, _err = run_cli(capsys, "doctor", "--db", db,
+                                   "--no-checksums")
+        assert code == 0
+
+    def test_doctor_unopenable_store_exits_one(self, tmp_path, capsys):
+        db = os.fspath(tmp_path / "bad.db")
+        with open(db, "wb") as handle:
+            handle.write(b"garbage" * 100)
+        code, out, _err = run_cli(capsys, "doctor", "--db", db)
+        assert code == 1 and "cannot open store" in out
+
+
+class TestSatellites:
+    def test_reap_errors_counter_on_failing_close(self, tmp_path):
+        registry = fresh_registry()
+        store = SQLiteStore(os.fspath(tmp_path / "reap.db"))
+
+        class BadConn:
+            def close(self):
+                raise sqlite3.OperationalError("close failed")
+
+        store._thread_conns.append((threading.current_thread(), BadConn()))
+        store.close()
+        assert counter_total(registry, "store.reap_errors_total") == 1
+
+    def test_open_store_rejects_conflicting_shard_count(self, tmp_path):
+        db = os.fspath(tmp_path / "m.db")
+        with open_store(db, shards=2) as store:
+            ingest_many(RunCatalog(store), tiny_specs(1, "run-m"))
+        with pytest.raises(StoreError, match="resharding"):
+            open_store(db, shards=3)
+
+    def test_open_store_autodetects_over_shards_one(self, tmp_path):
+        """``shards=1`` over an existing sharded store must open the
+        sharded layout, not a fresh empty db at the base path."""
+        db = os.fspath(tmp_path / "auto.db")
+        with open_store(db, shards=2) as store:
+            ingest_many(RunCatalog(store), tiny_specs(1, "run-z"))
+        with open_store(db, shards=1) as store:
+            assert [info.run_id for info in store.list_runs()] == \
+                ["run-z-1"]
+        assert not os.path.exists(db)  # no stray unsharded file
+
+    def test_store_io_error_carries_run_and_path(self, tmp_path):
+        with fast_store(tmp_path / "io.db") as store:
+            catalog = RunCatalog(store)
+            with pytest.raises(StoreIOError) as excinfo:
+                catalog.ingest(os.fspath(tmp_path / "missing.jsonl"),
+                               run_id="run-io")
+            message = str(excinfo.value)
+            assert "run-io" in message and "missing.jsonl" in message
+
+    def test_cli_spool_error_exits_nonzero_with_context(self, tmp_path,
+                                                        capsys):
+        db = os.fspath(tmp_path / "cli.db")
+        missing = os.fspath(tmp_path / "nope.jsonl")
+        code, _out, err = run_cli(capsys, "ingest", "--db", db,
+                                  "--spool", missing, "--run", "run-s")
+        assert code == 1
+        assert "error:" in err and "nope.jsonl" in err and "run-s" in err
+
+    def test_cli_ingest_reports_quarantine(self, tmp_path, capsys):
+        db = os.fspath(tmp_path / "q.db")
+        faults.configure("pool.worker:error:run_id=cli-q-02", seed=0)
+        code, out, err = run_cli(
+            capsys, "ingest", "--db", db, "--run", "cli-q", "--runs", "3",
+            "--workers", "2", "--retries", "0", "--cars", "8",
+            "--executions", "2", "--json")
+        assert code == 0
+        payload = json.loads(out)
+        flagged = [info for info in payload["runs"]
+                   if "quarantined" in info]
+        assert [info["run_id"] for info in flagged] == ["cli-q-02"]
+        healthy = [info for info in payload["runs"]
+                   if "quarantined" not in info]
+        assert len(healthy) == 2
+        assert all(set(info) == {"run_id", "nodes", "edges", "invocations",
+                                 "source", "ingest"} for info in healthy)
+        assert "1 run(s) quarantined" in err

@@ -1,0 +1,211 @@
+"""Unit tests for the fault-injection framework and retry policy.
+
+Covers the plan grammar (``seam:kind[:field]*``), deterministic
+trigger semantics (``n=`` budgets, seeded probabilities, tag
+filters), the :func:`repro.faults.fire` seam dispatch, and the
+jittered-exponential-backoff :class:`RetryPolicy` / ``retry_call``
+machinery the store builds on.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro import faults
+from repro.errors import FaultInjectedError
+from repro.faults import (FaultError, FaultPlan, RetryPolicy,
+                          is_transient_sqlite_error, parse_plan,
+                          parse_spec, retry_call)
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_plan():
+    """Each test starts and ends with injection off."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestPlanGrammar:
+    def test_minimal_spec(self):
+        spec = parse_spec("store.commit:locked")
+        assert spec.seam == "store.commit" and spec.kind == "locked"
+        assert spec.probability == 1.0 and spec.count is None
+        assert spec.filters == {}
+
+    def test_all_fields(self):
+        spec = parse_spec(
+            "spool.read:io:p=0.25:n=3:run_id=run-0002:op=put_graph")
+        assert spec.probability == 0.25 and spec.count == 3
+        assert spec.filters == {"run_id": "run-0002", "op": "put_graph"}
+
+    def test_bare_number_is_probability(self):
+        assert parse_spec("store.commit:busy:0.5").probability == 0.5
+
+    def test_latency_seconds(self):
+        assert parse_spec("store.commit:latency:secs=0.2").seconds == 0.2
+
+    def test_comma_joined_plan(self):
+        specs = parse_plan("store.commit:locked:n=1, pool.worker:kill")
+        assert [spec.seam for spec in specs] == ["store.commit",
+                                                "pool.worker"]
+
+    def test_empty_plan(self):
+        assert parse_plan("") == []
+
+    @pytest.mark.parametrize("bad", [
+        "nosuchseam:locked", "store.commit:nosuchkind",
+        "store.commit", "store.commit:locked:p=oops",
+        "store.commit:locked:2.0",  # probability out of range
+    ])
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(FaultError):
+            parse_spec(bad)
+
+
+class TestPlanTriggers:
+    def test_count_budget_is_exact(self):
+        plan = FaultPlan("store.commit:locked:n=2")
+        fired = [bool(plan.select("store.commit", {})) for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+        assert plan.injected() == 2
+
+    def test_seam_mismatch_never_fires(self):
+        plan = FaultPlan("store.commit:locked")
+        assert plan.select("spool.read", {}) == []
+
+    def test_tag_filters_are_substring(self):
+        plan = FaultPlan("store.commit:locked:run_id=run-00")
+        assert plan.select("store.commit", {"run_id": "run-0042"})
+        assert not plan.select("store.commit", {"run_id": "other"})
+        assert not plan.select("store.commit", {})
+
+    def test_seeded_probability_is_reproducible(self):
+        draws = []
+        for _ in range(2):
+            plan = FaultPlan("store.commit:locked:p=0.5", seed=1234)
+            draws.append([bool(plan.select("store.commit", {}))
+                          for _ in range(32)])
+        assert draws[0] == draws[1]
+        assert any(draws[0]) and not all(draws[0])
+
+
+class TestFire:
+    def test_noop_without_plan(self):
+        faults.fire("store.commit")  # must not raise
+
+    def test_locked_raises_operational_error(self):
+        with faults.injecting("store.commit:locked"):
+            with pytest.raises(sqlite3.OperationalError,
+                               match="database is locked"):
+                faults.fire("store.commit", run_id="run-x")
+
+    def test_io_raises_oserror(self):
+        with faults.injecting("spool.read:io"):
+            with pytest.raises(OSError):
+                faults.fire("spool.read", path="/tmp/x")
+
+    def test_error_kind_raises_fault_injected(self):
+        with faults.injecting("pool.worker:error"):
+            with pytest.raises(FaultInjectedError):
+                faults.fire("pool.worker", run_id="run-x")
+
+    def test_latency_sleeps_then_continues(self):
+        with faults.injecting("store.commit:latency:secs=0.0"):
+            faults.fire("store.commit")  # returns, no exception
+            assert faults.injected() == 1
+
+    def test_injecting_restores_previous_plan(self):
+        outer = faults.configure("store.commit:locked:n=9")
+        with faults.injecting("spool.read:io"):
+            assert faults.active() is not outer
+        assert faults.active() is outer
+
+    def test_configure_from_env(self):
+        plan = faults.configure_from_env(
+            {"REPRO_FAULTS": "store.commit:busy:n=1",
+             "REPRO_FAULTS_SEED": "7"})
+        assert plan is faults.active()
+        assert plan.seed == 7
+        with pytest.raises(sqlite3.OperationalError):
+            faults.fire("store.commit")
+
+    def test_configure_from_env_empty_is_none(self):
+        assert faults.configure_from_env({}) is None
+
+
+class TestRetryPolicy:
+    def test_transient_classification(self):
+        assert is_transient_sqlite_error(
+            sqlite3.OperationalError("database is locked"))
+        assert is_transient_sqlite_error(
+            sqlite3.OperationalError("disk I/O error"))
+        assert not is_transient_sqlite_error(
+            sqlite3.OperationalError("no such table: runs"))
+        assert not is_transient_sqlite_error(ValueError("locked"))
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_seconds=0.1, multiplier=2.0,
+                             max_sleep_seconds=0.3, seed=0)
+        sleeps = [policy.sleep_for(k) for k in (1, 2, 3, 4)]
+        # raw schedule 0.1, 0.2, 0.3(cap), 0.3(cap); jitter in [0.5, 1.5)
+        assert 0.05 <= sleeps[0] < 0.15
+        assert 0.10 <= sleeps[1] < 0.30
+        assert all(sleep < 0.45 for sleep in sleeps)
+
+    def test_seeded_schedule_is_reproducible(self):
+        first = [RetryPolicy(seed=42).sleep_for(k) for k in (1, 2, 3)]
+        second = [RetryPolicy(seed=42).sleep_for(k) for k in (1, 2, 3)]
+        assert first == second
+
+    def test_from_env(self):
+        policy = RetryPolicy.from_env({
+            "REPRO_RETRY_ATTEMPTS": "7",
+            "REPRO_RETRY_BASE_SECONDS": "0.01",
+            "REPRO_RETRY_DEADLINE_SECONDS": "5"})
+        assert policy.attempts == 7
+        assert policy.base_seconds == 0.01
+        assert policy.deadline_seconds == 5.0
+
+    def test_at_least_one_attempt(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+
+
+class TestRetryCall:
+    def test_retries_transient_then_succeeds(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        slept = []
+        policy = RetryPolicy(attempts=5, base_seconds=0.01, seed=0)
+        assert retry_call(flaky, policy, operation="test",
+                          sleep=slept.append) == "ok"
+        assert len(calls) == 3 and len(slept) == 2
+
+    def test_non_transient_propagates_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise ValueError("nope")
+
+        with pytest.raises(ValueError):
+            retry_call(broken, RetryPolicy(attempts=5),
+                       operation="test", sleep=lambda _s: None)
+        assert len(calls) == 1
+
+    def test_exhausted_attempts_reraise_last_error(self):
+        def always_locked():
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(sqlite3.OperationalError):
+            retry_call(always_locked, RetryPolicy(attempts=3, seed=0),
+                       operation="test", sleep=lambda _s: None)

@@ -32,7 +32,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import sys
 import tempfile
 import time
@@ -44,6 +43,8 @@ from conftest import (ARCTIC_EXECUTIONS, ARCTIC_HISTORY_YEARS,  # noqa: E402
 from legacy_graph import (LegacyProvenanceGraph, graph_events,  # noqa: E402
                           legacy_load_jsonl, legacy_subgraph_query,
                           replay_into_legacy)
+from report_schema import (append_history, history_entry,  # noqa: E402
+                           report_meta)
 
 from repro.benchmark import run_arctic  # noqa: E402
 from repro.benchmark.dealerships import (DealershipRun,  # noqa: E402
@@ -328,6 +329,16 @@ def main(argv=None):
                         help="report acceptance gates without enforcing "
                              "them (tiny CI scales cannot amortize fixed "
                              "overheads)")
+    parser.add_argument("--history",
+                        default=os.path.join(repo_root,
+                                             "BENCH_HISTORY.jsonl"),
+                        help="benchmark-history JSONL to append this "
+                             "run's metrics to (default: "
+                             "BENCH_HISTORY.jsonl; see "
+                             "`python -m repro.benchmark.runner "
+                             "compare-history`)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip the benchmark-history append")
     args = parser.parse_args(argv)
 
     print(f"scales: cars={DEALER_NUM_CARS} exec={DEALER_NUM_EXEC} "
@@ -348,20 +359,16 @@ def main(argv=None):
             <= set(obs_overhead["catalog"]["namespaces"]),
     }
     obs_report = {
-        "meta": {
-            "report": "BENCH_PR6",
-            "description": ("telemetry layer overhead: tracked ingest with "
-                            "observability enabled vs disabled, plus the "
-                            "instrumented metric catalog"),
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "repeats": args.repeats,
-            "smoke": args.smoke,
-            "scales": {
+        "meta": report_meta(
+            "BENCH_PR6",
+            ("telemetry layer overhead: tracked ingest with "
+             "observability enabled vs disabled, plus the "
+             "instrumented metric catalog"),
+            repeats=args.repeats, smoke=args.smoke,
+            scales={
                 "DEALER_NUM_CARS": DEALER_NUM_CARS,
                 "DEALER_NUM_EXEC": DEALER_NUM_EXEC,
-            },
-        },
+            }),
         "obs_overhead": obs_overhead,
         "acceptance": obs_acceptance,
     }
@@ -402,25 +409,20 @@ def main(argv=None):
         "fig5_tracking_within_5pct":
             fig5["tracked_ratio_columnar_vs_legacy"] <= 1.05,
     }
+    full_scales = {
+        "DEALER_NUM_CARS": DEALER_NUM_CARS,
+        "DEALER_NUM_EXEC": DEALER_NUM_EXEC,
+        "ARCTIC_STATIONS": ARCTIC_STATIONS,
+        "ARCTIC_EXECUTIONS": ARCTIC_EXECUTIONS,
+        "ARCTIC_HISTORY_YEARS": ARCTIC_HISTORY_YEARS,
+    }
     report = {
-        "meta": {
-            "report": "BENCH_PR2",
-            "description": ("columnar provenance core vs pre-PR dict-of-Node "
-                            "baseline (benchmarks/legacy_graph.py)"),
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "repeats": args.repeats,
-            "smoke": args.smoke,
-            "scales": {
-                "DEALER_NUM_CARS": DEALER_NUM_CARS,
-                "DEALER_NUM_EXEC": DEALER_NUM_EXEC,
-                "ARCTIC_STATIONS": ARCTIC_STATIONS,
-                "ARCTIC_EXECUTIONS": ARCTIC_EXECUTIONS,
-                "ARCTIC_HISTORY_YEARS": ARCTIC_HISTORY_YEARS,
-            },
-            "graph_nodes": graph.node_count,
-            "graph_edges": graph.edge_count,
-        },
+        "meta": report_meta(
+            "BENCH_PR2",
+            ("columnar provenance core vs pre-PR dict-of-Node "
+             "baseline (benchmarks/legacy_graph.py)"),
+            repeats=args.repeats, smoke=args.smoke, scales=full_scales,
+            graph_nodes=graph.node_count, graph_edges=graph.edge_count),
         "fig5_tracking": fig5,
         "fig5b_arctic": arctic,
         "fig6_build": fig6,
@@ -431,6 +433,24 @@ def main(argv=None):
         json.dump(report, stream, indent=2)
         stream.write("\n")
     print(f"wrote {args.out}")
+    if not args.no_history:
+        # One flat line per harness run; the regression checker
+        # (repro.benchmark.runner compare-history) reads this back.
+        entry = history_entry(
+            {
+                "fig5_tracked_ratio":
+                    fig5["tracked_ratio_columnar_vs_legacy"],
+                "fig6_replay_speedup": fig6["replay"]["speedup"],
+                "fig6_spool_load_speedup": fig6["spool_load"]["speedup"],
+                "fig7_read_path_speedup": fig7["subgraph"]["speedup"],
+                "fig7_cold_kernel_speedup":
+                    fig7["subgraph"]["cold_kernel_speedup"],
+                "obs_overhead_ratio": obs_overhead["overhead_ratio"],
+            },
+            scales=full_scales, repeats=args.repeats, smoke=args.smoke,
+            seed=11)  # run_dealership_tracked's fixed workload seed
+        append_history(args.history, entry)
+        print(f"appended history -> {args.history}")
     if not all(acceptance.values()):
         failed = [name for name, passed in acceptance.items() if not passed]
         if args.smoke:

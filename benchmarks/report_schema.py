@@ -1,0 +1,103 @@
+"""Shared schema for benchmark reports and the benchmark history.
+
+Every report writer (``BENCH_PR2.json``, ``BENCH_PR6.json``) builds
+its ``meta`` block through :func:`report_meta`, so the blocks agree on
+field names and all carry the same provenance: python version,
+platform, git sha, repeats, smoke flag, and the ``REPRO_BENCH_*``
+scales that shaped the numbers.
+
+:func:`history_entry` + :func:`append_history` maintain
+``BENCH_HISTORY.jsonl`` — one flat metrics dict per harness run,
+appended forever — which ``python -m repro.benchmark.runner
+compare-history`` reads to flag regressions between runs (entries are
+only compared when their scales and smoke flag match, so a laptop
+full-scale run never "regresses" against a CI smoke run).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from typing import List, Optional, Union
+
+#: Bump when history-entry fields change incompatibly.
+SCHEMA_VERSION = 1
+
+
+def git_sha(repo_root: Optional[str] = None) -> Optional[str]:
+    """The current commit sha: ``GITHUB_SHA`` in CI, else
+    ``git rev-parse HEAD``, else None (e.g. a source tarball)."""
+    sha = os.environ.get("GITHUB_SHA", "").strip()
+    if sha:
+        return sha
+    if repo_root is None:
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=repo_root,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout.strip() or None
+
+
+def report_meta(report: str, description: str, *, repeats: int,
+                smoke: bool, scales: dict, **extra) -> dict:
+    """The unified ``meta`` block for a benchmark report file."""
+    meta = {
+        "report": report,
+        "description": description,
+        "schema": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "git_sha": git_sha(),
+        "repeats": repeats,
+        "smoke": smoke,
+        "scales": dict(scales),
+    }
+    meta.update(extra)
+    return meta
+
+
+def history_entry(metrics: dict, *, scales: dict, repeats: int,
+                  smoke: bool, seed: Optional[int] = None) -> dict:
+    """One ``BENCH_HISTORY.jsonl`` line: flat metrics + provenance."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "timestamp": time.time(),
+        "git_sha": git_sha(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeats": repeats,
+        "smoke": smoke,
+        "seed": seed,
+        "scales": dict(scales),
+        "metrics": dict(metrics),
+    }
+
+
+def append_history(path: Union[str, os.PathLike], entry: dict) -> dict:
+    """Append ``entry`` to the JSONL history file (created on first
+    use); returns the entry."""
+    with open(path, "a", encoding="utf-8") as stream:
+        json.dump(entry, stream, sort_keys=True)
+        stream.write("\n")
+    return entry
+
+
+def read_history(path: Union[str, os.PathLike]) -> List[dict]:
+    """All history entries, oldest first; [] when the file is absent."""
+    if not os.path.exists(path):
+        return []
+    entries: List[dict] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries

@@ -20,7 +20,13 @@ Subcommands (anything else falls through to the benchmark runner):
   exposition);
 * ``python -m repro doctor`` — health scan: shard availability and
   integrity, partial (crashed) ingests, spool-checksum verification;
-  ``--repair`` rolls back partials and quarantines bad runs.
+  ``--repair`` rolls back partials and quarantines bad runs;
+* ``python -m repro explain`` — EXPLAIN one query: runs it under
+  profiling and prints the structured plan (answering tier per step,
+  per-kernel nodes/edges/mask-bytes/wall-time counters);
+* ``python -m repro slowlog`` — render a slow-query log (the
+  in-process ring mirrors to JSONL when ``REPRO_SLOWLOG_MS`` +
+  ``REPRO_SLOWLOG_PATH`` are set).
 
 All subcommands accept ``--json`` for machine-readable output and
 ``--metrics`` / ``--trace PATH`` to enable in-process telemetry (the
@@ -38,16 +44,19 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional, Sequence
 
 from . import obs
 from .errors import LipstickError
+from .obs import profile as _profile
 from .store import ProvenanceService, RunInfo, WorkloadSpec, open_store
 from .store.sharded import detect_shard_count
 
-STORE_COMMANDS = ("ingest", "query", "runs", "stats", "doctor")
+STORE_COMMANDS = ("ingest", "query", "runs", "stats", "doctor",
+                  "explain", "slowlog")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -152,6 +161,48 @@ def build_parser() -> argparse.ArgumentParser:
                        help="instrument a load + subgraph query against "
                             "the N most recent runs (default: 1; 0 "
                             "skips probing)")
+
+    explain = subparsers.add_parser(
+        "explain", help="run one query under profiling and print its "
+                        "plan: answering tier per step + kernel cost "
+                        "counters")
+    _add_common(explain)
+    explain.add_argument("--run", default=None,
+                         help="run id (default: most recent run)")
+    which = explain.add_mutually_exclusive_group(required=True)
+    which.add_argument("--subgraph", type=int, metavar="NODE",
+                       help="subgraph query on NODE")
+    which.add_argument("--reachable", nargs=2, type=int,
+                       metavar=("SOURCE", "TARGET"),
+                       help="reachability SOURCE -> TARGET")
+    which.add_argument("--zoom-out", nargs="+", metavar="MODULE",
+                       help="ZoomOut the given modules (on a copy; "
+                            "the stored run is untouched)")
+    which.add_argument("--delete", nargs="+", type=int, metavar="NODE",
+                       help="deletion propagation from the given nodes")
+    which.add_argument("--what-if", nargs="+", type=int, metavar="NODE",
+                       help="what-if deletion of the given nodes")
+    which.add_argument("--depends", nargs="+", type=int,
+                       metavar="NODE",
+                       help="dependency query: first id is the target "
+                            "node, the rest are candidate sources")
+    which.add_argument("--proql", metavar="TEXT",
+                       help='ProQL-lite pipeline, e.g. '
+                            '"MATCH kind=tuple | descendants | count"')
+
+    slowlog = subparsers.add_parser(
+        "slowlog", help="render a slow-query JSONL log (written when "
+                        "REPRO_SLOWLOG_MS + REPRO_SLOWLOG_PATH are set)")
+    _add_common(slowlog)
+    slowlog.add_argument("--log", default=None, metavar="PATH",
+                         help="slow-query JSONL file (default: "
+                              "$REPRO_SLOWLOG_PATH)")
+    slowlog.add_argument("--limit", type=int, default=20,
+                         help="show at most N entries, slowest first "
+                              "(default: 20)")
+    slowlog.add_argument("--min-ms", type=float, default=0.0,
+                         help="hide entries faster than this many "
+                              "milliseconds")
 
     doctor = subparsers.add_parser(
         "doctor", help="scan the store for partial, corrupted, or "
@@ -424,12 +475,25 @@ def cmd_stats(args) -> int:
         storage = store.storage_bytes()
         if storage is not None:
             obs.gauge("store.storage_bytes", storage)
+        # Occupancy gauges: cache sizes/capacities and per-shard run
+        # counts land in the registry, so --prom exposes them too.
+        service.record_cache_gauges()
+        for entry in shard_stats or []:
+            shard = str(entry["shard"])
+            obs.gauge("store.shard.runs", entry["runs"], shard=shard)
+            obs.gauge("store.shard.nodes", entry["nodes"], shard=shard)
+            obs.gauge("store.shard.edges", entry["edges"], shard=shard)
+            if entry.get("bytes") is not None:
+                obs.gauge("store.shard.bytes", entry["bytes"], shard=shard)
+        log = _profile.slowlog()
+        slow = log.snapshot() if log is not None else None
         if args.json:
             print(json.dumps({"db": args.db,
                               "runs": [_info_dict(info) for info in runs],
                               "shards": shard_stats,
                               "storage_bytes": storage,
                               "cache_info": service.cache_info(),
+                              "slowlog": slow,
                               "metrics": telemetry.registry.snapshot()}))
             return 0
         if args.prom:
@@ -445,6 +509,83 @@ def cmd_stats(args) -> int:
                       f"{entry['nodes']} nodes, {entry['edges']} edges, "
                       f"{entry['bytes'] if entry['bytes'] is not None else '-'}"
                       f" bytes")
+        if slow is not None:
+            print(f"\nslow queries (>= {slow['threshold_ms']:g} ms): "
+                  f"{slow['recorded']} recorded, "
+                  f"{len(slow['entries'])} in ring")
+            for entry in slow["entries"][-5:]:
+                print(f"  {entry.get('run_id') or '-'} "
+                      f"{entry.get('kind')}: "
+                      f"{entry.get('seconds', 0) * 1000:.1f} ms, "
+                      f"{len(entry.get('steps') or [])} step(s)")
+    return 0
+
+
+def _explain_request(args):
+    """(kind, params) from the explain subcommand's flags."""
+    if args.subgraph is not None:
+        return "subgraph", {"node": args.subgraph}
+    if args.reachable is not None:
+        source, target = args.reachable
+        return "reachability", {"source": source, "target": target}
+    if args.zoom_out is not None:
+        return "zoom", {"modules": args.zoom_out}
+    if args.delete is not None:
+        return "deletion", {"nodes": args.delete}
+    if args.what_if is not None:
+        return "whatif", {"nodes": args.what_if}
+    if args.depends is not None:
+        if len(args.depends) < 2:
+            raise LipstickError(
+                "--depends needs a target node and at least one source")
+        return "dependency", {"node": args.depends[0],
+                              "sources": args.depends[1:]}
+    return "proql", {"text": args.proql}
+
+
+def cmd_explain(args) -> int:
+    kind, params = _explain_request(args)
+    with _open_store(args) as store:
+        service = ProvenanceService(store)
+        run_id = _resolve_run(service, args.run)
+        plan = service.explain(run_id, kind, **params)
+        if args.json:
+            print(json.dumps({"db": args.db, **plan.to_dict()}))
+        else:
+            print(plan.render())
+    return 0
+
+
+def cmd_slowlog(args) -> int:
+    path = args.log or os.environ.get("REPRO_SLOWLOG_PATH")
+    if not path:
+        raise LipstickError(
+            "no slow-query log: pass --log PATH or set "
+            "REPRO_SLOWLOG_PATH (with REPRO_SLOWLOG_MS) so queries "
+            "mirror slow plans to a JSONL file")
+    try:
+        entries = _profile.read_slowlog(path)
+    except OSError as error:
+        raise LipstickError(f"cannot read slow-query log {path}: {error}")
+    entries = [entry for entry in entries
+               if entry.get("seconds", 0) * 1000 >= args.min_ms]
+    entries.sort(key=lambda entry: entry.get("seconds", 0), reverse=True)
+    shown = entries[:max(args.limit, 0)]
+    if args.json:
+        print(json.dumps({"log": path, "total": len(entries),
+                          "entries": shown}))
+        return 0
+    if not entries:
+        print(f"{path}: no slow queries")
+        return 0
+    print(f"{path}: {len(entries)} slow quer"
+          f"{'y' if len(entries) == 1 else 'ies'}, slowest first")
+    for entry in shown:
+        tiers = ",".join(entry.get("tiers") or []) or "-"
+        print(f"  {entry.get('seconds', 0) * 1000:>9.2f} ms  "
+              f"{entry.get('kind', '?'):<12} "
+              f"{entry.get('run_id') or '-':<12} "
+              f"steps={len(entry.get('steps') or []):<3} tiers={tiers}")
     return 0
 
 
@@ -516,7 +657,8 @@ def store_main(argv: Sequence[str]) -> int:
         telemetry = obs.enable(trace_path=args.trace)
     handlers = {"ingest": cmd_ingest, "query": cmd_query,
                 "runs": cmd_runs, "stats": cmd_stats,
-                "doctor": cmd_doctor}
+                "doctor": cmd_doctor, "explain": cmd_explain,
+                "slowlog": cmd_slowlog}
     try:
         code = handlers[args.command](args)
     except LipstickError as error:

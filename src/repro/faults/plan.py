@@ -38,6 +38,7 @@ from ..errors import LipstickError
 #: ``faults.fire(...)`` call at the matching place in production code.
 SEAMS = (
     "store.commit",          # SQLiteStore._commit, before the real COMMIT
+    "store.read",            # SQLiteStore.load_graph, before the rebuild
     "store.wal_checkpoint",  # SQLiteStore.checkpoint()
     "spool.read",            # spool-file load (ingest commit, import_jsonl)
     "spool.write",           # spool-file dump (pool workers, export_jsonl)

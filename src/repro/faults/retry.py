@@ -112,6 +112,27 @@ class RetryPolicy:
                 f"deadline={self.deadline_seconds}s)")
 
 
+def _annotate_span(failures: int, slept: float) -> None:
+    """Record the backoff loop's outcome as ``retry.attempts`` /
+    ``retry.slept_s`` tags on the enclosing span, if one is open.
+
+    Retries happen *inside* a single traced span (e.g. one
+    ``store.write``), so without this the span shows only elapsed
+    time, not that 3 of those seconds were backoff sleeps.
+    Accumulates across sequential ``retry_call``s under one span.
+    """
+    active = _obs.get()
+    if active is None:
+        return
+    span = active.tracer.current()
+    if span is None:
+        return
+    tags = span.tags
+    tags["retry.attempts"] = tags.get("retry.attempts", 0) + failures + 1
+    tags["retry.slept_s"] = round(
+        tags.get("retry.slept_s", 0.0) + slept, 6)
+
+
 def retry_call(func: Callable[[], T], policy: RetryPolicy, *,
                operation: str = "op",
                classify: Callable[[BaseException], bool]
@@ -120,13 +141,23 @@ def retry_call(func: Callable[[], T], policy: RetryPolicy, *,
                labels: Optional[dict] = None) -> T:
     """Run ``func`` under ``policy``; retry failures ``classify`` deems
     transient.  Non-transient errors propagate immediately; exhausted
-    retries re-raise the last transient error."""
+    retries re-raise the last transient error.
+
+    When the call sits inside an open tracer span, the attempt count
+    and accumulated backoff sleep are attached to it as
+    ``retry.attempts``/``retry.slept_s`` tags (only once a retry or
+    give-up actually happened — the common zero-retry path stays
+    tag-free)."""
     labels = labels or {}
     failures = 0
+    slept = 0.0
     deadline = time.monotonic() + policy.deadline_seconds
     while True:
         try:
-            return func()
+            result = func()
+            if failures:
+                _annotate_span(failures, slept)
+            return result
         except Exception as error:
             if not classify(error):
                 raise
@@ -134,6 +165,9 @@ def retry_call(func: Callable[[], T], policy: RetryPolicy, *,
             if failures >= policy.attempts or time.monotonic() >= deadline:
                 _obs.count("store.gave_up_total", operation=operation,
                            **labels)
+                _annotate_span(failures - 1, slept)
                 raise
             _obs.count("store.retries_total", operation=operation, **labels)
-            sleep(policy.sleep_for(failures))
+            delay = policy.sleep_for(failures)
+            slept += delay
+            sleep(delay)

@@ -25,6 +25,8 @@ from typing import Iterable, List, Optional, Sequence, Union
 
 from .graph.provgraph import ProvenanceGraph
 from .graph.serialize import load_graph
+from .obs import profile as _profile
+from .queries.explain import Explained
 from .store.base import GraphStore, RunInfo
 from .store.csr import CSRSnapshot
 from .graph.stats import GraphStats, graph_stats, output_dependency_profiles
@@ -102,17 +104,34 @@ class QueryProcessor:
             return self._csr
         return None
 
+    def _explained(self, kind: str, runner, **params) -> Explained:
+        """Re-run ``runner`` under a profile capture (the ``explain=``
+        seam shared by every query method below)."""
+        with _profile.capture(kind, run_id=self._run_id, **params) as cap:
+            result = runner()
+        return Explained(result, cap.plan)
+
     # ------------------------------------------------------------------
     # Zoom (Section 4.1)
     # ------------------------------------------------------------------
-    def zoom_out(self, module_names: Union[str, Iterable[str]]) -> List[str]:
+    def zoom_out(self, module_names: Union[str, Iterable[str]],
+                 explain: bool = False) -> List[str]:
         if isinstance(module_names, str):
             module_names = [module_names]
+        if explain:
+            module_names = list(module_names)
+            return self._explained("zoom", lambda: self.zoom_out(module_names),
+                                   modules=module_names, direction="out")
         return self._zoomer.zoom_out(module_names)
 
-    def zoom_in(self, module_names: Union[str, Iterable[str]]) -> List[str]:
+    def zoom_in(self, module_names: Union[str, Iterable[str]],
+                explain: bool = False) -> List[str]:
         if isinstance(module_names, str):
             module_names = [module_names]
+        if explain:
+            module_names = list(module_names)
+            return self._explained("zoom", lambda: self.zoom_in(module_names),
+                                   modules=module_names, direction="in")
         return self._zoomer.zoom_in(module_names)
 
     def zoom_out_all(self) -> List[str]:
@@ -126,9 +145,15 @@ class QueryProcessor:
     # Deletion propagation (Section 4.2) and dependencies (Section 4.3)
     # ------------------------------------------------------------------
     def delete(self, node_ids: Union[int, Iterable[int]],
-               in_place: bool = False) -> DeletionResult:
+               in_place: bool = False,
+               explain: bool = False) -> DeletionResult:
         if isinstance(node_ids, int):
             node_ids = [node_ids]
+        if explain:
+            node_ids = list(node_ids)
+            return self._explained(
+                "deletion", lambda: self.delete(node_ids, in_place=in_place),
+                nodes=node_ids)
         return propagate_deletion(self.graph, node_ids, in_place=in_place)
 
     def delete_tuples(self, labels: Union[str, Iterable[str]],
@@ -138,9 +163,15 @@ class QueryProcessor:
         return delete_base_tuples(self.graph, labels, in_place=in_place)
 
     def depends_on(self, node_id: int,
-                   source_ids: Union[int, Iterable[int]]) -> bool:
+                   source_ids: Union[int, Iterable[int]],
+                   explain: bool = False) -> bool:
         if isinstance(source_ids, int):
             source_ids = [source_ids]
+        if explain:
+            source_ids = list(source_ids)
+            return self._explained(
+                "dependency", lambda: self.depends_on(node_id, source_ids),
+                node=node_id, sources=source_ids)
         return depends_on(self.graph, node_id, source_ids)
 
     def depends_on_tuple(self, node_id: int,
@@ -152,7 +183,12 @@ class QueryProcessor:
     # ------------------------------------------------------------------
     # Subgraph queries (Section 5.1)
     # ------------------------------------------------------------------
-    def subgraph(self, node_id: int) -> SubgraphResult:
+    def subgraph(self, node_id: int,
+                 explain: bool = False) -> SubgraphResult:
+        if explain:
+            return self._explained("subgraph",
+                                   lambda: self.subgraph(node_id),
+                                   node=node_id)
         csr = self._current_csr()
         if csr is not None:
             return csr.subgraph(node_id)
@@ -170,7 +206,12 @@ class QueryProcessor:
             return csr.descendants(node_id)
         return self.graph.descendants(node_id)
 
-    def reachable(self, source: int, target: int) -> bool:
+    def reachable(self, source: int, target: int,
+                  explain: bool = False) -> bool:
+        if explain:
+            return self._explained("reachability",
+                                   lambda: self.reachable(source, target),
+                                   source=source, target=target)
         csr = self._current_csr()
         if csr is not None:
             return csr.reachable(source, target)
@@ -183,8 +224,15 @@ class QueryProcessor:
     # What-if analysis (Section 4.2 + Example 4.3's recomputation)
     # ------------------------------------------------------------------
     def what_if(self, node_ids: Iterable[int] = (),
-                tuple_labels: Iterable[str] = ()) -> WhatIfResult:
+                tuple_labels: Iterable[str] = (),
+                explain: bool = False) -> WhatIfResult:
         """Deletion propagation plus aggregate recomputation."""
+        if explain:
+            node_ids = list(node_ids)
+            tuple_labels = list(tuple_labels)
+            return self._explained(
+                "whatif", lambda: self.what_if(node_ids, tuple_labels),
+                nodes=node_ids, labels=tuple_labels)
         return what_if_deleted(self.graph, node_ids, tuple_labels)
 
     # ------------------------------------------------------------------
@@ -194,9 +242,13 @@ class QueryProcessor:
         """A fresh ProQL-lite query over the whole graph."""
         return ProQL(self.graph)
 
-    def query_text(self, text: str):
+    def query_text(self, text: str, explain: bool = False):
         """Run a textual ProQL-lite pipeline, e.g.
         ``"MATCH kind=tuple module=Mdealer1 | descendants | count"``."""
+        if explain:
+            return self._explained("proql",
+                                   lambda: self.query_text(text),
+                                   text=text)
         return run_query(self.graph, text)
 
     def stats(self) -> GraphStats:

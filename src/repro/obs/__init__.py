@@ -50,13 +50,17 @@ from .export import (parse_prometheus_names, read_events, render_table,
                      summarize_events, to_prometheus)
 from .metrics import (DEFAULT_BUCKETS, SIZE_BUCKETS, Counter, Gauge,
                       Histogram, MetricsRegistry)
+from .profile import (PlanStep, ProfileCapture, QueryPlan, SlowQueryLog,
+                      disable_slowlog, enable_slowlog, slowlog)
 from .trace import EventLog, Span, TraceContext, Tracer
 
 __all__ = [
     "Counter", "DEFAULT_BUCKETS", "EventLog", "Gauge", "Histogram",
-    "MetricsRegistry", "SIZE_BUCKETS", "Span", "Telemetry", "TraceContext",
-    "Tracer", "count", "disable", "enable", "enabled", "gauge", "get",
-    "observe", "parse_prometheus_names", "read_events", "render_table",
+    "MetricsRegistry", "PlanStep", "ProfileCapture", "QueryPlan",
+    "SIZE_BUCKETS", "SlowQueryLog", "Span", "Telemetry", "TraceContext",
+    "Tracer", "count", "disable", "disable_slowlog", "enable",
+    "enable_slowlog", "enabled", "gauge", "get", "observe",
+    "parse_prometheus_names", "read_events", "render_table", "slowlog",
     "span", "summarize_events", "to_prometheus", "trace_context",
 ]
 

@@ -25,6 +25,7 @@ from .dependency import (
     strict_supporting_tuples,
     supporting_tuples,
 )
+from .explain import QUERY_KINDS, Explained, explain_query
 from .proql import ProQL
 from .proql_text import run_query
 from .reachability import ReachabilityIndex
@@ -45,7 +46,9 @@ from .valuation import (
 __all__ = [
     "AggregateChange",
     "DeletionResult",
+    "Explained",
     "GraphValuator",
+    "QUERY_KINDS",
     "ProQL",
     "ReachabilityIndex",
     "WhatIfResult",
@@ -58,6 +61,7 @@ __all__ = [
     "depends_on",
     "derivation_cost",
     "evaluate_node",
+    "explain_query",
     "required_clearance",
     "trust_assessment",
     "depends_on_tuple",

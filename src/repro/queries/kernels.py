@@ -27,6 +27,7 @@ from time import perf_counter as _perf
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .. import obs as _obs
+from ..obs import profile as _profile
 
 try:  # optional accelerator: C-speed bit materialization
     import numpy as _np
@@ -36,18 +37,42 @@ except ImportError:  # pragma: no cover - numpy is usually available
 Views = Sequence[Tuple[int, ...]]
 
 
+def _edges_scanned(views: Views, start_ids: Iterable[int],
+                   reached: Iterable[int]) -> int:
+    """Edges a sweep examined: every adjacency row it expanded.
+
+    Computed post-hoc from the result, so the hot loops stay
+    counter-free; only the profiled path (an active
+    :class:`~repro.obs.profile.ProfileCapture`) pays for it.
+    """
+    total = 0
+    for node_id in start_ids:
+        total += len(views[node_id])
+    for node_id in reached:
+        total += len(views[node_id])
+    return total
+
+
 # ----------------------------------------------------------------------
 # Reachability sweeps
 # ----------------------------------------------------------------------
 def reach(views: Views, start: int, size: int) -> List[int]:
     """Node ids reachable from ``start`` (exclusive), unordered."""
+    prof = _profile.active()
+    if prof is None and not _obs.enabled():
+        return _reach(views, start, size)
+    started = _perf()
+    reached = _reach(views, start, size)
+    seconds = _perf() - started
     if _obs.enabled():
-        started = _perf()
-        reached = _reach(views, start, size)
-        _obs.observe("kernel.reach.run_seconds", _perf() - started)
+        _obs.observe("kernel.reach.run_seconds", seconds)
         _obs.count("kernel.reach.visited_total", len(reached))
-        return reached
-    return _reach(views, start, size)
+    if prof is not None:
+        prof.step("kernel.reach", seconds=seconds,
+                  nodes_visited=len(reached),
+                  edges_scanned=_edges_scanned(views, (start,), reached),
+                  mask_bytes=size)
+    return reached
 
 
 def _reach(views: Views, start: int, size: int) -> List[int]:
@@ -75,12 +100,23 @@ def reach_set(views: Views, start: int, size: int) -> Set[int]:
 
 def reachable(succ_views: Views, source: int, target: int, size: int) -> bool:
     """Early-exit DFS: does a path ``source →* target`` exist?"""
-    if _obs.enabled():
-        started = _perf()
+    prof = _profile.active()
+    if prof is None and not _obs.enabled():
+        return _reachable(succ_views, source, target, size)
+    started = _perf()
+    if prof is not None:
+        answer, visited, edges = _reachable_counted(
+            succ_views, source, target, size)
+    else:
         answer = _reachable(succ_views, source, target, size)
-        _obs.observe("kernel.reachable.run_seconds", _perf() - started)
-        return answer
-    return _reachable(succ_views, source, target, size)
+    seconds = _perf() - started
+    if _obs.enabled():
+        _obs.observe("kernel.reachable.run_seconds", seconds)
+    if prof is not None:
+        prof.step("kernel.reachable", seconds=seconds,
+                  nodes_visited=visited, edges_scanned=edges,
+                  mask_bytes=size, found=answer)
+    return answer
 
 
 def _reachable(succ_views: Views, source: int, target: int,
@@ -99,6 +135,31 @@ def _reachable(succ_views: Views, source: int, target: int,
     return False
 
 
+def _reachable_counted(succ_views: Views, source: int, target: int,
+                       size: int) -> Tuple[bool, int, int]:
+    """:func:`_reachable` plus (visited, edges-scanned) counters.
+
+    The early exit discards traversal state, so cost attribution needs
+    this counting twin; it only runs under an active profile capture.
+    """
+    mask = bytearray(size)
+    mask[source] = 1
+    visited = 1
+    edges = len(succ_views[source])
+    stack = list(succ_views[source])
+    while stack:
+        current = stack.pop()
+        if current == target:
+            return True, visited, edges
+        if mask[current]:
+            continue
+        mask[current] = 1
+        visited += 1
+        edges += len(succ_views[current])
+        stack.extend(succ_views[current])
+    return False, visited, edges
+
+
 def multi_source_reach(views: Views, starts: Iterable[int], size: int,
                        barrier: Optional[bytes] = None) -> List[int]:
     """Forward closure from many starts, excluding the starts.
@@ -107,13 +168,22 @@ def multi_source_reach(views: Views, starts: Iterable[int], size: int,
     expanded — the Definition 4.1 "no output node on the path" rule
     when ``barrier`` flags OUTPUT-kind rows.
     """
+    prof = _profile.active()
+    if prof is None and not _obs.enabled():
+        return _multi_source_reach(views, starts, size, barrier)
+    starts = list(starts)
+    started = _perf()
+    reached = _multi_source_reach(views, starts, size, barrier)
+    seconds = _perf() - started
     if _obs.enabled():
-        started = _perf()
-        reached = _multi_source_reach(views, starts, size, barrier)
-        _obs.observe("kernel.multi_reach.run_seconds", _perf() - started)
+        _obs.observe("kernel.multi_reach.run_seconds", seconds)
         _obs.count("kernel.multi_reach.visited_total", len(reached))
-        return reached
-    return _multi_source_reach(views, starts, size, barrier)
+    if prof is not None:
+        prof.step("kernel.multi_reach", seconds=seconds,
+                  nodes_visited=len(reached),
+                  edges_scanned=_edges_scanned(views, starts, reached),
+                  mask_bytes=size, sources=len(starts))
+    return reached
 
 
 def _multi_source_reach(views: Views, starts: Iterable[int], size: int,
@@ -156,13 +226,20 @@ def topo_order(pred_views: Views, succ_views: Views,
                node_ids: Iterable[int], size: int) -> List[int]:
     """Kahn's algorithm over flat views; caller compares ``len(order)``
     against the live node count to detect cycles."""
+    prof = _profile.active()
+    if prof is None and not _obs.enabled():
+        return _topo_order(pred_views, succ_views, node_ids, size)
+    started = _perf()
+    order = _topo_order(pred_views, succ_views, node_ids, size)
+    seconds = _perf() - started
     if _obs.enabled():
-        started = _perf()
-        order = _topo_order(pred_views, succ_views, node_ids, size)
-        _obs.observe("kernel.topo.run_seconds", _perf() - started)
+        _obs.observe("kernel.topo.run_seconds", seconds)
         _obs.count("kernel.topo.visited_total", len(order))
-        return order
-    return _topo_order(pred_views, succ_views, node_ids, size)
+    if prof is not None:
+        prof.step("kernel.topo", seconds=seconds, nodes_visited=len(order),
+                  edges_scanned=_edges_scanned(succ_views, (), order),
+                  mask_bytes=size)
+    return order
 
 
 def _topo_order(pred_views: Views, succ_views: Views,
@@ -201,13 +278,25 @@ def subgraph_sets(pred_views: Views, succ_views: Views, node_id: int,
     algebra over descendant operand views — no per-candidate Python
     loop.
     """
+    prof = _profile.active()
+    if prof is None and not _obs.enabled():
+        return _subgraph_sets(pred_views, succ_views, node_id, size)
+    started = _perf()
+    sets = _subgraph_sets(pred_views, succ_views, node_id, size)
+    seconds = _perf() - started
     if _obs.enabled():
-        started = _perf()
-        sets = _subgraph_sets(pred_views, succ_views, node_id, size)
-        _obs.observe("kernel.subgraph.run_seconds", _perf() - started)
+        _obs.observe("kernel.subgraph.run_seconds", seconds)
         _obs.count("kernel.subgraph.visited_total", sum(map(len, sets)))
-        return sets
-    return _subgraph_sets(pred_views, succ_views, node_id, size)
+    if prof is not None:
+        ancestors, descendants, siblings = sets
+        edges = (_edges_scanned(succ_views, (node_id,), descendants)
+                 + _edges_scanned(pred_views, (node_id,), ancestors)
+                 + sum(len(pred_views[index]) for index in descendants))
+        prof.step("kernel.subgraph", seconds=seconds,
+                  nodes_visited=sum(map(len, sets)), edges_scanned=edges,
+                  mask_bytes=size, ancestors=len(ancestors),
+                  descendants=len(descendants), siblings=len(siblings))
+    return sets
 
 
 def _subgraph_sets(pred_views: Views, succ_views: Views, node_id: int,
@@ -259,13 +348,21 @@ def deletion_reach(succ_views: Views, pred_views: Views,
     ``joint_flags`` marks ·/⊗-labeled rows (rule 2): they die on the
     first deleted incoming edge, no counter bookkeeping needed.
     """
+    prof = _profile.active()
+    if prof is None and not _obs.enabled():
+        return _deletion_reach(succ_views, pred_views, seeds, joint_flags)
+    started = _perf()
+    removed = _deletion_reach(succ_views, pred_views, seeds, joint_flags)
+    seconds = _perf() - started
     if _obs.enabled():
-        started = _perf()
-        removed = _deletion_reach(succ_views, pred_views, seeds, joint_flags)
-        _obs.observe("kernel.deletion.run_seconds", _perf() - started)
+        _obs.observe("kernel.deletion.run_seconds", seconds)
         _obs.count("kernel.deletion.removed_total", len(removed))
-        return removed
-    return _deletion_reach(succ_views, pred_views, seeds, joint_flags)
+    if prof is not None:
+        prof.step("kernel.deletion", seconds=seconds,
+                  nodes_visited=len(removed),
+                  edges_scanned=_edges_scanned(succ_views, (), removed),
+                  mask_bytes=len(joint_flags), seeds=len(seeds))
+    return removed
 
 
 def _deletion_reach(succ_views: Views, pred_views: Views,

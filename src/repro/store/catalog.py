@@ -39,6 +39,7 @@ from typing import (Callable, Hashable, List, Optional, Sequence, TypeVar,
                     Union)
 
 from .. import obs as _obs
+from ..obs import profile as _profile
 from ..errors import StoreIOError
 from ..graph.provgraph import ProvenanceGraph
 from ..queries.reachability import ReachabilityIndex
@@ -117,6 +118,13 @@ class LRUCache:
                 self.evictions += evicted
                 self._record(self._evictions_metric, evicted)
             return value
+
+    def contains(self, key: Hashable) -> bool:
+        """Membership without touching hit/miss counters or recency —
+        the EXPLAIN path peeks before ``get_or_build`` to attribute
+        the answering tier without skewing cache statistics."""
+        with self._lock:
+            return key in self._entries
 
     def evict(self, predicate: Callable[[Hashable], bool]) -> None:
         with self._lock:
@@ -275,8 +283,18 @@ class ProvenanceService:
                 self._load_seconds[run_id] = time.perf_counter() - started
             return graph
         with self._run_lock(run_id):
-            return self._graphs.get_or_build(
-                (run_id, self._generation(run_id)), build)
+            key = (run_id, self._generation(run_id))
+            prof = _profile.active()
+            if prof is None:
+                return self._graphs.get_or_build(key, build)
+            hit = self._graphs.contains(key)
+            started = time.perf_counter()
+            graph = self._graphs.get_or_build(key, build)
+            prof.step("service.graph",
+                      tier="service-lru" if hit else "sqlite-cold",
+                      seconds=time.perf_counter() - started,
+                      nodes=graph.node_count, edges=graph.edge_count)
+            return graph
 
     def load_seconds(self, run_id: str) -> Optional[float]:
         """Seconds the last cold rebuild of ``run_id`` took, if any."""
@@ -310,8 +328,19 @@ class ProvenanceService:
         """The flat-array snapshot for the run's current graph."""
         with self._run_lock(run_id):
             graph = self.graph(run_id)
-            return self._snapshots.get_or_build(
-                (run_id, graph.version), lambda: CSRSnapshot(graph))
+            key = (run_id, graph.version)
+            prof = _profile.active()
+            if prof is None:
+                return self._snapshots.get_or_build(
+                    key, lambda: CSRSnapshot(graph))
+            hit = self._snapshots.contains(key)
+            started = time.perf_counter()
+            snapshot = self._snapshots.get_or_build(
+                key, lambda: CSRSnapshot(graph))
+            prof.step("service.csr", tier="csr-view",
+                      seconds=time.perf_counter() - started, cached=int(hit),
+                      nodes=snapshot.node_count, edges=snapshot.edge_count)
+            return snapshot
 
     def snapshot(self, run_id: str) -> ProvenanceGraph:
         """A frozen copy of the run's graph (copy-on-read).
@@ -326,18 +355,35 @@ class ProvenanceService:
         """
         with self._run_lock(run_id):
             graph = self.graph(run_id)
-            return self._frozen.get_or_build(
-                (run_id, graph.version), graph.snapshot)
+            key = (run_id, graph.version)
+            prof = _profile.active()
+            if prof is None:
+                return self._frozen.get_or_build(key, graph.snapshot)
+            hit = self._frozen.contains(key)
+            started = time.perf_counter()
+            frozen = self._frozen.get_or_build(key, graph.snapshot)
+            prof.step("service.snapshot", tier="frozen-snapshot",
+                      seconds=time.perf_counter() - started, cached=int(hit),
+                      nodes=frozen.node_count, edges=frozen.edge_count)
+            return frozen
 
     def reachability_index(self, run_id: str,
                            index_ancestors: bool = True) -> ReachabilityIndex:
         """The precomputed-closure index (§5.1 trade-off), cached."""
         with self._run_lock(run_id):
             graph = self.graph(run_id)
-            return self._indexes.get_or_build(
-                (run_id, graph.version, index_ancestors),
-                lambda: ReachabilityIndex(graph,
-                                          index_ancestors=index_ancestors))
+            key = (run_id, graph.version, index_ancestors)
+            prof = _profile.active()
+            build = lambda: ReachabilityIndex(
+                graph, index_ancestors=index_ancestors)
+            if prof is None:
+                return self._indexes.get_or_build(key, build)
+            hit = self._indexes.contains(key)
+            started = time.perf_counter()
+            index = self._indexes.get_or_build(key, build)
+            prof.step("service.reachability_index", tier="bitset-index",
+                      seconds=time.perf_counter() - started, cached=int(hit))
+            return index
 
     def invalidate(self, run_id: Optional[str] = None) -> None:
         """Drop cached artifacts (all runs when ``run_id`` is None) —
@@ -385,33 +431,53 @@ class ProvenanceService:
     # ------------------------------------------------------------------
     def subgraph(self, run_id: str, node_id: int) -> SubgraphResult:
         """Subgraph query on the CSR read path."""
-        return self.csr(run_id).subgraph(node_id)
+        with _profile.query_scope("subgraph", run_id=run_id, node=node_id):
+            return self.csr(run_id).subgraph(node_id)
 
     def ancestors(self, run_id: str, node_id: int):
-        return self.csr(run_id).ancestors(node_id)
+        with _profile.query_scope("ancestors", run_id=run_id, node=node_id):
+            return self.csr(run_id).ancestors(node_id)
 
     def descendants(self, run_id: str, node_id: int):
-        return self.csr(run_id).descendants(node_id)
+        with _profile.query_scope("descendants", run_id=run_id,
+                                  node=node_id):
+            return self.csr(run_id).descendants(node_id)
 
     def reachable(self, run_id: str, source: int, target: int) -> bool:
-        return self.csr(run_id).reachable(source, target)
+        with _profile.query_scope("reachability", run_id=run_id,
+                                  source=source, target=target):
+            return self.csr(run_id).reachable(source, target)
 
     def zoom_out(self, run_id: str, module_names) -> List[str]:
-        with self._run_lock(run_id):  # zoom mutates the served graph
-            return self.processor(run_id).zoom_out(module_names)
+        with _profile.query_scope("zoom", run_id=run_id,
+                                  direction="out"):
+            with self._run_lock(run_id):  # zoom mutates the served graph
+                return self.processor(run_id).zoom_out(module_names)
 
     def zoom_in(self, run_id: str, module_names) -> List[str]:
-        with self._run_lock(run_id):
-            return self.processor(run_id).zoom_in(module_names)
+        with _profile.query_scope("zoom", run_id=run_id, direction="in"):
+            with self._run_lock(run_id):
+                return self.processor(run_id).zoom_in(module_names)
 
     def delete(self, run_id: str, node_ids):
         """Deletion propagation on a copy (the stored run is untouched)."""
-        with self._run_lock(run_id):  # the copy must not race surgery
-            return self.processor(run_id).delete(node_ids, in_place=False)
+        with _profile.query_scope("deletion", run_id=run_id):
+            with self._run_lock(run_id):  # the copy must not race surgery
+                return self.processor(run_id).delete(node_ids,
+                                                     in_place=False)
 
     def what_if(self, run_id: str, node_ids=(), tuple_labels=()):
-        with self._run_lock(run_id):
-            return self.processor(run_id).what_if(node_ids, tuple_labels)
+        with _profile.query_scope("whatif", run_id=run_id):
+            with self._run_lock(run_id):
+                return self.processor(run_id).what_if(node_ids,
+                                                      tuple_labels)
+
+    def explain(self, run_id: str, kind: str, **params):
+        """Run one query under profiling; returns its
+        :class:`~repro.obs.profile.QueryPlan` (see
+        :func:`repro.queries.explain.explain_query`)."""
+        from ..queries.explain import explain_query  # deferred: layering
+        return explain_query(self, run_id, kind, **params)
 
     def stats(self, run_id: str):
         with self._run_lock(run_id):
@@ -440,6 +506,17 @@ class ProvenanceService:
             "reachability": self._indexes.info(),
             "frozen": self._frozen.info(),
         }
+
+    def record_cache_gauges(self) -> None:
+        """Export :meth:`cache_info` occupancy as gauges
+        (``cache.<name>.size`` / ``.capacity``) so ``repro stats
+        --prom`` shows cache pressure, not just hit/miss counters.
+        No-op when telemetry is disabled."""
+        if not _obs.enabled():
+            return
+        for name, info in self.cache_info().items():
+            _obs.gauge(f"cache.{name}.size", info["size"])
+            _obs.gauge(f"cache.{name}.capacity", info["capacity"])
 
     def __repr__(self) -> str:
         return (f"ProvenanceService({self.store!r}, "

@@ -32,10 +32,12 @@ from __future__ import annotations
 
 import sys
 from array import array
+from time import perf_counter as _perf
 from typing import Iterable, List, Optional, Set, Tuple
 
 from ..errors import UnknownNodeError
 from ..graph.provgraph import ProvenanceGraph
+from ..obs import profile as _profile
 from ..queries.kernels import subgraph_sets
 from ..queries.subgraph import SubgraphResult
 
@@ -154,14 +156,33 @@ class CSRSnapshot:
         seen.discard(start)
         return seen
 
+    def _profiled_reach_set(self, name: str, start: int,
+                            views: List[Tuple[int, ...]], prof) -> Set[int]:
+        started = _perf()
+        seen = self._reach_set(start, views)
+        seconds = _perf() - started
+        edges = len(views[start]) + sum(len(views[n]) for n in seen)
+        prof.step(name, tier="csr-view", seconds=seconds,
+                  nodes_visited=len(seen), edges_scanned=edges,
+                  mask_bytes=self._mask_size)
+        return seen
+
     def ancestors(self, node_id: int) -> Set[int]:
         """All nodes reachable by following edges backwards."""
         self._check(node_id)
+        prof = _profile.active()
+        if prof is not None:
+            return self._profiled_reach_set("csr.ancestors", node_id,
+                                            self._pred_views, prof)
         return self._reach_set(node_id, self._pred_views)
 
     def descendants(self, node_id: int) -> Set[int]:
         """All nodes reachable by following edges forwards."""
         self._check(node_id)
+        prof = _profile.active()
+        if prof is not None:
+            return self._profiled_reach_set("csr.descendants", node_id,
+                                            self._succ_views, prof)
         return self._reach_set(node_id, self._succ_views)
 
     def reachable(self, source: int, target: int) -> bool:
@@ -178,6 +199,9 @@ class CSRSnapshot:
         self._check(source)
         if not self.has_node(target):
             return False
+        prof = _profile.active()
+        if prof is not None:
+            return self._reachable_profiled(source, target, prof)
         views = self._succ_views
         mask = bytearray(self._mask_size)
         mask[source] = 1
@@ -192,6 +216,34 @@ class CSRSnapshot:
             stack.extend(views[current])
         return False
 
+    def _reachable_profiled(self, source: int, target: int, prof) -> bool:
+        """The :meth:`reachable` loop with visit/edge counters; the
+        early exit discards its mask, so profiling needs this twin."""
+        views = self._succ_views
+        mask = bytearray(self._mask_size)
+        mask[source] = 1
+        visited = 1
+        edges = len(views[source])
+        found = False
+        started = _perf()
+        stack = list(views[source])
+        while stack:
+            current = stack.pop()
+            if current == target:
+                found = True
+                break
+            if mask[current]:
+                continue
+            mask[current] = 1
+            visited += 1
+            edges += len(views[current])
+            stack.extend(views[current])
+        prof.step("csr.reachable", tier="csr-view",
+                  seconds=_perf() - started, nodes_visited=visited,
+                  edges_scanned=edges, mask_bytes=self._mask_size,
+                  found=found)
+        return found
+
     def subgraph(self, node_id: int) -> SubgraphResult:
         """The Section 5.1 subgraph query (ancestors + descendants +
         siblings of descendants) answered from the snapshot.
@@ -200,10 +252,17 @@ class CSRSnapshot:
         repeated query returns the cached result; callers must treat
         the result's node sets as read-only.
         """
+        prof = _profile.active()
         cached = self._subgraph_cache.get(node_id)
         if cached is not None:
+            if prof is not None:
+                prof.step("csr.subgraph", tier="csr-view", memoized=1,
+                          nodes_visited=len(cached.ancestors)
+                          + len(cached.descendants) + len(cached.siblings))
             return cached
         self._check(node_id)
+        if prof is not None:
+            prof.step("csr.subgraph", tier="csr-view", memoized=0)
         ancestors, descendants, siblings = subgraph_sets(
             self._pred_views, self._succ_views, node_id, self._mask_size)
         result = SubgraphResult(node_id, ancestors, descendants, siblings)

@@ -452,6 +452,8 @@ class SQLiteStore(GraphStore):
     # Read path (lazy: nothing is loaded until a run is asked for)
     # ------------------------------------------------------------------
     def load_graph(self, run_id: str) -> ProvenanceGraph:
+        _faults.fire("store.read", store=self._obs_labels["store"],
+                     run_id=run_id)
         if not _obs.enabled():
             with self._read_lock():
                 return self._load_graph_unlocked(run_id)

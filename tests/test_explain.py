@@ -1,0 +1,332 @@
+"""EXPLAIN plans end to end: the six query kinds through
+``explain_query`` and the service, the ``explain=`` seam on
+:class:`QueryProcessor`, the ``repro explain``/``repro slowlog`` CLI
+verbs, and trace-context propagation under fault injection (spans
+nest and slow queries land in the slowlog while latency/lock storms
+are live).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import faults, obs
+from repro.cli import main
+from repro.obs import profile
+from repro.queries import QUERY_KINDS, Explained, explain_query
+from repro.queries.subgraph import highest_fanout_nodes
+from repro.store.catalog import ProvenanceService
+from repro.store.memory import MemoryStore
+from repro.store.sqlite import SQLiteStore
+
+
+@pytest.fixture(autouse=True)
+def _isolated():
+    obs.disable()
+    profile.disable_slowlog()
+    faults.configure(None)
+    yield
+    assert profile.active() is None
+    obs.disable()
+    profile.disable_slowlog()
+    faults.configure(None)
+
+
+@pytest.fixture
+def service(dealership_execution):
+    store = MemoryStore()
+    store.put_graph("run-a", dealership_execution[0])
+    return ProvenanceService(store)
+
+
+@pytest.fixture
+def hot_node(dealership_execution):
+    return highest_fanout_nodes(dealership_execution[0], 1)[0]
+
+
+class TestExplainQuery:
+    """Every kind returns a structured plan: ordered steps, tier
+    attribution, and non-zero kernel cost counters."""
+
+    def test_subgraph_plan(self, service, hot_node):
+        plan = explain_query(service, "run-a", "subgraph", node=hot_node)
+        assert plan.kind == "subgraph" and plan.run_id == "run-a"
+        assert plan.params == {"node": hot_node}
+        names = [step.name for step in plan.steps]
+        assert "kernel.subgraph" in names
+        assert "csr-view" in plan.tiers()
+        totals = plan.counters_total()
+        assert totals["nodes_visited"] > 0
+        assert totals["edges_scanned"] > 0
+        assert totals["mask_bytes"] > 0
+        assert plan.summary["size"] > 0
+        assert plan.seconds > 0
+
+    def test_reachability_plan(self, service, hot_node):
+        other = next(iter(service.graph("run-a").nodes))
+        plan = explain_query(service, "run-a", "reachability",
+                             source=hot_node, target=other)
+        assert "csr.reachable" in [step.name for step in plan.steps]
+        assert isinstance(plan.summary["reachable"], bool)
+        assert plan.counters_total()["nodes_visited"] > 0
+
+    def test_deletion_plan(self, service, hot_node):
+        plan = explain_query(service, "run-a", "deletion",
+                             nodes=[hot_node])
+        assert "kernel.deletion" in [step.name for step in plan.steps]
+        assert plan.summary["removed"] > 0
+        totals = plan.counters_total()
+        assert totals["nodes_visited"] > 0 and totals["mask_bytes"] > 0
+
+    def test_whatif_plan(self, service, hot_node):
+        plan = explain_query(service, "run-a", "whatif",
+                             nodes=[hot_node])
+        assert plan.summary["removed"] > 0
+        assert plan.counters_total()["nodes_visited"] > 0
+
+    def test_dependency_plan(self, service, hot_node, dealership_execution):
+        graph = dealership_execution[0]
+        descendant = next(iter(graph.descendants(hot_node)))
+        plan = explain_query(service, "run-a", "dependency",
+                             node=descendant, sources=[hot_node])
+        assert plan.summary["depends"] is True
+        assert plan.counters_total()["nodes_visited"] > 0
+
+    def test_zoom_plan_does_not_mutate(self, service, dealership_execution):
+        graph = dealership_execution[0]
+        before = service.graph("run-a").node_count
+        module = next(iter(graph.module_names()))
+        plan = explain_query(service, "run-a", "zoom", modules=[module])
+        assert plan.summary["zoomed_nodes"] > 0
+        assert plan.counters_total()["nodes_visited"] > 0
+        assert service.graph("run-a").node_count == before
+
+    def test_proql_plan(self, service):
+        plan = explain_query(service, "run-a", "proql",
+                             text="MATCH kind=tuple | descendants | count")
+        assert plan.summary["result_type"] == "int"
+        assert plan.summary["result"] >= 0
+        assert len(plan.steps) > 0
+
+    def test_all_kinds_covered(self):
+        assert set(QUERY_KINDS) == {"zoom", "subgraph", "deletion",
+                                    "whatif", "dependency", "reachability",
+                                    "proql"}
+
+    def test_unknown_kind_raises(self, service):
+        with pytest.raises(ValueError, match="unknown query kind"):
+            explain_query(service, "run-a", "teleport")
+
+    def test_warm_cache_attributes_lru_tier(self, service, hot_node):
+        explain_query(service, "run-a", "subgraph", node=hot_node)
+        plan = explain_query(service, "run-a", "subgraph", node=hot_node)
+        assert plan.steps[0].tier == "service-lru"
+
+    def test_service_explain_wrapper(self, service, hot_node):
+        plan = service.explain("run-a", "subgraph", node=hot_node)
+        assert plan.kind == "subgraph"
+        assert plan.summary["size"] > 0
+
+
+class TestProcessorExplainSeam:
+    """``explain=True`` on QueryProcessor returns (result, plan) with
+    the same answer the plain call gives."""
+
+    @pytest.fixture
+    def processor(self, service):
+        return service.processor("run-a")
+
+    def test_subgraph(self, processor, hot_node):
+        explained = processor.subgraph(hot_node, explain=True)
+        assert isinstance(explained, Explained)
+        assert explained.result.node_ids == \
+            processor.subgraph(hot_node).node_ids
+        assert explained.plan.kind == "subgraph"
+        assert explained.plan.counters_total()["nodes_visited"] > 0
+
+    def test_reachable(self, processor, hot_node, service):
+        other = next(iter(service.graph("run-a").nodes))
+        explained = processor.reachable(hot_node, other, explain=True)
+        assert explained.result == processor.reachable(hot_node, other)
+        assert explained.plan.kind == "reachability"
+
+    def test_delete_is_pure_by_default(self, processor, hot_node):
+        before = processor.graph.node_count
+        explained = processor.delete(hot_node, explain=True)
+        assert explained.result.removed
+        assert explained.plan.kind == "deletion"
+        assert processor.graph.node_count == before
+
+    def test_what_if(self, processor, hot_node):
+        explained = processor.what_if([hot_node], explain=True)
+        assert explained.plan.kind == "whatif"
+        assert explained.result.deletion.removed_count > 0
+
+    def test_depends_on(self, processor, hot_node):
+        descendant = next(iter(processor.graph.descendants(hot_node)))
+        explained = processor.depends_on(descendant, hot_node, explain=True)
+        assert explained.result is True
+        assert explained.plan.kind == "dependency"
+
+    def test_zoom_generator_arg(self, processor):
+        """A generator of module names must survive the explain seam
+        (params capture + the actual zoom both need it)."""
+        module = next(iter(processor.graph.module_names()))
+        explained = processor.zoom_out((name for name in [module]),
+                                       explain=True)
+        assert explained.plan.params["modules"] == [module]
+        processor.zoom_in(module)
+
+    def test_query_text(self, processor):
+        explained = processor.query_text("MATCH kind=tuple | count",
+                                         explain=True)
+        assert isinstance(explained.result, int)
+        assert explained.plan.kind == "proql"
+        assert explained.plan.params["text"] == "MATCH kind=tuple | count"
+
+
+class TestExplainCLI:
+    @pytest.fixture
+    def db(self, tmp_path, capsys):
+        path = os.fspath(tmp_path / "explain.db")
+        assert main(["ingest", "--db", path, "--run", "demo",
+                     "--cars", "15", "--executions", "2"]) == 0
+        capsys.readouterr()
+        return path
+
+    def run_json(self, capsys, *argv):
+        code = main([*argv, "--json"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        return json.loads(out)
+
+    def test_explain_subgraph_json_shape(self, db, capsys):
+        payload = self.run_json(capsys, "explain", "--db", db,
+                                "--run", "demo", "--subgraph", "1")
+        assert payload["kind"] == "subgraph"
+        assert payload["run_id"] == "demo"
+        assert payload["tiers"], payload
+        assert payload["steps"], payload
+        kernel = [step for step in payload["steps"]
+                  if step["name"] == "kernel.subgraph"]
+        assert kernel and kernel[0]["counters"]["nodes_visited"] > 0
+
+    def test_explain_renders_table(self, db, capsys):
+        assert main(["explain", "--db", db, "--reachable", "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "reachability" in out and "step" in out
+
+    def test_explain_proql(self, db, capsys):
+        payload = self.run_json(capsys, "explain", "--db", db, "--proql",
+                                "MATCH kind=tuple | count")
+        assert payload["kind"] == "proql"
+        assert payload["summary"]["result_type"] == "int"
+
+    def test_explain_depends_needs_two_nodes(self, db, capsys):
+        assert main(["explain", "--db", db, "--depends", "1"]) == 1
+        assert "--depends" in capsys.readouterr().err
+
+    def test_slowlog_cli_round_trip(self, db, tmp_path, capsys):
+        log_path = os.fspath(tmp_path / "slow.jsonl")
+        profile.enable_slowlog(threshold_ms=0.0, path=log_path,
+                               reset=True)
+        assert main(["explain", "--db", db, "--subgraph", "1"]) == 0
+        capsys.readouterr()
+        profile.disable_slowlog()
+        payload = self.run_json(capsys, "slowlog", "--log", log_path)
+        assert payload["total"] >= 1
+        assert payload["entries"][0]["kind"] == "subgraph"
+        assert main(["slowlog", "--log", log_path]) == 0
+        out = capsys.readouterr().out
+        assert "slow quer" in out and "subgraph" in out
+
+    def test_slowlog_min_ms_filter(self, db, tmp_path, capsys):
+        log_path = os.fspath(tmp_path / "slow.jsonl")
+        profile.enable_slowlog(threshold_ms=0.0, path=log_path,
+                               reset=True)
+        assert main(["explain", "--db", db, "--subgraph", "1"]) == 0
+        capsys.readouterr()
+        profile.disable_slowlog()
+        payload = self.run_json(capsys, "slowlog", "--log", log_path,
+                                "--min-ms", "60000")
+        assert payload["total"] == 0
+
+    def test_slowlog_without_log_errors(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SLOWLOG_PATH", raising=False)
+        assert main(["slowlog"]) == 1
+        assert "REPRO_SLOWLOG_PATH" in capsys.readouterr().err
+
+    def test_stats_surfaces_slowlog_ring(self, db, capsys):
+        profile.enable_slowlog(threshold_ms=0.0, reset=True)
+        assert main(["explain", "--db", db, "--subgraph", "1"]) == 0
+        capsys.readouterr()
+        payload = self.run_json(capsys, "stats", "--db", db)
+        slow = payload["slowlog"]
+        assert slow["recorded"] >= 1
+        assert slow["entries"][0]["kind"] == "subgraph"
+
+
+class TestTracePropagationUnderFaults:
+    """Satellite: spans opened during injected lock/latency storms
+    still nest under the caller's trace, and latency-injected queries
+    land in the slow-query log."""
+
+    @pytest.fixture
+    def sqlite_service(self, tmp_path, dealership_execution):
+        store = SQLiteStore(tmp_path / "faulty.db")
+        store.put_graph("run-a", dealership_execution[0])
+        service = ProvenanceService(store)
+        yield service
+        store.close()
+
+    def test_load_span_nests_during_latency_storm(self, sqlite_service,
+                                                  hot_node):
+        telemetry = obs.enable(reset=True)
+        with faults.injecting("store.read:latency:secs=0.05"):
+            with obs.span("test.outer") as outer:
+                sqlite_service.subgraph("run-a", hot_node)
+        events = {event["name"]: event
+                  for event in telemetry.events.events()}
+        load = events["store.load_run"]
+        assert load["trace_id"] == events["test.outer"]["trace_id"]
+        assert load["parent_id"] == events["test.outer"]["span_id"]
+        assert outer.seconds >= load["seconds"] >= 0.05
+
+    def test_slowlog_captures_latency_injected_query(self, sqlite_service,
+                                                     hot_node):
+        log = profile.enable_slowlog(threshold_ms=40.0, reset=True)
+        with faults.injecting("store.read:latency:secs=0.05"):
+            sqlite_service.subgraph("run-a", hot_node)
+        (entry,) = log.entries()
+        assert entry["kind"] == "subgraph"
+        assert entry["seconds"] >= 0.05
+        assert entry["params"] == {"node": hot_node}
+        # The warm repeat is fast and stays out of the log.
+        sqlite_service.subgraph("run-a", hot_node)
+        assert log.recorded() == 1
+
+    def test_retry_tags_nest_during_commit_lock_storm(self, tmp_path):
+        from repro.faults.retry import RetryPolicy
+        from repro.graph import GraphBuilder, NodeKind
+
+        builder = GraphBuilder()
+        builder.graph.add_node(NodeKind.VALUE, value=1)
+        store = SQLiteStore(tmp_path / "storm.db",
+                            retry_policy=RetryPolicy(
+                                attempts=5, base_seconds=0.001, seed=3))
+        telemetry = obs.enable(reset=True)
+        try:
+            with faults.injecting("store.commit:locked:n=2"):
+                with obs.span("test.ingest"):
+                    store.put_graph("run-s", builder.graph)
+        finally:
+            store.close()
+        events = {event["name"]: event
+                  for event in telemetry.events.events()}
+        ingest = events["test.ingest"]
+        assert ingest["tags"]["retry.attempts"] == 3
+        assert ingest["tags"]["retry.slept_s"] > 0
+        assert store.load_graph is not None  # store survived the storm

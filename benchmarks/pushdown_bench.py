@@ -1,0 +1,186 @@
+"""Pushdown-tier benchmark: cold queries with vs without the SQL tier.
+
+Measures the cold-run query path on a dealership provenance store:
+
+* **sqlite-cold** — the pre-pushdown behavior: every query on an
+  uncached run pays ``store.load_graph`` (full graph rebuild) plus a
+  ``CSRSnapshot`` build before the kernel can answer;
+* **sqlite-pushdown** — the interval-encoded tier: the same queries
+  answered as indexed range scans inside SQLite, no graph object ever
+  constructed.
+
+Both sides answer the same ancestors / descendants / subgraph /
+deletion queries and the answers are asserted equal before any number
+is reported.  Writes ``BENCH_PUSHDOWN.json`` and appends a
+``pushdown_cold_speedup`` entry to ``BENCH_HISTORY.jsonl``; exits
+non-zero when the speedup falls below the acceptance floor (3x).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/pushdown_bench.py [--smoke]
+    REPRO_BENCH_PUSHDOWN_CARS=40 ... python benchmarks/pushdown_bench.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from report_schema import append_history, history_entry  # noqa: E402
+
+from repro.benchmark.dealerships import (  # noqa: E402
+    DealershipRun,
+    build_dealership_workflow,
+)
+from repro.graph import GraphBuilder  # noqa: E402
+from repro.queries.deletion import deletion_set  # noqa: E402
+from repro.store import CSRSnapshot, SQLiteStore  # noqa: E402
+from repro.workflow import WorkflowExecutor  # noqa: E402
+
+SPEEDUP_FLOOR = 3.0
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def build_graph(num_cars: int, num_exec: int, seed: int):
+    workflow, modules = build_dealership_workflow()
+    builder = GraphBuilder()
+    executor = WorkflowExecutor(workflow, modules, builder)
+    run = DealershipRun(num_cars=num_cars, num_exec=num_exec, seed=seed)
+    state = run.initial_state(executor)
+    run.run(executor, state)
+    return builder.graph
+
+
+def sample_nodes(graph, stride: int = 13):
+    return list(graph.node_ids())[::stride]
+
+
+def run_cold(store, run_id, nodes, seeds):
+    """The pre-pushdown cold path: rebuild graph + snapshot per query
+    batch (what a cache miss on an uncached run costs)."""
+    started = time.perf_counter()
+    answers = []
+    for node_id in nodes:
+        graph = store.load_graph(run_id)
+        snapshot = CSRSnapshot(graph)
+        answers.append(("anc", node_id, snapshot.ancestors(node_id)))
+        answers.append(("desc", node_id, snapshot.descendants(node_id)))
+    for node_id in seeds:
+        graph = store.load_graph(run_id)
+        result = CSRSnapshot(graph).subgraph(node_id)
+        answers.append(("sub", node_id,
+                        (result.ancestors, result.descendants,
+                         result.siblings)))
+        answers.append(("del", node_id,
+                        deletion_set(store.load_graph(run_id), [node_id])))
+    return time.perf_counter() - started, answers
+
+
+def run_pushdown(store, run_id, nodes, seeds):
+    started = time.perf_counter()
+    answers = []
+    for node_id in nodes:
+        view = store.pushdown(run_id)
+        answers.append(("anc", node_id, view.ancestors(node_id)))
+        answers.append(("desc", node_id, view.descendants(node_id)))
+    for node_id in seeds:
+        view = store.pushdown(run_id)
+        result = view.subgraph(node_id)
+        answers.append(("sub", node_id,
+                        (result.ancestors, result.descendants,
+                         result.siblings)))
+        answers.append(("del", node_id, view.deletion_set([node_id])))
+    return time.perf_counter() - started, answers
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_PUSHDOWN.json")
+    parser.add_argument("--history", default="BENCH_HISTORY.jsonl")
+    parser.add_argument("--no-history", action="store_true")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small scale for CI")
+    parser.add_argument("--repeats", type=int,
+                        default=_env_int("REPRO_BENCH_PUSHDOWN_REPEATS", 3))
+    args = parser.parse_args(argv)
+
+    seed = 11
+    if args.smoke:
+        num_cars, num_exec = 24, 3
+    else:
+        num_cars = _env_int("REPRO_BENCH_PUSHDOWN_CARS", 60)
+        num_exec = _env_int("REPRO_BENCH_PUSHDOWN_EXEC", 4)
+    graph = build_graph(num_cars, num_exec, seed)
+    nodes = sample_nodes(graph)
+    seeds = nodes[::5]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = SQLiteStore(os.path.join(tmp, "pushdown-bench.db"))
+        try:
+            store.put_graph("bench", graph)
+            assert store.interval_state("bench") == "ready", \
+                "encoder fell back; benchmark would be meaningless"
+            cold_runs, push_runs = [], []
+            for _ in range(max(1, args.repeats)):
+                cold_seconds, cold_answers = run_cold(
+                    store, "bench", nodes, seeds)
+                push_seconds, push_answers = run_pushdown(
+                    store, "bench", nodes, seeds)
+                if cold_answers != push_answers:
+                    print("FAIL: pushdown answers diverge from kernels",
+                          file=sys.stderr)
+                    return 1
+                cold_runs.append(cold_seconds)
+                push_runs.append(push_seconds)
+        finally:
+            store.close()
+
+    cold_best, push_best = min(cold_runs), min(push_runs)
+    queries = 2 * len(nodes) + 2 * len(seeds)
+    speedup = cold_best / push_best if push_best else float("inf")
+    metrics = {
+        "pushdown_cold_speedup": round(speedup, 3),
+        "pushdown_query_seconds": round(push_best, 6),
+        "sqlite_cold_query_seconds": round(cold_best, 6),
+        "pushdown_queries_measured": queries,
+    }
+    report = {
+        "nodes": graph.node_count,
+        "edges": graph.edge_count,
+        "repeats": args.repeats,
+        "smoke": args.smoke,
+        "metrics": metrics,
+    }
+    with open(args.out, "w", encoding="utf-8") as stream:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    if not args.no_history:
+        entry = history_entry(
+            metrics,
+            scales={"PUSHDOWN_CARS": num_cars, "PUSHDOWN_EXEC": num_exec},
+            repeats=args.repeats, smoke=args.smoke, seed=seed)
+        append_history(args.history, entry)
+    print(f"pushdown bench: {queries} queries on {graph.node_count} nodes")
+    print(f"  sqlite-cold      {cold_best:.4f}s")
+    print(f"  sqlite-pushdown  {push_best:.4f}s")
+    print(f"  speedup          {speedup:.1f}x (floor {SPEEDUP_FLOOR}x)")
+    if speedup < SPEEDUP_FLOOR:
+        print(f"FAIL: speedup {speedup:.2f}x < {SPEEDUP_FLOOR}x",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

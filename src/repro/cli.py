@@ -172,6 +172,12 @@ def build_parser() -> argparse.ArgumentParser:
     which = explain.add_mutually_exclusive_group(required=True)
     which.add_argument("--subgraph", type=int, metavar="NODE",
                        help="subgraph query on NODE")
+    which.add_argument("--ancestors", type=int, metavar="NODE",
+                       help="ancestor scan of NODE (pushdown range "
+                            "query on cold runs)")
+    which.add_argument("--descendants", type=int, metavar="NODE",
+                       help="descendant scan of NODE (pushdown range "
+                            "query on cold runs)")
     which.add_argument("--reachable", nargs=2, type=int,
                        metavar=("SOURCE", "TARGET"),
                        help="reachability SOURCE -> TARGET")
@@ -525,6 +531,10 @@ def _explain_request(args):
     """(kind, params) from the explain subcommand's flags."""
     if args.subgraph is not None:
         return "subgraph", {"node": args.subgraph}
+    if args.ancestors is not None:
+        return "ancestors", {"node": args.ancestors}
+    if args.descendants is not None:
+        return "descendants", {"node": args.descendants}
     if args.reachable is not None:
         source, target = args.reachable
         return "reachability", {"source": source, "target": target}

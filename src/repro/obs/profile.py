@@ -13,6 +13,9 @@ Tiers (the §5.1 serving hierarchy, cheapest first):
 * ``csr-view``        — the flat-array :class:`CSRSnapshot` read path
   (memoized subgraph answers included);
 * ``bitset-index``    — a precomputed ``ReachabilityIndex`` closure row;
+* ``sqlite-pushdown`` — the interval-encoded in-database range scan
+  (:mod:`repro.store.pushdown`) — answers cold queries without
+  rebuilding the graph;
 * ``sqlite-cold``     — a cold store rebuild (SQLite in production;
   whatever backend the service fronts).
 
@@ -44,7 +47,7 @@ from typing import Any, Dict, Iterable, List, Optional, Union
 
 #: Canonical tier vocabulary (used by plan renderers and tests).
 TIERS = ("service-lru", "frozen-snapshot", "csr-view", "bitset-index",
-         "sqlite-cold")
+         "sqlite-pushdown", "sqlite-cold")
 
 _perf = time.perf_counter
 

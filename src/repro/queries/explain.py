@@ -26,10 +26,11 @@ from .proql_text import run_query
 from .whatif import what_if_deleted
 from .zoom import zoom_out
 
-#: The explainable query kinds (ISSUE: the six Section-4 entry points
-#: plus ProQL text pipelines).
+#: The explainable query kinds: the six Section-4 entry points plus
+#: ProQL text pipelines and the raw ancestor/descendant scans (the
+#: latter surface the pushdown tier's range queries directly).
 QUERY_KINDS = ("zoom", "subgraph", "deletion", "whatif", "dependency",
-               "reachability", "proql")
+               "reachability", "ancestors", "descendants", "proql")
 
 
 class Explained(NamedTuple):
@@ -49,7 +50,8 @@ def explain_query(service, run_id: str, kind: str, *,
                   text: Optional[str] = None) -> QueryPlan:
     """Profile one query; the answer rides on ``plan.summary``.
 
-    Parameters by kind: ``subgraph``/``dependency`` need ``node``
+    Parameters by kind: ``subgraph``/``ancestors``/``descendants``/
+    ``dependency`` need ``node``
     (dependency also ``sources``); ``reachability`` needs ``source`` +
     ``target``; ``zoom`` needs ``modules``; ``deletion`` needs
     ``nodes``; ``whatif`` needs ``nodes`` and/or ``labels``; ``proql``
@@ -74,6 +76,8 @@ def _params_for(kind: str, **kwargs) -> dict:
     """The plan's params dict: only what this kind consumed."""
     wanted = {
         "subgraph": ("node",),
+        "ancestors": ("node",),
+        "descendants": ("node",),
         "reachability": ("source", "target"),
         "zoom": ("modules",),
         "deletion": ("nodes",),
@@ -95,11 +99,21 @@ def _run(service, run_id: str, kind: str, *, node, source, target,
     if kind == "subgraph":
         result = service.subgraph(run_id, node)
         return {"size": result.size}
+    if kind == "ancestors":
+        return {"count": len(service.ancestors(run_id, node))}
+    if kind == "descendants":
+        return {"count": len(service.descendants(run_id, node))}
     if kind == "reachability":
         answer = service.reachable(run_id, source, target)
         return {"reachable": answer}
     if kind == "deletion":
-        removed = deletion_set(service.graph(run_id), list(nodes))
+        # Prefer the service's deletion_set (pushdown-served when the
+        # run is cold); duck-typed fakes without it keep the old path.
+        service_deletion = getattr(service, "deletion_set", None)
+        if service_deletion is not None:
+            removed = service_deletion(run_id, list(nodes))
+        else:
+            removed = deletion_set(service.graph(run_id), list(nodes))
         return {"removed": len(removed)}
     if kind == "whatif":
         result = what_if_deleted(service.graph(run_id),

@@ -24,6 +24,7 @@ from .csr import CSRSnapshot
 from .doctor import DoctorReport, diagnose, repair
 from .ingest import WorkloadSpec, dealership_specs, ingest_many
 from .memory import MemoryStore
+from .pushdown import PushdownView
 from .sharded import DegradedResult, ShardedStore
 from .sqlite import SQLiteStore
 
@@ -35,6 +36,7 @@ __all__ = [
     "LRUCache",
     "MemoryStore",
     "ProvenanceService",
+    "PushdownView",
     "RunCatalog",
     "RunInfo",
     "ShardedStore",

@@ -131,6 +131,17 @@ class GraphStore(abc.ABC):
         return None
 
     # ------------------------------------------------------------------
+    # In-database query pushdown (optional acceleration tier)
+    # ------------------------------------------------------------------
+    def pushdown(self, run_id: str):
+        """A :class:`~repro.store.pushdown.PushdownView` answering
+        ancestor/descendant/subgraph/deletion queries inside the
+        backend, or ``None`` when the backend has no pushdown tier
+        (the default) — callers then fall back to loading the graph.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     # Crash-safe ingest sentinels & health (no-ops for volatile or
     # inherently-atomic backends; durable backends override)
     # ------------------------------------------------------------------

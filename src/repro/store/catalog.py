@@ -42,10 +42,12 @@ from .. import obs as _obs
 from ..obs import profile as _profile
 from ..errors import StoreIOError
 from ..graph.provgraph import ProvenanceGraph
+from ..queries.deletion import deletion_set as _kernel_deletion_set
 from ..queries.reachability import ReachabilityIndex
 from ..queries.subgraph import SubgraphResult
 from .base import GraphStore, RunInfo
 from .csr import CSRSnapshot
+from .pushdown import PushdownUnavailable
 
 T = TypeVar("T")
 
@@ -155,9 +157,15 @@ class RunCatalog:
     ingest workers asking for fresh ids never collide.
     """
 
-    def __init__(self, store: GraphStore, run_prefix: str = "run"):
+    def __init__(self, store: GraphStore, run_prefix: str = "run",
+                 invalidate: Optional[Callable[[str], None]] = None):
         self.store = store
         self.run_prefix = run_prefix
+        # A service fronting the same store passes its ``invalidate``
+        # here so catalog-side deletes evict that run's cached
+        # artifacts (deleting + re-ingesting a run id must never
+        # serve the old graph out of the LRU).
+        self._invalidate = invalidate
         self._naming_lock = threading.Lock()
         self._reserved: set = set()
 
@@ -217,9 +225,13 @@ class RunCatalog:
 
     def delete(self, run_id: str) -> None:
         self.store.delete_run(run_id)
+        if self._invalidate is not None:
+            self._invalidate(run_id)
 
     def __repr__(self) -> str:
-        return f"RunCatalog({self.store!r}, runs={len(self.runs())})"
+        # Deliberately I/O-free: a repr during logging/debugging must
+        # not hit the store (which can raise on a degraded shard).
+        return f"RunCatalog({self.store!r}, prefix={self.run_prefix!r})"
 
 
 class ProvenanceService:
@@ -236,7 +248,7 @@ class ProvenanceService:
     def __init__(self, store: GraphStore, graph_cache_size: int = 8,
                  csr_cache_size: int = 8, index_cache_size: int = 2):
         self.store = store
-        self.catalog = RunCatalog(store)
+        self.catalog = RunCatalog(store, invalidate=self.invalidate)
         self._graphs = LRUCache(graph_cache_size, name="graphs")
         self._processors = LRUCache(graph_cache_size, name="processors")
         self._snapshots = LRUCache(csr_cache_size, name="csr")
@@ -429,24 +441,83 @@ class ProvenanceService:
     # ------------------------------------------------------------------
     # Per-run queries (Section 4, served from the store)
     # ------------------------------------------------------------------
+    def _pushdown(self, run_id: str):
+        """The store's in-database query view for a *cold* run, else
+        None.
+
+        Selected ahead of the ``sqlite-cold`` rebuild but behind the
+        in-memory tiers: when the run's graph is already cached (it
+        may carry zoom surgery the store never saw, and RAM answers
+        faster anyway) the CSR path keeps serving.  The view is
+        re-fetched per query — one indexed point read — so it always
+        reflects the store's current rows and freshness state.
+        """
+        if self._graphs.contains((run_id, self._generation(run_id))):
+            return None
+        factory = getattr(self.store, "pushdown", None)
+        if factory is None:
+            return None
+        return factory(run_id)
+
     def subgraph(self, run_id: str, node_id: int) -> SubgraphResult:
-        """Subgraph query on the CSR read path."""
+        """Subgraph query: pushdown when cold, CSR read path when hot."""
         with _profile.query_scope("subgraph", run_id=run_id, node=node_id):
+            view = self._pushdown(run_id)
+            if view is not None:
+                try:
+                    return view.subgraph(node_id)
+                except PushdownUnavailable:
+                    pass
             return self.csr(run_id).subgraph(node_id)
 
     def ancestors(self, run_id: str, node_id: int):
         with _profile.query_scope("ancestors", run_id=run_id, node=node_id):
+            view = self._pushdown(run_id)
+            if view is not None:
+                try:
+                    return view.ancestors(node_id)
+                except PushdownUnavailable:
+                    pass
             return self.csr(run_id).ancestors(node_id)
 
     def descendants(self, run_id: str, node_id: int):
         with _profile.query_scope("descendants", run_id=run_id,
                                   node=node_id):
+            view = self._pushdown(run_id)
+            if view is not None:
+                try:
+                    return view.descendants(node_id)
+                except PushdownUnavailable:
+                    pass
             return self.csr(run_id).descendants(node_id)
 
     def reachable(self, run_id: str, source: int, target: int) -> bool:
         with _profile.query_scope("reachability", run_id=run_id,
                                   source=source, target=target):
+            view = self._pushdown(run_id)
+            if view is not None:
+                try:
+                    return view.reachable(source, target)
+                except PushdownUnavailable:
+                    pass
             return self.csr(run_id).reachable(source, target)
+
+    def deletion_set(self, run_id: str, node_ids,
+                     blackbox_multiplicative: bool = False):
+        """The Definition 4.2 removal set, without materializing the
+        surviving graph — pushdown-served when the run is cold."""
+        with _profile.query_scope("deletion", run_id=run_id):
+            view = self._pushdown(run_id)
+            if view is not None:
+                try:
+                    return view.deletion_set(
+                        node_ids,
+                        blackbox_multiplicative=blackbox_multiplicative)
+                except PushdownUnavailable:
+                    pass
+            return _kernel_deletion_set(
+                self.graph(run_id), list(node_ids),
+                blackbox_multiplicative=blackbox_multiplicative)
 
     def zoom_out(self, run_id: str, module_names) -> List[str]:
         with _profile.query_scope("zoom", run_id=run_id,

@@ -118,6 +118,9 @@ class UnavailableShard(GraphStore):
     def load_graph(self, run_id):
         self._raise()
 
+    def pushdown(self, run_id):
+        self._raise()
+
     def run_info(self, run_id):
         self._raise()
 
@@ -260,6 +263,9 @@ class ShardedStore(GraphStore):
     # ------------------------------------------------------------------
     def load_graph(self, run_id: str) -> ProvenanceGraph:
         return self._routed(run_id, "load_graph", run_id)
+
+    def pushdown(self, run_id: str):
+        return self._routed(run_id, "pushdown", run_id)
 
     def run_info(self, run_id: str) -> RunInfo:
         return self._routed(run_id, "run_info", run_id)

@@ -114,7 +114,7 @@ class TestExplainQuery:
     def test_all_kinds_covered(self):
         assert set(QUERY_KINDS) == {"zoom", "subgraph", "deletion",
                                     "whatif", "dependency", "reachability",
-                                    "proql"}
+                                    "ancestors", "descendants", "proql"}
 
     def test_unknown_kind_raises(self, service):
         with pytest.raises(ValueError, match="unknown query kind"):
@@ -210,9 +210,32 @@ class TestExplainCLI:
         assert payload["run_id"] == "demo"
         assert payload["tiers"], payload
         assert payload["steps"], payload
+        # The cold run is answered by the SQL pushdown tier — no
+        # graph rebuild, no Python kernel step.
+        pushdown = [step for step in payload["steps"]
+                    if step["name"] == "pushdown.subgraph"]
+        assert pushdown and pushdown[0]["tier"] == "sqlite-pushdown"
+        assert not any(step["name"] == "store.load_run"
+                       for step in payload["steps"]), payload["steps"]
+
+    def test_explain_subgraph_kernel_when_pushdown_off(self, db, capsys,
+                                                       monkeypatch):
+        monkeypatch.setenv("REPRO_PUSHDOWN", "0")
+        payload = self.run_json(capsys, "explain", "--db", db,
+                                "--run", "demo", "--subgraph", "1")
         kernel = [step for step in payload["steps"]
                   if step["name"] == "kernel.subgraph"]
         assert kernel and kernel[0]["counters"]["nodes_visited"] > 0
+
+    def test_explain_ancestors_descendants(self, db, capsys):
+        payload = self.run_json(capsys, "explain", "--db", db,
+                                "--run", "demo", "--ancestors", "5")
+        assert payload["kind"] == "ancestors"
+        assert "sqlite-pushdown" in payload["tiers"]
+        payload = self.run_json(capsys, "explain", "--db", db,
+                                "--run", "demo", "--descendants", "1")
+        assert payload["kind"] == "descendants"
+        assert payload["summary"]["count"] >= 0
 
     def test_explain_renders_table(self, db, capsys):
         assert main(["explain", "--db", db, "--reachable", "1", "2"]) == 0
@@ -275,7 +298,10 @@ class TestTracePropagationUnderFaults:
     land in the slow-query log."""
 
     @pytest.fixture
-    def sqlite_service(self, tmp_path, dealership_execution):
+    def sqlite_service(self, tmp_path, dealership_execution, monkeypatch):
+        # These tests exercise the cold *graph-load* seam specifically;
+        # the pushdown tier would answer without ever loading the run.
+        monkeypatch.setenv("REPRO_PUSHDOWN", "0")
         store = SQLiteStore(tmp_path / "faulty.db")
         store.put_graph("run-a", dealership_execution[0])
         service = ProvenanceService(store)

@@ -1,0 +1,429 @@
+"""SQL pushdown tier: interval encoder, range-scan query view, lazy
+re-encode lifecycle, EXPLAIN attribution, and the store/catalog
+correctness satellites that shipped with it."""
+
+import io
+
+import pytest
+
+from repro.errors import UnknownNodeError, UnknownRunError
+from repro.graph import GraphBuilder
+from repro.graph.provgraph import ProvenanceGraph
+from repro.graph.serialize import dump_graph
+from repro.queries.deletion import deletion_set
+from repro.queries.explain import explain_query
+from repro.store import (
+    CSRSnapshot,
+    MemoryStore,
+    ProvenanceService,
+    RunCatalog,
+    SQLiteStore,
+    open_store,
+)
+from repro.store.pushdown import (
+    INTERVALS_FALLBACK,
+    INTERVALS_READY,
+    INTERVALS_STALE,
+    PushdownUnavailable,
+    encode_intervals,
+    interval_budget,
+    pushdown_enabled,
+)
+
+
+def module_graph(fanout: int = 4) -> ProvenanceGraph:
+    """A workflow-shaped DAG with >= 10 nodes and a joint (·) node."""
+    builder = GraphBuilder()
+    workflow_input = builder.workflow_input_node(value=("P1",))
+    builder.begin_invocation("Mpush")
+    module_input = builder.module_input_node(workflow_input, value=("P1",))
+    base = builder.base_tuple_node("Cars", value=("C1",))
+    state = builder.module_state_node(base)
+    join = builder.times_node([module_input, state])
+    output = builder.module_output_node(join, value=1.0)
+    for index in range(fanout):
+        builder.plus_node([output, join], value=float(index))
+    builder.end_invocation()
+    return builder.graph
+
+
+# ----------------------------------------------------------------------
+# Encoder
+# ----------------------------------------------------------------------
+class TestEncoder:
+    def test_chain(self):
+        rows = encode_intervals([0, 1, 2], [[], [0], [1]], budget=100)
+        assert rows == [(0, 3, 1, 3, 0), (1, 2, 1, 2, 1), (2, 1, 1, 1, 2)]
+
+    def test_diamond_merges_and_fragments(self):
+        # 0 -> {1, 2} -> 3: the second branch keeps two intervals, the
+        # root merges everything back into one.
+        rows = encode_intervals([0, 1, 2, 3],
+                                [[], [0], [0], [1, 2]], budget=100)
+        by_node = {}
+        for node_id, post, lo, hi, level in rows:
+            by_node.setdefault(node_id, []).append((lo, hi))
+        assert by_node[0] == [(1, 4)]
+        assert by_node[3] == [(1, 1)]
+        assert sorted(len(spans) for spans in by_node.values()) \
+            == [1, 1, 1, 2]
+        levels = {node_id: level for node_id, _, _, _, level in rows}
+        assert levels == {0: 0, 1: 1, 2: 1, 3: 2}
+
+    def test_empty_graph(self):
+        assert encode_intervals([], [], budget=100) == []
+
+    def test_cycle_returns_none(self):
+        assert encode_intervals([0, 1], [[1], [0]], budget=100) is None
+
+    def test_unreached_cycle_component_returns_none(self):
+        # 0 is a root, but 1 <-> 2 sit on an unreachable cycle.
+        assert encode_intervals([0, 1, 2],
+                                [[], [2], [1]], budget=100) is None
+
+    def test_budget_abort_returns_none(self):
+        assert encode_intervals([0, 1, 2], [[], [0], [1]],
+                                budget=2) is None
+
+    def test_noncontiguous_node_ids(self):
+        # Deletion leaves id gaps; views are indexed by id, not rank.
+        pred_views = {3: [], 7: [3], 9: [3, 7]}
+        rows = encode_intervals([3, 7, 9], pred_views, budget=100)
+        assert {row[0] for row in rows} == {3, 7, 9}
+
+    def test_budget_floor(self):
+        assert interval_budget(0) == 1024
+        assert interval_budget(1000) == 8000
+
+    def test_env_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PUSHDOWN", "0")
+        assert not pushdown_enabled()
+        monkeypatch.setenv("REPRO_PUSHDOWN", "1")
+        assert pushdown_enabled()
+
+
+# ----------------------------------------------------------------------
+# Store lifecycle: ready / stale / fallback
+# ----------------------------------------------------------------------
+class TestIntervalLifecycle:
+    def test_put_encodes_eagerly(self):
+        store = SQLiteStore()
+        store.put_graph("r", module_graph())
+        assert store.interval_state("r") == INTERVALS_READY
+        assert store.pushdown("r") is not None
+        store.close()
+
+    def test_append_marks_stale_then_query_reencodes(self):
+        store = SQLiteStore()
+        store.put_graph("r", module_graph(fanout=2))
+        store.append_graph("r", module_graph(fanout=5))
+        assert store.interval_state("r") == INTERVALS_STALE
+        view = store.pushdown("r")  # lazy re-encode happens here
+        assert store.interval_state("r") == INTERVALS_READY
+        loaded = store.load_graph("r")
+        snapshot = CSRSnapshot(loaded)
+        for node_id in loaded.node_ids():
+            assert view.descendants(node_id) == snapshot.descendants(node_id)
+            assert view.ancestors(node_id) == snapshot.ancestors(node_id)
+        store.close()
+
+    def test_held_view_refreshes_after_append(self):
+        store = SQLiteStore()
+        store.put_graph("r", module_graph(fanout=2))
+        view = store.pushdown("r")
+        before = len(view.descendants(0))
+        store.append_graph("r", module_graph(fanout=6))
+        # The *same* view object must serve the superseding encoding.
+        assert len(view.descendants(0)) > before
+        store.close()
+
+    def test_fallback_state_disables_view(self):
+        store = SQLiteStore()
+        store.put_graph("r", module_graph())
+        with store._write_lock:
+            store._conn.execute(
+                "UPDATE runs SET interval_state = ? WHERE run_id = ?",
+                (INTERVALS_FALLBACK, "r"))
+            store._conn.commit()
+        assert store.pushdown("r") is None
+        store.close()
+
+    def test_held_view_raises_when_encoding_vanishes(self):
+        store = SQLiteStore()
+        store.put_graph("r", module_graph())
+        view = store.pushdown("r")
+        with store._write_lock:
+            store._conn.execute(
+                "UPDATE runs SET interval_state = ? WHERE run_id = ?",
+                (INTERVALS_FALLBACK, "r"))
+            store._conn.commit()
+        with pytest.raises(PushdownUnavailable):
+            view.descendants(0)
+        store.close()
+
+    def test_disabled_env_skips_encode_and_view(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PUSHDOWN", "0")
+        store = SQLiteStore()
+        store.put_graph("r", module_graph())
+        assert store.interval_state("r") is None
+        assert store.pushdown("r") is None
+        store.close()
+
+    def test_unknown_run(self):
+        store = SQLiteStore()
+        with pytest.raises(UnknownRunError):
+            store.interval_state("ghost")
+        assert store.pushdown("ghost") is None
+        store.close()
+
+    def test_delete_run_clears_interval_rows(self):
+        store = SQLiteStore()
+        store.put_graph("r", module_graph())
+        store.delete_run("r")
+        count = store._conn.execute(
+            "SELECT COUNT(*) FROM node_intervals").fetchone()[0]
+        assert count == 0
+        store.close()
+
+    def test_memory_store_has_no_pushdown(self):
+        store = MemoryStore()
+        store.put_graph("r", module_graph())
+        assert store.pushdown("r") is None
+
+    def test_sharded_store_routes_pushdown(self, tmp_path):
+        store = open_store(tmp_path / "shards.db", shards=2)
+        store.put_graph("r-a", module_graph())
+        view = store.pushdown("r-a")
+        assert view is not None
+        assert view.descendants(0)
+        store.close()
+
+    def test_preexisting_db_migrates(self, tmp_path):
+        # A database written before this tier existed has neither the
+        # interval_state column nor the node_intervals table; opening
+        # it must migrate, and the first query must encode lazily.
+        path = tmp_path / "old.db"
+        store = SQLiteStore(path)
+        store.put_graph("r", module_graph())
+        with store._write_lock:
+            store._conn.execute("DROP TABLE node_intervals")
+            store._conn.execute(
+                "UPDATE runs SET interval_state = NULL")
+            store._conn.commit()
+        store.close()
+        reopened = SQLiteStore(path)
+        try:
+            assert reopened.interval_state("r") is None
+            view = reopened.pushdown("r")
+            assert view is not None
+            assert reopened.interval_state("r") == INTERVALS_READY
+        finally:
+            reopened.close()
+
+
+# ----------------------------------------------------------------------
+# Query parity against the in-memory kernels
+# ----------------------------------------------------------------------
+class TestViewParity:
+    @pytest.fixture(scope="class")
+    def served(self, dealership_execution):
+        graph = dealership_execution[0]
+        store = SQLiteStore()
+        store.put_graph("r", graph)
+        yield store.pushdown("r"), CSRSnapshot(graph), graph
+        store.close()
+
+    def test_ancestors_descendants(self, served):
+        view, snapshot, graph = served
+        for node_id in graph.node_ids():
+            assert view.ancestors(node_id) == snapshot.ancestors(node_id)
+            assert view.descendants(node_id) == \
+                snapshot.descendants(node_id)
+
+    def test_subgraph(self, served):
+        view, snapshot, graph = served
+        for node_id in list(graph.node_ids())[::17]:
+            pushed = view.subgraph(node_id)
+            kernel = snapshot.subgraph(node_id)
+            assert pushed.ancestors == kernel.ancestors
+            assert pushed.descendants == kernel.descendants
+            assert pushed.siblings == kernel.siblings
+
+    def test_deletion_set(self, served):
+        view, _snapshot, graph = served
+        for node_id in list(graph.node_ids())[::31]:
+            assert view.deletion_set([node_id]) == \
+                deletion_set(graph, [node_id])
+            assert view.deletion_set([node_id],
+                                     blackbox_multiplicative=True) == \
+                deletion_set(graph, [node_id],
+                             blackbox_multiplicative=True)
+
+    def test_reachable_contract(self, served):
+        view, snapshot, graph = served
+        ids = list(graph.node_ids())
+        for source, target in zip(ids[::13], ids[7::13]):
+            assert view.reachable(source, target) == \
+                snapshot.reachable(source, target)
+        # Contract edges mirrored from CSRSnapshot.
+        assert view.reachable(10**9, 10**9) is True
+        assert view.reachable(ids[0], 10**9) is False
+        with pytest.raises(UnknownNodeError):
+            view.reachable(10**9, ids[0])
+
+    def test_unknown_node_raises(self, served):
+        view, _snapshot, _graph = served
+        with pytest.raises(UnknownNodeError):
+            view.ancestors(10**9)
+        with pytest.raises(UnknownNodeError):
+            view.descendants(10**9)
+        assert view.has_node(10**9) is False
+
+
+# ----------------------------------------------------------------------
+# Service wiring + EXPLAIN attribution
+# ----------------------------------------------------------------------
+class TestServiceTierSelection:
+    @pytest.fixture
+    def store(self):
+        store = SQLiteStore()
+        store.put_graph("r", module_graph())
+        yield store
+        store.close()
+
+    def test_cold_query_never_builds_a_graph(self, store):
+        service = ProvenanceService(store)
+        plan = explain_query(service, "r", "ancestors", node=5)
+        tiers = {step.tier for step in plan.steps}
+        names = [step.name for step in plan.steps]
+        assert tiers == {"sqlite-pushdown"}
+        assert not any("load" in name or "graph" in name
+                       for name in names), names
+
+    def test_cold_tiers_for_all_pushdown_kinds(self, store):
+        for kind, kwargs in (
+                ("subgraph", {"node": 5}),
+                ("descendants", {"node": 1}),
+                ("deletion", {"nodes": [0]}),
+                ("reachability", {"source": 0, "target": 6})):
+            service = ProvenanceService(store)  # fresh = cold caches
+            plan = explain_query(service, "r", kind, **kwargs)
+            assert {step.tier for step in plan.steps} \
+                == {"sqlite-pushdown"}, kind
+
+    def test_hot_run_keeps_memory_tiers(self, store):
+        service = ProvenanceService(store)
+        service.graph("r")  # warm the LRU: zoom surgery could live here
+        plan = explain_query(service, "r", "subgraph", node=5)
+        assert "sqlite-pushdown" not in {step.tier for step in plan.steps}
+
+    def test_fallback_run_served_by_csr(self, store):
+        with store._write_lock:
+            store._conn.execute(
+                "UPDATE runs SET interval_state = ? WHERE run_id = ?",
+                (INTERVALS_FALLBACK, "r"))
+            store._conn.commit()
+        service = ProvenanceService(store)
+        graph = store.load_graph("r")
+        assert service.ancestors("r", 5) == graph.ancestors(5)
+        assert service.descendants("r", 1) == graph.descendants(1)
+
+    def test_service_answers_match_kernels_cold_and_hot(self, store):
+        graph = store.load_graph("r")
+        snapshot = CSRSnapshot(graph)
+        cold = ProvenanceService(store)
+        for node_id in graph.node_ids():
+            assert cold.ancestors("r", node_id) == \
+                snapshot.ancestors(node_id)
+            assert cold.descendants("r", node_id) == \
+                snapshot.descendants(node_id)
+        assert cold.deletion_set("r", [0]) == deletion_set(graph, [0])
+        hot = ProvenanceService(store)
+        hot.graph("r")
+        assert hot.deletion_set("r", [0]) == deletion_set(graph, [0])
+
+
+# ----------------------------------------------------------------------
+# Satellites: store/catalog correctness fixes
+# ----------------------------------------------------------------------
+class TestCatalogInvalidation:
+    def test_delete_then_reingest_serves_fresh_graph(self):
+        """Regression: catalog.delete must evict the service's cached
+        artifacts, or a re-ingested run id serves the old graph."""
+        store = SQLiteStore()
+        service = ProvenanceService(store)
+        service.catalog.register(module_graph(fanout=2), run_id="r")
+        before = service.graph("r").node_count  # cache the first graph
+        service.catalog.delete("r")
+        service.catalog.register(module_graph(fanout=6), run_id="r")
+        after = service.graph("r").node_count
+        assert after == before + 4
+        assert service.subgraph("r", 0).size > 0
+        store.close()
+
+
+class TestBusyTimeoutEverywhere:
+    def test_memory_connection_has_busy_timeout(self):
+        store = SQLiteStore()
+        timeout = store._conn.execute(
+            "PRAGMA busy_timeout").fetchone()[0]
+        assert timeout == 10000
+        store.close()
+
+    def test_file_connection_has_busy_timeout(self, tmp_path):
+        store = SQLiteStore(tmp_path / "t.db")
+        timeout = store._conn.execute(
+            "PRAGMA busy_timeout").fetchone()[0]
+        assert timeout == 10000
+        store.close()
+
+
+class TestCatalogReprIsIOFree:
+    def test_repr_never_touches_the_store(self):
+        class ExplodingStore:
+            def list_runs(self):
+                raise AssertionError("repr must not do store I/O")
+
+            def __getattr__(self, name):
+                raise AssertionError("repr must not do store I/O")
+
+            def __repr__(self):
+                return "ExplodingStore()"
+
+        catalog = RunCatalog.__new__(RunCatalog)
+        catalog.store = ExplodingStore()
+        catalog.run_prefix = "run"
+        assert "ExplodingStore()" in repr(catalog)
+
+
+class TestDeterminism:
+    def test_jsonl_round_trip_is_byte_identical(self):
+        graph = module_graph(fanout=6)
+        assert graph.node_count >= 10
+        store = SQLiteStore()
+        store.put_graph("r", graph)
+        original, reloaded = io.StringIO(), io.StringIO()
+        dump_graph(graph, original)
+        # load_graph's ORDER BY node_id makes the rebuilt dump
+        # byte-identical, not just isomorphic.
+        dump_graph(store.load_graph("r"), reloaded)
+        assert original.getvalue() == reloaded.getvalue()
+        store.close()
+
+    def test_eager_and_lazy_encodes_are_identical(self):
+        """The ingest-time encode (live graph) and the lazy re-encode
+        (stored rows) must emit identical node_intervals rows."""
+        store = SQLiteStore()
+        store.put_graph("r", module_graph(fanout=6))
+        query = ("SELECT node_id, post, lo, hi, level FROM node_intervals "
+                 "WHERE run_id = ? ORDER BY node_id, lo")
+        eager = store._conn.execute(query, ("r",)).fetchall()
+        with store._write_lock:
+            store._conn.execute(
+                "UPDATE runs SET interval_state = ? WHERE run_id = ?",
+                (INTERVALS_STALE, "r"))
+            store._conn.commit()
+        assert store.ensure_intervals("r")
+        lazy = store._conn.execute(query, ("r",)).fetchall()
+        assert eager and eager == lazy
+        store.close()

@@ -1,0 +1,421 @@
+"""Service load benchmark: thousands of concurrent clients vs the
+resilient front end, plus the kernel-cancellation overhead gate.
+
+Three measured phases:
+
+1. **Overload storm** — N concurrent keep-alive clients (default
+   2500, ``--smoke`` 300) hammer a multi-run catalog through a server
+   deliberately provisioned at a fraction of the offered load.  The
+   admission layer must shed the excess with 429s while every 200
+   stays correct (answers are checked against precomputed kernel
+   truth) and ``/healthz`` keeps answering throughout.  Reports p50
+   and p99 latency, shed rate, and the full status partition; fails on
+   any wrong answer, any 5xx (the store is healthy), a zero shed rate
+   (the storm must actually overload), or a blown p99 budget.
+2. **Cold-run storm** — a burst of cold queries against one
+   never-warmed run; the singleflight layer must build its snapshot
+   exactly once.
+3. **Cancellation A/B** — the fig-7-style read kernels timed raw
+   (the pre-cancellation loop bodies) vs through the shipped
+   dispatchers with no deadline active, min-of-N; the disabled path
+   must be within ``REPRO_BENCH_CANCEL_OVERHEAD_PCT`` (default 5%).
+   The deadline-scoped cost is also recorded, informationally.
+
+Writes ``BENCH_SERVICE.json`` and appends to ``BENCH_HISTORY.jsonl``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_load.py [--smoke]
+    REPRO_BENCH_SERVICE_CLIENTS=4000 python benchmarks/service_load.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import random
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from report_schema import append_history, history_entry, report_meta  # noqa: E402
+
+from repro.graph.nodes import NodeKind  # noqa: E402
+from repro.graph.provgraph import ProvenanceGraph  # noqa: E402
+from repro.queries import kernels  # noqa: E402
+from repro.queries.cancel import deadline_scope  # noqa: E402
+from repro.service import ResilientServer, ServiceConfig  # noqa: E402
+from repro.store.catalog import ProvenanceService, RunCatalog  # noqa: E402
+from repro.store.memory import MemoryStore  # noqa: E402
+
+_perf = time.perf_counter
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+# ----------------------------------------------------------------------
+# Catalog under test
+# ----------------------------------------------------------------------
+def braided_graph(n: int, seed: int) -> ProvenanceGraph:
+    """A chain with seeded cross-links: deep enough for real traversal
+    work, irregular enough that answers differ per node."""
+    rng = random.Random(seed)
+    graph = ProvenanceGraph()
+    ids = [graph.add_node(NodeKind.TUPLE, f"t{i}") for i in range(n)]
+    for i in range(1, n):
+        graph.add_edge(ids[i - 1], ids[i])
+        if i > 10 and rng.random() < 0.1:
+            graph.add_edge(ids[rng.randrange(i - 10, i)], ids[i])
+    return graph
+
+
+def build_catalog(num_runs: int, nodes_per_run: int, seed: int):
+    store = MemoryStore()
+    catalog = RunCatalog(store)
+    run_ids = []
+    for index in range(num_runs):
+        graph = braided_graph(nodes_per_run, seed + index)
+        run_ids.append(catalog.register(graph).run_id)
+    return store, run_ids
+
+
+# ----------------------------------------------------------------------
+# Phase 1: overload storm
+# ----------------------------------------------------------------------
+async def _client(host, port, plan):
+    """One keep-alive client: (path, expected_count) pairs in, a list
+    of (status, seconds, expected, got) records out."""
+    records = []
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError:
+        return [("connect-error", 0.0, None, None)] * len(plan)
+    try:
+        for path, expected in plan:
+            started = _perf()
+            lines = (f"GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n")
+            writer.write(lines.encode())
+            await writer.drain()
+            status_line = await reader.readline()
+            status = int(status_line.split()[1])
+            length = 0
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+                if header.lower().startswith(b"content-length:"):
+                    length = int(header.split(b":")[1])
+            body = await reader.readexactly(length) if length else b""
+            seconds = _perf() - started
+            got = None
+            if status == 200:
+                got = json.loads(body).get("count")
+            records.append((status, seconds, expected, got))
+    except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+        records.append(("connection-lost", 0.0, None, None))
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+    return records
+
+
+async def _healthz_probe(host, port, stop, latencies):
+    while not stop.is_set():
+        started = _perf()
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"GET /healthz HTTP/1.1\r\nHost: p\r\n"
+                         b"Connection: close\r\n\r\n")
+            await writer.drain()
+            await reader.read()
+            writer.close()
+            latencies.append(_perf() - started)
+        except OSError:
+            latencies.append(float("inf"))
+        try:
+            await asyncio.wait_for(stop.wait(), 0.05)
+        except asyncio.TimeoutError:
+            pass
+
+
+async def run_storm(service, run_ids, truth, *, clients, requests_each,
+                    max_inflight, queue_depth, seed):
+    config = ServiceConfig(port=0, max_inflight=max_inflight,
+                           queue_depth=queue_depth,
+                           default_deadline_ms=10000.0)
+    server = ResilientServer(service, config)
+    host, port = await server.start()
+    rng = random.Random(seed)
+    plans = []
+    for _ in range(clients):
+        plan = []
+        for _ in range(requests_each):
+            run_id = rng.choice(run_ids)
+            node = rng.choice(sorted(truth[run_id]))
+            plan.append((f"/v1/runs/{run_id}/ancestors?node={node}",
+                         truth[run_id][node]))
+        plans.append(plan)
+    stop = asyncio.Event()
+    health_latencies = []
+    probe = asyncio.create_task(_healthz_probe(host, port, stop,
+                                               health_latencies))
+    started = _perf()
+    results = await asyncio.gather(*[_client(host, port, plan)
+                                     for plan in plans])
+    wall_seconds = _perf() - started
+    stop.set()
+    await probe
+    snapshot = {"admission": server.admission.snapshot(),
+                "flight": server.flight.snapshot(),
+                "breakers": server.breakers.states()}
+    await server.stop()
+    records = [record for client_records in results
+               for record in client_records]
+    return records, health_latencies, wall_seconds, snapshot
+
+
+async def run_cold_storm(service, run_id, *, clients, seed):
+    config = ServiceConfig(port=0, max_inflight=8, queue_depth=clients,
+                           default_deadline_ms=30000.0)
+    server = ResilientServer(service, config)
+    host, port = await server.start()
+    plans = [[(f"/v1/runs/{run_id}/ancestors?node=64", None)]
+             for _ in range(clients)]
+    results = await asyncio.gather(*[_client(host, port, plan)
+                                     for plan in plans])
+    flight = server.flight.snapshot()
+    await server.stop()
+    statuses = [record[0] for client_records in results
+                for record in client_records]
+    return statuses, flight
+
+
+# ----------------------------------------------------------------------
+# Phase 3: cancellation overhead A/B
+# ----------------------------------------------------------------------
+def cancellation_ab(nodes: int, repeats: int, seed: int):
+    """Min-of-N seconds for one full read pass (every-8th-node reach +
+    subgraph), three ways: raw loops, dispatcher with no deadline,
+    dispatcher inside a generous deadline scope."""
+    graph = braided_graph(nodes, seed)
+    graph._sync()
+    pred, succ = graph._pred_views, graph._succ_views
+    size = graph.node_count
+    sample = list(range(0, size, 8))
+
+    def pass_raw():
+        for node in sample:
+            kernels._reach(succ, node, size)
+        for node in sample[::4]:
+            kernels._subgraph_sets(pred, succ, node, size)
+
+    def pass_dispatch():
+        for node in sample:
+            kernels.reach(succ, node, size)
+        for node in sample[::4]:
+            kernels.subgraph_sets(pred, succ, node, size)
+
+    def timed(fn):
+        best = float("inf")
+        for _ in range(repeats):
+            started = _perf()
+            fn()
+            best = min(best, _perf() - started)
+        return best
+
+    pass_raw()  # warm both code paths before timing
+    pass_dispatch()
+    raw_best = timed(pass_raw)
+    dispatch_best = timed(pass_dispatch)
+    with deadline_scope(3600.0):
+        scoped_best = timed(pass_dispatch)
+    return raw_best, dispatch_best, scoped_best
+
+
+# ----------------------------------------------------------------------
+def percentile(values, fraction):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="scaled-down run for CI")
+    parser.add_argument("--out", default="BENCH_SERVICE.json")
+    parser.add_argument("--history", default="BENCH_HISTORY.jsonl")
+    parser.add_argument("--no-history", action="store_true")
+    parser.add_argument("--seed", type=int, default=1234)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        clients, requests_each = 300, 2
+        num_runs, nodes_per_run = 3, 1200
+        ab_nodes, ab_repeats = 4000, 5
+        cold_clients = 60
+    else:
+        clients = _env_int("REPRO_BENCH_SERVICE_CLIENTS", 2500)
+        requests_each = _env_int("REPRO_BENCH_SERVICE_REQUESTS", 2)
+        num_runs = _env_int("REPRO_BENCH_SERVICE_RUNS", 6)
+        nodes_per_run = _env_int("REPRO_BENCH_SERVICE_NODES", 4000)
+        ab_nodes = _env_int("REPRO_BENCH_CANCEL_NODES", 20000)
+        ab_repeats = _env_int("REPRO_BENCH_CANCEL_REPEATS", 7)
+        cold_clients = 200
+    max_inflight = _env_int("REPRO_BENCH_SERVICE_INFLIGHT", 4)
+    queue_depth = _env_int("REPRO_BENCH_SERVICE_QUEUE", 64)
+    p99_budget_ms = _env_float("REPRO_BENCH_SERVICE_P99_MS", 2000.0)
+    overhead_gate_pct = _env_float("REPRO_BENCH_CANCEL_OVERHEAD_PCT", 5.0)
+
+    # --- catalog + ground truth -----------------------------------
+    store, run_ids = build_catalog(num_runs, nodes_per_run, args.seed)
+    service = ProvenanceService(store)
+    rng = random.Random(args.seed)
+    truth = {}
+    for run_id in run_ids:
+        graph = service.graph(run_id)  # also pre-warms: hot-path storm
+        nodes = sorted(rng.sample(range(nodes_per_run), 32))
+        truth[run_id] = {node: len(graph.ancestors(node))
+                         for node in nodes}
+
+    # --- phase 3 measured first: the A/B wants a quiet process,
+    # not one still digesting a 2500-client storm -------------------
+    raw_best, dispatch_best, scoped_best = cancellation_ab(
+        ab_nodes, ab_repeats, args.seed)
+    disabled_overhead_pct = ((dispatch_best / raw_best) - 1.0) * 100
+    scoped_overhead_pct = ((scoped_best / raw_best) - 1.0) * 100
+
+    # --- phase 1: overload storm ----------------------------------
+    records, health_latencies, wall_seconds, snapshot = asyncio.run(
+        run_storm(service, run_ids, truth, clients=clients,
+                  requests_each=requests_each, max_inflight=max_inflight,
+                  queue_depth=queue_depth, seed=args.seed))
+    by_status = {}
+    ok_latencies, wrong, transport_errors = [], 0, 0
+    for status, seconds, expected, got in records:
+        by_status[str(status)] = by_status.get(str(status), 0) + 1
+        if isinstance(status, str):
+            transport_errors += 1
+            continue
+        if status == 200:
+            ok_latencies.append(seconds)
+            if got != expected:
+                wrong += 1
+    total = len(records)
+    shed = by_status.get("429", 0)
+    fivehundreds = sum(count for status, count in by_status.items()
+                       if status.isdigit() and int(status) >= 500
+                       and int(status) != 504)
+    shed_rate = shed / total if total else 0.0
+    p50_ms = percentile(ok_latencies, 0.50) * 1000
+    p99_ms = percentile(ok_latencies, 0.99) * 1000
+    health_p99_ms = percentile(health_latencies, 0.99) * 1000
+
+    # --- phase 2: cold-run storm (singleflight) -------------------
+    cold_run = RunCatalog(store).register(
+        braided_graph(nodes_per_run, args.seed + 999)).run_id
+    cold_service = ProvenanceService(store)
+    cold_statuses, cold_flight = asyncio.run(run_cold_storm(
+        cold_service, cold_run, clients=cold_clients, seed=args.seed))
+
+    metrics = {
+        "service_clients": clients,
+        "service_requests_total": total,
+        "service_throughput_rps": round(total / wall_seconds, 1),
+        "service_p50_ms": round(p50_ms, 3),
+        "service_p99_ms": round(p99_ms, 3),
+        "service_shed_rate": round(shed_rate, 4),
+        "service_healthz_p99_ms": round(health_p99_ms, 3),
+        "service_wrong_answers": wrong,
+        "service_5xx": fivehundreds,
+        "service_transport_errors": transport_errors,
+        "cold_storm_builds": cold_flight["builds"],
+        "cold_storm_coalesced": cold_flight["coalesced"],
+        "cancel_disabled_overhead_pct": round(disabled_overhead_pct, 2),
+        "cancel_scoped_overhead_pct": round(scoped_overhead_pct, 2),
+    }
+    report = {
+        "meta": report_meta(
+            "service_load",
+            "resilient front end under overload + cancellation A/B",
+            repeats=ab_repeats, smoke=args.smoke,
+            scales={"CLIENTS": clients, "RUNS": num_runs,
+                    "NODES": nodes_per_run, "INFLIGHT": max_inflight,
+                    "QUEUE": queue_depth, "AB_NODES": ab_nodes}),
+        "statuses": by_status,
+        "storm_snapshot": snapshot,
+        "metrics": metrics,
+    }
+    with open(args.out, "w", encoding="utf-8") as stream:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    if not args.no_history:
+        append_history(args.history, history_entry(
+            metrics, scales=report["meta"]["scales"],
+            repeats=ab_repeats, smoke=args.smoke, seed=args.seed))
+
+    print(f"service load: {clients} clients x {requests_each} requests, "
+          f"{max_inflight} workers, queue {queue_depth}")
+    print(f"  statuses        {dict(sorted(by_status.items()))}")
+    print(f"  p50 / p99       {p50_ms:.1f} / {p99_ms:.1f} ms "
+          f"(budget {p99_budget_ms:.0f} ms)")
+    print(f"  shed rate       {shed_rate:.1%}")
+    print(f"  healthz p99     {health_p99_ms:.1f} ms")
+    print(f"  throughput      {metrics['service_throughput_rps']} rps")
+    print(f"  cold storm      builds={cold_flight['builds']} "
+          f"coalesced={cold_flight['coalesced']}")
+    print(f"  cancel overhead disabled={disabled_overhead_pct:+.2f}% "
+          f"scoped={scoped_overhead_pct:+.2f}% "
+          f"(gate {overhead_gate_pct:.0f}%)")
+
+    failures = []
+    if wrong:
+        failures.append(f"{wrong} wrong answers under overload")
+    if fivehundreds:
+        failures.append(f"{fivehundreds} 5xx on healthy shards")
+    if transport_errors:
+        failures.append(f"{transport_errors} transport errors")
+    if shed_rate <= 0:
+        failures.append("shed rate is zero — storm did not overload")
+    if by_status.get("200", 0) <= 0:
+        failures.append("no successful responses at all")
+    if p99_ms > p99_budget_ms:
+        failures.append(f"p99 {p99_ms:.1f}ms over budget "
+                        f"{p99_budget_ms:.0f}ms")
+    bad_cold = [status for status in cold_statuses if status != 200]
+    if bad_cold:
+        failures.append(f"cold storm non-200s: {bad_cold[:5]}")
+    if cold_flight["builds"] != 1:
+        failures.append(f"cold storm built {cold_flight['builds']} "
+                        f"snapshots (want exactly 1)")
+    if disabled_overhead_pct > overhead_gate_pct:
+        failures.append(
+            f"cancellation disabled-path overhead "
+            f"{disabled_overhead_pct:.2f}% > {overhead_gate_pct:.0f}%")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

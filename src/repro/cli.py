@@ -56,7 +56,7 @@ from .store import ProvenanceService, RunInfo, WorkloadSpec, open_store
 from .store.sharded import detect_shard_count
 
 STORE_COMMANDS = ("ingest", "query", "runs", "stats", "doctor",
-                  "explain", "slowlog")
+                  "explain", "slowlog", "serve")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -223,6 +223,32 @@ def build_parser() -> argparse.ArgumentParser:
     doctor.add_argument("--quick", action="store_true",
                         help="PRAGMA quick_check instead of the full "
                              "integrity_check")
+
+    serve = subparsers.add_parser(
+        "serve", help="HTTP/JSON query service with admission control, "
+                      "per-request deadlines, and circuit breakers")
+    _add_common(serve)
+    serve.add_argument("--host", default=None,
+                       help="bind address (default: $REPRO_SERVICE_HOST "
+                            "or 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port, 0 picks a free one (default: "
+                            "$REPRO_SERVICE_PORT or 8423)")
+    serve.add_argument("--inflight", type=int, default=None,
+                       help="max concurrently executing requests "
+                            "(default: $REPRO_SERVICE_MAX_INFLIGHT or 8)")
+    serve.add_argument("--queue-depth", type=int, default=None,
+                       help="bounded waiting room past the in-flight "
+                            "budget; excess requests get 429 (default: "
+                            "$REPRO_SERVICE_QUEUE_DEPTH or 64)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-request wall-clock budget; 0 "
+                            "disables (default: $REPRO_SERVICE_DEADLINE_MS "
+                            "or 2000)")
+    serve.add_argument("--tenant-rate", type=float, default=None,
+                       help="per-tenant token-bucket rate in requests/s; "
+                            "0 disables (default: "
+                            "$REPRO_SERVICE_TENANT_RATE or off)")
     return parser
 
 
@@ -660,6 +686,36 @@ def cmd_doctor(args) -> int:
     return 0 if report.healthy else 1
 
 
+def cmd_serve(args) -> int:
+    """Run the resilient HTTP front end until interrupted."""
+    import asyncio
+
+    from .service.server import ServiceConfig, serve as serve_async
+
+    overrides = {}
+    if args.host is not None:
+        overrides["host"] = args.host
+    if args.port is not None:
+        overrides["port"] = args.port
+    if args.inflight is not None:
+        overrides["max_inflight"] = max(args.inflight, 1)
+    if args.queue_depth is not None:
+        overrides["queue_depth"] = max(args.queue_depth, 0)
+    if args.deadline_ms is not None:
+        overrides["default_deadline_ms"] = args.deadline_ms
+    if args.tenant_rate is not None:
+        overrides["tenant_rate"] = args.tenant_rate
+    config = ServiceConfig.from_env(**overrides)
+    store = _open_store(args)
+    with store:
+        service = ProvenanceService(store)
+        try:
+            asyncio.run(serve_async(service, config))
+        except KeyboardInterrupt:
+            print("shutting down", file=sys.stderr)
+    return 0
+
+
 def store_main(argv: Sequence[str]) -> int:
     args = build_parser().parse_args(list(argv))
     telemetry = None
@@ -668,7 +724,7 @@ def store_main(argv: Sequence[str]) -> int:
     handlers = {"ingest": cmd_ingest, "query": cmd_query,
                 "runs": cmd_runs, "stats": cmd_stats,
                 "doctor": cmd_doctor, "explain": cmd_explain,
-                "slowlog": cmd_slowlog}
+                "slowlog": cmd_slowlog, "serve": cmd_serve}
     try:
         code = handlers[args.command](args)
     except LipstickError as error:

@@ -162,6 +162,55 @@ class FaultInjectedError(LipstickError):
     """
 
 
+class DeadlineExceededError(LipstickError):
+    """A query ran past its cooperative wall-clock deadline.
+
+    Raised from the kernel cancellation checks (see
+    :mod:`repro.queries.cancel`) so a timed-out request stops burning
+    CPU mid-traversal instead of running to completion; the service
+    front end maps it to HTTP 504.
+    """
+
+    def __init__(self, budget_seconds, elapsed_seconds, where=None):
+        self.budget_seconds = budget_seconds
+        self.elapsed_seconds = elapsed_seconds
+        self.where = where
+        detail = (f"deadline of {budget_seconds * 1000:.0f} ms exceeded "
+                  f"after {elapsed_seconds * 1000:.0f} ms")
+        if where:
+            detail += f" in {where}"
+        super().__init__(detail)
+
+
+class ServiceOverloadedError(LipstickError):
+    """The service front end shed this request (admission control).
+
+    Carries the suggested ``retry_after_seconds`` so callers — and the
+    HTTP layer's ``Retry-After`` header — can back off instead of
+    hammering an already-saturated server.
+    """
+
+    def __init__(self, reason, retry_after_seconds=1.0):
+        self.reason = reason
+        self.retry_after_seconds = retry_after_seconds
+        super().__init__(f"service overloaded: {reason}")
+
+
+class CircuitOpenError(StoreError):
+    """A circuit breaker is open: the wrapped dependency (a store
+    shard, the pushdown tier) failed repeatedly and calls are being
+    rejected without touching it until the breaker half-opens.
+    """
+
+    def __init__(self, name, failures, retry_after_seconds):
+        self.name = name
+        self.failures = failures
+        self.retry_after_seconds = retry_after_seconds
+        super().__init__(
+            f"circuit {name!r} open after {failures} consecutive "
+            f"failure(s); retry in {retry_after_seconds:.1f}s")
+
+
 class ZoomError(LipstickError):
     """A ZoomIn/ZoomOut request is invalid (e.g. unknown module)."""
 

@@ -44,6 +44,8 @@ SEAMS = (
     "spool.write",           # spool-file dump (pool workers, export_jsonl)
     "pool.worker",           # ingest worker-process entry point
     "catalog.meta",          # run-metadata writes (set_run_meta)
+    "service.handle",        # HTTP front end, after admission per request
+    "service.snapshot",      # catalog graph/frozen-snapshot builds
 )
 
 #: Supported fault kinds (see ``FaultPlan.fire`` for semantics).

@@ -841,6 +841,41 @@ class ProvenanceGraph:
     def edge_count(self) -> int:
         return self._edge_count
 
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes of the columnar arena.
+
+        Sums the flat node/edge columns exactly (array itemsize ×
+        length) and estimates the Python-object side — payload values,
+        interned label tables, adjacency views — with ``getsizeof``.
+        Used by the service's byte-budget cache eviction
+        (``REPRO_CACHE_BUDGET_MB``), so it needs to be cheap and
+        *proportional*, not a perfect heap audit: payload internals
+        (nested tuples) are counted one level deep.
+        """
+        import sys
+        total = 0
+        for column in (self._kind_codes, self._label_ids, self._ntype_ids,
+                       self._module_ids, self._invocation_ids,
+                       self._edge_src, self._edge_dst):
+            total += column.itemsize * len(column)
+        total += len(self._alive)
+        total += sys.getsizeof(self._values)
+        for value in self._values:
+            if value is not None:
+                total += sys.getsizeof(value)
+        for table in (self._label_table, self._ntype_table,
+                      self._module_table):
+            total += sys.getsizeof(table)
+            total += sum(sys.getsizeof(entry) for entry in table
+                         if entry is not None)
+        for views in (self._pred_views, self._succ_views):
+            if views is not None:
+                total += sys.getsizeof(views)
+                total += sum(sys.getsizeof(view) for view in views if view)
+        # Invocations: slotted objects, ~200 B each with their id sets.
+        total += len(self.invocations) * 200
+        return total
+
     def node_ids(self) -> Iterator[int]:
         if self._live_nodes == self._next_node_id:
             return iter(range(self._next_node_id))

@@ -28,6 +28,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .. import obs as _obs
 from ..obs import profile as _profile
+from . import cancel as _cancel
+from .cancel import CHECK_EVERY as _CHECK_EVERY
 
 try:  # optional accelerator: C-speed bit materialization
     import numpy as _np
@@ -60,9 +62,9 @@ def reach(views: Views, start: int, size: int) -> List[int]:
     """Node ids reachable from ``start`` (exclusive), unordered."""
     prof = _profile.active()
     if prof is None and not _obs.enabled():
-        return _reach(views, start, size)
+        return _run_reach(views, start, size)
     started = _perf()
-    reached = _reach(views, start, size)
+    reached = _run_reach(views, start, size)
     seconds = _perf() - started
     if _obs.enabled():
         _obs.observe("kernel.reach.run_seconds", seconds)
@@ -93,6 +95,41 @@ def _reach(views: Views, start: int, size: int) -> List[int]:
     return reached
 
 
+def _run_reach(views: Views, start: int, size: int) -> List[int]:
+    # Deadline dispatch: one module-global read when no thread holds a
+    # scope, so the unchecked loop above stays the disabled fast path.
+    deadline = _cancel.current()
+    if deadline is None:
+        return _reach(views, start, size)
+    return _reach_checked(views, start, size, deadline)
+
+
+def _reach_checked(views: Views, start: int, size: int,
+                   deadline) -> List[int]:
+    """:func:`_reach` with a deadline check every ``CHECK_EVERY``
+    expansions (cooperative cancellation; see :mod:`..cancel`)."""
+    mask = bytearray(size)
+    mask[start] = 1
+    reached: List[int] = []
+    append = reached.append
+    stack = list(views[start])
+    pop = stack.pop
+    extend = stack.extend
+    countdown = _CHECK_EVERY
+    while stack:
+        current = pop()
+        if mask[current]:
+            continue
+        mask[current] = 1
+        append(current)
+        extend(views[current])
+        countdown -= 1
+        if not countdown:
+            deadline.check("kernel.reach")
+            countdown = _CHECK_EVERY
+    return reached
+
+
 def reach_set(views: Views, start: int, size: int) -> Set[int]:
     """Like :func:`reach` but returns a set."""
     return set(reach(views, start, size))
@@ -102,13 +139,14 @@ def reachable(succ_views: Views, source: int, target: int, size: int) -> bool:
     """Early-exit DFS: does a path ``source →* target`` exist?"""
     prof = _profile.active()
     if prof is None and not _obs.enabled():
-        return _reachable(succ_views, source, target, size)
+        return _run_reachable(succ_views, source, target, size)
     started = _perf()
     if prof is not None:
         answer, visited, edges = _reachable_counted(
-            succ_views, source, target, size)
+            succ_views, source, target, size,
+            deadline=_cancel.current())
     else:
-        answer = _reachable(succ_views, source, target, size)
+        answer = _run_reachable(succ_views, source, target, size)
     seconds = _perf() - started
     if _obs.enabled():
         _obs.observe("kernel.reachable.run_seconds", seconds)
@@ -135,18 +173,49 @@ def _reachable(succ_views: Views, source: int, target: int,
     return False
 
 
+def _run_reachable(succ_views: Views, source: int, target: int,
+                   size: int) -> bool:
+    deadline = _cancel.current()
+    if deadline is None:
+        return _reachable(succ_views, source, target, size)
+    return _reachable_checked(succ_views, source, target, size, deadline)
+
+
+def _reachable_checked(succ_views: Views, source: int, target: int,
+                       size: int, deadline) -> bool:
+    mask = bytearray(size)
+    mask[source] = 1
+    stack = list(succ_views[source])
+    countdown = _CHECK_EVERY
+    while stack:
+        current = stack.pop()
+        if current == target:
+            return True
+        if mask[current]:
+            continue
+        mask[current] = 1
+        stack.extend(succ_views[current])
+        countdown -= 1
+        if not countdown:
+            deadline.check("kernel.reachable")
+            countdown = _CHECK_EVERY
+    return False
+
+
 def _reachable_counted(succ_views: Views, source: int, target: int,
-                       size: int) -> Tuple[bool, int, int]:
+                       size: int, deadline=None) -> Tuple[bool, int, int]:
     """:func:`_reachable` plus (visited, edges-scanned) counters.
 
     The early exit discards traversal state, so cost attribution needs
-    this counting twin; it only runs under an active profile capture.
+    this counting twin; it only runs under an active profile capture
+    (and honors a deadline when the capture races one).
     """
     mask = bytearray(size)
     mask[source] = 1
     visited = 1
     edges = len(succ_views[source])
     stack = list(succ_views[source])
+    countdown = _CHECK_EVERY
     while stack:
         current = stack.pop()
         if current == target:
@@ -157,6 +226,11 @@ def _reachable_counted(succ_views: Views, source: int, target: int,
         visited += 1
         edges += len(succ_views[current])
         stack.extend(succ_views[current])
+        if deadline is not None:
+            countdown -= 1
+            if not countdown:
+                deadline.check("kernel.reachable")
+                countdown = _CHECK_EVERY
     return False, visited, edges
 
 
@@ -170,10 +244,10 @@ def multi_source_reach(views: Views, starts: Iterable[int], size: int,
     """
     prof = _profile.active()
     if prof is None and not _obs.enabled():
-        return _multi_source_reach(views, starts, size, barrier)
+        return _run_multi_source_reach(views, starts, size, barrier)
     starts = list(starts)
     started = _perf()
-    reached = _multi_source_reach(views, starts, size, barrier)
+    reached = _run_multi_source_reach(views, starts, size, barrier)
     seconds = _perf() - started
     if _obs.enabled():
         _obs.observe("kernel.multi_reach.run_seconds", seconds)
@@ -219,6 +293,44 @@ def _multi_source_reach(views: Views, starts: Iterable[int], size: int,
     return reached
 
 
+def _run_multi_source_reach(views: Views, starts: Iterable[int], size: int,
+                            barrier: Optional[bytes] = None) -> List[int]:
+    deadline = _cancel.current()
+    if deadline is None:
+        return _multi_source_reach(views, starts, size, barrier)
+    return _multi_source_reach_checked(views, starts, size, barrier,
+                                       deadline)
+
+
+def _multi_source_reach_checked(views: Views, starts: Iterable[int],
+                                size: int, barrier: Optional[bytes],
+                                deadline) -> List[int]:
+    mask = bytearray(size)
+    stack: List[int] = []
+    extend = stack.extend
+    for start in starts:
+        mask[start] = 1
+    for start in starts:
+        extend(views[start])
+    reached: List[int] = []
+    append = reached.append
+    pop = stack.pop
+    countdown = _CHECK_EVERY
+    while stack:
+        current = pop()
+        if mask[current]:
+            continue
+        mask[current] = 1
+        if barrier is None or not barrier[current]:
+            append(current)
+            extend(views[current])
+        countdown -= 1
+        if not countdown:
+            deadline.check("kernel.multi_reach")
+            countdown = _CHECK_EVERY
+    return reached
+
+
 # ----------------------------------------------------------------------
 # Topological order
 # ----------------------------------------------------------------------
@@ -228,9 +340,9 @@ def topo_order(pred_views: Views, succ_views: Views,
     against the live node count to detect cycles."""
     prof = _profile.active()
     if prof is None and not _obs.enabled():
-        return _topo_order(pred_views, succ_views, node_ids, size)
+        return _run_topo_order(pred_views, succ_views, node_ids, size)
     started = _perf()
-    order = _topo_order(pred_views, succ_views, node_ids, size)
+    order = _run_topo_order(pred_views, succ_views, node_ids, size)
     seconds = _perf() - started
     if _obs.enabled():
         _obs.observe("kernel.topo.run_seconds", seconds)
@@ -265,6 +377,44 @@ def _topo_order(pred_views: Views, succ_views: Views,
     return order
 
 
+def _run_topo_order(pred_views: Views, succ_views: Views,
+                    node_ids: Iterable[int], size: int) -> List[int]:
+    deadline = _cancel.current()
+    if deadline is None:
+        return _topo_order(pred_views, succ_views, node_ids, size)
+    return _topo_order_checked(pred_views, succ_views, node_ids, size,
+                               deadline)
+
+
+def _topo_order_checked(pred_views: Views, succ_views: Views,
+                        node_ids: Iterable[int], size: int,
+                        deadline) -> List[int]:
+    in_degrees = [0] * size
+    frontier: List[int] = []
+    for node_id in node_ids:
+        degree = len(pred_views[node_id])
+        in_degrees[node_id] = degree
+        if degree == 0:
+            frontier.append(node_id)
+    order: List[int] = []
+    append = order.append
+    pop = frontier.pop
+    countdown = _CHECK_EVERY
+    while frontier:
+        current = pop()
+        append(current)
+        for succ in succ_views[current]:
+            remaining = in_degrees[succ] - 1
+            in_degrees[succ] = remaining
+            if remaining == 0:
+                frontier.append(succ)
+        countdown -= 1
+        if not countdown:
+            deadline.check("kernel.topo")
+            countdown = _CHECK_EVERY
+    return order
+
+
 # ----------------------------------------------------------------------
 # Subgraph query (§5.1)
 # ----------------------------------------------------------------------
@@ -280,9 +430,9 @@ def subgraph_sets(pred_views: Views, succ_views: Views, node_id: int,
     """
     prof = _profile.active()
     if prof is None and not _obs.enabled():
-        return _subgraph_sets(pred_views, succ_views, node_id, size)
+        return _run_subgraph_sets(pred_views, succ_views, node_id, size)
     started = _perf()
-    sets = _subgraph_sets(pred_views, succ_views, node_id, size)
+    sets = _run_subgraph_sets(pred_views, succ_views, node_id, size)
     seconds = _perf() - started
     if _obs.enabled():
         _obs.observe("kernel.subgraph.run_seconds", seconds)
@@ -337,6 +487,67 @@ def _subgraph_sets(pred_views: Views, succ_views: Views, node_id: int,
     return set(ancestors), set(descendants), set(siblings)
 
 
+def _run_subgraph_sets(pred_views: Views, succ_views: Views, node_id: int,
+                       size: int) -> Tuple[Set[int], Set[int], Set[int]]:
+    deadline = _cancel.current()
+    if deadline is None:
+        return _subgraph_sets(pred_views, succ_views, node_id, size)
+    return _subgraph_sets_checked(pred_views, succ_views, node_id, size,
+                                  deadline)
+
+
+def _subgraph_sets_checked(pred_views: Views, succ_views: Views,
+                           node_id: int, size: int,
+                           deadline) -> Tuple[Set[int], Set[int], Set[int]]:
+    member = bytearray(size)
+    member[node_id] = 1
+    countdown = _CHECK_EVERY
+    descendants: List[int] = []
+    append = descendants.append
+    stack = list(succ_views[node_id])
+    pop = stack.pop
+    extend = stack.extend
+    while stack:
+        current = pop()
+        if member[current]:
+            continue
+        member[current] = 1
+        append(current)
+        extend(succ_views[current])
+        countdown -= 1
+        if not countdown:
+            deadline.check("kernel.subgraph")
+            countdown = _CHECK_EVERY
+    ancestors: List[int] = []
+    append = ancestors.append
+    stack = list(pred_views[node_id])
+    pop = stack.pop
+    extend = stack.extend
+    while stack:
+        current = pop()
+        if member[current]:
+            continue
+        member[current] = 1
+        append(current)
+        extend(pred_views[current])
+        countdown -= 1
+        if not countdown:
+            deadline.check("kernel.subgraph")
+            countdown = _CHECK_EVERY
+    siblings: List[int] = []
+    append = siblings.append
+    for index in descendants:
+        for operand in pred_views[index]:
+            if not member[operand]:
+                member[operand] = 1
+                append(operand)
+        countdown -= 1
+        if not countdown:
+            deadline.check("kernel.subgraph")
+            countdown = _CHECK_EVERY
+    return set(ancestors), set(descendants), set(siblings)
+
+
 # ----------------------------------------------------------------------
 # Deletion propagation (Definition 4.2)
 # ----------------------------------------------------------------------
@@ -350,9 +561,10 @@ def deletion_reach(succ_views: Views, pred_views: Views,
     """
     prof = _profile.active()
     if prof is None and not _obs.enabled():
-        return _deletion_reach(succ_views, pred_views, seeds, joint_flags)
+        return _run_deletion_reach(succ_views, pred_views, seeds,
+                                   joint_flags)
     started = _perf()
-    removed = _deletion_reach(succ_views, pred_views, seeds, joint_flags)
+    removed = _run_deletion_reach(succ_views, pred_views, seeds, joint_flags)
     seconds = _perf() - started
     if _obs.enabled():
         _obs.observe("kernel.deletion.run_seconds", seconds)
@@ -392,6 +604,52 @@ def _deletion_reach(succ_views: Views, pred_views: Views,
                 queue_append(successor)
             else:
                 remaining_in[successor] = remaining
+    return removed
+
+
+def _run_deletion_reach(succ_views: Views, pred_views: Views,
+                        seeds: Sequence[int],
+                        joint_flags: bytes) -> Set[int]:
+    deadline = _cancel.current()
+    if deadline is None:
+        return _deletion_reach(succ_views, pred_views, seeds, joint_flags)
+    return _deletion_reach_checked(succ_views, pred_views, seeds,
+                                   joint_flags, deadline)
+
+
+def _deletion_reach_checked(succ_views: Views, pred_views: Views,
+                            seeds: Sequence[int], joint_flags: bytes,
+                            deadline) -> Set[int]:
+    removed: Set[int] = set()
+    removed_add = removed.add
+    remaining_in: Dict[int, int] = {}
+    remaining_get = remaining_in.get
+    queue = deque(dict.fromkeys(seeds))
+    removed.update(queue)
+    queue_append = queue.append
+    countdown = _CHECK_EVERY
+    while queue:
+        current = queue.popleft()
+        for successor in succ_views[current]:
+            if successor in removed:
+                continue
+            if joint_flags[successor]:
+                removed_add(successor)
+                queue_append(successor)
+                continue
+            remaining = remaining_get(successor)
+            if remaining is None:
+                remaining = len(pred_views[successor])
+            remaining -= 1
+            if remaining == 0:
+                removed_add(successor)
+                queue_append(successor)
+            else:
+                remaining_in[successor] = remaining
+        countdown -= 1
+        if not countdown:
+            deadline.check("kernel.deletion")
+            countdown = _CHECK_EVERY
     return removed
 
 

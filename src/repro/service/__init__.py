@@ -1,0 +1,38 @@
+"""Resilient asyncio HTTP/JSON front end over ``ProvenanceService``.
+
+The ROADMAP's north-star serving item, built around four robustness
+primitives that are each independently testable:
+
+* :mod:`~repro.service.admission` — a bounded waiting room with
+  per-tenant token buckets; once queue depth or the in-flight budget
+  is exceeded the server *sheds* (HTTP 429 + ``Retry-After``) instead
+  of queuing without bound;
+* :mod:`~repro.queries.cancel` + the kernel checking twins —
+  per-request wall-clock deadlines threaded from the ``X-Deadline-Ms``
+  header through the catalog into the traversal loops, so a timed-out
+  query stops burning CPU and returns 504 with a partial plan;
+* :mod:`~repro.service.singleflight` — concurrent cold queries on one
+  run coalesce onto a single snapshot build (a keyed future map), so
+  a thundering herd builds each (run, generation) exactly once;
+* :mod:`~repro.service.breaker` — a circuit breaker per store shard:
+  after K consecutive failures calls are rejected for a cool-down
+  (503 + ``degraded: true``) instead of hammering a dead shard, with
+  half-open probes to detect recovery; ``/healthz`` reports breaker +
+  shard + admission state.
+
+Everything is stdlib-only (``asyncio.start_server`` + minimal
+HTTP/1.1 parsing in :mod:`~repro.service.http`); start it with
+``python -m repro serve`` or :func:`repro.service.server.serve`.
+"""
+
+from .admission import AdmissionController, ShedError, TokenBucket
+from .breaker import BreakerBoard, CircuitBreaker
+from .http import HTTPRequest, read_request, response_bytes
+from .server import ResilientServer, ServiceConfig
+from .singleflight import SingleFlight
+
+__all__ = [
+    "AdmissionController", "BreakerBoard", "CircuitBreaker",
+    "HTTPRequest", "ResilientServer", "ServiceConfig", "ShedError",
+    "SingleFlight", "TokenBucket", "read_request", "response_bytes",
+]

@@ -1,0 +1,224 @@
+"""Admission control: bounded queuing, explicit shedding, rate limits.
+
+The overload contract: the server holds at most ``max_inflight``
+requests in execution and ``queue_depth`` more in a FIFO waiting
+room.  Everything past that is *shed immediately* with a 429 and a
+``Retry-After`` estimate — never queued — so queue time stays bounded
+and a burst cannot grow memory or latency without limit (the
+"unbounded queuing" failure mode the ISSUE forbids).  Per-tenant
+token buckets sit in front of the waiting room so one greedy tenant
+cannot starve the rest even below capacity.
+
+All waiting happens on the event loop (futures, not threads); the
+worker thread pool only ever runs admitted requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Optional
+
+from .. import obs as _obs
+from ..errors import ServiceOverloadedError
+
+
+class ShedError(ServiceOverloadedError):
+    """This request was refused admission (maps to HTTP 429)."""
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` cap."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated_at")
+
+    def __init__(self, rate: float, burst: float,
+                 now: Optional[float] = None):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated_at = time.monotonic() if now is None else now
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self.updated_at
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+            self.updated_at = now
+
+    def try_acquire(self, now: Optional[float] = None) -> bool:
+        now = time.monotonic() if now is None else now
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self, now: Optional[float] = None) -> float:
+        """Seconds until the next token exists (0 when one is ready)."""
+        now = time.monotonic() if now is None else now
+        self._refill(now)
+        if self.tokens >= 1.0:
+            return 0.0
+        if self.rate <= 0:
+            return 60.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Bounded in-flight budget + FIFO waiting room + tenant buckets.
+
+    Usage from the request handler::
+
+        ticket = await controller.admit(tenant, timeout=remaining)
+        try:
+            ...  # dispatch to the worker pool
+        finally:
+            controller.release()
+
+    ``admit`` raises :class:`ShedError` (→ 429) when the tenant's
+    bucket is dry or the waiting room is full, and
+    ``asyncio.TimeoutError`` when the caller's deadline expires while
+    still queued — the request then 504s without ever occupying a
+    worker.
+    """
+
+    def __init__(self, max_inflight: int = 8, queue_depth: int = 64,
+                 tenant_rate: float = 0.0, tenant_burst: float = 0.0,
+                 max_tenants: int = 1024):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_inflight = max_inflight
+        self.queue_depth = max(queue_depth, 0)
+        self.tenant_rate = float(tenant_rate)
+        self.tenant_burst = float(tenant_burst or tenant_rate)
+        self.max_tenants = max_tenants
+        self.inflight = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+        self.shed_by_reason: Dict[str, int] = {}
+        #: Exponentially-weighted service time, feeding Retry-After.
+        self._ewma_seconds = 0.05
+        self._waiters: Deque[asyncio.Future] = deque()
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _bucket(self, tenant: str) -> Optional[TokenBucket]:
+        if self.tenant_rate <= 0:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.tenant_rate, self.tenant_burst)
+            self._buckets[tenant] = bucket
+            while len(self._buckets) > self.max_tenants:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(tenant)
+        return bucket
+
+    def _shed(self, reason: str, retry_after: float) -> None:
+        self.shed_total += 1
+        self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 0) + 1
+        _obs.count("service.shed_total", reason=reason)
+        raise ShedError(reason, retry_after_seconds=max(retry_after, 0.05))
+
+    def shed_retry_after(self) -> float:
+        """How long a shed caller should wait: the time for the whole
+        waiting room to drain through the in-flight budget."""
+        backlog = len(self._waiters) + 1
+        estimate = backlog * self._ewma_seconds / self.max_inflight
+        return min(max(estimate, 0.05), 30.0)
+
+    async def admit(self, tenant: str = "public",
+                    timeout: Optional[float] = None) -> None:
+        """Admit or shed; may wait (bounded) for an in-flight slot."""
+        bucket = self._bucket(tenant)
+        if bucket is not None and not bucket.try_acquire():
+            self._shed("tenant-rate", bucket.retry_after())
+        if self.inflight < self.max_inflight:
+            self.inflight += 1
+            self.admitted_total += 1
+            self._publish()
+            return
+        if len(self._waiters) >= self.queue_depth:
+            self._shed("queue-full", self.shed_retry_after())
+        waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters.append(waiter)
+        self._publish()
+        try:
+            if timeout is not None:
+                await asyncio.wait_for(waiter, timeout)
+            else:
+                await waiter
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            if not waiter.done():
+                # Still queued: withdraw so release() never promotes a
+                # dead request.
+                try:
+                    self._waiters.remove(waiter)
+                except ValueError:
+                    pass
+                waiter.cancel()
+                self._publish()
+                raise
+            # The slot arrived in the same tick the timeout fired;
+            # we own it now, so hand it back before re-raising.
+            self.inflight -= 1
+            self._promote()
+            self._publish()
+            raise
+        # Promoted by release(): the slot was transferred to us.
+        self.admitted_total += 1
+        self._publish()
+
+    def _promote(self) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                self.inflight += 1
+                waiter.set_result(None)
+                return
+
+    def release(self, service_seconds: Optional[float] = None) -> None:
+        """Return an in-flight slot; promotes the oldest live waiter."""
+        self.inflight -= 1
+        if service_seconds is not None:
+            # EWMA with alpha 0.1: smooth enough to survive one slow
+            # outlier, fresh enough to track load shifts.
+            self._ewma_seconds += 0.1 * (service_seconds
+                                         - self._ewma_seconds)
+        self._promote()
+        self._publish()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def _publish(self) -> None:
+        if _obs.enabled():
+            _obs.gauge("service.queue_depth", len(self._waiters))
+            _obs.gauge("service.inflight", self.inflight)
+
+    def snapshot(self) -> dict:
+        return {
+            "inflight": self.inflight,
+            "max_inflight": self.max_inflight,
+            "queued": len(self._waiters),
+            "queue_depth": self.queue_depth,
+            "admitted_total": self.admitted_total,
+            "shed_total": self.shed_total,
+            "shed_by_reason": dict(self.shed_by_reason),
+            "ewma_service_ms": round(self._ewma_seconds * 1000, 3),
+            "tenant_rate": self.tenant_rate,
+            "tenants_tracked": len(self._buckets),
+        }
+
+    def __repr__(self) -> str:
+        return (f"AdmissionController(inflight={self.inflight}/"
+                f"{self.max_inflight}, queued={len(self._waiters)}/"
+                f"{self.queue_depth}, shed={self.shed_total})")

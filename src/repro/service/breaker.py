@@ -1,0 +1,195 @@
+"""Circuit breakers: stop hammering a dependency that keeps failing.
+
+One :class:`CircuitBreaker` guards one dependency — in the service,
+one store shard (plus one for the unsharded store).  The state
+machine is the classic three-state breaker:
+
+* **closed** — calls pass through; consecutive failures are counted
+  and any success resets the count;
+* **open** — after ``failure_threshold`` consecutive failures, calls
+  are rejected with :class:`~repro.errors.CircuitOpenError` (the HTTP
+  layer maps it to 503 + ``degraded: true``) for ``reset_seconds``,
+  so a dead shard costs a dictionary lookup instead of a timeout;
+* **half-open** — after the cool-down, *one* probe call is let
+  through: success closes the breaker, failure re-opens it for
+  another cool-down.
+
+Thread-safe: the service records outcomes from worker threads while
+the event loop reads states for ``/healthz``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from .. import obs as _obs
+from ..errors import CircuitOpenError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Gauge encoding for ``service.breaker.state``.
+_STATE_VALUE = {CLOSED: 0.0, HALF_OPEN: 0.5, OPEN: 1.0}
+
+
+class CircuitBreaker:
+    """One dependency's failure-driven call gate."""
+
+    def __init__(self, name: str, failure_threshold: int = 3,
+                 reset_seconds: float = 2.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self.opened_total = 0
+        self.rejected_total = 0
+
+    # ------------------------------------------------------------------
+    # Gate
+    # ------------------------------------------------------------------
+    def before_call(self) -> None:
+        """Claim permission to call the dependency.
+
+        Raises :class:`CircuitOpenError` while open (and while another
+        probe is already in flight during half-open).  A successful
+        claim must be paired with :meth:`record_success` or
+        :meth:`record_failure`.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return
+            now = self._clock()
+            remaining = self._opened_at + self.reset_seconds - now
+            if self._state == OPEN:
+                if remaining > 0:
+                    self.rejected_total += 1
+                    raise CircuitOpenError(self.name,
+                                           self._consecutive_failures,
+                                           max(remaining, 0.05))
+                self._set_state(HALF_OPEN)
+            # Half-open: admit exactly one probe at a time.
+            if self._probing:
+                self.rejected_total += 1
+                raise CircuitOpenError(self.name,
+                                       self._consecutive_failures,
+                                       max(remaining, 0.05))
+            self._probing = True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probing = False
+            if self._state != CLOSED:
+                self._set_state(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probing = False
+            if self._state == HALF_OPEN or (
+                    self._state == CLOSED
+                    and self._consecutive_failures
+                    >= self.failure_threshold):
+                self._opened_at = self._clock()
+                self.opened_total += 1
+                self._set_state(OPEN)
+
+    def _set_state(self, state: str) -> None:
+        # Lock held.  Gauge + counter so dashboards see both the level
+        # and the edge.
+        previous, self._state = self._state, state
+        if previous != state and _obs.enabled():
+            _obs.gauge("service.breaker.state", _STATE_VALUE[state],
+                       breaker=self.name)
+            _obs.count("service.breaker.transitions_total",
+                       breaker=self.name, to=state)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def state(self) -> str:
+        with self._lock:
+            if self._state == OPEN and (
+                    self._clock() >= self._opened_at + self.reset_seconds):
+                return HALF_OPEN  # would admit a probe right now
+            return self._state
+
+    def retry_after(self) -> float:
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            return max(self._opened_at + self.reset_seconds
+                       - self._clock(), 0.0)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"name": self.name, "state": self._state,
+                    "consecutive_failures": self._consecutive_failures,
+                    "opened_total": self.opened_total,
+                    "rejected_total": self.rejected_total}
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Synchronous convenience wrapper (tests, simple callers)."""
+        self.before_call()
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker({self.name!r}, state={self.state()}, "
+                f"failures={self._consecutive_failures})")
+
+
+class BreakerBoard:
+    """Named breakers sharing one configuration (one per shard)."""
+
+    def __init__(self, failure_threshold: int = 3,
+                 reset_seconds: float = 2.0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.failure_threshold = failure_threshold
+        self.reset_seconds = reset_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def get(self, name: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    name, failure_threshold=self.failure_threshold,
+                    reset_seconds=self.reset_seconds, clock=self._clock)
+                self._breakers[name] = breaker
+            return breaker
+
+    def states(self) -> Dict[str, str]:
+        with self._lock:
+            breakers = list(self._breakers.values())
+        return {breaker.name: breaker.state() for breaker in breakers}
+
+    def snapshot(self) -> list:
+        with self._lock:
+            breakers = list(self._breakers.values())
+        return [breaker.snapshot() for breaker in breakers]
+
+    def any_open(self) -> bool:
+        return any(state == OPEN for state in self.states().values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._breakers)

@@ -1,0 +1,156 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+Just enough of RFC 9112 for a JSON API: request-line + headers +
+``Content-Length`` bodies, keep-alive by default, bounded header and
+body sizes (an unauthenticated byte stream must never make the server
+allocate without limit).  No chunked encoding, no TLS — this is the
+in-cluster serving tier, fronted by whatever terminates the edge.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class BadRequest(Exception):
+    """The byte stream is not a parseable HTTP/1.1 request."""
+
+
+class HTTPRequest:
+    """One parsed request."""
+
+    __slots__ = ("method", "target", "path", "query", "headers", "body")
+
+    def __init__(self, method: str, target: str, path: str,
+                 query: Dict[str, str], headers: Dict[str, str],
+                 body: bytes):
+        self.method = method
+        self.target = target
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    def header(self, name: str, default: Optional[str] = None):
+        return self.headers.get(name.lower(), default)
+
+    def param(self, name: str, default: Optional[str] = None):
+        return self.query.get(name, default)
+
+    def int_param(self, name: str) -> Optional[int]:
+        raw = self.query.get(name)
+        if raw is None:
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            raise BadRequest(f"query parameter {name!r} must be an "
+                             f"integer, got {raw!r}") from None
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def __repr__(self) -> str:
+        return f"HTTPRequest({self.method} {self.target})"
+
+
+async def read_request(reader: "asyncio.StreamReader",
+                       max_header_bytes: int = MAX_HEADER_BYTES,
+                       max_body_bytes: int = MAX_BODY_BYTES,
+                       ) -> Optional[HTTPRequest]:
+    """Parse one request; ``None`` on clean EOF (connection closed).
+
+    Raises :class:`BadRequest` on malformed framing and
+    ``asyncio.LimitOverrunError``-shaped abuse (oversized headers or
+    body) — callers answer 400/413 and drop the connection.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean EOF between requests
+        raise BadRequest("connection closed mid-request") from None
+    except asyncio.LimitOverrunError:
+        raise BadRequest("headers exceed the configured limit") from None
+    if len(head) > max_header_bytes:
+        raise BadRequest("headers exceed the configured limit")
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+        raise BadRequest("undecodable header bytes") from None
+    lines = text.split("\r\n")
+    request_line = lines[0]
+    parts = request_line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line {request_line!r}")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise BadRequest("non-numeric Content-Length") from None
+        if length < 0 or length > max_body_bytes:
+            raise BadRequest("body exceeds the configured limit")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise BadRequest("connection closed mid-body") from None
+    path, query = _split_target(target)
+    return HTTPRequest(method.upper(), target, path, query, headers, body)
+
+
+def _split_target(target: str) -> Tuple[str, Dict[str, str]]:
+    parsed = urlsplit(target)
+    query = {key: values[-1]
+             for key, values in parse_qs(parsed.query,
+                                         keep_blank_values=True).items()}
+    return unquote(parsed.path) or "/", query
+
+
+def response_bytes(status: int, payload, *,
+                   keep_alive: bool = True,
+                   retry_after: Optional[float] = None,
+                   content_type: str = "application/json") -> bytes:
+    """Serialize one response.  ``payload`` may be a JSON-able object
+    or pre-encoded bytes (the ``/metrics`` text exposition)."""
+    if isinstance(payload, bytes):
+        body = payload
+    else:
+        body = (json.dumps(payload, separators=(",", ":"))
+                .encode("utf-8") + b"\n")
+    reason = REASONS.get(status, "Unknown")
+    head = [f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    if retry_after is not None:
+        # Integer seconds per RFC 9110; always at least 1 so clients
+        # that floor the value don't busy-retry.
+        head.append(f"Retry-After: {max(int(retry_after + 0.999), 1)}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body

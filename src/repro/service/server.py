@@ -1,0 +1,643 @@
+"""The resilient asyncio HTTP/JSON front end over the catalog.
+
+One :class:`ResilientServer` wraps one
+:class:`~repro.store.catalog.ProvenanceService` and exposes the read
+API over HTTP/1.1 (stdlib ``asyncio.start_server`` — no framework, no
+new dependencies).  The request path is built so overload degrades
+*predictably* instead of catastrophically:
+
+1. **Admission** (:mod:`~repro.service.admission`): bounded in-flight
+   budget, bounded FIFO waiting room, per-tenant token buckets.  Past
+   the bounds, requests are shed with ``429`` + ``Retry-After``.
+2. **Breaker gate** (:mod:`~repro.service.breaker`): one circuit
+   breaker per store shard; an open breaker answers ``503`` +
+   ``degraded: true`` from a dictionary lookup instead of a timeout.
+3. **Singleflight warm** (:mod:`~repro.service.singleflight`): a cold
+   run whose query needs an in-memory snapshot is warmed by *one*
+   loop-owned build per ``(run, generation)``; concurrent cold
+   requests await the same future.  Pushdown-capable queries skip the
+   warm entirely — the PR 9 SQL tier answers them graph-free.
+4. **Deadline-scoped execution**: the remaining budget (from
+   ``X-Deadline-Ms`` or the configured default) rides into the worker
+   thread as a :mod:`~repro.queries.cancel` scope, so traversal
+   kernels abort cooperatively; the response is ``504`` with the
+   partial :class:`~repro.obs.profile.QueryPlan`.
+
+Routes (all ``GET``)::
+
+    /healthz                         readiness + breaker/queue state
+    /metrics                         Prometheus exposition (obs on)
+    /runs                            run listing (degraded-aware)
+    /v1/runs/{run}/subgraph?node=N[&ids=1]
+    /v1/runs/{run}/ancestors?node=N[&ids=1]
+    /v1/runs/{run}/descendants?node=N[&ids=1]
+    /v1/runs/{run}/reachable?source=A&target=B
+    /v1/runs/{run}/deletion?nodes=1,2[&multiplicative=1][&ids=1]
+    /v1/runs/{run}/stats
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from .. import faults as _faults
+from .. import obs as _obs
+from ..errors import (CircuitOpenError, DeadlineExceededError, QueryError,
+                      ShardUnavailableError, StoreError, UnknownNodeError,
+                      UnknownRunError, ZoomError)
+from ..obs import profile as _profile
+from ..queries import cancel as _cancel
+from ..store.sharded import shard_of
+from .admission import AdmissionController, ShedError
+from .breaker import BreakerBoard
+from .http import (BadRequest, HTTPRequest, read_request, response_bytes)
+from .singleflight import SingleFlight
+
+_perf = time.perf_counter
+
+#: Query kinds the PR 9 pushdown tier can answer without a graph in
+#: memory — these skip the singleflight warm when the store is capable.
+PUSHDOWN_VERBS = frozenset(
+    {"subgraph", "ancestors", "descendants", "reachable", "deletion"})
+
+#: Kinds that always need the full mutable graph (not just the CSR).
+GRAPH_VERBS = frozenset({"stats"})
+
+QUERY_VERBS = PUSHDOWN_VERBS | GRAPH_VERBS
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(_env_float(name, float(default)))
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for :class:`ResilientServer` (all env-overridable)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8423
+    max_inflight: int = 8
+    queue_depth: int = 64
+    default_deadline_ms: float = 2000.0
+    max_deadline_ms: float = 30000.0
+    tenant_rate: float = 0.0          # tokens/second; 0 disables
+    tenant_burst: float = 0.0         # defaults to tenant_rate
+    breaker_threshold: int = 3
+    breaker_reset_seconds: float = 2.0
+
+    @classmethod
+    def from_env(cls, **overrides) -> "ServiceConfig":
+        """Build from ``REPRO_SERVICE_*`` env knobs, then apply
+        explicit keyword overrides."""
+        config = cls(
+            host=os.environ.get("REPRO_SERVICE_HOST", cls.host),
+            port=_env_int("REPRO_SERVICE_PORT", cls.port),
+            max_inflight=max(_env_int("REPRO_SERVICE_MAX_INFLIGHT",
+                                      cls.max_inflight), 1),
+            queue_depth=max(_env_int("REPRO_SERVICE_QUEUE_DEPTH",
+                                     cls.queue_depth), 0),
+            default_deadline_ms=_env_float("REPRO_SERVICE_DEADLINE_MS",
+                                           cls.default_deadline_ms),
+            max_deadline_ms=_env_float("REPRO_SERVICE_MAX_DEADLINE_MS",
+                                       cls.max_deadline_ms),
+            tenant_rate=_env_float("REPRO_SERVICE_TENANT_RATE",
+                                   cls.tenant_rate),
+            tenant_burst=_env_float("REPRO_SERVICE_TENANT_BURST",
+                                    cls.tenant_burst),
+            breaker_threshold=max(
+                _env_int("REPRO_SERVICE_BREAKER_THRESHOLD",
+                         cls.breaker_threshold), 1),
+            breaker_reset_seconds=_env_float(
+                "REPRO_SERVICE_BREAKER_RESET_S", cls.breaker_reset_seconds),
+        )
+        for key, value in overrides.items():
+            setattr(config, key, value)
+        return config
+
+
+class ResilientServer:
+    """Admission → breaker → singleflight → deadline-scoped worker."""
+
+    def __init__(self, service, config: Optional[ServiceConfig] = None):
+        self.service = service
+        self.config = config or ServiceConfig()
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            queue_depth=self.config.queue_depth,
+            tenant_rate=self.config.tenant_rate,
+            tenant_burst=self.config.tenant_burst)
+        self.breakers = BreakerBoard(
+            failure_threshold=self.config.breaker_threshold,
+            reset_seconds=self.config.breaker_reset_seconds)
+        self.flight = SingleFlight("snapshot")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_inflight,
+            thread_name_prefix="repro-serve")
+        self._server: Optional["asyncio.base_events.Server"] = None
+        self._started_at = _perf()
+        self.requests_total = 0
+        self.responses_by_status: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns ``(host, port)`` actually
+        bound (``port=0`` picks a free one)."""
+        self._server = await asyncio.start_server(
+            self.handle_connection, self.config.host, self.config.port)
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=False)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    # Connection loop
+    # ------------------------------------------------------------------
+    async def handle_connection(self, reader: "asyncio.StreamReader",
+                                writer: "asyncio.StreamWriter") -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except BadRequest as error:
+                    writer.write(response_bytes(
+                        400, {"error": str(error)}, keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                body = await self.dispatch(request)
+                writer.write(body)
+                await writer.drain()
+                if not request.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def dispatch(self, request: HTTPRequest) -> bytes:
+        """Route one request and serialize its response."""
+        self.requests_total += 1
+        started = _perf()
+        try:
+            status, payload, retry_after = await self._route(request)
+        except Exception as error:  # the front end must never crash
+            status, payload, retry_after = 500, {
+                "error": f"internal error: {type(error).__name__}: {error}",
+            }, None
+        elapsed = _perf() - started
+        self.responses_by_status[status] = (
+            self.responses_by_status.get(status, 0) + 1)
+        if _obs.enabled():
+            _obs.count("service.requests_total",
+                       route=request.path.split("/")[-1] or "root",
+                       status=str(status))
+            _obs.observe("service.request_seconds", elapsed)
+        if isinstance(payload, dict):
+            payload.setdefault("elapsed_ms", round(elapsed * 1000, 3))
+        return response_bytes(status, payload,
+                              keep_alive=request.keep_alive,
+                              retry_after=retry_after)
+
+    async def _route(self, request: HTTPRequest):
+        if request.method != "GET":
+            return 405, {"error": f"method {request.method} not allowed"}, None
+        path = request.path
+        if path == "/healthz":
+            return self._healthz()
+        if path == "/metrics":
+            return self._metrics()
+        if path == "/runs":
+            return await self._admitted(request, None, "runs")
+        if path.startswith("/v1/runs/"):
+            parts = [part for part in path.split("/") if part]
+            # parts == ["v1", "runs", run_id, verb]
+            if len(parts) != 4:
+                return 404, {"error": f"no route for {path!r}"}, None
+            run_id, verb = parts[2], parts[3]
+            if verb not in QUERY_VERBS:
+                return 404, {"error": f"unknown query kind {verb!r}"}, None
+            return await self._admitted(request, run_id, verb)
+        return 404, {"error": f"no route for {path!r}"}, None
+
+    # ------------------------------------------------------------------
+    # Inline endpoints (never admitted — they must answer during
+    # overload, that is their whole point)
+    # ------------------------------------------------------------------
+    def _healthz(self):
+        states = self.breakers.states()
+        degraded = any(state == "open" for state in states.values())
+        payload = {
+            "status": "degraded" if degraded else "ok",
+            "uptime_seconds": round(_perf() - self._started_at, 3),
+            "admission": self.admission.snapshot(),
+            "breakers": self.breakers.snapshot(),
+            "breaker_states": states,
+            "singleflight": self.flight.snapshot(),
+            "requests_total": self.requests_total,
+            "responses_by_status": {
+                str(status): count for status, count
+                in sorted(self.responses_by_status.items())},
+            "caches": self.service.cache_info(),
+        }
+        return (503 if degraded else 200), payload, None
+
+    def _metrics(self):
+        telemetry = _obs.get()
+        if telemetry is None:
+            return 200, {"error": "telemetry disabled",
+                         "hint": "set REPRO_OBS=1"}, None
+        from ..obs.export import to_prometheus
+        text = to_prometheus(telemetry.registry).encode("utf-8")
+        return 200, text, None
+
+    # ------------------------------------------------------------------
+    # Admitted query path
+    # ------------------------------------------------------------------
+    def _deadline_budget(self, request: HTTPRequest) -> Optional[float]:
+        """Per-request wall-clock budget in seconds, or None."""
+        raw = request.header("x-deadline-ms")
+        if raw is None:
+            millis = self.config.default_deadline_ms
+        else:
+            try:
+                millis = float(raw)
+            except ValueError:
+                raise BadRequest(
+                    f"X-Deadline-Ms must be a number, got {raw!r}") from None
+        if millis <= 0:
+            return None
+        millis = min(millis, self.config.max_deadline_ms)
+        return millis / 1000.0
+
+    def _breaker_name(self, run_id: Optional[str]) -> str:
+        shards = getattr(self.service.store, "shards", None)
+        if run_id is not None and shards:
+            return f"shard-{shard_of(run_id, len(shards)):02d}"
+        return "store"
+
+    def _pushdown_capable(self) -> bool:
+        from ..store.base import GraphStore
+        from ..store.pushdown import pushdown_enabled
+        # The base class defines pushdown() as a None-returning stub,
+        # so capability means the backend *overrides* it.
+        store_type = type(self.service.store)
+        return (store_type.pushdown is not GraphStore.pushdown
+                and pushdown_enabled())
+
+    def _warm_plan(self, run_id: str, verb: str):
+        """(cache_kind, key) to warm for this query, or None for the
+        direct path (already hot, or pushdown will serve it)."""
+        generation = self.service._generation(run_id)
+        key = (run_id, generation)
+        if verb in GRAPH_VERBS:
+            if self.service._graphs.contains(key):
+                return None
+            return "graph", key
+        if self.service._graphs.contains(key):
+            return None  # hot: CSR path serves from the cached graph
+        if verb in PUSHDOWN_VERBS and self._pushdown_capable():
+            return None  # the SQL tier answers cold reads graph-free
+        if self.service._snapshots.contains(key):
+            return None
+        return "csr", key
+
+    async def _warm(self, run_id: str, kind: str, key,
+                    remaining: Optional[float]) -> None:
+        """Coalesced snapshot build, bounded by this caller's budget.
+
+        The build itself is a loop-owned task with *no* deadline: one
+        requester timing out must not kill the build every other
+        waiter (and the cache) is counting on.
+        """
+        loop = asyncio.get_running_loop()
+
+        def build():
+            if kind == "graph":
+                self.service.graph(run_id)
+            else:
+                self.service.csr(run_id)
+
+        async def supplier():
+            return await loop.run_in_executor(self._executor, build)
+
+        shared = self.flight.shared((kind,) + tuple(key), supplier)
+        if remaining is not None:
+            await asyncio.wait_for(shared, max(remaining, 0.001))
+        else:
+            await shared
+
+    async def _admitted(self, request: HTTPRequest, run_id: Optional[str],
+                        verb: str):
+        tenant = request.header("x-tenant", "public") or "public"
+        try:
+            budget = self._deadline_budget(request)
+        except BadRequest as error:
+            return 400, {"error": str(error)}, None
+        arrived = _perf()
+
+        def remaining() -> Optional[float]:
+            if budget is None:
+                return None
+            return budget - (_perf() - arrived)
+
+        # --- 1. admission: bounded queue or immediate shed ------------
+        try:
+            await self.admission.admit(tenant, timeout=remaining())
+        except ShedError as error:
+            return 429, {"error": f"overloaded: {error.reason}",
+                         "shed": True}, error.retry_after_seconds
+        except asyncio.TimeoutError:
+            return 504, {"error": "deadline expired while queued",
+                         "deadline_ms": budget * 1000.0}, None
+
+        service_started = _perf()
+        try:
+            return await self._admitted_body(request, run_id, verb,
+                                             budget, remaining)
+        finally:
+            self.admission.release(_perf() - service_started)
+
+    async def _admitted_body(self, request: HTTPRequest,
+                             run_id: Optional[str], verb: str,
+                             budget: Optional[float],
+                             remaining: Callable[[], Optional[float]]):
+        # --- 2. breaker gate: fail fast on a known-dead dependency ----
+        breaker = self.breakers.get(self._breaker_name(run_id))
+        try:
+            breaker.before_call()
+        except CircuitOpenError as error:
+            return 503, {
+                "error": str(error), "degraded": True,
+                "breaker": error.name, "shed": False,
+            }, error.retry_after_seconds
+
+        # From here on exactly one record_success/record_failure pairs
+        # with the claim above, whatever path the request takes.
+        # --- 3. singleflight warm for cold, graph-needing queries -----
+        if run_id is not None:
+            plan = self._warm_plan(run_id, verb)
+            if plan is not None:
+                kind, key = plan
+                try:
+                    await self._warm(run_id, kind, key, remaining())
+                except asyncio.TimeoutError:
+                    breaker.record_success()  # our deadline, not its fault
+                    return 504, {
+                        "error": "deadline expired while warming snapshot",
+                        "deadline_ms": budget * 1000.0,
+                        "coalesced": True}, None
+                except UnknownRunError as error:
+                    breaker.record_success()
+                    return 404, {"error": str(error)}, None
+                except DeadlineExceededError as error:
+                    breaker.record_success()
+                    return 504, {"error": str(error),
+                                 "deadline_ms": budget * 1000.0}, None
+                except (ShardUnavailableError, StoreError) as error:
+                    breaker.record_failure()
+                    return 503, {"error": str(error), "degraded": True,
+                                 "breaker": breaker.name,
+                                 }, breaker.retry_after() or None
+                except Exception as error:
+                    breaker.record_failure()
+                    return 500, {"error": f"{type(error).__name__}: "
+                                          f"{error}"}, None
+
+        # --- 4. deadline-scoped execution on a worker thread ----------
+        loop = asyncio.get_running_loop()
+        worker = loop.run_in_executor(
+            self._executor, self._execute, verb, run_id, request,
+            remaining())
+        wait = remaining()
+        try:
+            if wait is not None:
+                # Grace on top of the cooperative deadline: the kernel
+                # check normally wins; this only fires if a worker is
+                # stuck somewhere non-cooperative (e.g. inside SQLite).
+                status, payload, retry_after, healthy = await asyncio.wait_for(
+                    asyncio.shield(worker), wait + 0.25)
+            else:
+                status, payload, retry_after, healthy = await worker
+        except asyncio.TimeoutError:
+            # The thread is abandoned, not cancelled; it still holds a
+            # pool slot until it notices the deadline or finishes.
+            breaker.record_success()
+            _obs.count("service.deadline_abandoned_total")
+            return 504, {"error": "deadline expired (worker abandoned)",
+                         "deadline_ms": budget * 1000.0}, None
+        if healthy:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+            if retry_after is None:
+                retry_after = breaker.retry_after() or None
+        return status, payload, retry_after
+
+    # ------------------------------------------------------------------
+    # Worker-thread execution (sync)
+    # ------------------------------------------------------------------
+    def _execute(self, verb: str, run_id: Optional[str],
+                 request: HTTPRequest, budget: Optional[float]):
+        """Run one admitted query under its deadline scope.
+
+        Returns ``(status, payload, retry_after, dependency_healthy)``
+        and never raises: the breaker decision must survive the hop
+        back to the event loop.  Runs on a pool thread so latency
+        faults and slow stores burn a worker, never the loop.
+        """
+        capture = _profile.capture(f"service.{verb}", run_id=run_id)
+        try:
+            # The deadline scope wraps the fault seam too, so injected
+            # latency counts against the request budget exactly like
+            # real store latency would.
+            with _cancel.deadline_scope(budget):
+                _faults.fire("service.handle", run_id=run_id or "-",
+                             op=verb)
+                with _obs.span("service.handle", verb=verb,
+                               run_id=run_id or "-"):
+                    with capture:
+                        payload = self._HANDLERS[verb](self, run_id, request)
+            payload["degraded"] = False
+            return 200, payload, None, True
+        except DeadlineExceededError as error:
+            plan = capture.capture.plan
+            return 504, {
+                "error": str(error),
+                "deadline_ms": (budget or 0.0) * 1000.0,
+                "partial_plan": plan.to_dict() if plan is not None else None,
+            }, None, True
+        except (BadRequest, QueryError, ZoomError) as error:
+            return 400, {"error": str(error)}, None, True
+        except (UnknownRunError, UnknownNodeError) as error:
+            return 404, {"error": str(error)}, None, True
+        except ShardUnavailableError as error:
+            return 503, {"error": str(error), "degraded": True}, None, False
+        except StoreError as error:
+            return 503, {"error": str(error), "degraded": True}, None, False
+        except Exception as error:
+            return 500, {"error": f"{type(error).__name__}: {error}",
+                         }, None, False
+
+    # ------------------------------------------------------------------
+    # Query handlers (sync, worker thread)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _require_int(request: HTTPRequest, name: str) -> int:
+        value = request.int_param(name)
+        if value is None:
+            raise BadRequest(f"missing required query parameter {name!r}")
+        return value
+
+    @staticmethod
+    def _want_ids(request: HTTPRequest) -> bool:
+        return request.param("ids", "0").lower() in ("1", "true", "yes")
+
+    def _h_runs(self, run_id, request):
+        result = self.service.runs()
+        failures = [str(failure)
+                    for failure in getattr(result, "failures", ())]
+        return {
+            "runs": [{"run_id": info.run_id, "source": info.source,
+                      "node_count": info.node_count,
+                      "edge_count": info.edge_count}
+                     for info in result],
+            "degraded_listing": bool(failures),
+            "failures": failures,
+        }
+
+    def _h_subgraph(self, run_id, request):
+        node = self._require_int(request, "node")
+        result = self.service.subgraph(run_id, node)
+        payload = {"query": "subgraph", "run": run_id, "node": node,
+                   "size": result.size,
+                   "ancestors": len(result.ancestors),
+                   "descendants": len(result.descendants),
+                   "siblings": len(result.siblings)}
+        if self._want_ids(request):
+            payload["ancestor_ids"] = sorted(result.ancestors)
+            payload["descendant_ids"] = sorted(result.descendants)
+            payload["sibling_ids"] = sorted(result.siblings)
+        return payload
+
+    def _h_ancestors(self, run_id, request):
+        node = self._require_int(request, "node")
+        found = self.service.ancestors(run_id, node)
+        payload = {"query": "ancestors", "run": run_id, "node": node,
+                   "count": len(found)}
+        if self._want_ids(request):
+            payload["ids"] = sorted(found)
+        return payload
+
+    def _h_descendants(self, run_id, request):
+        node = self._require_int(request, "node")
+        found = self.service.descendants(run_id, node)
+        payload = {"query": "descendants", "run": run_id, "node": node,
+                   "count": len(found)}
+        if self._want_ids(request):
+            payload["ids"] = sorted(found)
+        return payload
+
+    def _h_reachable(self, run_id, request):
+        source = self._require_int(request, "source")
+        target = self._require_int(request, "target")
+        return {"query": "reachable", "run": run_id, "source": source,
+                "target": target,
+                "reachable": bool(self.service.reachable(run_id, source,
+                                                         target))}
+
+    def _h_deletion(self, run_id, request):
+        raw = request.param("nodes")
+        if raw is None:
+            raise BadRequest("missing required query parameter 'nodes'")
+        try:
+            nodes = [int(piece) for piece in raw.split(",") if piece]
+        except ValueError:
+            raise BadRequest(
+                f"'nodes' must be comma-separated integers, got {raw!r}"
+            ) from None
+        if not nodes:
+            raise BadRequest("'nodes' must name at least one node")
+        multiplicative = (request.param("multiplicative", "0").lower()
+                          in ("1", "true", "yes"))
+        removed = self.service.deletion_set(
+            run_id, nodes, blackbox_multiplicative=multiplicative)
+        payload = {"query": "deletion", "run": run_id, "nodes": nodes,
+                   "multiplicative": multiplicative,
+                   "count": len(removed)}
+        if self._want_ids(request):
+            payload["ids"] = sorted(removed)
+        return payload
+
+    def _h_stats(self, run_id, request):
+        stats = self.service.stats(run_id)
+        return {"query": "stats", "run": run_id,
+                "node_count": stats.node_count,
+                "edge_count": stats.edge_count,
+                "invocation_count": stats.invocation_count,
+                "nodes_by_kind": dict(stats.nodes_by_kind)}
+
+    _HANDLERS: Dict[str, Callable] = {
+        "runs": _h_runs,
+        "subgraph": _h_subgraph,
+        "ancestors": _h_ancestors,
+        "descendants": _h_descendants,
+        "reachable": _h_reachable,
+        "deletion": _h_deletion,
+        "stats": _h_stats,
+    }
+
+    def __repr__(self) -> str:
+        return (f"ResilientServer({self.config.host}:{self.config.port}, "
+                f"{self.admission!r})")
+
+
+async def serve(service, config: Optional[ServiceConfig] = None,
+                ready: Optional["asyncio.Event"] = None) -> None:
+    """Start a server and run until cancelled (the ``repro serve``
+    entry point)."""
+    server = ResilientServer(service, config)
+    host, port = await server.start()
+    if ready is not None:
+        ready.set()
+    print(f"repro service listening on http://{host}:{port} "
+          f"(inflight={server.config.max_inflight}, "
+          f"queue={server.config.queue_depth})", flush=True)
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()

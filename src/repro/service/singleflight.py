@@ -1,0 +1,79 @@
+"""Per-key request coalescing for expensive async builds.
+
+The thundering-herd failure mode: N concurrent cold queries against
+one run each trigger the same multi-second snapshot rebuild, burning
+N worker threads to produce N identical artifacts (the per-run thread
+lock in the catalog serializes them, but every thread still waits in
+line).  :class:`SingleFlight` coalesces at the event-loop layer
+instead: the first caller starts the build as a loop-owned task, all
+later callers await the same future, and exactly one build runs per
+key.
+
+The build task is *owned by the flight*, not by any request, so a
+caller whose deadline expires simply stops awaiting — the build keeps
+running and every other waiter (and the cache) still gets the result.
+Callers bound their own wait with ``asyncio.wait_for(flight.shared(
+key, supplier), remaining)``; :meth:`shared` shields the underlying
+task from that cancellation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Dict, Hashable
+
+from .. import obs as _obs
+
+
+class SingleFlight:
+    """A keyed map of in-flight builds (``asyncio`` futures)."""
+
+    def __init__(self, name: str = "singleflight"):
+        self.name = name
+        self.builds = 0
+        self.coalesced = 0
+        self._inflight: Dict[Hashable, "asyncio.Task"] = {}
+
+    def future(self, key: Hashable,
+               supplier: Callable[[], Awaitable]) -> "asyncio.Future":
+        """The shared future for ``key``, starting the build if this
+        caller is first.  Single-threaded (event loop) by design."""
+        task = self._inflight.get(key)
+        if task is not None:
+            self.coalesced += 1
+            _obs.count("service.singleflight.coalesced_total",
+                       flight=self.name)
+            return task
+        self.builds += 1
+        _obs.count("service.singleflight.builds_total", flight=self.name)
+        task = asyncio.get_running_loop().create_task(supplier())
+        self._inflight[key] = task
+        task.add_done_callback(lambda done: self._finished(key, done))
+        return task
+
+    def _finished(self, key: Hashable, task: "asyncio.Task") -> None:
+        self._inflight.pop(key, None)
+        if not task.cancelled():
+            # Mark a failure as retrieved: if every waiter timed out
+            # before the build failed, nobody else will consume it and
+            # asyncio would log "exception was never retrieved".
+            task.exception()
+
+    async def shared(self, key: Hashable,
+                     supplier: Callable[[], Awaitable]):
+        """Await the shared build, shielded: cancelling *this* await
+        (a request deadline) never cancels the build itself."""
+        return await asyncio.shield(self.future(key, supplier))
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def snapshot(self) -> dict:
+        return {"name": self.name, "inflight": len(self._inflight),
+                "builds": self.builds, "coalesced": self.coalesced}
+
+    def __repr__(self) -> str:
+        return (f"SingleFlight({self.name!r}, inflight="
+                f"{len(self._inflight)}, builds={self.builds}, "
+                f"coalesced={self.coalesced})")

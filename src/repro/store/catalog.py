@@ -38,9 +38,11 @@ from collections import OrderedDict
 from typing import (Callable, Hashable, List, Optional, Sequence, TypeVar,
                     Union)
 
+from .. import faults as _faults
 from .. import obs as _obs
 from ..obs import profile as _profile
 from ..errors import StoreIOError
+from ..queries import cancel as _cancel
 from ..graph.provgraph import ProvenanceGraph
 from ..queries.deletion import deletion_set as _kernel_deletion_set
 from ..queries.reachability import ReachabilityIndex
@@ -54,8 +56,45 @@ T = TypeVar("T")
 _MISSING = object()
 
 
+def _env_cache_budget_bytes() -> Optional[int]:
+    """``REPRO_CACHE_BUDGET_MB`` as bytes, or None when unset/invalid."""
+    text = os.environ.get("REPRO_CACHE_BUDGET_MB", "").strip()
+    if not text:
+        return None
+    try:
+        megabytes = float(text)
+    except ValueError:
+        return None
+    if megabytes <= 0:
+        return None
+    return int(megabytes * 1024 * 1024)
+
+
+def _default_sizer(value) -> int:
+    """Bytes an entry holds: its own ``memory_bytes()`` when it has
+    one (graphs, CSR snapshots), else a shallow ``getsizeof``."""
+    import sys
+    probe = getattr(value, "memory_bytes", None)
+    if callable(probe):
+        try:
+            return int(probe())
+        except Exception:  # a half-built artifact must not kill caching
+            pass
+    return sys.getsizeof(value)
+
+
 class LRUCache:
     """A tiny ordered-dict LRU; ``capacity <= 0`` disables caching.
+
+    Eviction is double-gated: entry count (``capacity``) and,
+    optionally, a resident-byte budget (``budget_bytes``; sizes come
+    from ``sizer``, defaulting to each value's ``memory_bytes()``).
+    Without the byte gate a few giant runs can either evict every
+    small run (count pressure) or OOM the process (no memory
+    pressure at all); with it, eviction trims least-recently-used
+    entries until the cache fits, always keeping at least the entry
+    just inserted so one over-budget artifact degrades to
+    cache-of-one instead of a rebuild storm.
 
     Thread-safe: lookup, insert, and eviction happen under one
     reentrant lock, but ``build()`` runs *outside* it so an expensive
@@ -67,14 +106,20 @@ class LRUCache:
     same-run artifacts).
     """
 
-    def __init__(self, capacity: int, name: Optional[str] = None):
+    def __init__(self, capacity: int, name: Optional[str] = None,
+                 budget_bytes: Optional[int] = None,
+                 sizer: Callable[[object], int] = _default_sizer):
         self.capacity = capacity
         self.name = name
+        self.budget_bytes = budget_bytes
+        self._sizer = sizer
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.total_bytes = 0
         self._lock = threading.RLock()
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._sizes: dict = {}
         # Metric names are precomputed so the hot path pays one dict
         # lookup per cache access when telemetry is on, zero when off.
         prefix = f"cache.{name}" if name else None
@@ -82,10 +127,20 @@ class LRUCache:
         self._misses_metric = f"{prefix}.misses_total" if prefix else None
         self._evictions_metric = (f"{prefix}.evictions_total"
                                   if prefix else None)
+        self._bytes_metric = f"{prefix}.bytes" if prefix else None
 
     def _record(self, metric: Optional[str], amount: int = 1) -> None:
         if metric is not None and _obs.enabled():
             _obs.count(metric, amount)
+
+    def _drop(self, key: Hashable) -> None:
+        """Remove one entry, size bookkeeping included (lock held)."""
+        del self._entries[key]
+        self.total_bytes -= self._sizes.pop(key, 0)
+
+    def _publish_bytes(self) -> None:
+        if self._bytes_metric is not None and _obs.enabled():
+            _obs.gauge(self._bytes_metric, self.total_bytes)
 
     def get_or_build(self, key: Hashable, build: Callable[[], T]) -> T:
         with self._lock:
@@ -104,6 +159,8 @@ class LRUCache:
         value = build()
         if self.capacity <= 0:
             return value
+        # Sized outside the lock: memory_bytes() walks the artifact.
+        size = self._sizer(value) if self.budget_bytes is not None else 0
         with self._lock:
             existing = self._entries.get(key, _MISSING)
             if existing is not _MISSING:
@@ -112,13 +169,21 @@ class LRUCache:
                 self._entries.move_to_end(key)
                 return existing  # type: ignore[return-value]
             self._entries[key] = value
+            self._sizes[key] = size
+            self.total_bytes += size
             evicted = 0
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                self._drop(next(iter(self._entries)))
                 evicted += 1
+            if self.budget_bytes is not None:
+                while (self.total_bytes > self.budget_bytes
+                       and len(self._entries) > 1):
+                    self._drop(next(iter(self._entries)))
+                    evicted += 1
             if evicted:
                 self.evictions += evicted
                 self._record(self._evictions_metric, evicted)
+            self._publish_bytes()
             return value
 
     def contains(self, key: Hashable) -> bool:
@@ -132,17 +197,22 @@ class LRUCache:
         with self._lock:
             stale = [key for key in self._entries if predicate(key)]
             for key in stale:
-                del self._entries[key]
+                self._drop(key)
             if stale:
                 self.evictions += len(stale)
                 self._record(self._evictions_metric, len(stale))
+                self._publish_bytes()
 
     def info(self) -> dict:
         """Counters + occupancy snapshot (functools-style cache_info)."""
         with self._lock:
-            return {"hits": self.hits, "misses": self.misses,
+            info = {"hits": self.hits, "misses": self.misses,
                     "evictions": self.evictions,
                     "size": len(self._entries), "capacity": self.capacity}
+            if self.budget_bytes is not None:
+                info["bytes"] = self.total_bytes
+                info["budget_bytes"] = self.budget_bytes
+            return info
 
     def __len__(self) -> int:
         with self._lock:
@@ -246,14 +316,28 @@ class ProvenanceService:
     """
 
     def __init__(self, store: GraphStore, graph_cache_size: int = 8,
-                 csr_cache_size: int = 8, index_cache_size: int = 2):
+                 csr_cache_size: int = 8, index_cache_size: int = 2,
+                 cache_budget_bytes: Optional[int] = None):
         self.store = store
         self.catalog = RunCatalog(store, invalidate=self.invalidate)
-        self._graphs = LRUCache(graph_cache_size, name="graphs")
+        if cache_budget_bytes is None:
+            cache_budget_bytes = _env_cache_budget_bytes()
+        # The byte budget guards the three caches that hold whole-graph
+        # artifacts; half to live graphs, a quarter each to frozen
+        # copies and CSR snapshots.  Entry-count caps still apply.
+        graph_budget = csr_budget = frozen_budget = None
+        if cache_budget_bytes is not None:
+            graph_budget = max(cache_budget_bytes // 2, 1)
+            csr_budget = frozen_budget = max(cache_budget_bytes // 4, 1)
+        self.cache_budget_bytes = cache_budget_bytes
+        self._graphs = LRUCache(graph_cache_size, name="graphs",
+                                budget_bytes=graph_budget)
         self._processors = LRUCache(graph_cache_size, name="processors")
-        self._snapshots = LRUCache(csr_cache_size, name="csr")
+        self._snapshots = LRUCache(csr_cache_size, name="csr",
+                                   budget_bytes=csr_budget)
         self._indexes = LRUCache(index_cache_size, name="reachability")
-        self._frozen = LRUCache(graph_cache_size, name="frozen")
+        self._frozen = LRUCache(graph_cache_size, name="frozen",
+                                budget_bytes=frozen_budget)
         self._load_seconds: dict = {}
         # Per-run locks serialize operations that touch a run's *live*
         # cached graph (loads, derived-artifact builds, zoom surgery,
@@ -289,6 +373,12 @@ class ProvenanceService:
     def graph(self, run_id: str) -> ProvenanceGraph:
         """The rebuilt graph for ``run_id`` (LRU-cached)."""
         def build() -> ProvenanceGraph:
+            # Deadline + fault seam before the expensive cold rebuild:
+            # a request whose budget is already spent must not start a
+            # multi-second load, and storm tests inject latency/locks
+            # here deterministically.
+            _cancel.check("service.graph")
+            _faults.fire("service.snapshot", run_id=run_id, op="graph-load")
             with _obs.span("store.load_run", run_id=run_id):
                 started = time.perf_counter()
                 graph = self.store.load_graph(run_id)
@@ -368,12 +458,17 @@ class ProvenanceService:
         with self._run_lock(run_id):
             graph = self.graph(run_id)
             key = (run_id, graph.version)
+
+            def build():
+                _faults.fire("service.snapshot", run_id=run_id, op="frozen")
+                return graph.snapshot()
+
             prof = _profile.active()
             if prof is None:
-                return self._frozen.get_or_build(key, graph.snapshot)
+                return self._frozen.get_or_build(key, build)
             hit = self._frozen.contains(key)
             started = time.perf_counter()
-            frozen = self._frozen.get_or_build(key, graph.snapshot)
+            frozen = self._frozen.get_or_build(key, build)
             prof.step("service.snapshot", tier="frozen-snapshot",
                       seconds=time.perf_counter() - started, cached=int(hit),
                       nodes=frozen.node_count, edges=frozen.edge_count)

@@ -38,7 +38,9 @@ from typing import Iterable, List, Optional, Set, Tuple
 from ..errors import UnknownNodeError
 from ..graph.provgraph import ProvenanceGraph
 from ..obs import profile as _profile
-from ..queries.kernels import subgraph_sets
+from ..queries import cancel as _cancel
+from ..queries.kernels import (_reach_checked, _reachable_checked,
+                               subgraph_sets)
 from ..queries.subgraph import SubgraphResult
 
 _EMPTY: Tuple[int, ...] = ()
@@ -145,6 +147,10 @@ class CSRSnapshot:
     def _reach_set(self, start: int, views: List[Tuple[int, ...]]) -> Set[int]:
         """Like :meth:`_reach` but accumulates a set directly —
         cheaper when the caller wants a set anyway."""
+        deadline = _cancel.current()
+        if deadline is not None:
+            return set(_reach_checked(views, start, self._mask_size,
+                                      deadline))
         seen: Set[int] = set()
         stack = list(views[start])
         while stack:
@@ -202,6 +208,10 @@ class CSRSnapshot:
         prof = _profile.active()
         if prof is not None:
             return self._reachable_profiled(source, target, prof)
+        deadline = _cancel.current()
+        if deadline is not None:
+            return _reachable_checked(self._succ_views, source, target,
+                                      self._mask_size, deadline)
         views = self._succ_views
         mask = bytearray(self._mask_size)
         mask[source] = 1

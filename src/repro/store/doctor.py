@@ -76,10 +76,56 @@ class DoctorReport:
     def healthy(self) -> bool:
         return self.problems == 0
 
+    def diagnoses(self) -> List[dict]:
+        """Flat, uniformly-shaped diagnosis records — one per finding,
+        each ``{"severity", "kind", "run_id", "shard", "detail"}`` —
+        so scripts consume one list instead of seven differently-keyed
+        ones.  ``severity`` is ``error`` for findings counted in
+        :attr:`problems` and ``info`` for contained/informational ones
+        (quarantined runs, completed repairs)."""
+        records: List[dict] = []
+
+        def add(severity: str, kind: str, detail: str,
+                run_id=None, shard=None) -> None:
+            records.append({"severity": severity, "kind": kind,
+                            "run_id": run_id, "shard": shard,
+                            "detail": detail})
+
+        for entry in (self.shards or []):
+            if not entry["available"]:
+                add("error", "shard-unavailable",
+                    f"shard {entry['shard']} unavailable: {entry['path']}",
+                    shard=entry["shard"])
+            elif entry["integrity"]:
+                add("error", "shard-corrupted",
+                    "; ".join(entry["integrity"][:3]),
+                    shard=entry["shard"])
+        for entry in self.partial_runs:
+            add("error", "partial-ingest",
+                f"stale ingest sentinel in state {entry['state']!r}",
+                run_id=entry["run_id"])
+        for entry in self.checksum_failures:
+            add("error", "checksum-mismatch",
+                "stored graph differs from its ingest spool",
+                run_id=entry["run_id"])
+        for entry in self.unverifiable:
+            add("error", "unverifiable", str(entry["error"]),
+                run_id=entry["run_id"])
+        for entry in self.degraded:
+            add("error", "degraded-scan", str(entry["error"]))
+        for entry in self.quarantined:
+            add("info", "quarantined", str(entry["error"]),
+                run_id=entry["run_id"])
+        for entry in self.repaired:
+            add("info", "repaired", str(entry["action"]),
+                run_id=entry["run_id"])
+        return records
+
     def to_dict(self) -> dict:
         return {
             "healthy": self.healthy,
             "problems": self.problems,
+            "diagnoses": self.diagnoses(),
             "shards": self.shards,
             "partial_runs": self.partial_runs,
             "quarantined": self.quarantined,

@@ -1,0 +1,114 @@
+"""Shared helpers for the service test suites (not collected).
+
+A tiny asyncio HTTP client plus a harness that runs one coroutine
+against a live :class:`~repro.service.server.ResilientServer` bound to
+an ephemeral port.  Everything is in-process — the tests exercise the
+real TCP path without fixed ports or subprocesses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.graph.nodes import NodeKind
+from repro.graph.provgraph import ProvenanceGraph
+from repro.service import ResilientServer, ServiceConfig
+
+
+class Response:
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(self, status: int, headers: dict, body: bytes):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    @property
+    def json(self):
+        return json.loads(self.body)
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+    def __repr__(self) -> str:
+        return f"Response({self.status}, {self.body[:80]!r})"
+
+
+async def http_get(host: str, port: int, path: str,
+                   headers: Optional[dict] = None) -> Response:
+    """One GET over its own connection."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        return await request_on(reader, writer, path, headers,
+                                close=True)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+async def request_on(reader, writer, path: str,
+                     headers: Optional[dict] = None, close: bool = False,
+                     method: str = "GET") -> Response:
+    """One request on an existing (keep-alive) connection."""
+    lines = [f"{method} {path} HTTP/1.1", "Host: test"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    if close:
+        lines.append("Connection: close")
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode())
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    response_headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").strip().partition(":")
+        response_headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = response_headers.get("content-length")
+    if length:
+        body = await reader.readexactly(int(length))
+    return Response(status, response_headers, body)
+
+
+def with_server(service, config: ServiceConfig, scenario):
+    """Run ``await scenario(host, port, server)`` against a live
+    server; returns whatever the scenario returns."""
+
+    async def main():
+        server = ResilientServer(service, config)
+        host, port = await server.start()
+        try:
+            return await scenario(host, port, server)
+        finally:
+            await server.stop()
+
+    return asyncio.run(main())
+
+
+def chain_graph(n: int) -> ProvenanceGraph:
+    graph = ProvenanceGraph()
+    ids = [graph.add_node(NodeKind.TUPLE, f"t{i}") for i in range(n)]
+    for i in range(1, n):
+        graph.add_edge(ids[i - 1], ids[i])
+    return graph
+
+
+def diamond_graph(width: int) -> ProvenanceGraph:
+    """source -> w parallel middles -> sink (plus a sibling spur)."""
+    graph = ProvenanceGraph()
+    source = graph.add_node(NodeKind.TUPLE, "source")
+    sink = graph.add_node(NodeKind.TUPLE, "sink")
+    for i in range(width):
+        middle = graph.add_node(NodeKind.TUPLE, f"m{i}")
+        graph.add_edge(source, middle)
+        graph.add_edge(middle, sink)
+    return graph

@@ -1,0 +1,153 @@
+"""Byte-budget LRU eviction and the structured doctor report.
+
+PR satellites: ``REPRO_CACHE_BUDGET_MB`` caps the catalog caches by
+*bytes* (not just entry count), publishing ``cache.<name>.bytes``
+gauges; and ``repro doctor --json`` emits a flat ``diagnoses`` list
+scripts can consume without knowing seven different record shapes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from service_utils import chain_graph
+
+from repro import obs
+from repro.store.catalog import (LRUCache, ProvenanceService, RunCatalog,
+                                 _env_cache_budget_bytes)
+from repro.store.doctor import DoctorReport, diagnose
+from repro.store.memory import MemoryStore
+
+
+class Sized:
+    """A value with a declared in-memory footprint."""
+
+    def __init__(self, size: int):
+        self.size = size
+
+    def memory_bytes(self) -> int:
+        return self.size
+
+
+class TestByteBudgetLRU:
+    def test_unbudgeted_cache_never_evicts_by_bytes(self):
+        cache = LRUCache(4, name="plain")
+        for i in range(4):
+            cache.get_or_build(i, lambda i=i: Sized(1 << 20))
+        assert len(cache) == 4
+        assert cache.total_bytes == 0  # sizing skipped entirely
+
+    def test_budget_evicts_lru_first(self):
+        cache = LRUCache(100, name="tight", budget_bytes=250)
+        for i in range(3):
+            cache.get_or_build(i, lambda: Sized(100))
+        # 300 bytes > 250: the least-recently-used entry (0) is gone.
+        assert len(cache) == 2
+        assert cache.total_bytes == 200
+        assert not cache.contains(0)
+        assert cache.contains(1) and cache.contains(2)
+
+    def test_recent_touch_survives_eviction(self):
+        cache = LRUCache(100, name="touch", budget_bytes=250)
+        cache.get_or_build("a", lambda: Sized(100))
+        cache.get_or_build("b", lambda: Sized(100))
+        cache.get_or_build("a", lambda: Sized(100))  # touch: a is MRU
+        cache.get_or_build("c", lambda: Sized(100))
+        assert not cache.contains("b")
+        assert cache.contains("a") and cache.contains("c")
+
+    def test_oversized_entry_keeps_at_least_one(self):
+        cache = LRUCache(100, name="huge", budget_bytes=10)
+        value = cache.get_or_build("big", lambda: Sized(10_000))
+        assert cache.contains("big")  # never evict down to empty
+        assert cache.get_or_build("big", lambda: Sized(1)) is value
+
+    def test_info_reports_bytes_and_budget(self):
+        cache = LRUCache(100, name="info", budget_bytes=1000)
+        cache.get_or_build("x", lambda: Sized(123))
+        info = cache.info()
+        assert info["bytes"] == 123
+        assert info["budget_bytes"] == 1000
+
+    def test_bytes_gauge_published(self):
+        telemetry = obs.enable()
+        try:
+            cache = LRUCache(100, name="gauged", budget_bytes=10_000)
+            cache.get_or_build("x", lambda: Sized(512))
+            gauge = telemetry.registry.gauge("cache.gauged.bytes")
+            assert gauge.value == 512.0
+        finally:
+            obs.disable()
+
+    def test_env_knob_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_BUDGET_MB", raising=False)
+        assert _env_cache_budget_bytes() is None
+        monkeypatch.setenv("REPRO_CACHE_BUDGET_MB", "64")
+        assert _env_cache_budget_bytes() == 64 * 1024 * 1024
+        monkeypatch.setenv("REPRO_CACHE_BUDGET_MB", "not-a-number")
+        assert _env_cache_budget_bytes() is None
+        monkeypatch.setenv("REPRO_CACHE_BUDGET_MB", "0")
+        assert _env_cache_budget_bytes() is None
+
+    def test_service_splits_budget_and_bounds_graph_cache(self):
+        store = MemoryStore()
+        catalog = RunCatalog(store)
+        run_ids = [catalog.register(chain_graph(500)).run_id
+                   for _ in range(4)]
+        one_graph = chain_graph(500).memory_bytes()
+        # Budget ~1.5 graphs in the graph cache half: caching all four
+        # runs must evict down to the budget instead of keeping 4.
+        service = ProvenanceService(store, graph_cache_size=16,
+                                    cache_budget_bytes=one_graph * 3)
+        for run_id in run_ids:
+            service.graph(run_id)
+        assert 1 <= len(service._graphs) <= 2
+        assert service._graphs.total_bytes <= one_graph * 3 // 2
+        # The newest run survived; queries still work either way.
+        assert service.stats(run_ids[-1]).node_count == 500
+
+    def test_graph_memory_bytes_grows_with_graph(self):
+        small = chain_graph(100).memory_bytes()
+        large = chain_graph(2000).memory_bytes()
+        assert small > 0
+        assert large > small * 5
+
+
+class TestDoctorDiagnoses:
+    def test_healthy_store_has_no_diagnoses(self):
+        store = MemoryStore()
+        RunCatalog(store).register(chain_graph(50))
+        report = diagnose(store)
+        assert report.healthy
+        assert report.diagnoses() == []
+        assert report.to_dict()["diagnoses"] == []
+
+    def test_records_are_flat_and_uniform(self):
+        report = DoctorReport(shards=[
+            {"shard": 0, "available": True, "integrity": [],
+             "path": "a"},
+            {"shard": 1, "available": False, "integrity": [],
+             "path": "dead"},
+        ])
+        report.partial_runs.append({"run_id": "run-7", "state": "ingest"})
+        report.checksum_failures.append({"run_id": "run-8",
+                                         "expected": "x", "actual": "y"})
+        report.quarantined.append({"run_id": "run-9", "error": "bad"})
+        report.repaired.append({"run_id": "run-7",
+                                "action": "rolled back"})
+        records = report.diagnoses()
+        assert [set(record) for record in records] == [
+            {"severity", "kind", "run_id", "shard", "detail"}] * 5
+        by_kind = {record["kind"]: record for record in records}
+        assert by_kind["shard-unavailable"]["severity"] == "error"
+        assert by_kind["shard-unavailable"]["shard"] == 1
+        assert by_kind["partial-ingest"]["run_id"] == "run-7"
+        assert by_kind["checksum-mismatch"]["severity"] == "error"
+        assert by_kind["quarantined"]["severity"] == "info"
+        assert by_kind["repaired"]["severity"] == "info"
+        # info records never count as problems
+        errors = [r for r in records if r["severity"] == "error"]
+        assert len(errors) == report.problems
+        json.dumps(records)  # JSON-able end to end

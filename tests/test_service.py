@@ -1,0 +1,307 @@
+"""The HTTP front end: routing, admission, deadlines, healthz.
+
+Each test runs a real :class:`~repro.service.ResilientServer` on an
+ephemeral port and talks to it over TCP.  Correctness is always
+checked against the in-process graph — the server may shed or time
+out, but a 200 must carry the same answer the kernels give.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from service_utils import (chain_graph, http_get, request_on, with_server,
+                           ServiceConfig)
+
+from repro import faults, obs
+from repro.store.catalog import ProvenanceService, RunCatalog
+from repro.store.memory import MemoryStore
+
+N = 4000
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="module")
+def store_and_run():
+    store = MemoryStore()
+    catalog = RunCatalog(store)
+    info = catalog.register(chain_graph(N))
+    return store, info.run_id
+
+
+@pytest.fixture
+def service(store_and_run):
+    store, _ = store_and_run
+    return ProvenanceService(store)
+
+
+@pytest.fixture
+def run_id(store_and_run):
+    return store_and_run[1]
+
+
+def quiet_config(**overrides) -> ServiceConfig:
+    config = ServiceConfig(port=0)
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+class TestRouting:
+    def test_query_endpoints_match_graph_truth(self, service, run_id):
+        graph = service.graph(run_id)
+
+        async def scenario(host, port, server):
+            sub = await http_get(host, port,
+                                 f"/v1/runs/{run_id}/subgraph?node=1&ids=1")
+            anc = await http_get(host, port,
+                                 f"/v1/runs/{run_id}/ancestors?node=7&ids=1")
+            desc = await http_get(
+                host, port, f"/v1/runs/{run_id}/descendants?node="
+                            f"{N - 5}&ids=1")
+            reach = await http_get(
+                host, port,
+                f"/v1/runs/{run_id}/reachable?source=0&target={N - 1}")
+            unreach = await http_get(
+                host, port,
+                f"/v1/runs/{run_id}/reachable?source={N - 1}&target=0")
+            dele = await http_get(host, port,
+                                  f"/v1/runs/{run_id}/deletion?nodes=0"
+                                  f"&ids=1")
+            stats = await http_get(host, port, f"/v1/runs/{run_id}/stats")
+            return sub, anc, desc, reach, unreach, dele, stats
+
+        sub, anc, desc, reach, unreach, dele, stats = with_server(
+            service, quiet_config(), scenario)
+        for response in (sub, anc, desc, reach, unreach, dele, stats):
+            assert response.status == 200
+            assert response.json["degraded"] is False
+        assert sub.json["ancestor_ids"] == sorted(graph.ancestors(1))
+        assert sub.json["descendant_ids"] == sorted(graph.descendants(1))
+        assert anc.json["ids"] == sorted(graph.ancestors(7))
+        assert desc.json["ids"] == sorted(graph.descendants(N - 5))
+        assert reach.json["reachable"] is True
+        assert unreach.json["reachable"] is False
+        assert dele.json["count"] == N  # chain: deleting the root
+        assert stats.json["node_count"] == N
+
+    def test_runs_listing(self, service, run_id):
+        async def scenario(host, port, server):
+            return await http_get(host, port, "/runs")
+
+        response = with_server(service, quiet_config(), scenario)
+        assert response.status == 200
+        listed = [entry["run_id"] for entry in response.json["runs"]]
+        assert run_id in listed
+        assert response.json["degraded_listing"] is False
+
+    def test_client_errors(self, service, run_id):
+        async def scenario(host, port, server):
+            return [
+                await http_get(host, port,
+                               f"/v1/runs/{run_id}/subgraph"),  # no node
+            await http_get(host, port,
+                           f"/v1/runs/{run_id}/subgraph?node=zap"),
+                await http_get(host, port, "/v1/runs/no-such-run/stats"),
+                await http_get(host, port,
+                               f"/v1/runs/{run_id}/subgraph?node=999999"),
+                await http_get(host, port, f"/v1/runs/{run_id}/florp?n=1"),
+                await http_get(host, port, "/totally/unknown"),
+                await http_get(host, port, f"/v1/runs/{run_id}/subgraph"
+                                           f"?node=1",
+                               headers={"X-Deadline-Ms": "soon"}),
+            ]
+
+        responses = with_server(service, quiet_config(), scenario)
+        expected = [400, 400, 404, 404, 404, 404, 400]
+        assert [r.status for r in responses] == expected
+        for response in responses:
+            assert "error" in response.json
+
+    def test_post_is_rejected(self, service, run_id):
+        async def scenario(host, port, server):
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                return await request_on(reader, writer, "/runs",
+                                        close=True, method="POST")
+            finally:
+                writer.close()
+
+        response = with_server(service, quiet_config(), scenario)
+        assert response.status == 405
+
+    def test_keep_alive_serves_multiple_requests(self, service, run_id):
+        async def scenario(host, port, server):
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                first = await request_on(reader, writer, "/healthz")
+                second = await request_on(
+                    reader, writer, f"/v1/runs/{run_id}/stats")
+                return first, second
+            finally:
+                writer.close()
+
+        first, second = with_server(service, quiet_config(), scenario)
+        assert first.status == 200
+        assert second.status == 200
+        assert second.json["node_count"] == N
+
+
+class TestDeadlines:
+    def test_kernel_deadline_maps_to_504_with_partial_plan(
+            self, service, run_id):
+        service.graph(run_id)  # hot: the kernel path serves directly
+
+        async def scenario(host, port, server):
+            with faults.injecting("service.handle:latency:secs=0.05"):
+                return await http_get(
+                    host, port, f"/v1/runs/{run_id}/subgraph?node=1",
+                    headers={"X-Deadline-Ms": "20"})
+
+        response = with_server(service, quiet_config(), scenario)
+        assert response.status == 504
+        payload = response.json
+        assert "deadline" in payload["error"]
+        assert payload["deadline_ms"] == pytest.approx(20.0, rel=0.2)
+        assert payload["partial_plan"]["kind"] == "service.subgraph"
+
+    def test_deadline_disabled_with_zero_budget(self, service, run_id):
+        async def scenario(host, port, server):
+            with faults.injecting("service.handle:latency:secs=0.03"):
+                return await http_get(
+                    host, port, f"/v1/runs/{run_id}/stats",
+                    headers={"X-Deadline-Ms": "0"})
+
+        response = with_server(service, quiet_config(), scenario)
+        assert response.status == 200
+
+    def test_deadline_expires_while_queued(self, service, run_id):
+        config = quiet_config(max_inflight=1, queue_depth=8)
+
+        async def scenario(host, port, server):
+            with faults.injecting("service.handle:latency:secs=0.3"):
+                slow = asyncio.create_task(http_get(
+                    host, port, f"/v1/runs/{run_id}/stats",
+                    headers={"X-Deadline-Ms": "2000"}))
+                await asyncio.sleep(0.05)  # occupy the only worker
+                queued = await http_get(
+                    host, port, f"/v1/runs/{run_id}/stats",
+                    headers={"X-Deadline-Ms": "60"})
+                return queued, await slow
+
+        queued, slow = with_server(service, config, scenario)
+        assert slow.status == 200
+        assert queued.status == 504
+        assert "queued" in queued.json["error"]
+
+
+class TestAdmission:
+    def test_overload_sheds_429_with_retry_after(self, service, run_id):
+        config = quiet_config(max_inflight=1, queue_depth=0)
+
+        async def scenario(host, port, server):
+            with faults.injecting("service.handle:latency:secs=0.25"):
+                tasks = [asyncio.create_task(http_get(
+                    host, port, f"/v1/runs/{run_id}/stats"))
+                    for _ in range(5)]
+                # Stagger so exactly one is in flight before the burst.
+                return await asyncio.gather(*tasks)
+
+        responses = with_server(service, config, scenario)
+        statuses = sorted(r.status for r in responses)
+        assert statuses.count(429) >= 3  # depth 0: only 1 can execute
+        assert statuses.count(200) >= 1
+        shed = [r for r in responses if r.status == 429]
+        for response in shed:
+            assert response.json["shed"] is True
+            assert int(response.headers["retry-after"]) >= 1
+
+    def test_tenant_rate_limit_isolates_tenants(self, service, run_id):
+        config = quiet_config(tenant_rate=0.1, tenant_burst=1)
+
+        async def scenario(host, port, server):
+            first = await http_get(host, port,
+                                   f"/v1/runs/{run_id}/stats",
+                                   headers={"X-Tenant": "greedy"})
+            second = await http_get(host, port,
+                                    f"/v1/runs/{run_id}/stats",
+                                    headers={"X-Tenant": "greedy"})
+            other = await http_get(host, port,
+                                   f"/v1/runs/{run_id}/stats",
+                                   headers={"X-Tenant": "patient"})
+            return first, second, other
+
+        first, second, other = with_server(service, config, scenario)
+        assert first.status == 200
+        assert second.status == 429
+        assert "tenant-rate" in second.json["error"]
+        assert other.status == 200  # another tenant is unaffected
+
+
+class TestHealthAndMetrics:
+    def test_healthz_reports_state(self, service, run_id):
+        async def scenario(host, port, server):
+            await http_get(host, port, f"/v1/runs/{run_id}/stats")
+            return await http_get(host, port, "/healthz")
+
+        response = with_server(service, quiet_config(), scenario)
+        assert response.status == 200
+        payload = response.json
+        assert payload["status"] == "ok"
+        assert payload["admission"]["max_inflight"] >= 1
+        assert payload["admission"]["admitted_total"] >= 1
+        assert payload["singleflight"]["inflight"] == 0
+        assert "caches" in payload
+        assert payload["responses_by_status"].get("200", 0) >= 1
+
+    def test_metrics_endpoint_exposes_prometheus(self, service, run_id):
+        async def scenario(host, port, server):
+            await http_get(host, port, f"/v1/runs/{run_id}/stats")
+            return await http_get(host, port, "/metrics")
+
+        telemetry = obs.enable()
+        try:
+            response = with_server(service, quiet_config(), scenario)
+        finally:
+            obs.disable()
+        assert response.status == 200
+        assert "service_requests_total" in response.text
+
+    def test_metrics_endpoint_degrades_without_telemetry(self, service):
+        async def scenario(host, port, server):
+            return await http_get(host, port, "/metrics")
+
+        response = with_server(service, quiet_config(), scenario)
+        assert response.status == 200
+        assert "REPRO_OBS" in response.json["hint"]
+
+
+class TestSingleflight:
+    def test_cold_storm_builds_snapshot_once(self, store_and_run):
+        store, run_id = store_and_run
+        service = ProvenanceService(store)  # fresh: all caches cold
+
+        async def scenario(host, port, server):
+            with faults.injecting("service.snapshot:latency:secs=0.05"):
+                responses = await asyncio.gather(*[
+                    http_get(host, port,
+                             f"/v1/runs/{run_id}/ancestors?node=50")
+                    for _ in range(12)])
+            return responses, server.flight.snapshot()
+
+        responses, flight = with_server(service, quiet_config(), scenario)
+        assert [r.status for r in responses] == [200] * 12
+        assert {r.json["count"] for r in responses} == {50}
+        # Exactly one build; concurrent requests coalesced onto it and
+        # stragglers found the cache already warm (either is fine —
+        # what must never happen is a second build).
+        assert flight["builds"] == 1
+        assert flight["coalesced"] >= 1

@@ -1,0 +1,338 @@
+"""Resilience under fault injection: singleflight storms, circuit
+breakers, dead shards, and the overload status contract.
+
+The invariants, per ISSUE: a thundering herd of cold queries builds
+each ``(run, generation)`` snapshot exactly once; a dead shard opens
+its breaker and turns into fast ``503 degraded`` answers while other
+shards keep serving; overload partitions cleanly into
+``200 / 429 / 503 / 504`` — and a 200 always carries the same answer
+the kernels give (zero wrong answers, ever).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from service_utils import (ServiceConfig, chain_graph, http_get,
+                           with_server)
+
+from repro import faults
+from repro.errors import CircuitOpenError
+from repro.service.breaker import (CLOSED, HALF_OPEN, OPEN, BreakerBoard,
+                                   CircuitBreaker)
+from repro.store.catalog import ProvenanceService, RunCatalog
+from repro.store.memory import MemoryStore
+from repro.store.sharded import ShardedStore, UnavailableShard, shard_of
+
+N = 3000
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def make_store(runs: int = 1):
+    store = MemoryStore()
+    catalog = RunCatalog(store)
+    run_ids = [catalog.register(chain_graph(N)).run_id
+               for _ in range(runs)]
+    return store, run_ids
+
+
+def config(**overrides) -> ServiceConfig:
+    cfg = ServiceConfig(port=0)
+    for key, value in overrides.items():
+        setattr(cfg, key, value)
+    return cfg
+
+
+class TestCircuitBreakerUnit:
+    """State machine against a fake clock — no HTTP, no sleeps."""
+
+    def setup_method(self):
+        self.now = 1000.0
+        self.breaker = CircuitBreaker("dep", failure_threshold=3,
+                                      reset_seconds=5.0,
+                                      clock=lambda: self.now)
+
+    def fail_once(self):
+        self.breaker.before_call()
+        self.breaker.record_failure()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        for _ in range(2):
+            self.fail_once()
+        assert self.breaker.state() == CLOSED
+        self.fail_once()
+        assert self.breaker.state() == OPEN
+        with pytest.raises(CircuitOpenError) as excinfo:
+            self.breaker.before_call()
+        assert excinfo.value.retry_after_seconds <= 5.0
+
+    def test_success_resets_the_failure_count(self):
+        self.fail_once()
+        self.fail_once()
+        self.breaker.before_call()
+        self.breaker.record_success()
+        self.fail_once()
+        self.fail_once()
+        assert self.breaker.state() == CLOSED  # never hit 3 in a row
+
+    def test_half_open_admits_exactly_one_probe(self):
+        for _ in range(3):
+            self.fail_once()
+        self.now += 5.1
+        assert self.breaker.state() == HALF_OPEN
+        self.breaker.before_call()  # the probe
+        with pytest.raises(CircuitOpenError):
+            self.breaker.before_call()  # concurrent call while probing
+        self.breaker.record_success()
+        assert self.breaker.state() == CLOSED
+
+    def test_failed_probe_reopens_for_another_cooldown(self):
+        for _ in range(3):
+            self.fail_once()
+        self.now += 5.1
+        self.breaker.before_call()
+        self.breaker.record_failure()
+        assert self.breaker.state() == OPEN
+        with pytest.raises(CircuitOpenError):
+            self.breaker.before_call()
+        self.now += 5.1
+        self.breaker.before_call()
+        self.breaker.record_success()
+        assert self.breaker.state() == CLOSED
+
+    def test_board_shares_configuration_and_names(self):
+        board = BreakerBoard(failure_threshold=1, reset_seconds=9.0)
+        one = board.get("shard-00")
+        assert board.get("shard-00") is one
+        assert one.failure_threshold == 1
+        one.before_call()
+        one.record_failure()
+        assert board.states() == {"shard-00": OPEN}
+        assert board.any_open()
+
+
+class TestSingleflightStorm:
+    def test_latency_storm_builds_once_per_run_and_generation(
+            self, monkeypatch):
+        monkeypatch.setenv("REPRO_PUSHDOWN", "0")  # force the warm path
+        store, (run_id,) = make_store()
+        service = ProvenanceService(store)
+        graph_truth = sorted(chain_graph(N).ancestors(100))
+
+        async def scenario(host, port, server):
+            with faults.injecting("service.snapshot:latency:secs=0.08"):
+                responses = await asyncio.gather(*[
+                    http_get(host, port,
+                             f"/v1/runs/{run_id}/ancestors?node=100&ids=1")
+                    for _ in range(24)])
+            return responses, server.flight.snapshot()
+
+        responses, flight = with_server(
+            service, config(max_inflight=8, queue_depth=64), scenario)
+        assert [r.status for r in responses] == [200] * 24
+        for response in responses:
+            assert response.json["ids"] == graph_truth  # zero wrong answers
+        assert flight["builds"] == 1
+        assert flight["coalesced"] >= 1
+
+    def test_invalidation_starts_a_new_flight_generation(self):
+        store, (run_id,) = make_store()
+        service = ProvenanceService(store)
+
+        async def scenario(host, port, server):
+            first = await http_get(host, port,
+                                   f"/v1/runs/{run_id}/stats")
+            service.invalidate(run_id)
+            second = await http_get(host, port,
+                                    f"/v1/runs/{run_id}/stats")
+            return first, second, server.flight.snapshot()
+
+        first, second, flight = with_server(service, config(), scenario)
+        assert first.status == 200 and second.status == 200
+        assert flight["builds"] == 2  # one per generation, not per query
+
+    def test_timed_out_waiter_does_not_kill_the_shared_build(self):
+        store, (run_id,) = make_store()
+        service = ProvenanceService(store)
+
+        async def scenario(host, port, server):
+            with faults.injecting("service.snapshot:latency:secs=0.15"):
+                impatient = asyncio.create_task(http_get(
+                    host, port, f"/v1/runs/{run_id}/stats",
+                    headers={"X-Deadline-Ms": "40"}))
+                patient = asyncio.create_task(http_get(
+                    host, port, f"/v1/runs/{run_id}/stats",
+                    headers={"X-Deadline-Ms": "5000"}))
+                return await impatient, await patient, \
+                    server.flight.snapshot()
+
+        impatient, patient, flight = with_server(service, config(),
+                                                 scenario)
+        assert impatient.status == 504
+        assert "warming" in impatient.json["error"]
+        assert patient.status == 200  # rode the same, still-alive build
+        assert patient.json["node_count"] == N
+        assert flight["builds"] == 1
+
+
+class TestBreakerOverHTTP:
+    def test_failing_builds_open_the_breaker_then_recover(self):
+        store, (run_id,) = make_store()
+        service = ProvenanceService(store)
+        cfg = config(breaker_threshold=2, breaker_reset_seconds=0.15)
+
+        async def scenario(host, port, server):
+            out = {}
+            with faults.injecting("service.snapshot:error"):
+                out["failures"] = [
+                    await http_get(host, port,
+                                   f"/v1/runs/{run_id}/stats")
+                    for _ in range(2)]
+                out["rejected"] = await http_get(
+                    host, port, f"/v1/runs/{run_id}/stats")
+                out["health_open"] = await http_get(host, port, "/healthz")
+            await asyncio.sleep(0.2)  # past the cool-down: half-open
+            out["probe"] = await http_get(host, port,
+                                          f"/v1/runs/{run_id}/stats")
+            out["health_closed"] = await http_get(host, port, "/healthz")
+            return out
+
+        out = with_server(service, cfg, scenario)
+        assert [r.status for r in out["failures"]] == [500, 500]
+        rejected = out["rejected"]
+        assert rejected.status == 503
+        assert rejected.json["degraded"] is True
+        assert int(rejected.headers["retry-after"]) >= 1
+        assert out["health_open"].status == 503
+        assert out["health_open"].json["status"] == "degraded"
+        assert out["health_open"].json["breaker_states"]["store"] == OPEN
+        # Recovery: the half-open probe succeeds and closes the breaker.
+        assert out["probe"].status == 200
+        assert out["health_closed"].status == 200
+        assert (out["health_closed"].json["breaker_states"]["store"]
+                == CLOSED)
+
+    def test_deadline_timeouts_never_open_the_breaker(self):
+        store, (run_id,) = make_store()
+        service = ProvenanceService(store)
+        service.graph(run_id)  # hot path: kernels see the deadline
+        cfg = config(breaker_threshold=2, breaker_reset_seconds=60.0)
+
+        async def scenario(host, port, server):
+            with faults.injecting("service.handle:latency:secs=0.04"):
+                responses = [await http_get(
+                    host, port, f"/v1/runs/{run_id}/subgraph?node=1",
+                    headers={"X-Deadline-Ms": "15"}) for _ in range(4)]
+            health = await http_get(host, port, "/healthz")
+            return responses, health
+
+        responses, health = with_server(service, cfg, scenario)
+        assert [r.status for r in responses] == [504] * 4
+        assert health.status == 200  # 504s are our fault, not the store's
+        assert health.json["breaker_states"].get("store", CLOSED) == CLOSED
+
+
+class TestDeadShard:
+    def make_sharded(self):
+        """Two memory shards with one run each, then kill shard 1."""
+        store = ShardedStore.in_memory(2)
+        catalog = RunCatalog(store)
+        by_shard = {}
+        index = 0
+        while len(by_shard) < 2:
+            run_id = f"run-{index:04d}"
+            index += 1
+            shard = shard_of(run_id, 2)
+            if shard in by_shard:
+                continue
+            catalog.register(chain_graph(200), run_id=run_id)
+            by_shard[shard] = run_id
+        store.shards[1] = UnavailableShard("dead-shard", error="killed",
+                                           index=1)
+        return store, by_shard
+
+    def test_dead_shard_degrades_while_live_shard_serves(self):
+        store, by_shard = self.make_sharded()
+        service = ProvenanceService(store)
+        cfg = config(breaker_threshold=2, breaker_reset_seconds=60.0)
+
+        async def scenario(host, port, server):
+            dead = [await http_get(
+                host, port, f"/v1/runs/{by_shard[1]}/ancestors?node=10")
+                for _ in range(3)]
+            live = await http_get(
+                host, port, f"/v1/runs/{by_shard[0]}/ancestors?node=10")
+            health = await http_get(host, port, "/healthz")
+            return dead, live, health
+
+        dead, live, health = with_server(service, cfg, scenario)
+        # Every dead-shard answer is an explicit degraded 503 …
+        assert [r.status for r in dead] == [503] * 3
+        for response in dead:
+            assert response.json["degraded"] is True
+        # … and after the threshold the breaker answers without even
+        # touching the store (breaker name present + open).
+        assert health.json["breaker_states"]["shard-01"] == OPEN
+        assert health.status == 503
+        # The live shard is completely unaffected.
+        assert live.status == 200
+        assert live.json["count"] == 10
+
+    def test_runs_listing_is_degraded_not_failed(self):
+        store, by_shard = self.make_sharded()
+        service = ProvenanceService(store)
+
+        async def scenario(host, port, server):
+            return await http_get(host, port, "/runs")
+
+        response = with_server(service, config(), scenario)
+        assert response.status == 200
+        assert response.json["degraded_listing"] is True
+        assert len(response.json["failures"]) == 1
+        listed = [entry["run_id"] for entry in response.json["runs"]]
+        assert by_shard[0] in listed
+
+
+class TestOverloadPartitioning:
+    def test_statuses_partition_and_answers_stay_correct(self):
+        store, run_ids = make_store(runs=2)
+        service = ProvenanceService(store)
+        for run_id in run_ids:
+            service.graph(run_id)  # hot: requests go straight to kernels
+        truth = {run_id: sorted(service.graph(run_id).ancestors(500))
+                 for run_id in run_ids}
+        cfg = config(max_inflight=2, queue_depth=2)
+
+        async def scenario(host, port, server):
+            with faults.injecting(
+                    "service.handle:latency:secs=0.03:p=0.7:seed=7"):
+                responses = await asyncio.gather(*[
+                    http_get(host, port,
+                             f"/v1/runs/{run_ids[i % 2]}/ancestors"
+                             f"?node=500&ids=1",
+                             headers={"X-Deadline-Ms": "120"})
+                    for i in range(40)])
+            return responses, server.breakers.states()
+
+        responses, breaker_states = with_server(service, cfg, scenario)
+        statuses = [r.status for r in responses]
+        # The whole point: overload partitions into explicit outcomes —
+        # no 500s, no hangs, no silent queueing.
+        assert set(statuses) <= {200, 429, 504}
+        assert statuses.count(429) > 0  # depth 2 over 40 must shed
+        assert statuses.count(200) > 0
+        for i, response in enumerate(responses):
+            if response.status == 200:
+                run_id = run_ids[i % 2]
+                assert response.json["ids"] == truth[run_id]
+        # Healthy store: pure overload never opens a breaker.
+        assert all(state == CLOSED for state in breaker_states.values())
